@@ -1,0 +1,216 @@
+package squid
+
+import (
+	"testing"
+
+	"squid/internal/adb"
+	"squid/internal/benchqueries"
+	"squid/internal/datacube"
+	"squid/internal/datagen"
+	"squid/internal/experiments"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (one bench per experiment id of DESIGN.md §2). They run the
+// corresponding harness end to end at a reduced scale so `go test
+// -bench=.` completes on a laptop; `cmd/squid-bench -scale full`
+// produces the recorded EXPERIMENTS.md numbers.
+
+// benchScale sizes the datasets for the testing.B harness.
+func benchScale() experiments.Scale {
+	s := experiments.TestScale()
+	s.IMDb = datagen.IMDbConfig{Seed: 7, NumPersons: 2500, NumMovies: 1000, NumCompany: 50}
+	s.DBLP = datagen.DBLPConfig{Seed: 3, NumAuthor: 1200, NumPubs: 2400}
+	s.Adult = datagen.AdultConfig{Seed: 5, NumRows: 2500, ScaleFactor: 1}
+	s.Runs = 2
+	s.ExampleSizes = []int{5, 10, 15, 20}
+	return s
+}
+
+// benchSuite is shared across benchmarks; dataset construction cost is
+// paid once and excluded from timings via b.ResetTimer.
+var benchSuite = experiments.NewSuite(benchScale())
+
+func runExperiment(b *testing.B, fn func()) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+}
+
+func BenchmarkFig9aAbductionTime(b *testing.B) {
+	benchSuite.IMDb()
+	benchSuite.DBLP()
+	runExperiment(b, func() { _ = benchSuite.Fig9a() })
+}
+
+func BenchmarkFig9bDatasetSizes(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Fig9b() })
+}
+
+func BenchmarkFig10Accuracy(b *testing.B) {
+	benchSuite.IMDb()
+	benchSuite.DBLP()
+	runExperiment(b, func() { _ = benchSuite.Fig10() })
+}
+
+func BenchmarkFig11QueryRuntime(b *testing.B) {
+	benchSuite.IMDb()
+	benchSuite.DBLP()
+	runExperiment(b, func() { _ = benchSuite.Fig11() })
+}
+
+func BenchmarkFig12Disambiguation(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Fig12() })
+}
+
+func BenchmarkFig13CaseStudies(b *testing.B) {
+	benchSuite.IMDb()
+	benchSuite.DBLP()
+	runExperiment(b, func() { _ = benchSuite.Fig13() })
+}
+
+func BenchmarkFig14AdultQRE(b *testing.B) {
+	benchSuite.Adult()
+	runExperiment(b, func() { _ = benchSuite.Fig14() })
+}
+
+func BenchmarkFig15aIMDbQRE(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Fig15a() })
+}
+
+func BenchmarkFig15bDBLPQRE(b *testing.B) {
+	benchSuite.DBLP()
+	runExperiment(b, func() { _ = benchSuite.Fig15b() })
+}
+
+func BenchmarkFig16aPULearning(b *testing.B) {
+	benchSuite.Adult()
+	runExperiment(b, func() { _ = benchSuite.Fig16a() })
+}
+
+func BenchmarkFig16bPUScalability(b *testing.B) {
+	runExperiment(b, func() { _ = benchSuite.Fig16b() })
+}
+
+func BenchmarkFig18DatasetStats(b *testing.B) {
+	benchSuite.IMDb()
+	benchSuite.DBLP()
+	benchSuite.Adult()
+	runExperiment(b, func() { _ = benchSuite.Fig18() })
+}
+
+func BenchmarkFig23RhoSweep(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Fig23() })
+}
+
+func BenchmarkFig24GammaSweep(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Fig24() })
+}
+
+func BenchmarkFig25TauASweep(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Fig25() })
+}
+
+func BenchmarkFig26TauSSweep(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Fig26() })
+}
+
+func BenchmarkAblations(b *testing.B) {
+	benchSuite.IMDb()
+	runExperiment(b, func() { _ = benchSuite.Ablations() })
+}
+
+// --- micro-benchmarks of the core pipeline stages -------------------
+
+// BenchmarkAlphaDBBuild measures the offline phase (Fig 18's
+// precomputation time column).
+func BenchmarkAlphaDBBuild(b *testing.B) {
+	g := datagen.GenerateIMDb(benchScale().IMDb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adb.Build(g.DB, adb.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscovery measures one end-to-end online discovery on a
+// 10-example funny-actors intent.
+func BenchmarkDiscovery(b *testing.B) {
+	g, alpha := benchSuite.IMDb()
+	_ = alpha
+	sys, err := Build(g.DB, DefaultBuildConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	person := g.DB.Relation("person")
+	var examples []string
+	for _, id := range g.Comedians[:10] {
+		examples = append(examples, person.Get(int(id), "name").Str())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Discover(examples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendixF4CubeVsAlphaDB reproduces the Appendix F.4
+// comparison: answering association-strength lookups from the data cube
+// (query-time rollup) versus the αDB's precomputed derived relation
+// (hash lookup). The paper measures the cube one to two orders of
+// magnitude slower.
+func BenchmarkAppendixF4CubeVsAlphaDB(b *testing.B) {
+	g, alpha := benchSuite.IMDb()
+	cube := datacube.Build(g.DB,
+		"castinfo", "person_id", "movie_id",
+		"movietogenre", "movie_id", "genre_id",
+		"genre", "id", "name")
+	ptg := alpha.Entity("person").DerivedByAttr("movie:genre")
+	ids := cube.Entities()
+	b.Run("alphaDB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ptg.Counts(ids[i%len(ids)])
+		}
+	})
+	b.Run("datacube", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = cube.Counts(ids[i%len(ids)])
+		}
+	})
+	b.Run("alphaDB-selectivity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ptg.Selectivity("Comedy", 5)
+		}
+	})
+	b.Run("datacube-selectivity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = cube.SelectivityGE("Comedy", 5, 2500)
+		}
+	})
+}
+
+// BenchmarkGroundTruthExecution measures the engine on the largest
+// benchmark ground-truth queries.
+func BenchmarkGroundTruthExecution(b *testing.B) {
+	g, _ := benchSuite.IMDb()
+	bench := benchqueries.IMDbBenchmarks(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range bench[:4] {
+			if _, err := benchqueries.GroundTruth(g.DB, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command squid-bench runs the experiment harness that regenerates every
+// table and figure of the paper's evaluation on the synthetic datasets.
+//
+// Usage:
+//
+//	squid-bench -list
+//	squid-bench -exp fig10
+//	squid-bench -exp all [-scale full|test]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"squid/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list), or \"all\"")
+		scale = flag.String("scale", "full", "dataset scale: full or test")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Description)
+		}
+		fmt.Println("  all      run everything")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.FullScale()
+	case "test":
+		sc = experiments.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or test)\n", *scale)
+		os.Exit(2)
+	}
+	suite := experiments.NewSuite(sc)
+
+	if *exp == "all" {
+		experiments.RunAll(suite, os.Stdout)
+		return
+	}
+	runner, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	runner.Run(suite, os.Stdout)
+}

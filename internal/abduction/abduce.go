@@ -1,0 +1,154 @@
+package abduction
+
+import (
+	"fmt"
+	"sort"
+
+	"squid/internal/adb"
+	"squid/internal/index"
+)
+
+// BaseQuery is the minimal project-join query Q* capturing the structure
+// of the examples (§6.2): project Attr from the entity relation Entity.
+// Semantic-context joins are appended during SQL rendering.
+type BaseQuery struct {
+	Entity string
+	Attr   string
+}
+
+// Result is the outcome of query intent discovery for one base query.
+type Result struct {
+	Base BaseQuery
+	// ExampleRows are the entity rows the examples resolved to (after
+	// disambiguation).
+	ExampleRows []int
+	// Decisions holds the per-filter Algorithm 1 computation over the
+	// full minimal valid filter set Φ.
+	Decisions []FilterDecision
+	// Filters is the selected subset ϕ ⊆ Φ.
+	Filters []*Filter
+	// OutputRows are the entity rows in Qϕ(D).
+	OutputRows []int
+	// Score is the unnormalized log posterior of the selected subset,
+	// used to rank candidate base queries.
+	Score float64
+
+	info *adb.EntityInfo
+}
+
+// EntityInfo exposes the αDB entity the result is grounded in.
+func (r *Result) EntityInfo() *adb.EntityInfo { return r.info }
+
+// OutputValues projects the output rows onto the base query attribute.
+func (r *Result) OutputValues() []string {
+	col := r.info.Rel().Column(r.Base.Attr)
+	out := make([]string, 0, len(r.OutputRows))
+	for _, row := range r.OutputRows {
+		v := col.Get(row)
+		if v.IsNull() {
+			continue
+		}
+		out = append(out, v.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AbduceForEntity runs the full online pipeline for examples already
+// resolved to rows of one entity relation: context discovery, Algorithm 1,
+// and output computation.
+func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) *Result {
+	contexts := DiscoverContexts(info, exampleRows, params)
+	decisions, selected := Abduce(contexts, params)
+	chosen := make(map[*Filter]bool, len(selected))
+	for _, f := range selected {
+		chosen[f] = true
+	}
+	return &Result{
+		Base:        base,
+		ExampleRows: exampleRows,
+		Decisions:   decisions,
+		Filters:     selected,
+		OutputRows:  IntersectRows(info, selected),
+		Score:       LogPosteriorScore(decisions, chosen),
+		info:        info,
+	}
+}
+
+// Discover maps raw example strings to candidate entity columns via the
+// inverted index, resolves ambiguity with the provided resolver, abduces
+// a query per candidate base query, and returns the results ranked by
+// posterior score (best first). It returns an error when no entity
+// column contains all examples.
+//
+// The resolver decides which candidate row each ambiguous example maps
+// to; pass nil to take the first candidate (disambiguation lives in
+// internal/disambig and is injected by the public API).
+func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolver) ([]*Result, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("abduction: no examples provided")
+	}
+	matches := a.Inverted.CommonColumns(examples)
+	var results []*Result
+	for _, m := range matches {
+		info := a.Entity(m.Key.Relation)
+		if info == nil {
+			continue // match in a non-entity relation (e.g. dimension)
+		}
+		rows := resolveRows(info, m, resolver, params)
+		if rows == nil {
+			continue
+		}
+		res := AbduceForEntity(info, BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column}, rows, params)
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		// Dimension fallback (IQ7-style intents): the examples match a
+		// property relation only; the abduced query is the plain
+		// projection with no filters.
+		for _, m := range matches {
+			info := a.EphemeralEntity(m.Key.Relation)
+			if info == nil {
+				continue
+			}
+			rows := resolveRows(info, m, nil, params)
+			if rows == nil {
+				continue
+			}
+			all := make([]int, info.NumRows)
+			for i := range all {
+				all[i] = i
+			}
+			results = append(results, &Result{
+				Base:        BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column},
+				ExampleRows: rows,
+				OutputRows:  all,
+				info:        info,
+			})
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("abduction: no entity attribute contains all %d examples", len(examples))
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	return results, nil
+}
+
+// Resolver picks one row per example from the ambiguity candidates.
+type Resolver func(info *adb.EntityInfo, candidates [][]int, params Params) []int
+
+// resolveRows applies the resolver (or first-candidate fallback) to an
+// index match.
+func resolveRows(info *adb.EntityInfo, m index.ColumnMatch, resolver Resolver, params Params) []int {
+	if resolver != nil && m.Ambiguous() {
+		return resolver(info, m.Rows, params)
+	}
+	rows := make([]int, len(m.Rows))
+	for i, cands := range m.Rows {
+		if len(cands) == 0 {
+			return nil
+		}
+		rows[i] = cands[0]
+	}
+	return rows
+}

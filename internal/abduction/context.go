@@ -1,0 +1,232 @@
+package abduction
+
+import (
+	"sort"
+
+	"squid/internal/adb"
+)
+
+// Context is a semantic context x = (p, |E|): a semantic property
+// observed across all |E| examples (§4.1). Each context corresponds to
+// one minimal valid filter.
+type Context struct {
+	Filter      *Filter
+	NumExamples int
+}
+
+// DiscoverContexts walks every semantic property of the entity relation
+// and emits the semantic contexts exhibited by the example rows
+// (§6.1.2), each paired with its minimal valid filter (Definition 3.2):
+//
+//   - basic categorical: one context per value shared by all examples
+//     (multi-valued attributes can share several values, e.g. the
+//     Dunkirk/Logan/Taken genres Action and Thriller);
+//   - basic numeric: the tightest range [min, max] of the example
+//     values, provided every example has a value;
+//   - derived: one context per value all examples are associated with,
+//     at θ = the minimum association strength among the examples.
+//
+// With Params.MaxDisjunction > 0, single-valued categorical attributes
+// whose examples take 2..k distinct values yield a disjunctive IN filter
+// (the paper's optional footnote-7 extension).
+func DiscoverContexts(info *adb.EntityInfo, exampleRows []int, params Params) []Context {
+	if len(exampleRows) == 0 {
+		return nil
+	}
+	var out []Context
+
+	for _, prop := range info.Basic {
+		switch prop.Kind {
+		case adb.Categorical:
+			out = append(out, categoricalContexts(prop, exampleRows, params)...)
+		case adb.Numeric:
+			if f, ok := numericContext(prop, exampleRows); ok {
+				out = append(out, Context{Filter: f, NumExamples: len(exampleRows)})
+			}
+		}
+	}
+	for _, prop := range info.Derived {
+		out = append(out, derivedContexts(info, prop, exampleRows, params)...)
+	}
+	return out
+}
+
+// categoricalContexts emits shared-value contexts for a categorical
+// basic property.
+func categoricalContexts(prop *adb.BasicProperty, exampleRows []int, params Params) []Context {
+	// Intersect the value sets across examples.
+	shared := make(map[string]int)
+	for _, v := range dedupStrings(prop.Values(exampleRows[0])) {
+		shared[v] = 1
+	}
+	for _, row := range exampleRows[1:] {
+		if len(shared) == 0 {
+			break
+		}
+		for _, v := range dedupStrings(prop.Values(row)) {
+			if c, ok := shared[v]; ok && c == 1 {
+				// mark seen this round by bumping; reset below
+				shared[v] = 2
+			}
+		}
+		for v, c := range shared {
+			if c == 2 {
+				shared[v] = 1
+			} else {
+				delete(shared, v)
+			}
+		}
+	}
+	var out []Context
+	for _, v := range sortedStringKeys(shared) {
+		out = append(out, Context{
+			Filter:      &Filter{Kind: BasicCategorical, Basic: prop, Values: []string{v}},
+			NumExamples: len(exampleRows),
+		})
+	}
+	if len(out) > 0 || params.MaxDisjunction == 0 || prop.MultiValued {
+		return out
+	}
+	// Disjunction extension: no single shared value — consider the set
+	// of distinct values the examples take, if small enough.
+	distinct := make(map[string]struct{})
+	for _, row := range exampleRows {
+		vals := prop.Values(row)
+		if len(vals) == 0 {
+			return out // an example lacks the property: no valid filter
+		}
+		distinct[vals[0]] = struct{}{}
+	}
+	if len(distinct) < 2 || len(distinct) > params.MaxDisjunction {
+		return out
+	}
+	vals := make([]string, 0, len(distinct))
+	for v := range distinct {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	out = append(out, Context{
+		Filter:      &Filter{Kind: BasicCategorical, Basic: prop, Values: vals},
+		NumExamples: len(exampleRows),
+	})
+	return out
+}
+
+// numericContext emits the tightest-range context for a numeric basic
+// property; the range is minimal by Definition 3.2 (shrinking either
+// bound would exclude an example).
+func numericContext(prop *adb.BasicProperty, exampleRows []int) (*Filter, bool) {
+	lo, hi := 0.0, 0.0
+	for i, row := range exampleRows {
+		v, ok := prop.NumValue(row)
+		if !ok {
+			return nil, false
+		}
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	return &Filter{Kind: BasicNumeric, Basic: prop, Lo: lo, Hi: hi}, true
+}
+
+// derivedContexts emits contexts for a derived property: one per value
+// that every example is associated with, at the minimum observed
+// strength θmin (§6.1.2 "Derived property").
+func derivedContexts(info *adb.EntityInfo, prop *adb.DerivedProperty, exampleRows []int, params Params) []Context {
+	var degree *adb.DerivedProperty
+	if params.NormalizeAssociation {
+		degree = info.DerivedByAttr(prop.Via + ":count")
+	}
+	degOf := func(row int) float64 {
+		if degree == nil {
+			return 0
+		}
+		c := degree.Counts(info.IDByRow(row))
+		return float64(c[degree.Via])
+	}
+
+	type agg struct {
+		minCount int
+		minFrac  float64
+		seen     int
+	}
+	shared := make(map[string]*agg)
+	for i, row := range exampleRows {
+		counts := prop.Counts(info.IDByRow(row))
+		d := degOf(row)
+		for v, c := range counts {
+			frac := 0.0
+			if d > 0 {
+				frac = float64(c) / d
+			}
+			if i == 0 {
+				shared[v] = &agg{minCount: c, minFrac: frac, seen: 1}
+				continue
+			}
+			a, ok := shared[v]
+			if !ok || a.seen != i {
+				continue
+			}
+			a.seen++
+			if c < a.minCount {
+				a.minCount = c
+			}
+			if frac < a.minFrac {
+				a.minFrac = frac
+			}
+		}
+		// Drop values not seen by this example.
+		for v, a := range shared {
+			if a.seen != i+1 {
+				delete(shared, v)
+			}
+		}
+	}
+	var out []Context
+	for _, v := range sortedAggKeys(shared) {
+		a := shared[v]
+		f := &Filter{
+			Kind:   Derived,
+			Derivd: prop,
+			Values: []string{v},
+			Theta:  a.minCount,
+		}
+		if params.NormalizeAssociation {
+			f.NormUse = true
+			f.ThetaN = a.minFrac
+			f.degree = degree
+		}
+		out = append(out, Context{Filter: f, NumExamples: len(exampleRows)})
+	}
+	return out
+}
+
+func dedupStrings(xs []string) []string {
+	if len(xs) < 2 {
+		return xs
+	}
+	seen := make(map[string]struct{}, len(xs))
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}
+
+func sortedStringKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedAggKeys[V any](m map[string]V) []string { return sortedStringKeys(m) }

@@ -1,0 +1,266 @@
+package abduction
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"squid/internal/adb"
+)
+
+// FilterKind classifies semantic property filters (§3.1).
+type FilterKind int
+
+const (
+	// BasicCategorical is φ⟨A,v,⊥⟩ on a categorical attribute
+	// (possibly disjunctive: A IN (v1..vk)).
+	BasicCategorical FilterKind = iota
+	// BasicNumeric is φ⟨A,[lo,hi],⊥⟩ on a numeric attribute.
+	BasicNumeric
+	// Derived is φ⟨A,v,θ⟩: association with value v at strength ≥ θ.
+	Derived
+)
+
+// Filter is a semantic property filter φ. A filter references the αDB
+// property it constrains, so selectivity and satisfying-entity lookups
+// are O(log n) against precomputed statistics.
+type Filter struct {
+	Kind FilterKind
+
+	Basic   *adb.BasicProperty
+	Derivd  *adb.DerivedProperty
+	Values  []string // categorical value(s), sorted; single unless disjunctive
+	Lo, Hi  float64  // numeric range (BasicNumeric)
+	Theta   int      // association strength threshold (Derived, absolute)
+	ThetaN  float64  // normalized strength threshold (Derived, normalized mode)
+	NormUse bool     // whether ThetaN is in effect
+
+	// degree is the companion degree property used to normalize
+	// association strengths (set only in normalized mode).
+	degree *adb.DerivedProperty
+}
+
+// Attr returns the display attribute name.
+func (f *Filter) Attr() string {
+	if f.Kind == Derived {
+		return f.Derivd.Attr
+	}
+	return f.Basic.Attr
+}
+
+// Value returns the single categorical value (first for disjunctions).
+func (f *Filter) Value() string {
+	if len(f.Values) == 0 {
+		return ""
+	}
+	return f.Values[0]
+}
+
+// String renders the filter in the paper's φ⟨A,V,θ⟩ notation.
+func (f *Filter) String() string {
+	switch f.Kind {
+	case BasicCategorical:
+		return fmt.Sprintf("φ⟨%s,%s,⊥⟩", f.Attr(), strings.Join(f.Values, "|"))
+	case BasicNumeric:
+		return fmt.Sprintf("φ⟨%s,[%g,%g],⊥⟩", f.Attr(), f.Lo, f.Hi)
+	default:
+		if f.NormUse {
+			return fmt.Sprintf("φ⟨%s,%s,%.2f⟩", f.Attr(), f.Value(), f.ThetaN)
+		}
+		return fmt.Sprintf("φ⟨%s,%s,%d⟩", f.Attr(), f.Value(), f.Theta)
+	}
+}
+
+// Selectivity returns ψ(φ): the fraction of base-query tuples satisfying
+// the filter (§4.2.1), from the αDB's precomputed statistics.
+func (f *Filter) Selectivity() float64 {
+	switch f.Kind {
+	case BasicCategorical:
+		if len(f.Values) == 1 {
+			return f.Basic.CategoricalSelectivity(f.Values[0])
+		}
+		// Disjunction: count entities holding any value. For
+		// multi-valued attributes the per-value sets can overlap,
+		// so count the union exactly.
+		return float64(len(f.EntityRows())) / float64(max(1, f.Basic.NumEntities()))
+	case BasicNumeric:
+		return f.Basic.RangeSelectivity(f.Lo, f.Hi)
+	default:
+		if f.NormUse {
+			return float64(len(f.EntityRows())) / float64(max(1, f.Derivd.NumEntities()))
+		}
+		return f.Derivd.Selectivity(f.Value(), f.Theta)
+	}
+}
+
+// DomainCoverage returns the fraction of the attribute domain the filter
+// covers (Appendix A input to δ).
+func (f *Filter) DomainCoverage() float64 {
+	switch f.Kind {
+	case BasicCategorical:
+		return f.Basic.CategoricalDomainCoverage(len(f.Values))
+	case BasicNumeric:
+		return f.Basic.DomainCoverage(f.Lo, f.Hi)
+	default:
+		// Derived filters are value-point conditions; breadth is
+		// governed by α and λ instead.
+		return 0
+	}
+}
+
+// EntityRows returns the sorted rows of the entity relation satisfying
+// the filter. The returned slice may alias αDB-internal storage; callers
+// must not mutate it (IntersectRows copies before filtering).
+func (f *Filter) EntityRows() []int {
+	switch f.Kind {
+	case BasicCategorical:
+		if len(f.Values) == 1 {
+			return f.Basic.EntityRowsWithValue(f.Values[0])
+		}
+		set := map[int]struct{}{}
+		for _, v := range f.Values {
+			for _, r := range f.Basic.EntityRowsWithValue(v) {
+				set[r] = struct{}{}
+			}
+		}
+		return sortedRowSet(set)
+	case BasicNumeric:
+		var out []int
+		n := f.Basic.NumEntities()
+		for row := 0; row < n; row++ {
+			if v, ok := f.Basic.NumValue(row); ok && v >= f.Lo && v <= f.Hi {
+				out = append(out, row)
+			}
+		}
+		return out
+	default:
+		if f.NormUse {
+			var out []int
+			for _, e := range f.Derivd.ValueEntries(f.Value()) {
+				if d := f.degreeOf(e.Row); d > 0 && float64(e.Count)/d >= f.ThetaN {
+					out = append(out, e.Row)
+				}
+			}
+			sort.Ints(out)
+			return out
+		}
+		rows := append([]int(nil), f.Derivd.EntityRowsWithStrength(f.Value(), f.Theta)...)
+		sort.Ints(rows)
+		return rows
+	}
+}
+
+// SatisfiedBy reports whether the entity at row satisfies the filter.
+func (f *Filter) SatisfiedBy(info *adb.EntityInfo, row int) bool {
+	switch f.Kind {
+	case BasicCategorical:
+		vals := f.Basic.Values(row)
+		for _, want := range f.Values {
+			for _, v := range vals {
+				if v == want {
+					return true
+				}
+			}
+		}
+		return false
+	case BasicNumeric:
+		v, ok := f.Basic.NumValue(row)
+		return ok && v >= f.Lo && v <= f.Hi
+	default:
+		counts := f.Derivd.Counts(info.IDByRow(row))
+		c := counts[f.Value()]
+		if f.NormUse {
+			d := f.degreeOf(row)
+			return d > 0 && float64(c)/d >= f.ThetaN
+		}
+		return c >= f.Theta
+	}
+}
+
+// degreeOf returns the entity's total association count for the derived
+// property's via-entity (the normalization denominator), or 0.
+func (f *Filter) degreeOf(row int) float64 {
+	if f.degree == nil {
+		return 0
+	}
+	// The degree property has a single pseudo-value named after the
+	// associated entity relation.
+	for _, e := range f.degree.ValueEntries(f.degree.Via) {
+		if e.Row == row {
+			return float64(e.Count)
+		}
+	}
+	return 0
+}
+
+// IntersectRows intersects the satisfying-row sets of all filters,
+// starting from the full entity relation; it returns the output rows of
+// the abduced query Qϕ (used to measure precision/recall without a full
+// engine round trip).
+func IntersectRows(info *adb.EntityInfo, filters []*Filter) []int {
+	if len(filters) == 0 {
+		all := make([]int, info.NumRows)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	// Order filters by ascending selectivity so the working set shrinks
+	// fast.
+	fs := append([]*Filter(nil), filters...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Selectivity() < fs[j].Selectivity() })
+	// Copy before filtering in place: EntityRows may return an internal
+	// αDB posting list, which must never be mutated.
+	current := append([]int(nil), fs[0].EntityRows()...)
+	for _, f := range fs[1:] {
+		if len(current) == 0 {
+			return nil
+		}
+		keep := current[:0]
+		for _, row := range current {
+			if f.SatisfiedBy(info, row) {
+				keep = append(keep, row)
+			}
+		}
+		current = keep
+	}
+	return current
+}
+
+func sortedRowSet(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// effectiveStrength returns the filter's association strength on the
+// scale in effect (absolute count or normalized fraction), used by the
+// α and λ impacts.
+func (f *Filter) effectiveStrength() float64 {
+	if f.NormUse {
+		return f.ThetaN
+	}
+	return float64(f.Theta)
+}
+
+// validFor reports whether every example row satisfies the filter —
+// Definition 3.1 (filter validity). Context discovery only emits valid
+// filters; this is the invariant checked by tests.
+func (f *Filter) validFor(info *adb.EntityInfo, exampleRows []int) bool {
+	for _, r := range exampleRows {
+		if !f.SatisfiedBy(info, r) {
+			return false
+		}
+	}
+	return true
+}

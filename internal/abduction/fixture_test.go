@@ -1,0 +1,158 @@
+package abduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"squid/internal/adb"
+	"squid/internal/relation"
+)
+
+// fig1DB reproduces the CS-Academics database of Fig 1: academics plus
+// the research attribute table, where Dan Suciu and Sam Madden share the
+// data management interest.
+func fig1DB(t *testing.T) *adb.AlphaDB {
+	t.Helper()
+	db := relation.NewDatabase("cs_academics")
+	a := relation.New("academics",
+		relation.Col("id", relation.Int),
+		relation.Col("name", relation.String),
+	).SetPrimaryKey("id")
+	names := []string{"Thomas Cormen", "Dan Suciu", "Jiawei Han", "Sam Madden", "James Kurose", "Joseph Hellerstein"}
+	for i, n := range names {
+		a.MustAppend(relation.IntVal(int64(100+i)), relation.StringVal(n))
+	}
+	db.AddRelation(a)
+	db.MarkEntity("academics")
+
+	r := relation.New("research",
+		relation.Col("aid", relation.Int),
+		relation.Col("interest", relation.String),
+	).AddForeignKey("aid", "academics", "id")
+	rows := []struct {
+		aid      int64
+		interest string
+	}{
+		{100, "algorithms"}, {101, "data management"}, {102, "data mining"},
+		{103, "data management"}, {103, "distributed systems"},
+		{104, "computer networks"}, {105, "data management"}, {105, "distributed systems"},
+	}
+	for _, row := range rows {
+		r.MustAppend(relation.IntVal(row.aid), relation.StringVal(row.interest))
+	}
+	db.AddRelation(r)
+	alpha, err := adb.Build(db, adb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alpha
+}
+
+// actorsDB builds a synthetic IMDb-style αDB with a planted comedian
+// class: comedians appear in many Comedy movies, others in few. Used to
+// reproduce the Example 1.3 abduction.
+func actorsDB(t *testing.T, numPersons, numMovies int, seed int64) *adb.AlphaDB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase("actors")
+
+	genre := relation.New("genre",
+		relation.Col("id", relation.Int),
+		relation.Col("name", relation.String),
+	).SetPrimaryKey("id")
+	genreNames := []string{"Comedy", "Drama", "Action", "SciFi", "Thriller"}
+	for i, g := range genreNames {
+		genre.MustAppend(relation.IntVal(int64(i)), relation.StringVal(g))
+	}
+	db.AddRelation(genre)
+	db.MarkProperty("genre")
+
+	person := relation.New("person",
+		relation.Col("id", relation.Int),
+		relation.Col("name", relation.String),
+		relation.Col("gender", relation.String),
+		relation.Col("age", relation.Int),
+	).SetPrimaryKey("id")
+	for i := 0; i < numPersons; i++ {
+		gender := "Male"
+		if rng.Intn(2) == 0 {
+			gender = "Female"
+		}
+		person.MustAppend(relation.IntVal(int64(i)),
+			relation.StringVal(personName(i)),
+			relation.StringVal(gender),
+			relation.IntVal(int64(25+rng.Intn(60))))
+	}
+	db.AddRelation(person)
+	db.MarkEntity("person")
+
+	movie := relation.New("movie",
+		relation.Col("id", relation.Int),
+		relation.Col("title", relation.String),
+		relation.Col("year", relation.Int),
+	).SetPrimaryKey("id")
+	mg := relation.New("movietogenre",
+		relation.Col("movie_id", relation.Int),
+		relation.Col("genre_id", relation.Int),
+	).AddForeignKey("movie_id", "movie", "id").AddForeignKey("genre_id", "genre", "id")
+	for i := 0; i < numMovies; i++ {
+		movie.MustAppend(relation.IntVal(int64(i)),
+			relation.StringVal(movieTitle(i)),
+			relation.IntVal(int64(1980+rng.Intn(40))))
+		mg.MustAppend(relation.IntVal(int64(i)), relation.IntVal(int64(i%len(genreNames))))
+	}
+	db.AddRelation(movie)
+	db.MarkEntity("movie")
+	db.AddRelation(mg)
+
+	ci := relation.New("castinfo",
+		relation.Col("person_id", relation.Int),
+		relation.Col("movie_id", relation.Int),
+	).AddForeignKey("person_id", "person", "id").AddForeignKey("movie_id", "movie", "id")
+	// First 10% of persons are comedians: cast them in 12 comedies
+	// (movie ids ≡ 0 mod 5) and 2 others. The rest get 4 random movies.
+	comedians := numPersons / 10
+	for p := 0; p < numPersons; p++ {
+		if p < comedians {
+			for k := 0; k < 12; k++ {
+				ci.MustAppend(relation.IntVal(int64(p)), relation.IntVal(int64((k*5)%numMovies)))
+			}
+			for k := 0; k < 2; k++ {
+				ci.MustAppend(relation.IntVal(int64(p)), relation.IntVal(int64(rng.Intn(numMovies))))
+			}
+		} else {
+			for k := 0; k < 4; k++ {
+				ci.MustAppend(relation.IntVal(int64(p)), relation.IntVal(int64(rng.Intn(numMovies))))
+			}
+		}
+	}
+	db.AddRelation(ci)
+
+	alpha, err := adb.Build(db, adb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alpha
+}
+
+func personName(i int) string {
+	return "Person " + string(rune('A'+i%26)) + " " + itoa(i)
+}
+
+func movieTitle(i int) string {
+	return "Movie " + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

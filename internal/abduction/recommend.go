@@ -1,0 +1,79 @@
+package abduction
+
+import (
+	"math"
+	"sort"
+)
+
+// RecommendExamples implements the paper's §9 "example recommendation to
+// increase sample diversity and improve abduction" direction: it ranks
+// entities from the current abduced output that the user could confirm
+// next. The best next example is one that is in the output (so the user
+// plausibly wants it) but disagrees with as much *borderline* evidence
+// as possible: confirming it invalidates coincidental filters that
+// barely made the cut, and weakens near-included ones — pruning the
+// candidate space fastest.
+//
+// Returns up to k projection-attribute values, most informative first.
+// Current examples are never recommended.
+func RecommendExamples(res *Result, k int) []string {
+	if res == nil || res.info == nil || k <= 0 {
+		return nil
+	}
+	exampleSet := make(map[int]bool, len(res.ExampleRows))
+	for _, r := range res.ExampleRows {
+		exampleSet[r] = true
+	}
+
+	type scored struct {
+		row   int
+		score float64
+	}
+	var cands []scored
+	for _, row := range res.OutputRows {
+		if exampleSet[row] {
+			continue
+		}
+		score := 0.0
+		for _, d := range res.Decisions {
+			// Borderline weight: decisions whose include/exclude scores
+			// are close are one confirming example away from flipping.
+			w := borderline(d)
+			if w == 0 {
+				continue
+			}
+			if !d.Filter.SatisfiedBy(res.info, row) {
+				// Confirming this row invalidates the filter entirely
+				// (it would no longer be a valid filter, Definition
+				// 3.1) — maximal pruning for included filters, useful
+				// signal for excluded ones too.
+				score += w
+			}
+		}
+		cands = append(cands, scored{row, score})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	col := res.info.Rel().Column(res.Base.Attr)
+	out := make([]string, 0, len(cands))
+	for _, c := range cands {
+		v := col.Get(c.row)
+		if !v.IsNull() {
+			out = append(out, v.String())
+		}
+	}
+	return out
+}
+
+// borderline scores how undecided a filter decision is: 1 for a perfect
+// tie, decaying with the log-odds gap; decisions with zero prior (α or λ
+// pruned) return 0.
+func borderline(d FilterDecision) float64 {
+	if d.Include <= 0 || d.Exclude <= 0 {
+		return 0
+	}
+	gap := math.Abs(math.Log(d.Include) - math.Log(d.Exclude))
+	return 1 / (1 + gap)
+}

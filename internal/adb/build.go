@@ -1,0 +1,487 @@
+package adb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"squid/internal/index"
+	"squid/internal/relation"
+)
+
+// Config tunes αDB construction.
+type Config struct {
+	// MaxFactDepth bounds derived-property discovery; the paper
+	// restricts it to two fact tables (§5). Depth 1 enables derived
+	// properties over the associated entity's direct/FK attributes;
+	// depth 2 additionally walks a second fact table (persontogenre).
+	MaxFactDepth int
+	// MaxCatDistinct excludes categorical columns with more distinct
+	// values than this (identifiers, names) from property discovery.
+	MaxCatDistinct int
+	// MaxCatRatio excludes categorical columns whose distinct-value
+	// count exceeds this fraction of the entity cardinality.
+	MaxCatRatio float64
+	// PropertyValueColumn overrides the display/value column of a
+	// dimension relation (default: its first String column).
+	PropertyValueColumn map[string]string
+	// DisplayColumn overrides the display column of an entity relation
+	// used for entity-association properties (default: its first
+	// String column).
+	DisplayColumn map[string]string
+	// ExcludeColumns lists entity columns to skip entirely, keyed by
+	// relation name (e.g. free-text columns).
+	ExcludeColumns map[string][]string
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments: derived properties up to two fact tables deep.
+func DefaultConfig() Config {
+	return Config{
+		MaxFactDepth:   2,
+		MaxCatDistinct: 1000,
+		MaxCatRatio:    0.5,
+	}
+}
+
+// EntityInfo gathers everything the online phase needs about one entity
+// relation: its semantic properties with statistics and lookup indexes.
+type EntityInfo struct {
+	Relation string
+	PK       string
+	NumRows  int
+
+	Basic   []*BasicProperty
+	Derived []*DerivedProperty
+
+	rel     *relation.Relation
+	pkIndex *index.IntHash
+	rowIDs  []int64 // row -> entity id
+}
+
+// RowByID resolves an entity id to its row in the entity relation.
+func (e *EntityInfo) RowByID(id int64) (int, bool) { return e.pkIndex.First(id) }
+
+// IDByRow resolves a row to the entity id.
+func (e *EntityInfo) IDByRow(row int) int64 { return e.rowIDs[row] }
+
+// Rel returns the underlying entity relation.
+func (e *EntityInfo) Rel() *relation.Relation { return e.rel }
+
+// BasicByAttr returns the basic property with the given display name.
+func (e *EntityInfo) BasicByAttr(attr string) *BasicProperty {
+	for _, p := range e.Basic {
+		if p.Attr == attr {
+			return p
+		}
+	}
+	return nil
+}
+
+// DerivedByAttr returns the derived property with the given display name.
+func (e *EntityInfo) DerivedByAttr(attr string) *DerivedProperty {
+	for _, p := range e.Derived {
+		if p.Attr == attr {
+			return p
+		}
+	}
+	return nil
+}
+
+// AlphaDB is the abduction-ready database: the original database plus the
+// inverted index, per-entity semantic properties, materialized derived
+// relations, and precomputed selectivity statistics.
+type AlphaDB struct {
+	DB       *relation.Database
+	Inverted *index.Inverted
+	Entities map[string]*EntityInfo
+
+	// DerivedDB holds the materialized derived relations (Fig 18's
+	// "precomputed DB size" reports its footprint).
+	DerivedDB *relation.Database
+	// BuildTime is the offline precomputation wall time.
+	BuildTime time.Duration
+
+	cfg Config
+}
+
+// Build constructs the abduction-ready database for db.
+func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
+	start := time.Now()
+	if cfg.MaxFactDepth == 0 {
+		cfg = DefaultConfig()
+	}
+	a := &AlphaDB{
+		DB:        db,
+		Entities:  make(map[string]*EntityInfo),
+		DerivedDB: relation.NewDatabase(db.Name + "_alpha"),
+		cfg:       cfg,
+	}
+	a.Inverted = index.BuildInverted(db)
+
+	entities := db.EntityRelations()
+	if len(entities) == 0 {
+		return nil, fmt.Errorf("adb: database %q declares no entity relations", db.Name)
+	}
+	for _, name := range entities {
+		info, err := a.buildEntity(name)
+		if err != nil {
+			return nil, err
+		}
+		a.Entities[name] = info
+	}
+	a.BuildTime = time.Since(start)
+	return a, nil
+}
+
+// Entity returns the EntityInfo for a relation name, or nil.
+func (a *AlphaDB) Entity(name string) *EntityInfo { return a.Entities[name] }
+
+// EphemeralEntity builds a property-less EntityInfo for a non-entity
+// relation with an integer primary key. It backs the dimension-fallback
+// path of query discovery: when examples only match a dimension relation
+// (all movie genres, IQ7 of the paper), the abduced query is the plain
+// projection over that relation with no filters.
+func (a *AlphaDB) EphemeralEntity(name string) *EntityInfo {
+	rel := a.DB.Relation(name)
+	if rel == nil || rel.PrimaryKey == "" {
+		return nil
+	}
+	pkCol := rel.Column(rel.PrimaryKey)
+	if pkCol.Type != relation.Int {
+		return nil
+	}
+	info := &EntityInfo{
+		Relation: name,
+		PK:       rel.PrimaryKey,
+		NumRows:  rel.NumRows(),
+		rel:      rel,
+		pkIndex:  index.BuildIntHash(rel, rel.PrimaryKey),
+	}
+	info.rowIDs = make([]int64, rel.NumRows())
+	for i := range info.rowIDs {
+		info.rowIDs[i] = pkCol.Int64(i)
+	}
+	return info
+}
+
+// Config returns the build configuration.
+func (a *AlphaDB) Config() Config { return a.cfg }
+
+// CombinedDB returns a database containing both the original and the
+// derived relations, so the execution engine can run αDB-form SPJ queries
+// (Q5 of the paper) directly.
+func (a *AlphaDB) CombinedDB() *relation.Database {
+	combined := relation.NewDatabase(a.DB.Name + "_combined")
+	for _, n := range a.DB.RelationNames() {
+		combined.AddRelation(a.DB.Relation(n))
+	}
+	for _, n := range a.DerivedDB.RelationNames() {
+		combined.AddRelation(a.DerivedDB.Relation(n))
+	}
+	return combined
+}
+
+// buildEntity discovers and materializes all semantic properties of one
+// entity relation.
+func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
+	rel := a.DB.Relation(name)
+	if rel.PrimaryKey == "" {
+		return nil, fmt.Errorf("adb: entity relation %q has no primary key", name)
+	}
+	pkCol := rel.Column(rel.PrimaryKey)
+	if pkCol.Type != relation.Int {
+		return nil, fmt.Errorf("adb: entity relation %q primary key must be INTEGER", name)
+	}
+	info := &EntityInfo{
+		Relation: name,
+		PK:       rel.PrimaryKey,
+		NumRows:  rel.NumRows(),
+		rel:      rel,
+		pkIndex:  index.BuildIntHash(rel, rel.PrimaryKey),
+	}
+	info.rowIDs = make([]int64, rel.NumRows())
+	for i := range info.rowIDs {
+		info.rowIDs[i] = pkCol.Int64(i)
+	}
+
+	excluded := make(map[string]bool)
+	for _, c := range a.cfg.ExcludeColumns[name] {
+		excluded[c] = true
+	}
+	fkCols := make(map[string]relation.ForeignKey)
+	for _, fk := range rel.Foreign {
+		fkCols[fk.Column] = fk
+	}
+
+	// 1. Direct attributes of the entity relation.
+	for _, col := range rel.Columns() {
+		if col.Name == rel.PrimaryKey || excluded[col.Name] {
+			continue
+		}
+		if fk, isFK := fkCols[col.Name]; isFK {
+			// 2. FK-dimension attribute (person.country_id → country.name).
+			if a.DB.Kind(fk.RefRelation) == relation.KindProperty {
+				if p := a.buildFKDimProperty(info, fk); p != nil {
+					info.Basic = append(info.Basic, p)
+				}
+			}
+			continue
+		}
+		if p := a.buildDirectProperty(info, col); p != nil {
+			info.Basic = append(info.Basic, p)
+		}
+	}
+
+	// 3. Attribute tables: side relations with a single foreign key to
+	// this entity plus value columns, like research(aid, interest) in
+	// Fig 1 of the paper.
+	for _, sideName := range a.DB.RelationNames() {
+		side := a.DB.Relation(sideName)
+		if a.DB.Kind(sideName) != relation.KindUnknown || len(side.Foreign) != 1 {
+			continue
+		}
+		fk := side.Foreign[0]
+		if fk.RefRelation != name {
+			continue
+		}
+		for _, col := range side.Columns() {
+			if col.Name == fk.Column || col.Type != relation.String {
+				continue
+			}
+			if p := a.buildAttrTableProperty(info, sideName, fk, col); p != nil {
+				info.Basic = append(info.Basic, p)
+			}
+		}
+	}
+
+	// 4. Fact-dimension attributes and derived properties via fact
+	// tables referencing this entity.
+	for _, factName := range a.DB.RelationNames() {
+		fact := a.DB.Relation(factName)
+		if a.DB.Kind(factName) != relation.KindUnknown || len(fact.Foreign) < 2 {
+			continue
+		}
+		for _, fkToMe := range fact.Foreign {
+			if fkToMe.RefRelation != name {
+				continue
+			}
+			for _, other := range fact.Foreign {
+				if other == fkToMe {
+					continue
+				}
+				switch a.DB.Kind(other.RefRelation) {
+				case relation.KindProperty:
+					if p := a.buildFactDimProperty(info, factName, fkToMe, other); p != nil {
+						info.Basic = append(info.Basic, p)
+					}
+				case relation.KindEntity:
+					ps, err := a.buildDerivedProperties(info, factName, fkToMe, other)
+					if err != nil {
+						return nil, err
+					}
+					info.Derived = append(info.Derived, ps...)
+				}
+			}
+		}
+	}
+
+	sort.Slice(info.Basic, func(i, j int) bool { return info.Basic[i].Attr < info.Basic[j].Attr })
+	sort.Slice(info.Derived, func(i, j int) bool { return info.Derived[i].Attr < info.Derived[j].Attr })
+	return info, nil
+}
+
+// keepCategorical applies the distinct-count guards that exclude
+// identifier-like text columns from property discovery. The ratio guard
+// only applies to relations large enough for the ratio to be meaningful
+// (small dimension-like tables legitimately have high distinct ratios).
+func (a *AlphaDB) keepCategorical(distinct, entities int) bool {
+	if distinct == 0 || distinct > a.cfg.MaxCatDistinct {
+		return false
+	}
+	const ratioMinEntities = 50
+	if entities >= ratioMinEntities && float64(distinct)/float64(entities) > a.cfg.MaxCatRatio {
+		return false
+	}
+	return true
+}
+
+// finishCategorical computes the per-value statistics of a categorical
+// basic property from its per-row value lists.
+func (a *AlphaDB) finishCategorical(p *BasicProperty) *BasicProperty {
+	p.catCounts = make(map[string]int)
+	p.catRows = make(map[string][]int)
+	for row, vals := range p.strByRow {
+		seen := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			p.catCounts[v]++
+			p.catRows[v] = append(p.catRows[v], row)
+		}
+	}
+	if !a.keepCategorical(len(p.catCounts), p.numEntities) {
+		return nil
+	}
+	return p
+}
+
+// buildDirectProperty creates a basic property from a direct entity
+// column.
+func (a *AlphaDB) buildDirectProperty(info *EntityInfo, col *relation.Column) *BasicProperty {
+	p := &BasicProperty{
+		Entity:      info.Relation,
+		Attr:        col.Name,
+		Access:      AccessPath{Type: Direct, Column: col.Name},
+		numEntities: info.NumRows,
+	}
+	if col.Type == relation.String {
+		p.Kind = Categorical
+		p.strByRow = make([][]string, info.NumRows)
+		for row := 0; row < info.NumRows; row++ {
+			if col.IsNull(row) {
+				continue
+			}
+			p.strByRow[row] = []string{col.Str(row)}
+		}
+		return a.finishCategorical(p)
+	}
+	p.Kind = Numeric
+	p.numByRow = make([]*float64, info.NumRows)
+	var vals []float64
+	for row := 0; row < info.NumRows; row++ {
+		if col.IsNull(row) {
+			continue
+		}
+		v := col.Float64(row)
+		p.numByRow[row] = &v
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	p.sorted = index.BuildSortedFromValues(vals)
+	return p
+}
+
+// dimValueColumn resolves the display column of a dimension relation.
+func (a *AlphaDB) dimValueColumn(dim *relation.Relation) string {
+	if c, ok := a.cfg.PropertyValueColumn[dim.Name]; ok {
+		return c
+	}
+	for _, col := range dim.Columns() {
+		if col.Type == relation.String {
+			return col.Name
+		}
+	}
+	return ""
+}
+
+// buildFKDimProperty creates a basic property reached through the
+// entity's own foreign key into a dimension relation.
+func (a *AlphaDB) buildFKDimProperty(info *EntityInfo, fk relation.ForeignKey) *BasicProperty {
+	dim := a.DB.Relation(fk.RefRelation)
+	valCol := a.dimValueColumn(dim)
+	if valCol == "" {
+		return nil
+	}
+	dimIdx := index.BuildIntHash(dim, fk.RefColumn)
+	vc := dim.Column(valCol)
+	fkc := info.rel.Column(fk.Column)
+	p := &BasicProperty{
+		Entity: info.Relation,
+		Attr:   dim.Name,
+		Kind:   Categorical,
+		Access: AccessPath{
+			Type: FKDim, Column: fk.Column,
+			Dim: dim.Name, DimPK: fk.RefColumn, DimValueCol: valCol,
+		},
+		numEntities: info.NumRows,
+	}
+	p.strByRow = make([][]string, info.NumRows)
+	for row := 0; row < info.NumRows; row++ {
+		if fkc.IsNull(row) {
+			continue
+		}
+		if dimRow, ok := dimIdx.First(fkc.Int64(row)); ok && !vc.IsNull(dimRow) {
+			p.strByRow[row] = []string{vc.Str(dimRow)}
+		}
+	}
+	return a.finishCategorical(p)
+}
+
+// buildAttrTableProperty creates a (multi-valued) basic property from an
+// attribute table: a side relation with a single FK to the entity and a
+// value column (research(aid, interest) in Fig 1 of the paper).
+func (a *AlphaDB) buildAttrTableProperty(info *EntityInfo, sideName string, fk relation.ForeignKey, col *relation.Column) *BasicProperty {
+	side := a.DB.Relation(sideName)
+	fkc := side.Column(fk.Column)
+	p := &BasicProperty{
+		Entity:      info.Relation,
+		Attr:        col.Name,
+		Kind:        Categorical,
+		MultiValued: true,
+		Access: AccessPath{
+			Type: AttrTable,
+			Fact: sideName, FactEntityCol: fk.Column,
+			Column: col.Name,
+		},
+		numEntities: info.NumRows,
+	}
+	p.strByRow = make([][]string, info.NumRows)
+	for sr := 0; sr < side.NumRows(); sr++ {
+		if fkc.IsNull(sr) || col.IsNull(sr) {
+			continue
+		}
+		if row, ok := info.pkIndex.First(fkc.Int64(sr)); ok {
+			p.strByRow[row] = append(p.strByRow[row], col.Str(sr))
+		}
+	}
+	return a.finishCategorical(p)
+}
+
+// buildFactDimProperty creates a (multi-valued) basic property reached
+// through a fact table into a dimension relation.
+func (a *AlphaDB) buildFactDimProperty(info *EntityInfo, factName string, fkToMe, fkToDim relation.ForeignKey) *BasicProperty {
+	fact := a.DB.Relation(factName)
+	dim := a.DB.Relation(fkToDim.RefRelation)
+	valCol := a.dimValueColumn(dim)
+	if valCol == "" {
+		return nil
+	}
+	dimIdx := index.BuildIntHash(dim, fkToDim.RefColumn)
+	vc := dim.Column(valCol)
+	entCol := fact.Column(fkToMe.Column)
+	dimFK := fact.Column(fkToDim.Column)
+
+	p := &BasicProperty{
+		Entity:      info.Relation,
+		Attr:        dim.Name,
+		Kind:        Categorical,
+		MultiValued: true,
+		Access: AccessPath{
+			Type: FactDim,
+			Fact: factName, FactEntityCol: fkToMe.Column, FactDimCol: fkToDim.Column,
+			Dim: dim.Name, DimPK: fkToDim.RefColumn, DimValueCol: valCol,
+		},
+		numEntities: info.NumRows,
+	}
+	p.strByRow = make([][]string, info.NumRows)
+	for fr := 0; fr < fact.NumRows(); fr++ {
+		if entCol.IsNull(fr) || dimFK.IsNull(fr) {
+			continue
+		}
+		row, ok := info.pkIndex.First(entCol.Int64(fr))
+		if !ok {
+			continue
+		}
+		dimRow, ok := dimIdx.First(dimFK.Int64(fr))
+		if !ok || vc.IsNull(dimRow) {
+			continue
+		}
+		p.strByRow[row] = append(p.strByRow[row], vc.Str(dimRow))
+	}
+	return a.finishCategorical(p)
+}

@@ -1,0 +1,389 @@
+package adb
+
+import (
+	"fmt"
+
+	"squid/internal/index"
+	"squid/internal/relation"
+)
+
+// buildDerivedProperties materializes every derived property reachable
+// from info's entity through fact1 to the associated entity relation
+// (fkToVia.RefRelation): the degree property, aggregates over the
+// associated entity's direct categorical and FK-dimension attributes
+// (depth 1), and aggregates over second-fact dimension attributes such
+// as persontogenre (depth 2).
+func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey) ([]*DerivedProperty, error) {
+	via := a.DB.Relation(fkToVia.RefRelation)
+	if via.PrimaryKey == "" || via.Column(via.PrimaryKey).Type != relation.Int {
+		return nil, nil
+	}
+	// Label the association; self edges (movie→sequelof→movie) qualify
+	// the label with the FK column so the two directions stay distinct.
+	viaLabel := via.Name
+	if fkToVia.RefRelation == info.Relation {
+		viaLabel = via.Name + "_" + fkToVia.Column
+	}
+	fact := a.DB.Relation(fact1)
+	entCol := fact.Column(fkToMe.Column)
+	viaCol := fact.Column(fkToVia.Column)
+	viaIdx := index.BuildIntHash(via, fkToVia.RefColumn)
+
+	// adjacency: entity row -> distinct associated via-rows. Multiple
+	// fact rows linking the same pair (e.g. an actor with several roles
+	// in one movie) count once, matching the DISTINCT semantics of the
+	// paper's Q6 per (person, movie) pair contribution.
+	adjacency := make([][]int, info.NumRows)
+	for fr := 0; fr < fact.NumRows(); fr++ {
+		if entCol.IsNull(fr) || viaCol.IsNull(fr) {
+			continue
+		}
+		eRow, ok := info.pkIndex.First(entCol.Int64(fr))
+		if !ok {
+			continue
+		}
+		vRow, ok := viaIdx.First(viaCol.Int64(fr))
+		if !ok {
+			continue
+		}
+		adjacency[eRow] = append(adjacency[eRow], vRow)
+	}
+	for i, vs := range adjacency {
+		adjacency[i] = dedupInts(vs)
+	}
+
+	var out []*DerivedProperty
+
+	// Entity-association basic property: the set of associated entities
+	// themselves, identified by their display value (e.g. for person,
+	// the titles of the movies they appear in). This is what lets SQuID
+	// discover contexts such as "all examples appeared in Pulp Fiction"
+	// (IQ1/IQ2/IQ5/IQ6 of the paper's benchmark). Exempt from the
+	// distinct-cardinality guards: its domain is the associated entity
+	// relation itself.
+	if assoc := a.buildEntityAssocProperty(info, fact1, fkToMe, fkToVia, via, adjacency); assoc != nil {
+		info.Basic = append(info.Basic, assoc)
+	}
+
+	// Degree property: number of associated entities.
+	deg := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{Type: Degree}, viaLabel+":count")
+	degCounts := func(vRows []int) map[string]int {
+		if len(vRows) == 0 {
+			return nil
+		}
+		return map[string]int{via.Name: len(vRows)}
+	}
+	if err := a.materializeDerived(info, deg, adjacency, degCounts); err != nil {
+		return nil, err
+	}
+	out = append(out, deg)
+
+	// Depth-1: aggregate over the associated entity's direct
+	// categorical columns and FK-dimension attributes.
+	viaFKs := make(map[string]relation.ForeignKey)
+	for _, fk := range via.Foreign {
+		viaFKs[fk.Column] = fk
+	}
+	for _, col := range via.Columns() {
+		if col.Name == via.PrimaryKey {
+			continue
+		}
+		if fk, isFK := viaFKs[col.Name]; isFK {
+			if a.DB.Kind(fk.RefRelation) != relation.KindProperty {
+				continue
+			}
+			dim := a.DB.Relation(fk.RefRelation)
+			valColName := a.dimValueColumn(dim)
+			if valColName == "" {
+				continue
+			}
+			dimIdx := index.BuildIntHash(dim, fk.RefColumn)
+			vc := dim.Column(valColName)
+			fkc := via.Column(fk.Column)
+			p := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{
+				Type: FKDim, Column: fk.Column,
+				Dim: dim.Name, DimPK: fk.RefColumn, DimValueCol: valColName,
+			}, viaLabel+":"+dim.Name)
+			counts := func(vRows []int) map[string]int {
+				m := make(map[string]int)
+				for _, vr := range vRows {
+					if fkc.IsNull(vr) {
+						continue
+					}
+					if dr, ok := dimIdx.First(fkc.Int64(vr)); ok && !vc.IsNull(dr) {
+						m[vc.Str(dr)]++
+					}
+				}
+				return m
+			}
+			if err := a.materializeDerived(info, p, adjacency, counts); err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			continue
+		}
+		if col.Type != relation.String {
+			continue // numeric attributes of associated entities are
+			// not aggregated (see DESIGN.md: bucketed categorical
+			// columns such as decade stand in for them)
+		}
+		if !a.keepCategorical(len(via.DistinctValues(col.Name)), via.NumRows()) {
+			continue
+		}
+		c := col
+		p := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{Type: Direct, Column: col.Name}, viaLabel+":"+col.Name)
+		counts := func(vRows []int) map[string]int {
+			m := make(map[string]int)
+			for _, vr := range vRows {
+				if c.IsNull(vr) {
+					continue
+				}
+				m[c.Str(vr)]++
+			}
+			return m
+		}
+		if err := a.materializeDerived(info, p, adjacency, counts); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+
+	// Depth-2: aggregate over a second fact table from the associated
+	// entity into a dimension (persontogenre through castinfo and
+	// movietogenre, Fig 5).
+	if a.cfg.MaxFactDepth >= 2 {
+		for _, fact2Name := range a.DB.RelationNames() {
+			fact2 := a.DB.Relation(fact2Name)
+			if fact2Name == fact1 || a.DB.Kind(fact2Name) != relation.KindUnknown || len(fact2.Foreign) < 2 {
+				continue
+			}
+			for _, fkToVia2 := range fact2.Foreign {
+				if fkToVia2.RefRelation != via.Name {
+					continue
+				}
+				for _, fkToDim := range fact2.Foreign {
+					if fkToDim == fkToVia2 || a.DB.Kind(fkToDim.RefRelation) != relation.KindProperty {
+						continue
+					}
+					dim := a.DB.Relation(fkToDim.RefRelation)
+					valColName := a.dimValueColumn(dim)
+					if valColName == "" {
+						continue
+					}
+					// via row -> dim values (precomputed once).
+					dimIdx := index.BuildIntHash(dim, fkToDim.RefColumn)
+					vc := dim.Column(valColName)
+					viaByPK := index.BuildIntHash(via, via.PrimaryKey)
+					viaVals := make([][]string, via.NumRows())
+					v2 := fact2.Column(fkToVia2.Column)
+					d2 := fact2.Column(fkToDim.Column)
+					for fr := 0; fr < fact2.NumRows(); fr++ {
+						if v2.IsNull(fr) || d2.IsNull(fr) {
+							continue
+						}
+						vRow, ok := viaByPK.First(v2.Int64(fr))
+						if !ok {
+							continue
+						}
+						dr, ok := dimIdx.First(d2.Int64(fr))
+						if !ok || vc.IsNull(dr) {
+							continue
+						}
+						viaVals[vRow] = append(viaVals[vRow], vc.Str(dr))
+					}
+					p := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{
+						Type: FactDim,
+						Fact: fact2Name, FactEntityCol: fkToVia2.Column, FactDimCol: fkToDim.Column,
+						Dim: dim.Name, DimPK: fkToDim.RefColumn, DimValueCol: valColName,
+					}, viaLabel+":"+dim.Name)
+					counts := func(vRows []int) map[string]int {
+						m := make(map[string]int)
+						for _, vr := range vRows {
+							for _, val := range viaVals[vr] {
+								m[val]++
+							}
+						}
+						return m
+					}
+					if err := a.materializeDerived(info, p, adjacency, counts); err != nil {
+						return nil, err
+					}
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// entityDisplayColumn resolves the display column of an entity relation
+// for entity-association properties.
+func (a *AlphaDB) entityDisplayColumn(ent *relation.Relation) string {
+	if c, ok := a.cfg.DisplayColumn[ent.Name]; ok {
+		return c
+	}
+	for _, col := range ent.Columns() {
+		if col.Type == relation.String {
+			return col.Name
+		}
+	}
+	return ""
+}
+
+// buildEntityAssocProperty creates the multi-valued basic property
+// holding the display values of the entities associated through fact1.
+func (a *AlphaDB) buildEntityAssocProperty(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey, via *relation.Relation, adjacency [][]int) *BasicProperty {
+	valCol := a.entityDisplayColumn(via)
+	if valCol == "" {
+		return nil
+	}
+	vc := via.Column(valCol)
+	p := &BasicProperty{
+		Entity:      info.Relation,
+		Attr:        via.Name,
+		Kind:        Categorical,
+		MultiValued: true,
+		Access: AccessPath{
+			Type: FactDim,
+			Fact: fact1, FactEntityCol: fkToMe.Column, FactDimCol: fkToVia.Column,
+			Dim: via.Name, DimPK: via.PrimaryKey, DimValueCol: valCol,
+		},
+		numEntities: info.NumRows,
+	}
+	p.strByRow = make([][]string, info.NumRows)
+	for eRow, viaRows := range adjacency {
+		for _, vr := range viaRows {
+			if !vc.IsNull(vr) {
+				p.strByRow[eRow] = append(p.strByRow[eRow], vc.Str(vr))
+			}
+		}
+	}
+	// Bypass the cardinality guards: build stats directly.
+	p.catCounts = make(map[string]int)
+	p.catRows = make(map[string][]int)
+	for row, vals := range p.strByRow {
+		seen := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			p.catCounts[v]++
+			p.catRows[v] = append(p.catRows[v], row)
+		}
+	}
+	if len(p.catCounts) == 0 {
+		return nil
+	}
+	return p
+}
+
+// newDerived initializes a DerivedProperty shell with a unique
+// materialized-relation name.
+func (a *AlphaDB) newDerived(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey, target AccessPath, attr string) *DerivedProperty {
+	relName := info.Relation + "to" + sanitizeRelName(attr)
+	base := relName
+	for i := 2; a.DerivedDB.Relation(relName) != nil; i++ {
+		relName = fmt.Sprintf("%s_%d", base, i)
+	}
+	return &DerivedProperty{
+		Entity:         info.Relation,
+		Via:            fkToVia.RefRelation,
+		ViaPK:          a.DB.Relation(fkToVia.RefRelation).PrimaryKey,
+		Attr:           attr,
+		Fact1:          fact1,
+		Fact1EntityCol: fkToMe.Column,
+		Fact1ViaCol:    fkToVia.Column,
+		Target:         target,
+		RelName:        relName,
+		numEntities:    info.NumRows,
+	}
+}
+
+func sanitizeRelName(attr string) string {
+	out := make([]rune, 0, len(attr))
+	for _, r := range attr {
+		if r == ':' || r == '.' || r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// materializeDerived computes the (entity_id, value, count) rows of a
+// derived property using the adjacency and a per-entity count function,
+// stores the derived relation, and builds its statistics (the in-Go
+// equivalent of the paper's Q6 CREATE TABLE ... GROUP BY).
+func (a *AlphaDB) materializeDerived(info *EntityInfo, p *DerivedProperty, adjacency [][]int, counts func(viaRows []int) map[string]int) error {
+	rel := relation.New(p.RelName,
+		relation.Col("entity_id", relation.Int),
+		relation.Col("value", relation.String),
+		relation.Col("count", relation.Int),
+	).AddForeignKey("entity_id", p.Entity, info.PK)
+
+	p.perValueRows = make(map[string][]valCount)
+	for eRow, viaRows := range adjacency {
+		if len(viaRows) == 0 {
+			continue
+		}
+		m := counts(viaRows)
+		if len(m) == 0 {
+			continue
+		}
+		id := info.rowIDs[eRow]
+		for _, v := range sortedKeys(m) {
+			c := m[v]
+			rel.MustAppend(relation.IntVal(id), relation.StringVal(v), relation.IntVal(int64(c)))
+			p.perValueRows[v] = append(p.perValueRows[v], valCount{entityRow: eRow, count: c})
+		}
+	}
+	p.rel = rel
+	a.DerivedDB.AddRelation(rel)
+	p.byEntity = index.BuildIntHash(rel, "entity_id")
+	p.perValue = make(map[string]*index.Sorted, len(p.perValueRows))
+	for v, vcs := range p.perValueRows {
+		vals := make([]float64, len(vcs))
+		for i, vc := range vcs {
+			vals[i] = float64(vc.count)
+		}
+		p.perValue[v] = index.BuildSortedFromValues(vals)
+	}
+	return nil
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	seen := make(map[int]struct{}, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort twice in
+// hot paths with small inputs; falls back to O(n²) which is fine for the
+// per-entity value maps it serves (a handful of values).
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package adb
+
+import (
+	"fmt"
+
+	"squid/internal/index"
+	"squid/internal/relation"
+)
+
+// This file implements one of the paper's §9 future directions:
+// efficient αDB maintenance for dynamic datasets. Instead of rebuilding
+// the αDB after data changes, InsertEntity and InsertFact apply the
+// delta to the affected per-property statistics, derived relations, and
+// indexes. Only inserts are supported (append-only maintenance), which
+// covers the common catalog-growth workload; deletions still require a
+// rebuild.
+
+// InsertEntity appends a new row to an entity relation and updates the
+// αDB's statistics for that entity's direct and FK-dimension properties.
+// The row's values must match the relation schema.
+func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
+	info := a.Entities[entityRel]
+	if info == nil {
+		return fmt.Errorf("adb: %q is not an entity relation", entityRel)
+	}
+	rel := info.rel
+	pkIdx := rel.ColumnIndex(rel.PrimaryKey)
+	if pkIdx < 0 || pkIdx >= len(vals) {
+		return fmt.Errorf("adb: insert into %q lacks a primary key value", entityRel)
+	}
+	pk := vals[pkIdx]
+	if pk.IsNull() {
+		return fmt.Errorf("adb: NULL primary key")
+	}
+	if _, dup := info.RowByID(pk.Int()); dup {
+		return fmt.Errorf("adb: duplicate primary key %v in %q", pk, entityRel)
+	}
+	if err := rel.Append(vals...); err != nil {
+		return err
+	}
+	row := rel.NumRows() - 1
+	info.NumRows = rel.NumRows()
+	info.rowIDs = append(info.rowIDs, pk.Int())
+	// The hash index has no incremental API surface; rebuilds are O(n)
+	// but only on the entity relation, not the fact tables.
+	info.pkIndex = index.BuildIntHash(rel, rel.PrimaryKey)
+
+	// Update basic-property statistics for the new row.
+	for _, p := range info.Basic {
+		p.numEntities = info.NumRows
+		switch p.Access.Type {
+		case Direct:
+			a.insertDirectValue(p, rel, row)
+		case FKDim:
+			a.insertFKDimValue(p, rel, row)
+		default:
+			// FactDim/AttrTable properties gain values only via fact
+			// inserts; the new entity simply has none yet.
+			if p.Kind == Categorical {
+				p.strByRow = append(p.strByRow, nil)
+			}
+		}
+	}
+	for _, p := range info.Derived {
+		p.numEntities = info.NumRows
+	}
+
+	// Index the new row's text values for entity lookup.
+	for _, col := range rel.Columns() {
+		if col.Type != relation.String || col.IsNull(row) {
+			continue
+		}
+		a.Inverted.Insert(col.Str(row), index.Posting{Relation: entityRel, Column: col.Name, Row: row})
+	}
+	return nil
+}
+
+func (a *AlphaDB) insertDirectValue(p *BasicProperty, rel *relation.Relation, row int) {
+	col := rel.Column(p.Access.Column)
+	if p.Kind == Numeric {
+		p.numByRow = append(p.numByRow, nil)
+		if !col.IsNull(row) {
+			v := col.Float64(row)
+			p.numByRow[row] = &v
+			p.sorted = p.sorted.Insert(v)
+		}
+		return
+	}
+	p.strByRow = append(p.strByRow, nil)
+	if !col.IsNull(row) {
+		v := col.Str(row)
+		p.strByRow[row] = []string{v}
+		p.catCounts[v]++
+		p.catRows[v] = append(p.catRows[v], row)
+	}
+}
+
+func (a *AlphaDB) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row int) {
+	p.strByRow = append(p.strByRow, nil)
+	fkc := rel.Column(p.Access.Column)
+	if fkc.IsNull(row) {
+		return
+	}
+	dim := a.DB.Relation(p.Access.Dim)
+	dimIdx := index.BuildIntHash(dim, p.Access.DimPK)
+	vc := dim.Column(p.Access.DimValueCol)
+	if dimRow, ok := dimIdx.First(fkc.Int64(row)); ok && !vc.IsNull(dimRow) {
+		v := vc.Str(dimRow)
+		p.strByRow[row] = []string{v}
+		p.catCounts[v]++
+		p.catRows[v] = append(p.catRows[v], row)
+	}
+}
+
+// InsertFact appends a row to a fact table and incrementally updates the
+// affected fact-dimension basic properties and derived relations of
+// every entity the fact references. The fact relation must have been
+// present at Build time.
+func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
+	fact := a.DB.Relation(factRel)
+	if fact == nil {
+		return fmt.Errorf("adb: unknown fact relation %q", factRel)
+	}
+	if a.DB.Kind(factRel) != relation.KindUnknown {
+		return fmt.Errorf("adb: %q is not a fact relation", factRel)
+	}
+	if err := fact.Append(vals...); err != nil {
+		return err
+	}
+	row := fact.NumRows() - 1
+
+	for _, fk := range fact.Foreign {
+		info := a.Entities[fk.RefRelation]
+		if info == nil {
+			continue
+		}
+		fkCol := fact.Column(fk.Column)
+		if fkCol.IsNull(row) {
+			continue
+		}
+		eRow, ok := info.RowByID(fkCol.Int64(row))
+		if !ok {
+			continue
+		}
+		// Fact-dimension basic properties routed through this fact
+		// (including entity-association properties), and attribute-table
+		// properties when the "fact" is a single-FK side table.
+		for _, p := range info.Basic {
+			switch {
+			case p.Access.Type == FactDim && p.Access.Fact == factRel && p.Access.FactEntityCol == fk.Column:
+				a.insertFactDimValue(p, fact, row, eRow)
+			case p.Access.Type == AttrTable && p.Access.Fact == factRel && p.Access.FactEntityCol == fk.Column:
+				a.insertAttrTableValue(p, fact, row, eRow)
+			}
+		}
+		// Derived properties whose first hop is this fact.
+		for _, p := range info.Derived {
+			if p.Fact1 != factRel || p.Fact1EntityCol != fk.Column {
+				continue
+			}
+			a.insertDerivedDelta(info, p, fact, row, eRow)
+		}
+	}
+	return nil
+}
+
+func (a *AlphaDB) insertFactDimValue(p *BasicProperty, fact *relation.Relation, factRow, eRow int) {
+	dimFK := fact.Column(p.Access.FactDimCol)
+	if dimFK.IsNull(factRow) {
+		return
+	}
+	dim := a.DB.Relation(p.Access.Dim)
+	dimIdx := index.BuildIntHash(dim, p.Access.DimPK)
+	vc := dim.Column(p.Access.DimValueCol)
+	dimRow, ok := dimIdx.First(dimFK.Int64(factRow))
+	if !ok || vc.IsNull(dimRow) {
+		return
+	}
+	v := vc.Str(dimRow)
+	for _, existing := range p.strByRow[eRow] {
+		if existing == v {
+			p.strByRow[eRow] = append(p.strByRow[eRow], v)
+			return // value already counted for this entity
+		}
+	}
+	p.strByRow[eRow] = append(p.strByRow[eRow], v)
+	p.catCounts[v]++
+	p.catRows[v] = insertSortedInt(p.catRows[v], eRow)
+}
+
+// insertAttrTableValue maintains an attribute-table basic property
+// (research(aid, interest)-style) for one inserted side-table row.
+func (a *AlphaDB) insertAttrTableValue(p *BasicProperty, side *relation.Relation, sideRow, eRow int) {
+	col := side.Column(p.Access.Column)
+	if col.IsNull(sideRow) {
+		return
+	}
+	v := col.Str(sideRow)
+	for _, existing := range p.strByRow[eRow] {
+		if existing == v {
+			p.strByRow[eRow] = append(p.strByRow[eRow], v)
+			return // value already counted for this entity
+		}
+	}
+	p.strByRow[eRow] = append(p.strByRow[eRow], v)
+	p.catCounts[v]++
+	p.catRows[v] = insertSortedInt(p.catRows[v], eRow)
+}
+
+// insertDerivedDelta bumps the derived counts of one entity for the new
+// association. It resolves the associated entity and the aggregated
+// value(s) exactly as the batch builder does, then adjusts the derived
+// relation rows and the per-value selectivity indexes.
+func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact *relation.Relation, factRow, eRow int) {
+	viaCol := fact.Column(p.Fact1ViaCol)
+	if viaCol.IsNull(factRow) {
+		return
+	}
+	via := a.DB.Relation(p.Via)
+	viaIdx := index.BuildIntHash(via, p.ViaPK)
+	vRow, ok := viaIdx.First(viaCol.Int64(factRow))
+	if !ok {
+		return
+	}
+	var values []string
+	switch p.Target.Type {
+	case Degree:
+		values = []string{p.Via}
+	case Direct:
+		c := via.Column(p.Target.Column)
+		if !c.IsNull(vRow) {
+			values = []string{c.Str(vRow)}
+		}
+	case FKDim:
+		fkc := via.Column(p.Target.Column)
+		if !fkc.IsNull(vRow) {
+			dim := a.DB.Relation(p.Target.Dim)
+			dimIdx := index.BuildIntHash(dim, p.Target.DimPK)
+			vc := dim.Column(p.Target.DimValueCol)
+			if dr, ok := dimIdx.First(fkc.Int64(vRow)); ok && !vc.IsNull(dr) {
+				values = []string{vc.Str(dr)}
+			}
+		}
+	case FactDim:
+		fact2 := a.DB.Relation(p.Target.Fact)
+		dim := a.DB.Relation(p.Target.Dim)
+		dimIdx := index.BuildIntHash(dim, p.Target.DimPK)
+		vc := dim.Column(p.Target.DimValueCol)
+		v2 := fact2.Column(p.Target.FactEntityCol)
+		d2 := fact2.Column(p.Target.FactDimCol)
+		viaID := via.Column(p.ViaPK).Int64(vRow)
+		for fr := 0; fr < fact2.NumRows(); fr++ {
+			if v2.IsNull(fr) || d2.IsNull(fr) || v2.Int64(fr) != viaID {
+				continue
+			}
+			if dr, ok := dimIdx.First(d2.Int64(fr)); ok && !vc.IsNull(dr) {
+				values = append(values, vc.Str(dr))
+			}
+		}
+	}
+	entityID := info.rowIDs[eRow]
+	for _, v := range values {
+		p.bump(entityID, eRow, v)
+	}
+}
+
+// bump increments the (entity, value) association strength by one,
+// updating the derived relation, the per-value rows, and the sorted
+// count index.
+func (p *DerivedProperty) bump(entityID int64, eRow int, v string) {
+	// Locate the existing derived row.
+	vcol, ccol := p.rel.Column("value"), p.rel.Column("count")
+	old := 0
+	found := -1
+	for _, r := range p.byEntity.Rows(entityID) {
+		if vcol.Str(r) == v {
+			found = r
+			old = int(ccol.Int64(r))
+			break
+		}
+	}
+	if found >= 0 {
+		_ = ccol.Set(found, relation.IntVal(int64(old+1)))
+	} else {
+		p.rel.MustAppend(relation.IntVal(entityID), relation.StringVal(v), relation.IntVal(1))
+		p.byEntity = index.BuildIntHash(p.rel, "entity_id")
+	}
+	// Per-value row list.
+	updated := false
+	for i := range p.perValueRows[v] {
+		if p.perValueRows[v][i].entityRow == eRow {
+			p.perValueRows[v][i].count = old + 1
+			updated = true
+			break
+		}
+	}
+	if !updated {
+		p.perValueRows[v] = append(p.perValueRows[v], valCount{entityRow: eRow, count: old + 1})
+	}
+	// Sorted selectivity index: replace old count with new.
+	s := p.perValue[v]
+	if s == nil {
+		p.perValue[v] = index.BuildSortedFromValues([]float64{float64(old + 1)})
+		return
+	}
+	p.perValue[v] = s.Replace(float64(old), float64(old+1), old == 0)
+}
+
+func insertSortedInt(xs []int, v int) []int {
+	lo := 0
+	for lo < len(xs) && xs[lo] < v {
+		lo++
+	}
+	if lo < len(xs) && xs[lo] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[lo+1:], xs[lo:])
+	xs[lo] = v
+	return xs
+}

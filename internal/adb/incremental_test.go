@@ -1,0 +1,214 @@
+package adb
+
+import (
+	"math"
+	"squid/internal/index"
+	"testing"
+
+	"squid/internal/relation"
+)
+
+// rebuildAndCompare rebuilds the αDB from scratch and checks that the
+// incrementally-maintained statistics match the batch-built ones for
+// every property — the correctness oracle of the maintenance extension.
+func rebuildAndCompare(t *testing.T, a *AlphaDB) {
+	t.Helper()
+	fresh, err := Build(a.DB, a.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, info := range a.Entities {
+		freshInfo := fresh.Entity(name)
+		if freshInfo == nil {
+			t.Fatalf("entity %q vanished", name)
+		}
+		if info.NumRows != freshInfo.NumRows {
+			t.Errorf("%s: rows %d vs %d", name, info.NumRows, freshInfo.NumRows)
+		}
+		for _, p := range info.Basic {
+			fp := freshInfo.BasicByAttr(p.Attr)
+			if fp == nil {
+				t.Errorf("%s: basic property %q missing after rebuild", name, p.Attr)
+				continue
+			}
+			if p.Kind == Categorical {
+				for _, v := range fp.DistinctValues() {
+					if got, want := p.CategoricalSelectivity(v), fp.CategoricalSelectivity(v); math.Abs(got-want) > 1e-9 {
+						t.Errorf("%s.%s ψ(%s)=%v incremental vs %v rebuilt", name, p.Attr, v, got, want)
+					}
+				}
+			} else if fp.NumericIndex() != nil && p.NumericIndex() != nil {
+				lo, hi := fp.NumericIndex().Min(), fp.NumericIndex().Max()
+				if got, want := p.RangeSelectivity(lo, hi), fp.RangeSelectivity(lo, hi); math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s.%s full-range ψ=%v vs %v", name, p.Attr, got, want)
+				}
+			}
+		}
+		for _, p := range info.Derived {
+			fp := freshInfo.DerivedByAttr(p.Attr)
+			if fp == nil {
+				t.Errorf("%s: derived property %q missing after rebuild", name, p.Attr)
+				continue
+			}
+			for _, v := range fp.DistinctValues() {
+				for theta := 1; theta <= fp.MaxStrength(v); theta++ {
+					if got, want := p.Selectivity(v, theta), fp.Selectivity(v, theta); math.Abs(got-want) > 1e-9 {
+						t.Errorf("%s.%s ψ(%s,%d)=%v incremental vs %v rebuilt", name, p.Attr, v, theta, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInsertEntityMaintainsStats(t *testing.T) {
+	a := buildFixture(t)
+	// Insert a new Canadian male person aged 45.
+	err := a.InsertEntity("person",
+		relation.IntVal(100), relation.StringVal("New Actor"),
+		relation.StringVal("Male"), relation.IntVal(45), relation.IntVal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := a.Entity("person")
+	if info.NumRows != 7 {
+		t.Fatalf("rows=%d", info.NumRows)
+	}
+	if row, ok := info.RowByID(100); !ok || row != 6 {
+		t.Errorf("new entity not resolvable: %d %v", row, ok)
+	}
+	// ψ(gender=Male) is now 4/7.
+	if got := info.BasicByAttr("gender").CategoricalSelectivity("Male"); math.Abs(got-4.0/7.0) > 1e-9 {
+		t.Errorf("ψ(Male)=%v want 4/7", got)
+	}
+	// The new name is findable via the inverted index.
+	if got := a.Inverted.Lookup("new actor"); len(got) != 1 {
+		t.Errorf("inverted index not updated: %v", got)
+	}
+	rebuildAndCompare(t, a)
+}
+
+func TestInsertEntityErrors(t *testing.T) {
+	a := buildFixture(t)
+	if err := a.InsertEntity("castinfo", relation.IntVal(1), relation.IntVal(2)); err == nil {
+		t.Error("insert into non-entity must fail")
+	}
+	// Duplicate primary key.
+	if err := a.InsertEntity("person",
+		relation.IntVal(1), relation.StringVal("Dup"),
+		relation.StringVal("Male"), relation.IntVal(40), relation.IntVal(1)); err == nil {
+		t.Error("duplicate PK must fail")
+	}
+	// NULL primary key.
+	if err := a.InsertEntity("person",
+		relation.Null, relation.StringVal("x"),
+		relation.StringVal("Male"), relation.IntVal(40), relation.IntVal(1)); err == nil {
+		t.Error("NULL PK must fail")
+	}
+}
+
+func TestInsertFactMaintainsDerived(t *testing.T) {
+	a := buildFixture(t)
+	info := a.Entity("person")
+	ptg := info.DerivedByAttr("movie:genre")
+	before := ptg.Counts(3)["Comedy"] // person 3 had 1 comedy (movie 10)
+
+	// Person 3 also appears in movie 11 (Comedy).
+	if err := a.InsertFact("castinfo", relation.IntVal(3), relation.IntVal(11)); err != nil {
+		t.Fatal(err)
+	}
+	after := ptg.Counts(3)["Comedy"]
+	if after != before+1 {
+		t.Errorf("comedy count %d -> %d, want +1", before, after)
+	}
+	// The entity-association property gained the new title.
+	movieProp := info.BasicByAttr("movie")
+	if movieProp != nil {
+		found := false
+		for _, v := range movieProp.Values(2) { // person 3 is row 2
+			if v == "MovieB" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("entity-association property missing the new movie")
+		}
+	}
+	rebuildAndCompare(t, a)
+}
+
+func TestInsertFactNewValue(t *testing.T) {
+	a := buildFixture(t)
+	info := a.Entity("person")
+	ptg := info.DerivedByAttr("movie:genre")
+	// Person 1 (only comedies) now appears in drama movie 13.
+	if err := a.InsertFact("castinfo", relation.IntVal(1), relation.IntVal(13)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ptg.Counts(1)["Drama"]; got != 1 {
+		t.Errorf("new drama association=%d want 1", got)
+	}
+	rebuildAndCompare(t, a)
+}
+
+func TestInsertFactForNewEntity(t *testing.T) {
+	// Insert an entity then connect it with facts: the full dynamic
+	// workflow.
+	a := buildFixture(t)
+	if err := a.InsertEntity("person",
+		relation.IntVal(50), relation.StringVal("Rising Star"),
+		relation.StringVal("Female"), relation.IntVal(30), relation.IntVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, movieID := range []int64{10, 11, 12} {
+		if err := a.InsertFact("castinfo", relation.IntVal(50), relation.IntVal(movieID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := a.Entity("person")
+	ptg := info.DerivedByAttr("movie:genre")
+	if got := ptg.Counts(50)["Comedy"]; got != 3 {
+		t.Errorf("new entity's comedy count=%d want 3", got)
+	}
+	deg := info.DerivedByAttr("movie:count")
+	if got := deg.Counts(50)["movie"]; got != 3 {
+		t.Errorf("degree=%d want 3", got)
+	}
+	rebuildAndCompare(t, a)
+}
+
+func TestInsertFactErrors(t *testing.T) {
+	a := buildFixture(t)
+	if err := a.InsertFact("person", relation.IntVal(1)); err == nil {
+		t.Error("insert into entity relation as fact must fail")
+	}
+	if err := a.InsertFact("nope", relation.IntVal(1)); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	// Wrong arity.
+	if err := a.InsertFact("castinfo", relation.IntVal(1)); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestSortedInsertReplace(t *testing.T) {
+	// Covered here since the αDB maintenance is the consumer.
+	var s *index.Sorted
+	s = s.Insert(5)
+	s = s.Insert(2)
+	s = s.Insert(9)
+	if s.Len() != 3 || s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("insert broken: len=%d min=%v max=%v", s.Len(), s.Min(), s.Max())
+	}
+	if s.CountLE(5) != 2 {
+		t.Errorf("CountLE(5)=%d", s.CountLE(5))
+	}
+	s = s.Replace(5, 6, false)
+	if s.CountLE(5) != 1 || s.CountLE(6) != 2 {
+		t.Errorf("replace broken: ≤5:%d ≤6:%d", s.CountLE(5), s.CountLE(6))
+	}
+	s = s.Replace(0, 1, true) // fresh insert
+	if s.Len() != 4 || s.Min() != 1 {
+		t.Errorf("fresh replace broken: len=%d min=%v", s.Len(), s.Min())
+	}
+}

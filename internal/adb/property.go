@@ -1,0 +1,327 @@
+// Package adb implements SQuID's offline module: it turns a relational
+// database plus administrator metadata (which relations are entities,
+// which are direct properties) into an abduction-ready database (αDB).
+// The αDB discovers fact tables from key-foreign-key edges, materializes
+// derived relations such as persontogenre(person_id, genre_id, count)
+// (Fig 5 / query Q6 of the paper), precomputes selectivity statistics for
+// every basic and derived semantic property, and builds the inverted
+// column index used for entity lookup (§5).
+package adb
+
+import (
+	"fmt"
+	"sort"
+
+	"squid/internal/index"
+	"squid/internal/relation"
+)
+
+// PropKind distinguishes categorical from numeric semantic properties.
+type PropKind int
+
+const (
+	// Categorical properties produce equality (or disjunctive IN)
+	// filters, e.g. gender = Male.
+	Categorical PropKind = iota
+	// Numeric properties produce range filters, e.g. 50 ≤ age ≤ 90.
+	Numeric
+)
+
+// PathType identifies how a basic property value is reached from its
+// entity.
+type PathType int
+
+const (
+	// Direct means the value is a column of the entity relation itself
+	// (person.gender).
+	Direct PathType = iota
+	// FKDim means the entity has a foreign key into a dimension
+	// relation holding the value (person.country_id → country.name).
+	FKDim
+	// FactDim means a fact table associates the entity with a
+	// dimension relation (movie ← movietogenre → genre); such
+	// properties are multi-valued per entity.
+	FactDim
+	// Degree is the pseudo-property counting associated entities
+	// (number of movies a person appears in); only used by derived
+	// properties.
+	Degree
+	// AttrTable means a side table holds (entity_fk, value) pairs
+	// directly, like research(aid, interest) in Fig 1 of the paper;
+	// such properties are multi-valued per entity.
+	AttrTable
+)
+
+// AccessPath records how to navigate from an entity row to a property
+// value; sqlgen uses it to render join paths and the builder uses it to
+// extract values.
+type AccessPath struct {
+	Type PathType
+	// Column is the entity column holding the value (Direct) or the
+	// entity's FK column (FKDim).
+	Column string
+	// Fact names the fact relation and its two FK columns (FactDim).
+	Fact          string
+	FactEntityCol string
+	FactDimCol    string
+	// Dim names the dimension relation, its primary key, and the
+	// display/value column (FKDim, FactDim).
+	Dim         string
+	DimPK       string
+	DimValueCol string
+}
+
+// BasicProperty is a semantic property affiliated with an entity directly
+// (§3.1): a direct attribute, an FK dimension attribute, or a fact-table
+// dimension attribute.
+type BasicProperty struct {
+	Entity string
+	// Attr is the display attribute name used in filters and contexts,
+	// e.g. "gender", "genre", "country".
+	Attr   string
+	Kind   PropKind
+	Access AccessPath
+
+	// MultiValued reports whether one entity can hold several values
+	// (only FactDim paths).
+	MultiValued bool
+
+	// Categorical statistics: per value, the number of distinct
+	// entities exhibiting it, and the rows of those entities.
+	catCounts map[string]int
+	catRows   map[string][]int
+
+	// Numeric statistics: the sorted value multiset for prefix
+	// selectivity, and the column for per-entity access.
+	sorted *index.Sorted
+
+	// valuesByRow caches per-entity values (always set; single
+	// element for single-valued properties). Numeric properties store
+	// the raw value; categorical store strings.
+	strByRow [][]string
+	numByRow []*float64
+
+	numEntities int
+}
+
+// NumEntities returns |R|, the selectivity denominator.
+func (p *BasicProperty) NumEntities() int { return p.numEntities }
+
+// Values returns the categorical values of the entity at row (nil when
+// the entity has none).
+func (p *BasicProperty) Values(row int) []string {
+	if p.Kind != Categorical {
+		return nil
+	}
+	return p.strByRow[row]
+}
+
+// NumValue returns the numeric value of the entity at row.
+func (p *BasicProperty) NumValue(row int) (float64, bool) {
+	if p.Kind != Numeric || p.numByRow[row] == nil {
+		return 0, false
+	}
+	return *p.numByRow[row], true
+}
+
+// CategoricalSelectivity returns ψ(φ⟨Attr,v,⊥⟩): the fraction of entities
+// exhibiting value v.
+func (p *BasicProperty) CategoricalSelectivity(v string) float64 {
+	if p.numEntities == 0 {
+		return 0
+	}
+	return float64(p.catCounts[v]) / float64(p.numEntities)
+}
+
+// RangeSelectivity returns ψ(φ⟨Attr,[lo,hi],⊥⟩) using the precomputed
+// prefix counts (§5 smart selectivity computation).
+func (p *BasicProperty) RangeSelectivity(lo, hi float64) float64 {
+	if p.numEntities == 0 || p.sorted == nil {
+		return 0
+	}
+	return float64(p.sorted.CountRange(lo, hi)) / float64(p.numEntities)
+}
+
+// DomainCoverage returns the fraction of the attribute's observed domain
+// covered by [lo, hi] (Appendix A).
+func (p *BasicProperty) DomainCoverage(lo, hi float64) float64 {
+	if p.sorted == nil || p.sorted.Len() == 0 {
+		return 1
+	}
+	span := p.sorted.Max() - p.sorted.Min()
+	if span <= 0 {
+		return 1
+	}
+	cov := (hi - lo) / span
+	if cov < 0 {
+		cov = 0
+	}
+	if cov > 1 {
+		cov = 1
+	}
+	return cov
+}
+
+// CategoricalDomainCoverage returns the domain coverage of a k-value
+// disjunctive filter over a categorical attribute: k / |distinct values|.
+func (p *BasicProperty) CategoricalDomainCoverage(k int) float64 {
+	if len(p.catCounts) == 0 {
+		return 1
+	}
+	cov := float64(k) / float64(len(p.catCounts))
+	if cov > 1 {
+		cov = 1
+	}
+	return cov
+}
+
+// EntityRowsWithValue returns the entity rows exhibiting categorical
+// value v (sorted ascending).
+func (p *BasicProperty) EntityRowsWithValue(v string) []int { return p.catRows[v] }
+
+// DistinctValues returns the property's categorical domain, sorted.
+func (p *BasicProperty) DistinctValues() []string {
+	out := make([]string, 0, len(p.catCounts))
+	for v := range p.catCounts {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumericIndex exposes the sorted value index (nil for categorical).
+func (p *BasicProperty) NumericIndex() *index.Sorted { return p.sorted }
+
+// String renders the property for diagnostics.
+func (p *BasicProperty) String() string {
+	return fmt.Sprintf("%s.%s", p.Entity, p.Attr)
+}
+
+// valCount pairs an entity row with its association strength for one
+// derived value.
+type valCount struct {
+	entityRow int
+	count     int
+}
+
+// DerivedProperty is an aggregate over a basic property of an associated
+// entity (§3.1): e.g. for person, the number of Comedy movies they
+// appear in. It is materialized as a derived relation
+// (entity_id, value, count) in the αDB.
+type DerivedProperty struct {
+	Entity string
+	// Via is the associated entity relation (movie for persontogenre).
+	Via string
+	// ViaPK is the primary key column of Via (for SQL rendering).
+	ViaPK string
+	// Attr is the display name, qualified by the association, e.g.
+	// "movie:genre" or "movie:count" for the degree property.
+	Attr string
+	// Fact1 is the fact table linking Entity to Via, with its FK
+	// column names.
+	Fact1          string
+	Fact1EntityCol string
+	Fact1ViaCol    string
+	// Target describes how the aggregated value is reached from Via
+	// (Direct column, FKDim, FactDim, or Degree).
+	Target AccessPath
+	// RelName is the materialized derived relation name, e.g.
+	// "persontogenre".
+	RelName string
+
+	rel          *relation.Relation
+	byEntity     *index.IntHash
+	perValue     map[string]*index.Sorted
+	perValueRows map[string][]valCount
+	numEntities  int
+}
+
+// NumEntities returns |R| for the owning entity relation.
+func (p *DerivedProperty) NumEntities() int { return p.numEntities }
+
+// Relation returns the materialized derived relation.
+func (p *DerivedProperty) Relation() *relation.Relation { return p.rel }
+
+// Counts returns the per-value association strengths of the entity at
+// the given row of the entity relation.
+func (p *DerivedProperty) Counts(entityID int64) map[string]int {
+	rows := p.byEntity.Rows(entityID)
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(rows))
+	vcol, ccol := p.rel.Column("value"), p.rel.Column("count")
+	for _, r := range rows {
+		out[vcol.Str(r)] = int(ccol.Int64(r))
+	}
+	return out
+}
+
+// Selectivity returns ψ(φ⟨Attr,v,θ⟩): the fraction of entities associated
+// with value v at strength ≥ θ. Entities with no association count as 0.
+func (p *DerivedProperty) Selectivity(v string, theta int) float64 {
+	if p.numEntities == 0 {
+		return 0
+	}
+	if theta <= 0 {
+		return 1
+	}
+	s := p.perValue[v]
+	if s == nil {
+		return 0
+	}
+	return float64(s.CountGE(float64(theta))) / float64(p.numEntities)
+}
+
+// EntityRowsWithStrength returns the entity rows associated with value v
+// at strength ≥ θ.
+func (p *DerivedProperty) EntityRowsWithStrength(v string, theta int) []int {
+	var out []int
+	for _, vc := range p.perValueRows[v] {
+		if vc.count >= theta {
+			out = append(out, vc.entityRow)
+		}
+	}
+	return out
+}
+
+// ValEntry pairs an entity row with its association strength.
+type ValEntry struct {
+	Row   int
+	Count int
+}
+
+// ValueEntries returns every (entity row, strength) pair for value v;
+// the abduction layer uses it for normalized association strength.
+func (p *DerivedProperty) ValueEntries(v string) []ValEntry {
+	vcs := p.perValueRows[v]
+	out := make([]ValEntry, len(vcs))
+	for i, vc := range vcs {
+		out[i] = ValEntry{Row: vc.entityRow, Count: vc.count}
+	}
+	return out
+}
+
+// MaxStrength returns the largest association strength observed for v.
+func (p *DerivedProperty) MaxStrength(v string) int {
+	s := p.perValue[v]
+	if s == nil || s.Len() == 0 {
+		return 0
+	}
+	return int(s.Max())
+}
+
+// DistinctValues returns the derived value domain, sorted.
+func (p *DerivedProperty) DistinctValues() []string {
+	out := make([]string, 0, len(p.perValue))
+	for v := range p.perValue {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the property for diagnostics.
+func (p *DerivedProperty) String() string {
+	return fmt.Sprintf("%s.%s [%s]", p.Entity, p.Attr, p.RelName)
+}

@@ -1,0 +1,86 @@
+package adb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stats summarizes an αDB for the Fig 18 dataset-statistics table.
+type Stats struct {
+	Name            string
+	DBBytes         int64
+	NumRelations    int
+	PrecomputedSize int64
+	BuildTime       time.Duration
+	// RelationCards lists (relation, cardinality) for the largest base
+	// relations, mirroring the "Rel. Card." rows of Fig 18.
+	RelationCards  []RelCard
+	NumDerivedRels int
+	DerivedRows    int
+	NumBasicProps  int
+	NumDerivedProp int
+}
+
+// RelCard pairs a relation name with its row count.
+type RelCard struct {
+	Relation string
+	Rows     int
+}
+
+// ComputeStats gathers the Fig 18 statistics for the αDB.
+func (a *AlphaDB) ComputeStats() Stats {
+	s := Stats{
+		Name:            a.DB.Name,
+		DBBytes:         a.DB.ByteSize(),
+		NumRelations:    a.DB.NumRelations(),
+		PrecomputedSize: a.DerivedDB.ByteSize(),
+		BuildTime:       a.BuildTime,
+		NumDerivedRels:  a.DerivedDB.NumRelations(),
+	}
+	for _, n := range a.DerivedDB.RelationNames() {
+		s.DerivedRows += a.DerivedDB.Relation(n).NumRows()
+	}
+	for _, n := range a.DB.RelationNames() {
+		s.RelationCards = append(s.RelationCards, RelCard{n, a.DB.Relation(n).NumRows()})
+	}
+	sort.Slice(s.RelationCards, func(i, j int) bool { return s.RelationCards[i].Rows > s.RelationCards[j].Rows })
+	if len(s.RelationCards) > 3 {
+		s.RelationCards = s.RelationCards[:3]
+	}
+	for _, e := range a.Entities {
+		s.NumBasicProps += len(e.Basic)
+		s.NumDerivedProp += len(e.Derived)
+	}
+	return s
+}
+
+// String renders the stats block in the layout of Fig 18.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	fmt.Fprintf(&b, "  DB size              %s\n", humanBytes(s.DBBytes))
+	fmt.Fprintf(&b, "  #Relations           %d\n", s.NumRelations)
+	fmt.Fprintf(&b, "  Precomputed DB size  %s (%d derived relations, %d rows)\n",
+		humanBytes(s.PrecomputedSize), s.NumDerivedRels, s.DerivedRows)
+	fmt.Fprintf(&b, "  Precomputation time  %v\n", s.BuildTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  Properties           %d basic, %d derived\n", s.NumBasicProps, s.NumDerivedProp)
+	for _, rc := range s.RelationCards {
+		fmt.Fprintf(&b, "  Rel. Card.           %-14s %d\n", rc.Relation, rc.Rows)
+	}
+	return b.String()
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,115 @@
+package benchqueries
+
+import (
+	"squid/internal/datagen"
+	"squid/internal/engine"
+)
+
+func authorProject() []engine.ColRef { return []engine.ColRef{{Rel: "author", Col: "name"}} }
+
+func pubProject() []engine.ColRef { return []engine.ColRef{{Rel: "publication", Col: "title"}} }
+
+// DBLPBenchmarks builds DQ1–DQ5 against the planted structures of g.
+func DBLPBenchmarks(g *datagen.DBLP) []Benchmark {
+	var out []Benchmark
+	add := func(id, intent string, j, s int, q *engine.Query) {
+		out = append(out, Benchmark{ID: id, Intent: intent, Query: q, NumJoinRels: j, NumSelections: s})
+	}
+
+	// DQ1: authors who collaborated with both planted affiliations.
+	collabWith := func(affName string) *engine.Query {
+		return &engine.Query{
+			From: []string{"author", "collaboration", "affiliation"},
+			Joins: []engine.Join{
+				{LeftRel: "author", LeftCol: "id", RightRel: "collaboration", RightCol: "author_id"},
+				{LeftRel: "collaboration", LeftCol: "affiliation_id", RightRel: "affiliation", RightCol: "id"},
+			},
+			Preds: []engine.Pred{
+				{Rel: "affiliation", Col: "name", Op: engine.OpEq, Val: sv(affName)},
+			},
+			Select:   authorProject(),
+			Distinct: true,
+		}
+	}
+	dq1 := collabWith(g.AffilA)
+	dq1.Intersect = []*engine.Query{collabWith(g.AffilB)}
+	add("DQ1", "Authors collaborating with both "+g.AffilA+" and "+g.AffilB, 5, 2, dq1)
+
+	// DQ2: authors with ≥10 SIGMOD and ≥10 VLDB publications.
+	venueCount := func(venue string, min int) *engine.Query {
+		return &engine.Query{
+			From: []string{"author", "authortopub", "publication", "venue"},
+			Joins: []engine.Join{
+				{LeftRel: "author", LeftCol: "id", RightRel: "authortopub", RightCol: "author_id"},
+				{LeftRel: "authortopub", LeftCol: "pub_id", RightRel: "publication", RightCol: "id"},
+				{LeftRel: "publication", LeftCol: "venue_id", RightRel: "venue", RightCol: "id"},
+			},
+			Preds: []engine.Pred{
+				{Rel: "venue", Col: "name", Op: engine.OpEq, Val: sv(venue)},
+			},
+			Select:        authorProject(),
+			Distinct:      true,
+			GroupBy:       []engine.ColRef{{Rel: "author", Col: "id"}},
+			HavingCountGE: min,
+		}
+	}
+	dq2 := venueCount("SIGMOD", 10)
+	dq2.Intersect = []*engine.Query{venueCount("VLDB", 10)}
+	add("DQ2", "Authors with ≥10 SIGMOD and ≥10 VLDB papers", 8, 4, dq2)
+
+	// DQ3: SIGMOD publications in 2010-2012.
+	add("DQ3", "SIGMOD publications 2010-2012", 3, 3, &engine.Query{
+		From: []string{"publication", "venue"},
+		Joins: []engine.Join{
+			{LeftRel: "publication", LeftCol: "venue_id", RightRel: "venue", RightCol: "id"},
+		},
+		Preds: []engine.Pred{
+			{Rel: "venue", Col: "name", Op: engine.OpEq, Val: sv("SIGMOD")},
+			{Rel: "publication", Col: "year", Op: engine.OpGE, Val: iv(2010)},
+			{Rel: "publication", Col: "year", Op: engine.OpLE, Val: iv(2012)},
+		},
+		Select:   pubProject(),
+		Distinct: true,
+	})
+
+	// DQ4: publications the planted trio wrote together.
+	byAuthor := func(authorID int64) *engine.Query {
+		return &engine.Query{
+			From: []string{"publication", "authortopub", "author"},
+			Joins: []engine.Join{
+				{LeftRel: "publication", LeftCol: "id", RightRel: "authortopub", RightCol: "pub_id"},
+				{LeftRel: "authortopub", LeftCol: "author_id", RightRel: "author", RightCol: "id"},
+			},
+			Preds: []engine.Pred{
+				{Rel: "author", Col: "id", Op: engine.OpEq, Val: iv(authorID)},
+			},
+			Select:   pubProject(),
+			Distinct: true,
+		}
+	}
+	dq4 := byAuthor(g.Trio[0])
+	dq4.Intersect = []*engine.Query{byAuthor(g.Trio[1]), byAuthor(g.Trio[2])}
+	add("DQ4", "Joint publications of the planted trio", 7, 3, dq4)
+
+	// DQ5: publications with authors from both USA and Canada.
+	byCountry := func(country string) *engine.Query {
+		return &engine.Query{
+			From: []string{"publication", "authortopub", "author", "country"},
+			Joins: []engine.Join{
+				{LeftRel: "publication", LeftCol: "id", RightRel: "authortopub", RightCol: "pub_id"},
+				{LeftRel: "authortopub", LeftCol: "author_id", RightRel: "author", RightCol: "id"},
+				{LeftRel: "author", LeftCol: "country_id", RightRel: "country", RightCol: "id"},
+			},
+			Preds: []engine.Pred{
+				{Rel: "country", Col: "name", Op: engine.OpEq, Val: sv(country)},
+			},
+			Select:   pubProject(),
+			Distinct: true,
+		}
+	}
+	dq5 := byCountry("USA")
+	dq5.Intersect = []*engine.Query{byCountry("Canada")}
+	add("DQ5", "Publications between USA and Canada", 5, 2, dq5)
+
+	return out
+}

@@ -1,0 +1,97 @@
+package datacube
+
+import (
+	"math"
+	"testing"
+
+	"squid/internal/adb"
+	"squid/internal/datagen"
+)
+
+func buildIMDbCube(t *testing.T) (*datagen.IMDb, *adb.AlphaDB, *Cube) {
+	t.Helper()
+	g := datagen.GenerateIMDb(datagen.IMDbConfig{Seed: 7, NumPersons: 900, NumMovies: 400, NumCompany: 20})
+	alpha, err := adb.Build(g.DB, adb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := Build(g.DB,
+		"castinfo", "person_id", "movie_id",
+		"movietogenre", "movie_id", "genre_id",
+		"genre", "id", "name")
+	return g, alpha, cube
+}
+
+// TestCubeMatchesAlphaDB: the cube's query-time rollups must agree with
+// the αDB's precomputed persontogenre counts — same answers, different
+// cost profile (Appendix F.4).
+func TestCubeMatchesAlphaDB(t *testing.T) {
+	_, alpha, cube := buildIMDbCube(t)
+	info := alpha.Entity("person")
+	ptg := info.DerivedByAttr("movie:genre")
+	if ptg == nil {
+		t.Fatal("persontogenre missing")
+	}
+	for _, id := range cube.Entities()[:100] {
+		want := ptg.Counts(id)
+		got := cube.Counts(id)
+		if len(got) != len(want) {
+			t.Fatalf("entity %d: cube %v vs αDB %v", id, got, want)
+		}
+		for v, n := range want {
+			if got[v] != n {
+				t.Errorf("entity %d value %q: cube %d vs αDB %d", id, v, got[v], n)
+			}
+		}
+		// Point strength agrees too.
+		for v, n := range want {
+			if cube.Strength(id, v) != n {
+				t.Errorf("Strength(%d,%q) mismatch", id, v)
+			}
+		}
+	}
+}
+
+// TestCubeSelectivityMatchesAlphaDB: ψ(value, θ) from a cube scan equals
+// the αDB's indexed selectivity.
+func TestCubeSelectivityMatchesAlphaDB(t *testing.T) {
+	_, alpha, cube := buildIMDbCube(t)
+	info := alpha.Entity("person")
+	ptg := info.DerivedByAttr("movie:genre")
+	for _, v := range []string{"Comedy", "Drama", "Action"} {
+		for _, theta := range []int{1, 3, 8} {
+			want := ptg.Selectivity(v, theta)
+			got := cube.SelectivityGE(v, theta, info.NumRows)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("ψ(%s,%d): cube %v vs αDB %v", v, theta, got, want)
+			}
+		}
+	}
+}
+
+// TestCubeIsLarger: the cube keeps the large via dimension, so its cell
+// count dominates the αDB's derived relation rows (the Appendix F.4
+// size argument).
+func TestCubeIsLarger(t *testing.T) {
+	_, alpha, cube := buildIMDbCube(t)
+	ptg := alpha.Entity("person").DerivedByAttr("movie:genre")
+	derivedRows := ptg.Relation().NumRows()
+	if cube.NumCells() <= derivedRows {
+		t.Errorf("cube cells=%d should exceed derived rows=%d", cube.NumCells(), derivedRows)
+	}
+	t.Logf("cube cells=%d vs αDB derived rows=%d (%.1fx)",
+		cube.NumCells(), derivedRows, float64(cube.NumCells())/float64(derivedRows))
+}
+
+func TestCubeEmptyEntity(t *testing.T) {
+	_, _, cube := buildIMDbCube(t)
+	if got := cube.Counts(999999); got != nil {
+		t.Errorf("unknown entity must roll up to nil, got %v", got)
+	}
+	if got := cube.Strength(999999, "Comedy"); got != 0 {
+		t.Errorf("unknown entity strength=%d", got)
+	}
+	if got := cube.SelectivityGE("Comedy", 1, 0); got != 0 {
+		t.Error("zero denominator must yield 0")
+	}
+}

@@ -1,0 +1,315 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"squid/internal/relation"
+)
+
+// tinyIMDb returns a small config for fast tests.
+func tinyIMDb() IMDbConfig {
+	return IMDbConfig{Seed: 7, NumPersons: 600, NumMovies: 300, NumCompany: 20}
+}
+
+func TestIMDbSchemaShape(t *testing.T) {
+	g := GenerateIMDb(tinyIMDb())
+	if got := g.DB.NumRelations(); got != 15 {
+		t.Errorf("relations=%d want 15 (paper: IMDb has 15 relations)", got)
+	}
+	if err := g.DB.Validate(); err != nil {
+		t.Fatalf("referential integrity: %v", err)
+	}
+	if len(g.DB.EntityRelations()) != 3 {
+		t.Errorf("entities=%v", g.DB.EntityRelations())
+	}
+	// Cardinality ordering: persons > movies > companies; castinfo
+	// largest fact table.
+	p, m, c := g.DB.Relation("person").NumRows(), g.DB.Relation("movie").NumRows(), g.DB.Relation("company").NumRows()
+	if !(p > m && m > c) {
+		t.Errorf("cardinality ordering broken: %d %d %d", p, m, c)
+	}
+	ci := g.DB.Relation("castinfo").NumRows()
+	if ci < p {
+		t.Errorf("castinfo=%d should dominate persons=%d", ci, p)
+	}
+}
+
+func TestIMDbDeterminism(t *testing.T) {
+	a := GenerateIMDb(tinyIMDb())
+	b := GenerateIMDb(tinyIMDb())
+	if a.DB.TotalRows() != b.DB.TotalRows() {
+		t.Fatal("generation not deterministic in size")
+	}
+	// Spot-check some cells.
+	ra, rb := a.DB.Relation("castinfo"), b.DB.Relation("castinfo")
+	for _, row := range []int{0, 100, ra.NumRows() - 1} {
+		for _, col := range []string{"person_id", "movie_id"} {
+			if !ra.Get(row, col).Equal(rb.Get(row, col)) {
+				t.Fatalf("cell (%d,%s) differs", row, col)
+			}
+		}
+	}
+}
+
+func TestIMDbPlantedBlockbuster(t *testing.T) {
+	g := GenerateIMDb(tinyIMDb())
+	ci := g.DB.Relation("castinfo")
+	pcol, mcol := ci.Column("person_id"), ci.Column("movie_id")
+	cast := map[int64]bool{}
+	for i := 0; i < ci.NumRows(); i++ {
+		if mcol.Int64(i) == g.BlockbusterID {
+			cast[pcol.Int64(i)] = true
+		}
+	}
+	if len(cast) < 100 {
+		t.Errorf("blockbuster cast=%d want ≥100 (IQ1 needs a large cast)", len(cast))
+	}
+}
+
+func TestIMDbPlantedTrilogy(t *testing.T) {
+	g := GenerateIMDb(tinyIMDb())
+	if len(g.TrilogyIDs) != 3 || len(g.TrilogyCast) != 20 {
+		t.Fatalf("trilogy plant wrong: %d movies, %d shared cast", len(g.TrilogyIDs), len(g.TrilogyCast))
+	}
+	// Every shared-cast member appears in all three parts.
+	ci := g.DB.Relation("castinfo")
+	pcol, mcol := ci.Column("person_id"), ci.Column("movie_id")
+	appear := map[int64]map[int64]bool{}
+	for i := 0; i < ci.NumRows(); i++ {
+		p, m := pcol.Int64(i), mcol.Int64(i)
+		if appear[p] == nil {
+			appear[p] = map[int64]bool{}
+		}
+		appear[p][m] = true
+	}
+	for _, p := range g.TrilogyCast {
+		for _, m := range g.TrilogyIDs {
+			if !appear[p][m] {
+				t.Errorf("trilogy member %d missing from movie %d", p, m)
+			}
+		}
+	}
+}
+
+func TestIMDbPlantedComedians(t *testing.T) {
+	g := GenerateIMDb(tinyIMDb())
+	if len(g.Comedians) == 0 {
+		t.Fatal("no comedians planted")
+	}
+	// Comedians must have many comedy credits: verify via the genre of
+	// their movies.
+	genreOf := map[int64][]int64{}
+	mg := g.DB.Relation("movietogenre")
+	for i := 0; i < mg.NumRows(); i++ {
+		m := mg.Column("movie_id").Int64(i)
+		genreOf[m] = append(genreOf[m], mg.Column("genre_id").Int64(i))
+	}
+	ci := g.DB.Relation("castinfo")
+	pcol, mcol := ci.Column("person_id"), ci.Column("movie_id")
+	comedyCount := map[int64]map[int64]bool{}
+	for i := 0; i < ci.NumRows(); i++ {
+		p, m := pcol.Int64(i), mcol.Int64(i)
+		for _, gid := range genreOf[m] {
+			if gid == 0 { // Comedy is genre id 0
+				if comedyCount[p] == nil {
+					comedyCount[p] = map[int64]bool{}
+				}
+				comedyCount[p][m] = true
+			}
+		}
+	}
+	for _, c := range g.Comedians {
+		if len(comedyCount[c]) < 10 {
+			t.Errorf("comedian %d has only %d comedies", c, len(comedyCount[c]))
+		}
+	}
+}
+
+func TestIMDbAmbiguityPlants(t *testing.T) {
+	g := GenerateIMDb(tinyIMDb())
+	if len(g.AmbiguousIDs) != 4 {
+		t.Fatalf("ambiguous movies=%d", len(g.AmbiguousIDs))
+	}
+	m := g.DB.Relation("movie")
+	count := 0
+	tcol := m.Column("title")
+	for i := 0; i < m.NumRows(); i++ {
+		if tcol.Str(i) == g.AmbiguousTitle {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("title %q appears %d times want 4", g.AmbiguousTitle, count)
+	}
+	if len(g.AmbiguousNames) == 0 {
+		t.Error("no ambiguous person names planted")
+	}
+	// Each ambiguous name appears at least twice in person.name.
+	p := g.DB.Relation("person")
+	ncol := p.Column("name")
+	for _, name := range g.AmbiguousNames {
+		n := 0
+		for i := 0; i < p.NumRows(); i++ {
+			if ncol.Str(i) == name {
+				n++
+			}
+		}
+		if n < 2 {
+			t.Errorf("ambiguous name %q appears %d times", name, n)
+		}
+	}
+}
+
+func TestIMDbVariants(t *testing.T) {
+	g := GenerateIMDb(tinyIMDb())
+	bs := BSIMDb(g)
+	bd := BDIMDb(g)
+	if err := bs.Validate(); err != nil {
+		t.Fatalf("bs-IMDb integrity: %v", err)
+	}
+	if err := bd.Validate(); err != nil {
+		t.Fatalf("bd-IMDb integrity: %v", err)
+	}
+	// Entities double.
+	if got, want := bs.Relation("person").NumRows(), 2*g.DB.Relation("person").NumRows(); got != want {
+		t.Errorf("bs persons=%d want %d", got, want)
+	}
+	// castinfo: bs = 2×, bd = 4× the original.
+	orig := g.DB.Relation("castinfo").NumRows()
+	if got := bs.Relation("castinfo").NumRows(); got != 2*orig {
+		t.Errorf("bs castinfo=%d want %d", got, 2*orig)
+	}
+	if got := bd.Relation("castinfo").NumRows(); got != 4*orig {
+		t.Errorf("bd castinfo=%d want %d", got, 4*orig)
+	}
+	// bd is strictly larger than bs (denser associations).
+	if bd.TotalRows() <= bs.TotalRows() {
+		t.Error("bd must be denser than bs")
+	}
+}
+
+func TestDBLPSchemaShape(t *testing.T) {
+	g := GenerateDBLP(DBLPConfig{Seed: 3, NumAuthor: 400, NumPubs: 800})
+	if got := g.DB.NumRelations(); got != 14 {
+		t.Errorf("relations=%d want 14 (paper: DBLP has 14 relations)", got)
+	}
+	if err := g.DB.Validate(); err != nil {
+		t.Fatalf("referential integrity: %v", err)
+	}
+	if len(g.Prolific) != 30 {
+		t.Errorf("prolific=%d want 30", len(g.Prolific))
+	}
+	if len(g.Trio) != 3 || len(g.TrioPubs) != 15 {
+		t.Errorf("trio plant wrong")
+	}
+	if len(g.DualAffil) != 20 {
+		t.Errorf("dual-affiliation plant wrong: %d", len(g.DualAffil))
+	}
+}
+
+func TestDBLPPlantedProlific(t *testing.T) {
+	g := GenerateDBLP(DBLPConfig{Seed: 3, NumAuthor: 400, NumPubs: 800})
+	// Prolific authors should clearly out-publish the median author.
+	for _, a := range g.Prolific {
+		if g.PubCount[a] < 20 {
+			t.Errorf("prolific author %d has only %d pubs", a, g.PubCount[a])
+		}
+	}
+}
+
+func TestAdultShape(t *testing.T) {
+	g := GenerateAdult(AdultConfig{Seed: 5, NumRows: 500, ScaleFactor: 1})
+	if g.DB.NumRelations() != 1 {
+		t.Errorf("relations=%d want 1", g.DB.NumRelations())
+	}
+	r := g.DB.Relation("adult")
+	if r.NumRows() != 500 {
+		t.Errorf("rows=%d", r.NumRows())
+	}
+	if err := g.DB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumCols() != 16 {
+		t.Errorf("cols=%d want 16", r.NumCols())
+	}
+}
+
+func TestAdultScaleFactor(t *testing.T) {
+	base := GenerateAdult(AdultConfig{Seed: 5, NumRows: 300, ScaleFactor: 1})
+	x3 := GenerateAdult(AdultConfig{Seed: 5, NumRows: 300, ScaleFactor: 3})
+	if got, want := x3.DB.Relation("adult").NumRows(), 3*base.DB.Relation("adult").NumRows(); got != want {
+		t.Errorf("scaled rows=%d want %d", got, want)
+	}
+	if err := x3.DB.Validate(); err != nil {
+		t.Fatalf("scaled integrity (unique PKs): %v", err)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(10, 1.0)
+	sum := 0.0
+	for i, x := range w {
+		sum += x
+		if i > 0 && x > w[i-1] {
+			t.Error("weights must be non-increasing")
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum=%v", sum)
+	}
+}
+
+func TestNameGenerators(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		n := personName(i)
+		if seen[n] {
+			t.Fatalf("duplicate person name %q at %d", n, i)
+		}
+		seen[n] = true
+	}
+	seen = map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		n := movieTitle(i)
+		if seen[n] {
+			t.Fatalf("duplicate movie title %q at %d", n, i)
+		}
+		seen[n] = true
+	}
+	if decadeOf(1997) != "1990s" || decadeOf(2005) != "2000s" {
+		t.Error("decade bucketing wrong")
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	got := sampleDistinct(rng, 10, 5)
+	if len(got) != 5 {
+		t.Fatalf("len=%d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample %v", got)
+		}
+		seen[v] = true
+	}
+	// k ≥ n returns everything.
+	if got := sampleDistinct(rng, 3, 10); len(got) != 3 {
+		t.Errorf("overflow sample=%v", got)
+	}
+}
+
+func TestVariantsPreserveDimensions(t *testing.T) {
+	g := GenerateIMDb(tinyIMDb())
+	bs := BSIMDb(g)
+	for _, dim := range []string{"genre", "country", "language", "role", "keyword", "award"} {
+		if bs.Relation(dim).NumRows() != g.DB.Relation(dim).NumRows() {
+			t.Errorf("dimension %s must be shared as-is", dim)
+		}
+		if bs.Kind(dim) != relation.KindProperty {
+			t.Errorf("dimension %s lost its property annotation", dim)
+		}
+	}
+}

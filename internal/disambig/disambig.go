@@ -1,0 +1,272 @@
+// Package disambig implements SQuID's entity disambiguation (§6.1.1 of
+// the paper): when an example value maps to several candidate entities
+// (four films named Titanic), pick the combination of mappings that
+// maximizes the semantic similarity across the examples — ambiguous
+// examples should resolve to the entities most alike the unambiguous
+// ones. Since example sets are small, all combinations are considered,
+// greedily bounded for safety.
+package disambig
+
+import (
+	"math"
+	"squid/internal/abduction"
+	"squid/internal/adb"
+)
+
+// maxCombinations bounds the exhaustive search; beyond it the resolver
+// falls back to per-example greedy resolution against the current
+// partial assignment.
+const maxCombinations = 200000
+
+// Resolve picks one row per example from the ambiguity candidates,
+// maximizing the pairwise semantic similarity of the chosen rows. It has
+// the abduction.Resolver signature so the public API can plug it into
+// Discover.
+func Resolve(info *adb.EntityInfo, candidates [][]int, params abduction.Params) []int {
+	if len(candidates) == 0 {
+		return nil
+	}
+	total := 1
+	exhaustive := true
+	for _, c := range candidates {
+		if len(c) == 0 {
+			return nil
+		}
+		if total > maxCombinations/len(c) {
+			exhaustive = false
+			break
+		}
+		total *= len(c)
+	}
+	sc := newScorer(info)
+	if exhaustive && total > 1 {
+		return sc.resolveExhaustive(candidates)
+	}
+	return sc.resolveGreedy(candidates)
+}
+
+// scorer computes normalized pairwise similarities with per-row caches,
+// so the exhaustive search over mapping combinations stays cheap.
+type scorer struct {
+	info  *adb.EntityInfo
+	self  map[int]float64
+	pairs map[[2]int]float64
+}
+
+func newScorer(info *adb.EntityInfo) *scorer {
+	return &scorer{info: info, self: map[int]float64{}, pairs: map[[2]int]float64{}}
+}
+
+// resolveExhaustive scores every combination.
+func (sc *scorer) resolveExhaustive(candidates [][]int) []int {
+	assign := make([]int, len(candidates))
+	best := make([]int, len(candidates))
+	bestScore := -1.0
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == len(candidates) {
+			if s := sc.setScore(assign); s > bestScore {
+				bestScore = s
+				copy(best, assign)
+			}
+			return
+		}
+		for _, row := range candidates[i] {
+			assign[i] = row
+			recurse(i + 1)
+		}
+	}
+	recurse(0)
+	return best
+}
+
+// resolveGreedy fixes unambiguous examples first, then assigns each
+// ambiguous example the candidate most similar to the fixed set.
+func (sc *scorer) resolveGreedy(candidates [][]int) []int {
+	out := make([]int, len(candidates))
+	var fixed []int
+	for i, c := range candidates {
+		if len(c) == 1 {
+			out[i] = c[0]
+			fixed = append(fixed, c[0])
+		} else {
+			out[i] = -1
+		}
+	}
+	for i, c := range candidates {
+		if out[i] != -1 {
+			continue
+		}
+		bestRow, bestScore := c[0], -1.0
+		for _, row := range c {
+			s := 0.0
+			for _, f := range fixed {
+				s += sc.sim(row, f)
+			}
+			if s > bestScore {
+				bestScore = s
+				bestRow = row
+			}
+		}
+		out[i] = bestRow
+		fixed = append(fixed, bestRow)
+	}
+	return out
+}
+
+// setScore sums pairwise similarities over the chosen rows.
+func (sc *scorer) setScore(rows []int) float64 {
+	s := 0.0
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			s += sc.sim(rows[i], rows[j])
+		}
+	}
+	return s
+}
+
+// sim is the cosine-normalized similarity: shared information weight
+// divided by the geometric mean of the rows' self weights. The
+// normalization stops high-degree hub entities (a prolific actor shares
+// *something* with everyone) from outscoring the genuinely alike
+// candidate.
+func (sc *scorer) sim(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	if v, ok := sc.pairs[key]; ok {
+		return v
+	}
+	raw := pairSimilarity(sc.info, a, b)
+	norm := math.Sqrt(sc.selfWeight(a) * sc.selfWeight(b))
+	v := 0.0
+	if norm > 0 {
+		v = raw / norm
+	}
+	sc.pairs[key] = v
+	return v
+}
+
+// selfWeight is the total information weight of a row's own property
+// values (its "vector length" in the cosine analogy).
+func (sc *scorer) selfWeight(row int) float64 {
+	if v, ok := sc.self[row]; ok {
+		return v
+	}
+	info := sc.info
+	w := 0.0
+	for _, p := range info.Basic {
+		switch p.Kind {
+		case adb.Categorical:
+			seen := map[string]struct{}{}
+			for _, v := range p.Values(row) {
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				w += rarity(p.CategoricalSelectivity(v))
+			}
+		case adb.Numeric:
+			if _, ok := p.NumValue(row); ok {
+				w++ // numeric self-closeness is 1 by definition
+			}
+		}
+	}
+	id := info.IDByRow(row)
+	for _, p := range info.Derived {
+		for v, n := range p.Counts(id) {
+			w += rarity(p.Selectivity(v, n))
+		}
+	}
+	sc.self[row] = w
+	return w
+}
+
+// pairSimilarity measures the semantic similarity of two entities.
+// Shared values are weighted by their information content −log ψ(v), so
+// sharing a rare property (the same specific movie, the same uncommon
+// genre association) dominates sharing common ones (gender, popular
+// keywords): this is what makes the 1997 Titanic win against its
+// namesakes, and what keeps an ambiguous cast-member name resolving to
+// the co-star rather than a popular homonym. Derived associations use
+// ψ(v, min-strength), so strong shared associations count more (the
+// paper: "SQuID aims to increase the association strength").
+func pairSimilarity(info *adb.EntityInfo, a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	score := 0.0
+	for _, p := range info.Basic {
+		switch p.Kind {
+		case adb.Categorical:
+			av, bv := p.Values(a), p.Values(b)
+			if len(av) == 0 || len(bv) == 0 {
+				continue
+			}
+			set := make(map[string]struct{}, len(av))
+			for _, v := range av {
+				set[v] = struct{}{}
+			}
+			seen := make(map[string]struct{}, len(bv))
+			for _, v := range bv {
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				if _, ok := set[v]; ok {
+					score += rarity(p.CategoricalSelectivity(v))
+				}
+			}
+		case adb.Numeric:
+			av, aok := p.NumValue(a)
+			bv, bok := p.NumValue(b)
+			if !aok || !bok {
+				continue
+			}
+			idx := p.NumericIndex()
+			span := idx.Max() - idx.Min()
+			if span <= 0 {
+				continue
+			}
+			d := av - bv
+			if d < 0 {
+				d = -d
+			}
+			score += 1 - d/span
+		}
+	}
+	aid, bid := info.IDByRow(a), info.IDByRow(b)
+	for _, p := range info.Derived {
+		ac := p.Counts(aid)
+		if len(ac) == 0 {
+			continue
+		}
+		bc := p.Counts(bid)
+		for v, n := range ac {
+			if m, ok := bc[v]; ok {
+				minStrength := n
+				if m < n {
+					minStrength = m
+				}
+				score += rarity(p.Selectivity(v, minStrength))
+			}
+		}
+	}
+	return score
+}
+
+// rarity converts a selectivity into an information weight −ln ψ,
+// clamped to avoid infinities on empty statistics.
+func rarity(psi float64) float64 {
+	if psi <= 0 {
+		return 0 // value unseen in statistics: no evidence either way
+	}
+	if psi >= 1 {
+		return 0
+	}
+	return -math.Log(psi)
+}

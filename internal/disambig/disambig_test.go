@@ -1,0 +1,163 @@
+package disambig
+
+import (
+	"testing"
+
+	"squid/internal/abduction"
+	"squid/internal/adb"
+	"squid/internal/relation"
+)
+
+// titanicDB reproduces the §6.1.1 scenario: several movies share the
+// title Titanic; the 1997 one matches the other examples' year range and
+// country.
+func titanicDB(t *testing.T) *adb.AlphaDB {
+	t.Helper()
+	db := relation.NewDatabase("titanic")
+	country := relation.New("country",
+		relation.Col("id", relation.Int),
+		relation.Col("name", relation.String),
+	).SetPrimaryKey("id")
+	country.MustAppend(relation.IntVal(1), relation.StringVal("USA"))
+	country.MustAppend(relation.IntVal(2), relation.StringVal("Italy"))
+	country.MustAppend(relation.IntVal(3), relation.StringVal("Germany"))
+	db.AddRelation(country)
+	db.MarkProperty("country")
+
+	movie := relation.New("movie",
+		relation.Col("id", relation.Int),
+		relation.Col("title", relation.String),
+		relation.Col("year", relation.Int),
+		relation.Col("country_id", relation.Int),
+	).SetPrimaryKey("id").AddForeignKey("country_id", "country", "id")
+	rows := []struct {
+		id      int64
+		title   string
+		year    int64
+		country int64
+	}{
+		{1, "Titanic", 1915, 2},
+		{2, "Titanic", 1943, 3},
+		{3, "Titanic", 1953, 1},
+		{4, "Titanic", 1997, 1},
+		{5, "Pulp Fiction", 1994, 1},
+		{6, "The Matrix", 1999, 1},
+	}
+	for _, r := range rows {
+		movie.MustAppend(relation.IntVal(r.id), relation.StringVal(r.title),
+			relation.IntVal(r.year), relation.IntVal(r.country))
+	}
+	db.AddRelation(movie)
+	db.MarkEntity("movie")
+	a, err := adb.Build(db, adb.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestTitanicDisambiguation: given {Titanic, Pulp Fiction, The Matrix},
+// the 1997 Titanic (row 3) must be chosen — closest year, same country.
+func TestTitanicDisambiguation(t *testing.T) {
+	a := titanicDB(t)
+	info := a.Entity("movie")
+	candidates := [][]int{
+		{0, 1, 2, 3}, // Titanic: 4 possible rows
+		{4},          // Pulp Fiction
+		{5},          // The Matrix
+	}
+	got := Resolve(info, candidates, abduction.DefaultParams())
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != 3 {
+		t.Errorf("Titanic resolved to row %d (year %v) want row 3 (1997)",
+			got[0], info.Rel().Get(got[0], "year"))
+	}
+	if got[1] != 4 || got[2] != 5 {
+		t.Errorf("unambiguous rows changed: %v", got)
+	}
+}
+
+func TestResolveNoCandidates(t *testing.T) {
+	a := titanicDB(t)
+	info := a.Entity("movie")
+	if got := Resolve(info, nil, abduction.DefaultParams()); got != nil {
+		t.Errorf("nil candidates must resolve to nil, got %v", got)
+	}
+	if got := Resolve(info, [][]int{{1}, {}}, abduction.DefaultParams()); got != nil {
+		t.Errorf("an example without candidates must resolve to nil, got %v", got)
+	}
+}
+
+func TestResolveAllUnambiguous(t *testing.T) {
+	a := titanicDB(t)
+	info := a.Entity("movie")
+	got := Resolve(info, [][]int{{4}, {5}}, abduction.DefaultParams())
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("got %v", got)
+	}
+}
+
+// TestGreedyFallback forces the combination bound and checks the greedy
+// path picks sensible rows too.
+func TestGreedyFallback(t *testing.T) {
+	a := titanicDB(t)
+	info := a.Entity("movie")
+	// Build candidate lists whose product exceeds the exhaustive bound:
+	// 20 examples each with 4 candidates → 4^20 ≫ bound.
+	candidates := make([][]int, 20)
+	for i := range candidates {
+		if i == 0 {
+			candidates[i] = []int{5} // anchor: The Matrix
+		} else {
+			candidates[i] = []int{0, 1, 2, 3}
+		}
+	}
+	got := newScorer(info).resolveGreedy(candidates)
+	if len(got) != 20 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	// Greedy must pick the 1997 Titanic (row 3) as most similar to the
+	// 1999 anchor.
+	if got[1] != 3 {
+		t.Errorf("greedy picked row %d want 3", got[1])
+	}
+}
+
+func TestPairSimilarityProperties(t *testing.T) {
+	a := titanicDB(t)
+	info := a.Entity("movie")
+	sc := newScorer(info)
+	// Symmetry.
+	for i := 0; i < info.NumRows; i++ {
+		for j := 0; j < info.NumRows; j++ {
+			if sc.sim(i, j) != sc.sim(j, i) {
+				t.Fatalf("similarity not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// 1997 Titanic is more similar to Pulp Fiction (same country, 3 years
+	// apart) than the 1915 Italian one is.
+	if sc.sim(3, 4) <= sc.sim(0, 4) {
+		t.Error("similarity ordering wrong")
+	}
+}
+
+// TestScorerCaches checks the pair/self caches return consistent values.
+func TestScorerCaches(t *testing.T) {
+	a := titanicDB(t)
+	info := a.Entity("movie")
+	sc := newScorer(info)
+	first := sc.sim(2, 4)
+	second := sc.sim(4, 2)
+	if first != second {
+		t.Error("cache broke symmetry")
+	}
+	if sc.selfWeight(2) != sc.selfWeight(2) {
+		t.Error("self-weight cache inconsistent")
+	}
+	if sc.sim(1, 1) != 0 {
+		t.Error("self similarity must be 0")
+	}
+}

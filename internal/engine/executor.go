@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"fmt"
+
+	"squid/internal/relation"
+)
+
+// Executor runs logical queries against a database using hash joins with
+// predicate pushdown. It is stateless beyond the database handle; build
+// one per database.
+type Executor struct {
+	db *relation.Database
+}
+
+// NewExecutor creates an executor over db.
+func NewExecutor(db *relation.Database) *Executor {
+	return &Executor{db: db}
+}
+
+// Execute runs the query and returns its projected tuples. DISTINCT and
+// intersection are applied after projection.
+func (e *Executor) Execute(q *Query) (*Result, error) {
+	res, err := e.executeNoIntersect(q)
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range q.Intersect {
+		subRes, err := e.Execute(sub)
+		if err != nil {
+			return nil, err
+		}
+		res.intersect(subRes)
+	}
+	return res, nil
+}
+
+// executeNoIntersect evaluates the SPJA core of the query.
+func (e *Executor) executeNoIntersect(q *Query) (*Result, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("engine: query has no FROM relations")
+	}
+	relPos := make(map[string]int, len(q.From))
+	rels := make([]*relation.Relation, len(q.From))
+	for i, name := range q.From {
+		r := e.db.Relation(name)
+		if r == nil {
+			return nil, fmt.Errorf("engine: unknown relation %q", name)
+		}
+		if _, dup := relPos[name]; dup {
+			return nil, fmt.Errorf("engine: relation %q appears twice in FROM (use Intersect for self-joins)", name)
+		}
+		relPos[name] = i
+		rels[i] = r
+	}
+
+	// Group predicates by relation for pushdown.
+	predsByRel := make(map[string][]Pred)
+	for _, p := range q.Preds {
+		if _, ok := relPos[p.Rel]; !ok {
+			return nil, fmt.Errorf("engine: predicate on %q which is not in FROM", p.Rel)
+		}
+		if rels[relPos[p.Rel]].Column(p.Col) == nil {
+			return nil, fmt.Errorf("engine: predicate on unknown column %s.%s", p.Rel, p.Col)
+		}
+		predsByRel[p.Rel] = append(predsByRel[p.Rel], p)
+	}
+
+	// Seed the intermediate result with the anchor relation's surviving rows.
+	// Intermediate tuples are row indexes, one per joined relation
+	// (position matches q.From order; -1 = not joined yet).
+	anchor := q.From[0]
+	var tuples [][]int
+	for _, row := range e.filterRows(rels[0], predsByRel[anchor]) {
+		t := make([]int, len(q.From))
+		for i := range t {
+			t[i] = -1
+		}
+		t[0] = row
+		tuples = append(tuples, t)
+	}
+	joined := map[string]bool{anchor: true}
+	pendingJoins := append([]Join(nil), q.Joins...)
+
+	// Repeatedly pick a join condition that connects a new relation to the
+	// joined set and hash-join it in.
+	for remaining := len(q.From) - 1; remaining > 0; remaining-- {
+		progress := false
+		for ji, j := range pendingJoins {
+			var newRel, newCol, oldRel, oldCol string
+			switch {
+			case joined[j.LeftRel] && !joined[j.RightRel]:
+				oldRel, oldCol, newRel, newCol = j.LeftRel, j.LeftCol, j.RightRel, j.RightCol
+			case joined[j.RightRel] && !joined[j.LeftRel]:
+				oldRel, oldCol, newRel, newCol = j.RightRel, j.RightCol, j.LeftRel, j.LeftCol
+			default:
+				continue
+			}
+			npos, ok := relPos[newRel]
+			if !ok {
+				return nil, fmt.Errorf("engine: join references %q which is not in FROM", newRel)
+			}
+			opos := relPos[oldRel]
+			tuples = e.hashJoin(tuples, opos, rels[opos], oldCol, npos, rels[npos], newCol, predsByRel[newRel])
+			joined[newRel] = true
+			pendingJoins = append(pendingJoins[:ji], pendingJoins[ji+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("engine: join graph disconnected (joined %v of %v)", joined, q.From)
+		}
+	}
+
+	// Apply any join conditions between already-joined relations
+	// (cycles in the join graph).
+	for _, j := range pendingJoins {
+		lpos, ok := relPos[j.LeftRel]
+		if !ok {
+			return nil, fmt.Errorf("engine: join references %q which is not in FROM", j.LeftRel)
+		}
+		rpos, ok := relPos[j.RightRel]
+		if !ok {
+			return nil, fmt.Errorf("engine: join references %q which is not in FROM", j.RightRel)
+		}
+		lcol, rcol := rels[lpos].Column(j.LeftCol), rels[rpos].Column(j.RightCol)
+		if lcol == nil || rcol == nil {
+			return nil, fmt.Errorf("engine: join on unknown column %s", j)
+		}
+		out := tuples[:0]
+		for _, t := range tuples {
+			if lcol.Get(t[lpos]).Equal(rcol.Get(t[rpos])) {
+				out = append(out, t)
+			}
+		}
+		tuples = out
+	}
+
+	if q.HasAggregation() {
+		var err error
+		tuples, err = e.aggregate(q, relPos, rels, tuples)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Project.
+	res := &Result{}
+	type proj struct {
+		pos int
+		col *relation.Column
+	}
+	projs := make([]proj, len(q.Select))
+	for i, s := range q.Select {
+		pos, ok := relPos[s.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: SELECT references %q which is not in FROM", s.Rel)
+		}
+		col := rels[pos].Column(s.Col)
+		if col == nil {
+			return nil, fmt.Errorf("engine: SELECT on unknown column %s", s)
+		}
+		projs[i] = proj{pos, col}
+		res.Cols = append(res.Cols, s.String())
+	}
+	res.Rows = make([][]relation.Value, 0, len(tuples))
+	for _, t := range tuples {
+		row := make([]relation.Value, len(projs))
+		for i, p := range projs {
+			row[i] = p.col.Get(t[p.pos])
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if q.Distinct {
+		res.distinct()
+	}
+	return res, nil
+}
+
+// filterRows returns the rows of rel that satisfy all preds.
+func (e *Executor) filterRows(rel *relation.Relation, preds []Pred) []int {
+	var out []int
+	cols := make([]*relation.Column, len(preds))
+	for i, p := range preds {
+		cols[i] = rel.Column(p.Col)
+	}
+	for row := 0; row < rel.NumRows(); row++ {
+		ok := true
+		for i, p := range preds {
+			if !p.Matches(cols[i].Get(row)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// hashJoin extends each intermediate tuple with matching rows of the new
+// relation, applying the new relation's pushed-down predicates while
+// building the hash table.
+func (e *Executor) hashJoin(tuples [][]int, oldPos int, oldRel *relation.Relation, oldCol string, newPos int, newRel *relation.Relation, newCol string, newPreds []Pred) [][]int {
+	build := make(map[string][]int)
+	nc := newRel.Column(newCol)
+	for _, row := range e.filterRows(newRel, newPreds) {
+		v := nc.Get(row)
+		if v.IsNull() {
+			continue
+		}
+		k := v.String()
+		build[k] = append(build[k], row)
+	}
+	oc := oldRel.Column(oldCol)
+	var out [][]int
+	for _, t := range tuples {
+		v := oc.Get(t[oldPos])
+		if v.IsNull() {
+			continue
+		}
+		for _, nrow := range build[v.String()] {
+			nt := make([]int, len(t))
+			copy(nt, t)
+			nt[newPos] = nrow
+			out = append(out, nt)
+		}
+	}
+	return out
+}
+
+// aggregate groups the intermediate tuples by the GroupBy columns, applies
+// HAVING count(*) ≥ N, and keeps one representative tuple per group.
+func (e *Executor) aggregate(q *Query, relPos map[string]int, rels []*relation.Relation, tuples [][]int) ([][]int, error) {
+	type keyCol struct {
+		pos int
+		col *relation.Column
+	}
+	keys := make([]keyCol, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		pos, ok := relPos[g.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: GROUP BY references %q which is not in FROM", g.Rel)
+		}
+		col := rels[pos].Column(g.Col)
+		if col == nil {
+			return nil, fmt.Errorf("engine: GROUP BY on unknown column %s", g)
+		}
+		keys[i] = keyCol{pos, col}
+	}
+	type group struct {
+		rep   []int
+		count int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, t := range tuples {
+		vals := make([]relation.Value, len(keys))
+		for i, k := range keys {
+			vals[i] = k.col.Get(t[k.pos])
+		}
+		gk := encodeTuple(vals)
+		g := groups[gk]
+		if g == nil {
+			g = &group{rep: t}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		g.count++
+	}
+	var out [][]int
+	for _, gk := range order {
+		g := groups[gk]
+		if g.count >= q.HavingCountGE {
+			out = append(out, g.rep)
+		}
+	}
+	return out, nil
+}
+
+// Count executes the query and returns only the result cardinality.
+func (e *Executor) Count(q *Query) (int, error) {
+	res, err := e.Execute(q)
+	if err != nil {
+		return 0, err
+	}
+	return res.NumRows(), nil
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"squid/internal/relation"
+)
+
+// Result holds the projected tuples of an executed query.
+type Result struct {
+	Cols []string
+	Rows [][]relation.Value
+}
+
+// NumRows returns the result cardinality.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// encodeTuple produces a canonical string key for a projected tuple so
+// results can be compared as sets (precision/recall, DISTINCT,
+// intersection).
+func encodeTuple(row []relation.Value) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// TupleSet returns the set of canonical tuple encodings.
+func (r *Result) TupleSet() map[string]struct{} {
+	s := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		s[encodeTuple(row)] = struct{}{}
+	}
+	return s
+}
+
+// Strings returns single-column results as a sorted string slice;
+// it panics when the result has more than one column.
+func (r *Result) Strings() []string {
+	if len(r.Cols) != 1 {
+		panic("engine: Strings() on multi-column result")
+	}
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, row[0].String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// distinct removes duplicate tuples, preserving first-seen order.
+func (r *Result) distinct() {
+	seen := make(map[string]struct{}, len(r.Rows))
+	out := r.Rows[:0]
+	for _, row := range r.Rows {
+		k := encodeTuple(row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	r.Rows = out
+}
+
+// intersect keeps only tuples also present in other.
+func (r *Result) intersect(other *Result) {
+	keep := other.TupleSet()
+	out := r.Rows[:0]
+	for _, row := range r.Rows {
+		if _, ok := keep[encodeTuple(row)]; ok {
+			out = append(out, row)
+		}
+	}
+	r.Rows = out
+}

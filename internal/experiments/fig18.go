@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"squid/internal/adb"
+	"squid/internal/benchqueries"
+	"squid/internal/datagen"
+)
+
+// Fig18 collects the dataset-statistics blocks of Fig 18 for the Adult,
+// DBLP, and all four IMDb variants.
+func (s *Suite) Fig18() []adb.Stats {
+	var out []adb.Stats
+
+	imdb, imdbAlpha := s.IMDb()
+	out = append(out, imdbAlpha.ComputeStats())
+
+	smCfg := s.Scale.IMDb
+	smCfg.NumPersons /= 4
+	smCfg.NumMovies /= 4
+	sm := datagen.GenerateIMDb(smCfg)
+	smAlpha := mustBuild(sm.DB)
+	st := smAlpha.ComputeStats()
+	st.Name = "sm-imdb"
+	out = append(out, st)
+
+	out = append(out, mustBuild(datagen.BSIMDb(imdb)).ComputeStats())
+	out = append(out, mustBuild(datagen.BDIMDb(imdb)).ComputeStats())
+
+	_, dblpAlpha := s.DBLP()
+	out = append(out, dblpAlpha.ComputeStats())
+	_, adultAlpha := s.Adult()
+	out = append(out, adultAlpha.ComputeStats())
+	return out
+}
+
+// PrintFig18 renders the dataset statistics.
+func PrintFig18(w io.Writer, stats []adb.Stats) {
+	fmt.Fprintln(w, "Fig 18: dataset and αDB statistics")
+	for _, st := range stats {
+		fmt.Fprintln(w, st.String())
+	}
+}
+
+// BenchmarkTable is the Figs 19/20/22 inventory: per benchmark, the
+// intent, join/selection counts, and result cardinality on the
+// generated data.
+type BenchmarkTable struct {
+	Dataset string
+	Rows    []BenchmarkTableRow
+}
+
+// BenchmarkTableRow is one inventory line.
+type BenchmarkTableRow struct {
+	ID          string
+	Intent      string
+	Joins       int
+	Selections  int
+	Cardinality int
+}
+
+// Fig19 builds the IMDb benchmark inventory.
+func (s *Suite) Fig19() BenchmarkTable {
+	g, _ := s.IMDb()
+	return buildTable("IMDb (Fig 19)", g.DB, benchqueries.IMDbBenchmarks(g))
+}
+
+// Fig20 builds the DBLP benchmark inventory.
+func (s *Suite) Fig20() BenchmarkTable {
+	g, _ := s.DBLP()
+	return buildTable("DBLP (Fig 20)", g.DB, benchqueries.DBLPBenchmarks(g))
+}
+
+// Fig22 builds the Adult benchmark inventory.
+func (s *Suite) Fig22() BenchmarkTable {
+	g, _ := s.Adult()
+	return buildTable("Adult (Fig 22)", g.DB, benchqueries.AdultBenchmarks(g, s.Scale.Seed))
+}
+
+func buildTable(name string, db *relationDatabase, bench []benchqueries.Benchmark) BenchmarkTable {
+	t := BenchmarkTable{Dataset: name}
+	for _, b := range bench {
+		card, err := benchqueries.Cardinality(db, b)
+		if err != nil {
+			card = -1
+		}
+		t.Rows = append(t.Rows, BenchmarkTableRow{
+			ID:          b.ID,
+			Intent:      b.Intent,
+			Joins:       b.NumJoinRels,
+			Selections:  b.NumSelections,
+			Cardinality: card,
+		})
+	}
+	return t
+}
+
+// PrintBenchmarkTable renders a Figs 19/20/22-style inventory.
+func PrintBenchmarkTable(w io.Writer, t BenchmarkTable) {
+	fmt.Fprintf(w, "%s benchmark queries\n", t.Dataset)
+	fmt.Fprintln(w, "id     J  S  #result  intent")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-6s %d  %d  %7d  %s\n", r.ID, r.Joins, r.Selections, r.Cardinality, r.Intent)
+	}
+}

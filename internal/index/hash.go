@@ -1,0 +1,74 @@
+package index
+
+import (
+	"squid/internal/relation"
+)
+
+// IntHash is a hash index from an integer column's values to row numbers;
+// it serves the key/foreign-key point lookups the abduction phase issues
+// (the paper uses PostgreSQL B-tree indexes for the same role).
+type IntHash struct {
+	rows map[int64][]int
+}
+
+// BuildIntHash indexes the named integer column of rel.
+func BuildIntHash(rel *relation.Relation, col string) *IntHash {
+	c := rel.Column(col)
+	h := &IntHash{rows: make(map[int64][]int)}
+	if c == nil || c.Type != relation.Int {
+		return h
+	}
+	for row := 0; row < c.Len(); row++ {
+		if c.IsNull(row) {
+			continue
+		}
+		v := c.Int64(row)
+		h.rows[v] = append(h.rows[v], row)
+	}
+	return h
+}
+
+// Rows returns the rows holding value v (nil if absent).
+func (h *IntHash) Rows(v int64) []int { return h.rows[v] }
+
+// First returns the first row holding value v and whether one exists;
+// this is the primary-key point-lookup fast path.
+func (h *IntHash) First(v int64) (int, bool) {
+	r := h.rows[v]
+	if len(r) == 0 {
+		return 0, false
+	}
+	return r[0], true
+}
+
+// NumKeys returns the number of distinct indexed values.
+func (h *IntHash) NumKeys() int { return len(h.rows) }
+
+// StrHash is a hash index from a string column's (normalized) values to
+// row numbers.
+type StrHash struct {
+	rows map[string][]int
+}
+
+// BuildStrHash indexes the named string column of rel.
+func BuildStrHash(rel *relation.Relation, col string) *StrHash {
+	c := rel.Column(col)
+	h := &StrHash{rows: make(map[string][]int)}
+	if c == nil || c.Type != relation.String {
+		return h
+	}
+	for row := 0; row < c.Len(); row++ {
+		if c.IsNull(row) {
+			continue
+		}
+		key := Normalize(c.Str(row))
+		h.rows[key] = append(h.rows[key], row)
+	}
+	return h
+}
+
+// Rows returns the rows holding the (normalized) value.
+func (h *StrHash) Rows(v string) []int { return h.rows[Normalize(v)] }
+
+// NumKeys returns the number of distinct indexed values.
+func (h *StrHash) NumKeys() int { return len(h.rows) }

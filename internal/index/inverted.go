@@ -1,0 +1,141 @@
+// Package index provides the indexing substrate SQuID relies on: a global
+// inverted column index over all text attributes (used for entity lookup,
+// §5 of the paper), hash indexes for key/foreign-key point lookups during
+// abduction, and sorted column indexes used for numeric selectivity
+// computation in the abduction-ready database.
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"squid/internal/relation"
+)
+
+// Posting locates one occurrence of a text value: relation, column, row.
+type Posting struct {
+	Relation string
+	Column   string
+	Row      int
+}
+
+// Inverted is the global inverted column index: it maps every distinct
+// text value (case-folded) appearing in any indexed column to its
+// postings. SQuID consults it to map user-provided example strings to
+// candidate entities.
+type Inverted struct {
+	postings map[string][]Posting
+}
+
+// BuildInverted indexes every String column of every relation in db.
+func BuildInverted(db *relation.Database) *Inverted {
+	inv := &Inverted{postings: make(map[string][]Posting)}
+	for _, name := range db.RelationNames() {
+		rel := db.Relation(name)
+		for _, col := range rel.Columns() {
+			if col.Type != relation.String {
+				continue
+			}
+			for row := 0; row < col.Len(); row++ {
+				if col.IsNull(row) {
+					continue
+				}
+				key := Normalize(col.Str(row))
+				inv.postings[key] = append(inv.postings[key], Posting{
+					Relation: name, Column: col.Name, Row: row,
+				})
+			}
+		}
+	}
+	return inv
+}
+
+// Normalize canonicalizes a lookup string: lower-case, trimmed,
+// inner whitespace collapsed.
+func Normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// Lookup returns all postings of the (normalized) value.
+func (inv *Inverted) Lookup(value string) []Posting {
+	return inv.postings[Normalize(value)]
+}
+
+// Insert adds one posting incrementally (αDB maintenance on inserts).
+func (inv *Inverted) Insert(value string, p Posting) {
+	key := Normalize(value)
+	inv.postings[key] = append(inv.postings[key], p)
+}
+
+// NumKeys returns the number of distinct indexed values.
+func (inv *Inverted) NumKeys() int { return len(inv.postings) }
+
+// ColumnKey identifies a (relation, column) pair.
+type ColumnKey struct {
+	Relation string
+	Column   string
+}
+
+// CommonColumns returns the (relation, column) pairs that contain ALL of
+// the given values, i.e. the candidate projection attributes for a set of
+// example tuples, sorted deterministically. For each pair it also reports
+// per-value row candidates (for disambiguation).
+func (inv *Inverted) CommonColumns(values []string) []ColumnMatch {
+	if len(values) == 0 {
+		return nil
+	}
+	// For each value, the set of columns it appears in, plus its rows there.
+	type colRows map[ColumnKey][]int
+	perValue := make([]colRows, len(values))
+	for i, v := range values {
+		m := make(colRows)
+		for _, p := range inv.Lookup(v) {
+			k := ColumnKey{p.Relation, p.Column}
+			m[k] = append(m[k], p.Row)
+		}
+		perValue[i] = m
+	}
+	// Intersect column sets across values.
+	var out []ColumnMatch
+	for k, rows0 := range perValue[0] {
+		match := ColumnMatch{Key: k, Rows: make([][]int, len(values))}
+		match.Rows[0] = rows0
+		ok := true
+		for i := 1; i < len(values); i++ {
+			rows, has := perValue[i][k]
+			if !has {
+				ok = false
+				break
+			}
+			match.Rows[i] = rows
+		}
+		if ok {
+			out = append(out, match)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Relation != out[j].Key.Relation {
+			return out[i].Key.Relation < out[j].Key.Relation
+		}
+		return out[i].Key.Column < out[j].Key.Column
+	})
+	return out
+}
+
+// ColumnMatch reports that all example values occur in Key; Rows[i] lists
+// the candidate rows for example value i (|Rows[i]| > 1 means the value is
+// ambiguous and needs disambiguation).
+type ColumnMatch struct {
+	Key  ColumnKey
+	Rows [][]int
+}
+
+// Ambiguous reports whether any example value maps to more than one row.
+func (m ColumnMatch) Ambiguous() bool {
+	for _, r := range m.Rows {
+		if len(r) > 1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+// Package metrics implements the evaluation measures of §7.1: precision,
+// recall, and f-score between the abduced query output and the intended
+// query output, plus the seeded example samplers used across experiments.
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PRF holds precision, recall, and f-score.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	FScore    float64
+}
+
+// Compare computes precision = |got∩want|/|got|, recall = |got∩want|/|want|,
+// and their harmonic mean, treating both sides as sets.
+func Compare(got, want []string) PRF {
+	gs := toSet(got)
+	ws := toSet(want)
+	if len(gs) == 0 && len(ws) == 0 {
+		return PRF{Precision: 1, Recall: 1, FScore: 1}
+	}
+	inter := 0
+	for v := range gs {
+		if _, ok := ws[v]; ok {
+			inter++
+		}
+	}
+	var p, r float64
+	if len(gs) > 0 {
+		p = float64(inter) / float64(len(gs))
+	}
+	if len(ws) > 0 {
+		r = float64(inter) / float64(len(ws))
+	}
+	return PRF{Precision: p, Recall: r, FScore: fscore(p, r)}
+}
+
+func fscore(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func toSet(xs []string) map[string]struct{} {
+	s := make(map[string]struct{}, len(xs))
+	for _, x := range xs {
+		s[x] = struct{}{}
+	}
+	return s
+}
+
+// Sample draws k distinct elements from pool uniformly at random; when
+// k ≥ len(pool) it returns a copy of the whole pool. The pool is left
+// unmodified and the draw is deterministic in the rng state.
+func Sample(rng *rand.Rand, pool []string, k int) []string {
+	if k >= len(pool) {
+		out := append([]string(nil), pool...)
+		sort.Strings(out)
+		return out
+	}
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]string, 0, k)
+	for _, i := range idx {
+		out = append(out, pool[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SampleInts draws k distinct ints from [0, n).
+func SampleInts(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return rng.Perm(n)[:k]
+}
+
+// Mean averages a slice (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanPRF averages a slice of PRF measurements component-wise.
+func MeanPRF(xs []PRF) PRF {
+	if len(xs) == 0 {
+		return PRF{}
+	}
+	var out PRF
+	for _, x := range xs {
+		out.Precision += x.Precision
+		out.Recall += x.Recall
+		out.FScore += x.FScore
+	}
+	n := float64(len(xs))
+	out.Precision /= n
+	out.Recall /= n
+	out.FScore /= n
+	return out
+}

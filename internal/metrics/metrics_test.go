@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	got := Compare([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if math.Abs(got.Precision-2.0/3.0) > 1e-9 {
+		t.Errorf("precision=%v", got.Precision)
+	}
+	if math.Abs(got.Recall-2.0/3.0) > 1e-9 {
+		t.Errorf("recall=%v", got.Recall)
+	}
+	if math.Abs(got.FScore-2.0/3.0) > 1e-9 {
+		t.Errorf("fscore=%v", got.FScore)
+	}
+}
+
+func TestCompareEdgeCases(t *testing.T) {
+	perfect := Compare([]string{"x"}, []string{"x"})
+	if perfect.FScore != 1 {
+		t.Error("identical sets must score 1")
+	}
+	disjoint := Compare([]string{"a"}, []string{"b"})
+	if disjoint.FScore != 0 || disjoint.Precision != 0 || disjoint.Recall != 0 {
+		t.Error("disjoint sets must score 0")
+	}
+	emptyGot := Compare(nil, []string{"a"})
+	if emptyGot.Precision != 0 || emptyGot.Recall != 0 {
+		t.Error("empty result")
+	}
+	emptyWant := Compare([]string{"a"}, nil)
+	if emptyWant.Recall != 0 {
+		t.Error("empty truth")
+	}
+	bothEmpty := Compare(nil, nil)
+	if bothEmpty.FScore != 1 {
+		t.Error("both empty treated as perfect (IEQ of empty queries)")
+	}
+	// Duplicates are set-collapsed.
+	dup := Compare([]string{"a", "a", "b"}, []string{"a", "b"})
+	if dup.FScore != 1 {
+		t.Errorf("duplicates must not hurt: %v", dup)
+	}
+}
+
+// Property: f-score is bounded by min(precision, recall) ≤ ... ≤ max and
+// lies in [0, 1]; and Compare is symmetric under swapping got/want with
+// precision and recall exchanged.
+func TestComparePropertyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() []string {
+			n := r.Intn(20)
+			out := make([]string, n)
+			for i := range out {
+				out[i] = string(rune('a' + r.Intn(26)))
+			}
+			return out
+		}
+		a, b := mk(), mk()
+		x := Compare(a, b)
+		y := Compare(b, a)
+		if x.Precision != y.Recall || x.Recall != y.Precision {
+			return false
+		}
+		if x.FScore < 0 || x.FScore > 1 {
+			return false
+		}
+		hi := math.Max(x.Precision, x.Recall)
+		return x.FScore <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := []string{"a", "b", "c", "d", "e"}
+	got := Sample(rng, pool, 3)
+	if len(got) != 3 {
+		t.Fatalf("len=%d", len(got))
+	}
+	seen := map[string]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[v] = true
+	}
+	// k ≥ n returns the whole pool.
+	all := Sample(rng, pool, 10)
+	if len(all) != 5 {
+		t.Errorf("overflow sample len=%d", len(all))
+	}
+	// Determinism given the same rng state.
+	a := Sample(rand.New(rand.NewSource(9)), pool, 2)
+	b := Sample(rand.New(rand.NewSource(9)), pool, 2)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Error("sampling not deterministic")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+	m := MeanPRF([]PRF{{1, 1, 1}, {0, 0, 0}})
+	if m.Precision != 0.5 || m.Recall != 0.5 || m.FScore != 0.5 {
+		t.Errorf("MeanPRF=%v", m)
+	}
+	if (MeanPRF(nil) != PRF{}) {
+		t.Error("empty MeanPRF")
+	}
+}

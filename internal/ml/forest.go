@@ -1,0 +1,93 @@
+package ml
+
+import "math/rand"
+
+// ForestConfig tunes the bagging random forest.
+type ForestConfig struct {
+	NumTrees int
+	Tree     TreeConfig
+	Seed     int64
+}
+
+// DefaultForestConfig returns a configuration suitable for the baseline
+// experiments.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{NumTrees: 15, Tree: DefaultTreeConfig(), Seed: 1}
+}
+
+// Forest is a bagging ensemble of decision trees with per-split feature
+// subsampling.
+type Forest struct {
+	Trees []*Tree
+}
+
+// TrainForest builds the ensemble: each tree trains on a bootstrap
+// sample of the rows with √d features considered per split.
+func TrainForest(X [][]float64, y []int, feats []Feature, cfg ForestConfig) *Forest {
+	if cfg.NumTrees == 0 {
+		cfg = DefaultForestConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	subset := isqrt(len(feats))
+	if subset < 1 {
+		subset = 1
+	}
+	f := &Forest{}
+	for b := 0; b < cfg.NumTrees; b++ {
+		// Bootstrap sample.
+		bx := make([][]float64, len(X))
+		by := make([]int, len(X))
+		for i := range bx {
+			j := rng.Intn(len(X))
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tc := cfg.Tree
+		if tc.MaxDepth == 0 {
+			tc = DefaultTreeConfig()
+		}
+		tc.FeatureSubset = subset
+		tc.Rng = rand.New(rand.NewSource(rng.Int63()))
+		f.Trees = append(f.Trees, Train(bx, by, feats, tc))
+	}
+	return f
+}
+
+// PredictProba averages the member trees' probabilities.
+func (f *Forest) PredictProba(x []float64) float64 {
+	if len(f.Trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.Trees {
+		s += t.PredictProba(x)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// Predict returns the 0/1 class at threshold 0.5.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// Classifier is the probability interface shared by Tree and Forest,
+// consumed by the PU-learning wrapper.
+type Classifier interface {
+	PredictProba(x []float64) float64
+}
+
+var (
+	_ Classifier = (*Tree)(nil)
+	_ Classifier = (*Forest)(nil)
+)

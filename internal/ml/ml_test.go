@@ -1,0 +1,234 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// axisProblem builds a linearly separable numeric problem: positive iff
+// x0 > 5.
+func axisProblem(n int, seed int64) ([][]float64, []int, []Feature) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		x0 := rng.Float64() * 10
+		x1 := rng.Float64() * 10
+		X[i] = []float64{x0, x1}
+		if x0 > 5 {
+			y[i] = 1
+		}
+	}
+	return X, y, []Feature{{Name: "x0"}, {Name: "x1"}}
+}
+
+// catProblem builds a categorical problem: positive iff color == 2.
+func catProblem(n int, seed int64) ([][]float64, []int, []Feature) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		color := float64(rng.Intn(5))
+		size := float64(rng.Intn(3))
+		X[i] = []float64{color, size}
+		if color == 2 {
+			y[i] = 1
+		}
+	}
+	feats := []Feature{{Name: "color", Categorical: true}, {Name: "size", Categorical: true}}
+	return X, y, feats
+}
+
+func accuracy(pred func([]float64) int, X [][]float64, y []int) float64 {
+	correct := 0
+	for i := range X {
+		if pred(X[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+func TestTreeNumericSplit(t *testing.T) {
+	X, y, feats := axisProblem(500, 1)
+	tree := Train(X, y, feats, DefaultTreeConfig())
+	if acc := accuracy(tree.Predict, X, y); acc < 0.97 {
+		t.Errorf("train accuracy=%v", acc)
+	}
+	// Holdout generalization.
+	Xt, yt, _ := axisProblem(300, 2)
+	if acc := accuracy(tree.Predict, Xt, yt); acc < 0.93 {
+		t.Errorf("test accuracy=%v", acc)
+	}
+}
+
+func TestTreeCategoricalSplit(t *testing.T) {
+	X, y, feats := catProblem(400, 3)
+	tree := Train(X, y, feats, DefaultTreeConfig())
+	if acc := accuracy(tree.Predict, X, y); acc != 1.0 {
+		t.Errorf("categorical accuracy=%v want 1.0 (exactly separable)", acc)
+	}
+	// The tree should be shallow: one equality split suffices.
+	if d := tree.Depth(); d > 2 {
+		t.Errorf("depth=%d want ≤2", d)
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tree := Train(X, y, []Feature{{Name: "x"}}, DefaultTreeConfig())
+	if !tree.Root.Leaf || tree.Root.Prob != 1 {
+		t.Error("all-positive training set must yield a pure leaf root")
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	X, y, feats := axisProblem(50, 4)
+	cfg := DefaultTreeConfig()
+	cfg.MinLeaf = 20
+	tree := Train(X, y, feats, cfg)
+	// Count smallest leaf.
+	var minN func(n *Node) int
+	minN = func(n *Node) int {
+		if n.Leaf {
+			return n.N
+		}
+		l, r := minN(n.True), minN(n.False)
+		if l < r {
+			return l
+		}
+		return r
+	}
+	if got := minN(tree.Root); got < cfg.MinLeaf {
+		t.Errorf("leaf with %d samples violates MinLeaf=%d", got, cfg.MinLeaf)
+	}
+}
+
+func TestMissingValuesRouteFalse(t *testing.T) {
+	feats := []Feature{{Name: "x"}}
+	tree := &Tree{
+		Feats: feats,
+		Root: &Node{
+			Feat: 0, Threshold: 5,
+			True:  &Node{Leaf: true, Prob: 1, N: 1},
+			False: &Node{Leaf: true, Prob: 0, N: 1},
+		},
+	}
+	if tree.Predict([]float64{math.NaN()}) != 0 {
+		t.Error("NaN must route to the False branch")
+	}
+	catTree := &Tree{
+		Feats: []Feature{{Name: "c", Categorical: true}},
+		Root: &Node{
+			Feat: 0, Eq: true, Threshold: MissingCat,
+			True:  &Node{Leaf: true, Prob: 1, N: 1},
+			False: &Node{Leaf: true, Prob: 0, N: 1},
+		},
+	}
+	if catTree.Predict([]float64{MissingCat}) != 0 {
+		t.Error("missing categorical must never satisfy an equality test")
+	}
+}
+
+func TestPositivePathsAndPredicates(t *testing.T) {
+	X, y, feats := catProblem(400, 5)
+	tree := Train(X, y, feats, DefaultTreeConfig())
+	paths := tree.PositivePaths()
+	if len(paths) == 0 {
+		t.Fatal("no positive paths")
+	}
+	if tree.NumPredicates() == 0 {
+		t.Error("predicate count")
+	}
+	// Every positive path must actually classify a matching row
+	// positive: check path conditions are consistent with prediction.
+	for _, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		// Build a row satisfying the path.
+		row := []float64{MissingCat, MissingCat}
+		ok := true
+		for _, c := range p {
+			if c.Eq && !c.Negated {
+				row[c.Feat] = c.Threshold
+			} else if c.Eq && c.Negated {
+				if row[c.Feat] == c.Threshold {
+					ok = false
+				}
+			}
+		}
+		if ok && tree.Predict(row) != 1 {
+			t.Errorf("row built from positive path predicted negative: %v", row)
+		}
+	}
+}
+
+func TestForestImprovesOrMatchesTree(t *testing.T) {
+	// Noisy problem: forest should at least match a single tree
+	// out-of-sample.
+	rng := rand.New(rand.NewSource(6))
+	n := 600
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{a, b}
+		if a+b > 10 {
+			y[i] = 1
+		}
+		if rng.Intn(20) == 0 {
+			y[i] = 1 - y[i] // 5% label noise
+		}
+	}
+	feats := []Feature{{Name: "a"}, {Name: "b"}}
+	split := n * 2 / 3
+	tree := Train(X[:split], y[:split], feats, DefaultTreeConfig())
+	forest := TrainForest(X[:split], y[:split], feats, DefaultForestConfig())
+	accT := accuracy(tree.Predict, X[split:], y[split:])
+	accF := accuracy(forest.Predict, X[split:], y[split:])
+	if accF < accT-0.05 {
+		t.Errorf("forest=%v much worse than tree=%v", accF, accT)
+	}
+	if accF < 0.8 {
+		t.Errorf("forest accuracy too low: %v", accF)
+	}
+}
+
+func TestForestDeterminism(t *testing.T) {
+	X, y, feats := axisProblem(200, 7)
+	a := TrainForest(X, y, feats, DefaultForestConfig())
+	b := TrainForest(X, y, feats, DefaultForestConfig())
+	for i := range X {
+		if a.PredictProba(X[i]) != b.PredictProba(X[i]) {
+			t.Fatal("forest training not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestProbaBounds(t *testing.T) {
+	X, y, feats := axisProblem(300, 8)
+	tree := Train(X, y, feats, DefaultTreeConfig())
+	forest := TrainForest(X, y, feats, DefaultForestConfig())
+	for i := range X {
+		for _, p := range []float64{tree.PredictProba(X[i]), forest.PredictProba(X[i])} {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v out of bounds", p)
+			}
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if gini(0, 10) != 0 || gini(10, 10) != 0 {
+		t.Error("pure sets have zero impurity")
+	}
+	if g := gini(5, 10); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("balanced gini=%v want 0.5", g)
+	}
+	if gini(3, 0) != 0 {
+		t.Error("empty set")
+	}
+}

@@ -1,0 +1,329 @@
+// Package ml provides the machine-learning substrate for the baseline
+// comparisons of §7.5/§7.6: a CART-style binary decision tree with Gini
+// splitting over mixed categorical/numeric features, and a bagging
+// random forest. Both are built from scratch on the standard library.
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Feature describes one column of the feature matrix.
+type Feature struct {
+	Name string
+	// Categorical features use equality splits (x == v); numeric
+	// features use threshold splits (x ≤ t). Categorical values are
+	// integer codes stored in float64 cells; missing values are -1
+	// (categorical) or NaN (numeric) and fail every test.
+	Categorical bool
+}
+
+// MissingCat is the encoded value of a missing categorical cell.
+const MissingCat = -1
+
+// TreeConfig tunes tree induction.
+type TreeConfig struct {
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf.
+	MinLeaf int
+	// MaxThresholds caps the numeric split candidates per feature.
+	MaxThresholds int
+	// MaxCategories caps the categorical split candidates per feature.
+	MaxCategories int
+	// FeatureSubset, when > 0, samples that many features per split
+	// (random-forest mode); 0 considers all features.
+	FeatureSubset int
+	// Rng drives feature subsetting; required when FeatureSubset > 0.
+	Rng *rand.Rand
+}
+
+// DefaultTreeConfig returns a configuration suitable for the baseline
+// experiments.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 12, MinLeaf: 2, MaxThresholds: 16, MaxCategories: 24}
+}
+
+// Node is a binary tree node. Internal nodes route rows for which the
+// test holds to True, others (including missing values) to False.
+type Node struct {
+	Leaf bool
+	// Prob is the positive-class probability at a leaf.
+	Prob float64
+	// N is the number of training samples that reached the node.
+	N int
+
+	Feat      int
+	Eq        bool    // true: x == Threshold; false: x ≤ Threshold
+	Threshold float64 //
+	True      *Node
+	False     *Node
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	Root  *Node
+	Feats []Feature
+}
+
+// Train builds a decision tree on rows X with binary labels y.
+func Train(X [][]float64, y []int, feats []Feature, cfg TreeConfig) *Tree {
+	if cfg.MaxDepth == 0 {
+		cfg = DefaultTreeConfig()
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{Feats: feats}
+	t.Root = grow(X, y, idx, feats, cfg, 0)
+	return t
+}
+
+func leaf(y []int, idx []int) *Node {
+	pos := 0
+	for _, i := range idx {
+		pos += y[i]
+	}
+	p := 0.0
+	if len(idx) > 0 {
+		p = float64(pos) / float64(len(idx))
+	}
+	return &Node{Leaf: true, Prob: p, N: len(idx)}
+}
+
+func grow(X [][]float64, y []int, idx []int, feats []Feature, cfg TreeConfig, depth int) *Node {
+	node := leaf(y, idx)
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || node.Prob == 0 || node.Prob == 1 {
+		return node
+	}
+	feat, eq, thr, gain := bestSplit(X, y, idx, feats, cfg)
+	if gain <= 1e-12 {
+		return node
+	}
+	var trueIdx, falseIdx []int
+	for _, i := range idx {
+		if testRow(X[i], feat, eq, thr) {
+			trueIdx = append(trueIdx, i)
+		} else {
+			falseIdx = append(falseIdx, i)
+		}
+	}
+	if len(trueIdx) < cfg.MinLeaf || len(falseIdx) < cfg.MinLeaf {
+		return node
+	}
+	node.Leaf = false
+	node.Feat = feat
+	node.Eq = eq
+	node.Threshold = thr
+	node.True = grow(X, y, trueIdx, feats, cfg, depth+1)
+	node.False = grow(X, y, falseIdx, feats, cfg, depth+1)
+	return node
+}
+
+func testRow(x []float64, feat int, eq bool, thr float64) bool {
+	v := x[feat]
+	if eq {
+		return v == thr && v != MissingCat
+	}
+	return v <= thr // NaN fails, routing missing numerics to False
+}
+
+// gini computes the Gini impurity of a (pos, total) split side.
+func gini(pos, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(total)
+	return 2 * p * (1 - p)
+}
+
+// bestSplit searches candidate splits and returns the best (feature,
+// kind, threshold) by Gini gain.
+func bestSplit(X [][]float64, y []int, idx []int, feats []Feature, cfg TreeConfig) (feat int, eq bool, thr float64, gain float64) {
+	totalPos := 0
+	for _, i := range idx {
+		totalPos += y[i]
+	}
+	parent := gini(totalPos, len(idx))
+	bestGain := 0.0
+	bestFeat, bestEq, bestThr := -1, false, 0.0
+
+	candidates := featureCandidates(len(feats), cfg)
+	for _, f := range candidates {
+		if feats[f].Categorical {
+			for _, code := range categoryCandidates(X, idx, f, cfg.MaxCategories) {
+				g := splitGain(X, y, idx, f, true, code, parent)
+				if g > bestGain {
+					bestGain, bestFeat, bestEq, bestThr = g, f, true, code
+				}
+			}
+		} else {
+			for _, t := range thresholdCandidates(X, idx, f, cfg.MaxThresholds) {
+				g := splitGain(X, y, idx, f, false, t, parent)
+				if g > bestGain {
+					bestGain, bestFeat, bestEq, bestThr = g, f, false, t
+				}
+			}
+		}
+	}
+	return bestFeat, bestEq, bestThr, bestGain
+}
+
+func featureCandidates(n int, cfg TreeConfig) []int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if cfg.FeatureSubset <= 0 || cfg.FeatureSubset >= n || cfg.Rng == nil {
+		return all
+	}
+	return cfg.Rng.Perm(n)[:cfg.FeatureSubset]
+}
+
+// categoryCandidates returns the most frequent category codes among the
+// rows (excluding missing).
+func categoryCandidates(X [][]float64, idx []int, f, cap int) []float64 {
+	counts := map[float64]int{}
+	for _, i := range idx {
+		v := X[i][f]
+		if v != MissingCat {
+			counts[v]++
+		}
+	}
+	codes := make([]float64, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(a, b int) bool {
+		if counts[codes[a]] != counts[codes[b]] {
+			return counts[codes[a]] > counts[codes[b]]
+		}
+		return codes[a] < codes[b]
+	})
+	if len(codes) > cap {
+		codes = codes[:cap]
+	}
+	return codes
+}
+
+// thresholdCandidates returns up to cap quantile thresholds of the
+// observed (non-NaN) values.
+func thresholdCandidates(X [][]float64, idx []int, f, cap int) []float64 {
+	vals := make([]float64, 0, len(idx))
+	for _, i := range idx {
+		v := X[i][f]
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < 2 {
+		return nil
+	}
+	sort.Float64s(vals)
+	var out []float64
+	seen := map[float64]bool{}
+	for k := 1; k <= cap; k++ {
+		q := vals[(len(vals)-1)*k/(cap+1)]
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func splitGain(X [][]float64, y []int, idx []int, f int, eq bool, thr float64, parent float64) float64 {
+	tPos, tN, fPos, fN := 0, 0, 0, 0
+	for _, i := range idx {
+		if testRow(X[i], f, eq, thr) {
+			tN++
+			tPos += y[i]
+		} else {
+			fN++
+			fPos += y[i]
+		}
+	}
+	if tN == 0 || fN == 0 {
+		return 0
+	}
+	n := float64(len(idx))
+	child := float64(tN)/n*gini(tPos, tN) + float64(fN)/n*gini(fPos, fN)
+	return parent - child
+}
+
+// PredictProba returns the positive-class probability for a row.
+func (t *Tree) PredictProba(x []float64) float64 {
+	n := t.Root
+	for !n.Leaf {
+		if testRow(x, n.Feat, n.Eq, n.Threshold) {
+			n = n.True
+		} else {
+			n = n.False
+		}
+	}
+	return n.Prob
+}
+
+// Predict returns the 0/1 class at threshold 0.5.
+func (t *Tree) Predict(x []float64) int {
+	if t.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Condition is one predicate on a root-to-leaf path.
+type Condition struct {
+	Feat      int
+	Eq        bool // x == Threshold on the True branch
+	Negated   bool // condition was taken on the False branch
+	Threshold float64
+}
+
+// PositivePaths returns the root-to-leaf condition paths of all leaves
+// predicted positive (prob ≥ 0.5). The union of these paths is the
+// query a decision-tree QRE system like TALOS produces; the total
+// condition count is its predicate count.
+func (t *Tree) PositivePaths() [][]Condition {
+	var out [][]Condition
+	var walk func(n *Node, path []Condition)
+	walk = func(n *Node, path []Condition) {
+		if n.Leaf {
+			if n.Prob >= 0.5 && n.N > 0 {
+				out = append(out, append([]Condition(nil), path...))
+			}
+			return
+		}
+		walk(n.True, append(path, Condition{Feat: n.Feat, Eq: n.Eq, Threshold: n.Threshold}))
+		walk(n.False, append(path, Condition{Feat: n.Feat, Eq: n.Eq, Negated: true, Threshold: n.Threshold}))
+	}
+	walk(t.Root, nil)
+	return out
+}
+
+// NumPredicates counts the total conditions across positive paths.
+func (t *Tree) NumPredicates() int {
+	n := 0
+	for _, p := range t.PositivePaths() {
+		n += len(p)
+	}
+	return n
+}
+
+// Depth returns the tree height.
+func (t *Tree) Depth() int {
+	var d func(n *Node) int
+	d = func(n *Node) int {
+		if n == nil || n.Leaf {
+			return 0
+		}
+		l, r := d(n.True), d(n.False)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return d(t.Root)
+}

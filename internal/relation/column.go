@@ -1,0 +1,166 @@
+package relation
+
+import "fmt"
+
+// Column is a typed column of a relation, stored densely with a NULL
+// bitmap. Exactly one of the ints/floats/strs slices is in use, chosen by
+// Type.
+type Column struct {
+	Name string
+	Type ColType
+
+	ints  []int64
+	flts  []float64
+	strs  []string
+	nulls []bool // nil when the column has no NULLs so far
+}
+
+// NewColumn creates an empty column.
+func NewColumn(name string, t ColType) *Column {
+	return &Column{Name: name, Type: t}
+}
+
+// Len returns the number of stored cells.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Int:
+		return len(c.ints)
+	case Float:
+		return len(c.flts)
+	default:
+		return len(c.strs)
+	}
+}
+
+// Append adds a value to the end of the column. A NULL value is stored as
+// the zero of the column type with the null bitmap set.
+func (c *Column) Append(v Value) error {
+	if v.IsNull() {
+		c.ensureNulls()
+		c.nulls = append(c.nulls, true)
+		switch c.Type {
+		case Int:
+			c.ints = append(c.ints, 0)
+		case Float:
+			c.flts = append(c.flts, 0)
+		default:
+			c.strs = append(c.strs, "")
+		}
+		return nil
+	}
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+	switch c.Type {
+	case Int:
+		if v.kind != kindInt {
+			return fmt.Errorf("relation: column %q is INTEGER, got %s", c.Name, v.kindName())
+		}
+		c.ints = append(c.ints, v.i)
+	case Float:
+		switch v.kind {
+		case kindFloat:
+			c.flts = append(c.flts, v.f)
+		case kindInt:
+			c.flts = append(c.flts, float64(v.i))
+		default:
+			return fmt.Errorf("relation: column %q is DOUBLE, got %s", c.Name, v.kindName())
+		}
+	case String:
+		if v.kind != kindString {
+			return fmt.Errorf("relation: column %q is TEXT, got %s", c.Name, v.kindName())
+		}
+		c.strs = append(c.strs, v.s)
+	}
+	return nil
+}
+
+// ensureNulls materializes the null bitmap lazily, backfilling false.
+func (c *Column) ensureNulls() {
+	if c.nulls == nil {
+		c.nulls = make([]bool, c.Len())
+	}
+}
+
+// IsNull reports whether cell row is NULL.
+func (c *Column) IsNull(row int) bool {
+	return c.nulls != nil && c.nulls[row]
+}
+
+// Get returns the cell at row as a Value.
+func (c *Column) Get(row int) Value {
+	if c.IsNull(row) {
+		return Null
+	}
+	switch c.Type {
+	case Int:
+		return IntVal(c.ints[row])
+	case Float:
+		return FloatVal(c.flts[row])
+	default:
+		return StringVal(c.strs[row])
+	}
+}
+
+// Int64 returns the raw integer at row without Value boxing. The caller
+// must know the column type and that the cell is non-NULL.
+func (c *Column) Int64(row int) int64 { return c.ints[row] }
+
+// Float64 returns the raw float at row.
+func (c *Column) Float64(row int) float64 {
+	if c.Type == Int {
+		return float64(c.ints[row])
+	}
+	return c.flts[row]
+}
+
+// Str returns the raw string at row.
+func (c *Column) Str(row int) string { return c.strs[row] }
+
+// Set overwrites the cell at row.
+func (c *Column) Set(row int, v Value) error {
+	if v.IsNull() {
+		c.ensureNulls()
+		c.nulls[row] = true
+		return nil
+	}
+	if c.nulls != nil {
+		c.nulls[row] = false
+	}
+	switch c.Type {
+	case Int:
+		if v.kind != kindInt {
+			return fmt.Errorf("relation: column %q is INTEGER, got %s", c.Name, v.kindName())
+		}
+		c.ints[row] = v.i
+	case Float:
+		c.flts[row] = v.Float()
+	case String:
+		if v.kind != kindString {
+			return fmt.Errorf("relation: column %q is TEXT, got %s", c.Name, v.kindName())
+		}
+		c.strs[row] = v.s
+	}
+	return nil
+}
+
+// ByteSize estimates the in-memory footprint of the column in bytes; used
+// for the Fig 18 dataset-statistics table.
+func (c *Column) ByteSize() int64 {
+	var n int64
+	switch c.Type {
+	case Int:
+		n = int64(len(c.ints)) * 8
+	case Float:
+		n = int64(len(c.flts)) * 8
+	default:
+		n = int64(len(c.strs)) * 16
+		for _, s := range c.strs {
+			n += int64(len(s))
+		}
+	}
+	if c.nulls != nil {
+		n += int64(len(c.nulls))
+	}
+	return n
+}

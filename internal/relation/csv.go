@@ -1,0 +1,123 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVColumn declares one column of a CSV import: its name and type.
+type CSVColumn struct {
+	Name string
+	Type ColType
+}
+
+// LoadCSV reads CSV data into a new relation. The first record must be
+// a header naming every column of cols (in any order; extra CSV columns
+// are ignored). Empty fields and the literal NULL (case-insensitive)
+// load as NULL. Numeric parse failures abort with row context.
+func LoadCSV(name string, r io.Reader, cols []CSVColumn) (*Relation, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation: LoadCSV %q needs at least one column", name)
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: LoadCSV %q: reading header: %w", name, err)
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		colIdx[i] = -1
+		for j, h := range header {
+			if strings.EqualFold(strings.TrimSpace(h), c.Name) {
+				colIdx[i] = j
+				break
+			}
+		}
+		if colIdx[i] < 0 {
+			return nil, fmt.Errorf("relation: LoadCSV %q: header lacks column %q", name, c.Name)
+		}
+	}
+
+	specs := make([]*Column, len(cols))
+	for i, c := range cols {
+		specs[i] = Col(c.Name, c.Type)
+	}
+	rel := New(name, specs...)
+
+	vals := make([]Value, len(cols))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: LoadCSV %q line %d: %w", name, line, err)
+		}
+		for i, c := range cols {
+			j := colIdx[i]
+			if j >= len(rec) {
+				return nil, fmt.Errorf("relation: LoadCSV %q line %d: record too short", name, line)
+			}
+			v, err := parseCSVValue(rec[j], c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("relation: LoadCSV %q line %d column %q: %w", name, line, c.Name, err)
+			}
+			vals[i] = v
+		}
+		if err := rel.Append(vals...); err != nil {
+			return nil, fmt.Errorf("relation: LoadCSV %q line %d: %w", name, line, err)
+		}
+	}
+	return rel, nil
+}
+
+func parseCSVValue(field string, t ColType) (Value, error) {
+	field = strings.TrimSpace(field)
+	if field == "" || strings.EqualFold(field, "null") {
+		return Null, nil
+	}
+	switch t {
+	case Int:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("parsing %q as integer: %w", field, err)
+		}
+		return IntVal(n), nil
+	case Float:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return Null, fmt.Errorf("parsing %q as float: %w", field, err)
+		}
+		return FloatVal(f), nil
+	default:
+		return StringVal(field), nil
+	}
+}
+
+// WriteCSV writes the relation as CSV with a header row; NULLs render
+// as empty fields. It round-trips with LoadCSV for the same schema.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, r.NumCols())
+	for row := 0; row < r.NumRows(); row++ {
+		for i, c := range r.Columns() {
+			if c.IsNull(row) {
+				rec[i] = ""
+				continue
+			}
+			rec[i] = c.Get(row).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

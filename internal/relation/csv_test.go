@@ -1,0 +1,98 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	data := "id,name,age,score\n1,Ada,36,9.5\n2,Bob,,8\n3,NULL,41,null\n"
+	rel, err := LoadCSV("people", strings.NewReader(data), []CSVColumn{
+		{"id", Int}, {"name", String}, {"age", Int}, {"score", Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 3 || rel.NumCols() != 4 {
+		t.Fatalf("dims %dx%d", rel.NumRows(), rel.NumCols())
+	}
+	if rel.Get(0, "name").Str() != "Ada" || rel.Get(0, "age").Int() != 36 {
+		t.Error("row 0 wrong")
+	}
+	if !rel.Get(1, "age").IsNull() {
+		t.Error("empty field must load as NULL")
+	}
+	if !rel.Get(2, "name").IsNull() || !rel.Get(2, "score").IsNull() {
+		t.Error("NULL literal must load as NULL (case-insensitive)")
+	}
+	if rel.Get(1, "score").Float() != 8 {
+		t.Error("int literal into float column")
+	}
+}
+
+func TestLoadCSVColumnSubsetAndOrder(t *testing.T) {
+	// Header order differs from spec order; extra column ignored.
+	data := "extra,AGE,id\nx,50,7\ny,60,8\n"
+	rel, err := LoadCSV("t", strings.NewReader(data), []CSVColumn{
+		{"id", Int}, {"age", Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Get(0, "id").Int() != 7 || rel.Get(0, "age").Int() != 50 {
+		t.Errorf("row 0: %v", rel.Row(0))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		cols []CSVColumn
+	}{
+		{"missing column", "id\n1\n", []CSVColumn{{"id", Int}, {"name", String}}},
+		{"bad int", "id\nabc\n", []CSVColumn{{"id", Int}}},
+		{"bad float", "x\n1.2.3\n", []CSVColumn{{"x", Float}}},
+		{"no columns", "id\n1\n", nil},
+		{"empty input", "", []CSVColumn{{"id", Int}}},
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV("t", strings.NewReader(c.data), c.cols); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New("people",
+		Col("id", Int),
+		Col("name", String),
+		Col("score", Float),
+	)
+	r.MustAppend(IntVal(1), StringVal("Ada Lovelace"), FloatVal(9.75))
+	r.MustAppend(IntVal(2), Null, FloatVal(3))
+	r.MustAppend(IntVal(3), StringVal("comma, inside"), Null)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV("people", &buf, []CSVColumn{
+		{"id", Int}, {"name", String}, {"score", Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != r.NumRows() {
+		t.Fatalf("rows %d vs %d", back.NumRows(), r.NumRows())
+	}
+	for row := 0; row < r.NumRows(); row++ {
+		for _, col := range r.ColumnNames() {
+			a, b := r.Get(row, col), back.Get(row, col)
+			if !a.Equal(b) {
+				t.Errorf("cell (%d,%s): %v vs %v", row, col, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EntityKind classifies relations for αDB construction, following the
+// paper's metadata model (§5): the administrator marks which tables hold
+// entities (person, movie) and which hold direct properties (genre);
+// fact tables that associate them are discovered automatically from
+// key-foreign-key edges.
+type EntityKind int
+
+const (
+	// KindUnknown means the relation has no declared role; the αDB
+	// builder will classify it as a fact table if its foreign keys
+	// connect entities and properties.
+	KindUnknown EntityKind = iota
+	// KindEntity marks an entity relation (person, movie, author, ...).
+	KindEntity
+	// KindProperty marks a direct-property (dimension) relation
+	// (genre, country, venue, ...).
+	KindProperty
+)
+
+// Database is a named collection of relations plus the administrator
+// metadata SQuID's offline module consumes.
+type Database struct {
+	Name      string
+	relations map[string]*Relation
+	order     []string // insertion order for deterministic iteration
+	kinds     map[string]EntityKind
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{
+		Name:      name,
+		relations: make(map[string]*Relation),
+		kinds:     make(map[string]EntityKind),
+	}
+}
+
+// AddRelation registers a relation; it panics on duplicate names.
+func (d *Database) AddRelation(r *Relation) *Relation {
+	if _, dup := d.relations[r.Name]; dup {
+		panic(fmt.Sprintf("database %q: duplicate relation %q", d.Name, r.Name))
+	}
+	d.relations[r.Name] = r
+	d.order = append(d.order, r.Name)
+	return r
+}
+
+// Relation returns the named relation or nil.
+func (d *Database) Relation(name string) *Relation { return d.relations[name] }
+
+// MustRelation returns the named relation or panics.
+func (d *Database) MustRelation(name string) *Relation {
+	r := d.relations[name]
+	if r == nil {
+		panic(fmt.Sprintf("database %q: no relation %q", d.Name, name))
+	}
+	return r
+}
+
+// RelationNames returns relation names in insertion order.
+func (d *Database) RelationNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// NumRelations returns the number of relations.
+func (d *Database) NumRelations() int { return len(d.order) }
+
+// MarkEntity flags a relation as an entity relation.
+func (d *Database) MarkEntity(name string) {
+	d.mustHave(name)
+	d.kinds[name] = KindEntity
+}
+
+// MarkProperty flags a relation as a direct-property relation.
+func (d *Database) MarkProperty(name string) {
+	d.mustHave(name)
+	d.kinds[name] = KindProperty
+}
+
+func (d *Database) mustHave(name string) {
+	if _, ok := d.relations[name]; !ok {
+		panic(fmt.Sprintf("database %q: no relation %q", d.Name, name))
+	}
+}
+
+// Kind returns the declared role of a relation.
+func (d *Database) Kind(name string) EntityKind { return d.kinds[name] }
+
+// EntityRelations returns the names of entity relations, sorted.
+func (d *Database) EntityRelations() []string { return d.byKind(KindEntity) }
+
+// PropertyRelations returns the names of property relations, sorted.
+func (d *Database) PropertyRelations() []string { return d.byKind(KindProperty) }
+
+func (d *Database) byKind(k EntityKind) []string {
+	var out []string
+	for name, kind := range d.kinds {
+		if kind == k {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByteSize estimates the total footprint of all relations (Fig 18).
+func (d *Database) ByteSize() int64 {
+	var n int64
+	for _, name := range d.order {
+		n += d.relations[name].ByteSize()
+	}
+	return n
+}
+
+// TotalRows returns the sum of all relation cardinalities.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, name := range d.order {
+		n += d.relations[name].NumRows()
+	}
+	return n
+}
+
+// Validate checks referential metadata: primary keys exist and are unique,
+// and every foreign key references an existing relation/column. Generators
+// call this after building synthetic data.
+func (d *Database) Validate() error {
+	for _, name := range d.order {
+		r := d.relations[name]
+		if r.PrimaryKey != "" {
+			col := r.Column(r.PrimaryKey)
+			if col == nil {
+				return fmt.Errorf("relation %q: primary key column %q missing", name, r.PrimaryKey)
+			}
+			seen := make(map[Value]struct{}, col.Len())
+			for i := 0; i < col.Len(); i++ {
+				v := col.Get(i)
+				if v.IsNull() {
+					return fmt.Errorf("relation %q: NULL primary key at row %d", name, i)
+				}
+				if _, dup := seen[v]; dup {
+					return fmt.Errorf("relation %q: duplicate primary key %v", name, v)
+				}
+				seen[v] = struct{}{}
+			}
+		}
+		for _, fk := range r.Foreign {
+			ref := d.relations[fk.RefRelation]
+			if ref == nil {
+				return fmt.Errorf("relation %q: foreign key %q references missing relation %q", name, fk.Column, fk.RefRelation)
+			}
+			if ref.Column(fk.RefColumn) == nil {
+				return fmt.Errorf("relation %q: foreign key %q references missing column %s.%s", name, fk.Column, fk.RefRelation, fk.RefColumn)
+			}
+			if r.Column(fk.Column) == nil {
+				return fmt.Errorf("relation %q: foreign key column %q missing", name, fk.Column)
+			}
+		}
+	}
+	return nil
+}

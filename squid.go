@@ -1,0 +1,258 @@
+// Package squid is a Go implementation of SQuID — semantic
+// similarity-aware query intent discovery (Fariha & Meliou, VLDB 2019).
+//
+// SQuID answers query-by-example requests in an open-world setting: given
+// a handful of example values (say, three actor names), it finds the
+// entities they denote, discovers the semantic properties they share —
+// explicit ones such as gender=Male, and implicit ones such as "appeared
+// in at least 40 Comedy movies" — and abduces the select-project-join
+// query (with optional group-by aggregation) that is the most probable
+// explanation of the examples.
+//
+// The workflow has two phases, mirroring the paper's architecture
+// (Fig 4):
+//
+//   - Offline, Build constructs an abduction-ready database (αDB) from a
+//     Database whose relations are annotated as entities and properties:
+//     it discovers fact tables from foreign keys, materializes derived
+//     relations such as persontogenre(person_id, genre_id, count), and
+//     precomputes selectivity statistics and an inverted column index.
+//
+//   - Online, Discover maps examples to entities, derives their semantic
+//     contexts, and runs the linear-time abduction algorithm (Algorithm 1,
+//     optimal per Theorem 1) to select the filters of the intended query.
+//
+// A minimal session:
+//
+//	db := squid.NewDatabase("cs_academics")
+//	... // add relations, mark entities/properties
+//	sys, err := squid.Build(db, squid.DefaultBuildConfig())
+//	disc, err := sys.Discover([]string{"Dan Suciu", "Sam Madden"})
+//	fmt.Println(disc.SQL)       // SPJ query over the αDB
+//	fmt.Println(disc.Original)  // equivalent SPJAI query over the schema
+package squid
+
+import (
+	"fmt"
+
+	"squid/internal/abduction"
+	"squid/internal/adb"
+	"squid/internal/disambig"
+	"squid/internal/engine"
+	"squid/internal/relation"
+	"squid/internal/sqlgen"
+)
+
+// Re-exported schema-building types: a Database is a set of Relations
+// with primary/foreign keys, plus entity/property annotations.
+type (
+	// Database is a named collection of relations plus administrator
+	// metadata (which relations hold entities and which hold
+	// properties).
+	Database = relation.Database
+	// Relation is an in-memory table with typed columns.
+	Relation = relation.Relation
+	// Column is one typed column of a relation.
+	Column = relation.Column
+	// Value is a dynamically typed cell value (int, float, string, or
+	// NULL).
+	Value = relation.Value
+	// ColType enumerates column storage types.
+	ColType = relation.ColType
+	// Params are SQuID's tuning parameters (paper Fig 21).
+	Params = abduction.Params
+	// BuildConfig tunes αDB construction.
+	BuildConfig = adb.Config
+	// Stats summarizes an αDB (Fig 18 statistics).
+	Stats = adb.Stats
+	// Filter is a semantic property filter of the abduced query.
+	Filter = abduction.Filter
+	// FilterDecision records the per-filter posterior computation.
+	FilterDecision = abduction.FilterDecision
+	// Query is an executable logical query plan.
+	Query = engine.Query
+	// ExecResult holds executed query output.
+	ExecResult = engine.Result
+)
+
+// Column type constants.
+const (
+	Int    = relation.Int
+	Float  = relation.Float
+	String = relation.String
+)
+
+// Value constructors and schema helpers, re-exported.
+var (
+	// NewDatabase creates an empty database.
+	NewDatabase = relation.NewDatabase
+	// NewRelation creates a relation with the given columns.
+	NewRelation = relation.New
+	// Col declares a column (name, type) for NewRelation.
+	Col = relation.Col
+	// IntVal wraps an int64 as a Value.
+	IntVal = relation.IntVal
+	// FloatVal wraps a float64 as a Value.
+	FloatVal = relation.FloatVal
+	// StringVal wraps a string as a Value.
+	StringVal = relation.StringVal
+	// Null is the NULL value.
+	Null = relation.Null
+	// DefaultParams returns the paper's default parameters (Fig 21).
+	DefaultParams = abduction.DefaultParams
+	// QREParams returns the optimistic preset for query reverse
+	// engineering (§7.5).
+	QREParams = abduction.QREParams
+	// DefaultBuildConfig returns the default αDB build configuration.
+	DefaultBuildConfig = adb.DefaultConfig
+	// LoadCSV reads CSV data into a new Relation (header row required).
+	LoadCSV = relation.LoadCSV
+)
+
+// CSVColumn declares one column of a CSV import.
+type CSVColumn = relation.CSVColumn
+
+// System is an abduction-ready SQuID instance over one database.
+type System struct {
+	alpha  *adb.AlphaDB
+	params Params
+}
+
+// Build runs the offline phase: it constructs the abduction-ready
+// database for db (precomputing derived relations, statistics, and the
+// inverted index) and returns a System configured with DefaultParams.
+func Build(db *Database, cfg BuildConfig) (*System, error) {
+	alpha, err := adb.Build(db, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("squid: offline phase failed: %w", err)
+	}
+	return &System{alpha: alpha, params: DefaultParams()}, nil
+}
+
+// SetParams replaces the discovery parameters (see Params).
+func (s *System) SetParams(p Params) { s.params = p }
+
+// Params returns the current discovery parameters.
+func (s *System) Params() Params { return s.params }
+
+// AlphaDB exposes the underlying abduction-ready database for advanced
+// use (experiment harnesses, statistics).
+func (s *System) AlphaDB() *adb.AlphaDB { return s.alpha }
+
+// Stats returns the Fig 18 summary of the αDB.
+func (s *System) Stats() Stats { return s.alpha.ComputeStats() }
+
+// Discovery is the result of query intent discovery: the selected
+// filters, both SQL renderings, and the query output.
+type Discovery struct {
+	// Entity and Attribute identify the base query Q* (e.g. person,
+	// name).
+	Entity    string
+	Attribute string
+	// SQL is the abduced query over the αDB (paper Q5 form).
+	SQL string
+	// Original is the equivalent query over the original schema with
+	// GROUP BY/HAVING for derived filters (paper Q4 form).
+	Original string
+	// Filters are the selected semantic property filters ϕ.
+	Filters []*Filter
+	// Decisions hold the full per-filter posterior computation over
+	// the candidate set Φ, for introspection.
+	Decisions []FilterDecision
+	// Output is the result of the abduced query: the projected
+	// attribute values, sorted.
+	Output []string
+
+	result *abduction.Result
+}
+
+// Discover runs the online phase on the given example values with
+// entity disambiguation enabled (§6.1.1). It returns the highest-scoring
+// discovery across candidate base queries.
+func (s *System) Discover(examples []string) (*Discovery, error) {
+	return s.discover(examples, disambig.Resolve)
+}
+
+// DiscoverAll returns every candidate discovery (one per base query the
+// examples structurally match), ranked by posterior score. The first
+// element equals Discover's result.
+func (s *System) DiscoverAll(examples []string) ([]*Discovery, error) {
+	results, err := abduction.Discover(s.alpha, examples, s.params, disambig.Resolve)
+	if err != nil {
+		return nil, fmt.Errorf("squid: %w", err)
+	}
+	out := make([]*Discovery, 0, len(results))
+	for _, res := range results {
+		out = append(out, s.wrap(res))
+	}
+	return out, nil
+}
+
+// InsertEntity appends a row to an entity relation and incrementally
+// maintains the αDB (the §9 dynamic-dataset extension).
+func (s *System) InsertEntity(rel string, vals ...Value) error {
+	return s.alpha.InsertEntity(rel, vals...)
+}
+
+// InsertFact appends a row to a fact relation and incrementally
+// maintains the affected derived relations and statistics.
+func (s *System) InsertFact(rel string, vals ...Value) error {
+	return s.alpha.InsertFact(rel, vals...)
+}
+
+// DiscoverWithoutDisambiguation runs discovery with ambiguity resolved
+// arbitrarily (first match); used by the Fig 12 ablation.
+func (s *System) DiscoverWithoutDisambiguation(examples []string) (*Discovery, error) {
+	return s.discover(examples, nil)
+}
+
+func (s *System) discover(examples []string, resolver abduction.Resolver) (*Discovery, error) {
+	results, err := abduction.Discover(s.alpha, examples, s.params, resolver)
+	if err != nil {
+		return nil, fmt.Errorf("squid: %w", err)
+	}
+	return s.wrap(results[0]), nil
+}
+
+func (s *System) wrap(res *abduction.Result) *Discovery {
+	return &Discovery{
+		Entity:    res.Base.Entity,
+		Attribute: res.Base.Attr,
+		SQL:       sqlgen.AlphaSQL(res),
+		Original:  sqlgen.OriginalSQL(res),
+		Filters:   res.Filters,
+		Decisions: res.Decisions,
+		Output:    res.OutputValues(),
+		result:    res,
+	}
+}
+
+// PredicateCount reports the number of join and selection predicates of
+// the abduced query (the Figs 14/15 metric).
+func (d *Discovery) PredicateCount() (joins, selections int) {
+	return sqlgen.PredicateCount(d.result)
+}
+
+// RecommendExamples suggests up to k values the user could confirm next
+// to sharpen the abduction (the paper's §9 example-recommendation
+// direction): entities in the current output whose confirmation would
+// prune the most borderline candidate filters.
+func (d *Discovery) RecommendExamples(k int) []string {
+	return abduction.RecommendExamples(d.result, k)
+}
+
+// Plan lowers the abduced query to an executable engine plan over the
+// combined database returned by ExecutableDB.
+func (d *Discovery) Plan() *Query { return sqlgen.ToEngineQuery(d.result) }
+
+// Result exposes the raw abduction result for experiment harnesses.
+func (d *Discovery) Result() *abduction.Result { return d.result }
+
+// ExecutableDB returns the database (original + derived relations)
+// against which Plan() queries run.
+func (s *System) ExecutableDB() *Database { return s.alpha.CombinedDB() }
+
+// Execute runs a logical query plan against the combined database.
+func (s *System) Execute(q *Query) (*ExecResult, error) {
+	return engine.NewExecutor(s.alpha.CombinedDB()).Execute(q)
+}

@@ -1,0 +1,202 @@
+package squid
+
+import (
+	"strings"
+	"testing"
+)
+
+// academicsDB builds the Fig 1 database through the public API.
+func academicsDB() *Database {
+	db := NewDatabase("cs_academics")
+	a := NewRelation("academics",
+		Col("id", Int),
+		Col("name", String),
+	).SetPrimaryKey("id")
+	names := []string{"Thomas Cormen", "Dan Suciu", "Jiawei Han", "Sam Madden", "James Kurose", "Joseph Hellerstein"}
+	for i, n := range names {
+		a.MustAppend(IntVal(int64(100+i)), StringVal(n))
+	}
+	db.AddRelation(a)
+	db.MarkEntity("academics")
+
+	r := NewRelation("research",
+		Col("aid", Int),
+		Col("interest", String),
+	).AddForeignKey("aid", "academics", "id")
+	rows := []struct {
+		aid      int64
+		interest string
+	}{
+		{100, "algorithms"}, {101, "data management"}, {102, "data mining"},
+		{103, "data management"}, {103, "distributed systems"},
+		{104, "computer networks"}, {105, "data management"}, {105, "distributed systems"},
+	}
+	for _, row := range rows {
+		r.MustAppend(IntVal(row.aid), StringVal(row.interest))
+	}
+	db.AddRelation(r)
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.Rho = 0.2
+	sys.SetParams(params)
+	if sys.Params().Rho != 0.2 {
+		t.Error("SetParams/Params round trip")
+	}
+
+	disc, err := sys.Discover([]string{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.Entity != "academics" || disc.Attribute != "name" {
+		t.Errorf("base query %s.%s", disc.Entity, disc.Attribute)
+	}
+	if !strings.Contains(disc.SQL, "interest = 'data management'") {
+		t.Errorf("SQL missing intent filter:\n%s", disc.SQL)
+	}
+	if len(disc.Output) != 3 {
+		t.Errorf("output=%v", disc.Output)
+	}
+	joins, sels := disc.PredicateCount()
+	if joins != 1 || sels != 1 {
+		t.Errorf("predicates: %d joins, %d selections", joins, sels)
+	}
+
+	// The engine plan must reproduce the αDB row-set output.
+	res, err := sys.Execute(disc.Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != len(disc.Output) {
+		t.Errorf("engine rows=%d output=%d", res.NumRows(), len(disc.Output))
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Discover(nil); err == nil {
+		t.Error("empty examples must error")
+	}
+	if _, err := sys.Discover([]string{"Nobody Here"}); err == nil {
+		t.Error("unknown example must error")
+	}
+	// Database with no entity annotations fails the offline phase.
+	bad := NewDatabase("bad")
+	bad.AddRelation(NewRelation("t", Col("id", Int)))
+	if _, err := Build(bad, DefaultBuildConfig()); err == nil {
+		t.Error("Build must fail without entity relations")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Stats()
+	if s.NumRelations != 2 {
+		t.Errorf("relations=%d", s.NumRelations)
+	}
+	if sys.ExecutableDB().Relation("academics") == nil {
+		t.Error("executable DB missing base relation")
+	}
+}
+
+func TestRecommendExamples(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.Rho = 0.2
+	sys.SetParams(params)
+	disc, err := sys.Discover([]string{"Dan Suciu", "Sam Madden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := disc.RecommendExamples(3)
+	for _, r := range recs {
+		if r == "Dan Suciu" || r == "Sam Madden" {
+			t.Errorf("recommendation %q repeats an example", r)
+		}
+	}
+}
+
+func TestDiscoverAllRanked(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := sys.DiscoverAll([]string{"Dan Suciu", "Sam Madden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no candidates")
+	}
+	single, err := sys.Discover([]string{"Dan Suciu", "Sam Madden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[0].SQL != single.SQL {
+		t.Error("DiscoverAll[0] must equal Discover")
+	}
+}
+
+func TestFacadeIncrementalMaintenance(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new data-management researcher arrives.
+	if err := sys.InsertEntity("academics", IntVal(200), StringVal("New Researcher")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InsertFact("research", IntVal(200), StringVal("data management")); err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.Rho = 0.2
+	sys.SetParams(params)
+	disc, err := sys.Discover([]string{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range disc.Output {
+		if v == "New Researcher" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("incrementally inserted researcher missing from output: %v", disc.Output)
+	}
+}
+
+func TestDiscoverWithoutDisambiguation(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := sys.Discover([]string{"Dan Suciu", "Sam Madden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sys.DiscoverWithoutDisambiguation([]string{"Dan Suciu", "Sam Madden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No ambiguity in this fixture: identical outputs.
+	if strings.Join(d1.Output, ",") != strings.Join(d2.Output, ",") {
+		t.Error("disambiguation changed output on unambiguous data")
+	}
+}
