@@ -6,21 +6,54 @@
 //	squid-bench -list
 //	squid-bench -exp fig10
 //	squid-bench -exp all [-scale full|test]
+//	squid-bench -exp all -json bench.json   # machine-readable timings
+//
+// With -json the harness also measures the pipeline phases (dataset
+// generation, αDB construction, batch discovery throughput) and writes a
+// JSON report with per-phase wall times and rows/sec, so the benchmark
+// trajectory (BENCH_*.json) can be tracked across commits.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
+	"squid"
+	"squid/internal/datagen"
 	"squid/internal/experiments"
 )
 
+// Phase is one timed step of the benchmark report.
+type Phase struct {
+	ID         string  `json:"id"`
+	WallMS     float64 `json:"wall_ms"`
+	Rows       int     `json:"rows,omitempty"`
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+	Runs       int     `json:"runs,omitempty"`
+	PerRunMS   float64 `json:"per_run_ms,omitempty"`
+}
+
+// Report is the machine-readable benchmark output.
+type Report struct {
+	Scale     string  `json:"scale"`
+	GoVersion string  `json:"go_version"`
+	GOMAXPROC int     `json:"gomaxprocs"`
+	UnixTime  int64   `json:"unix_time"`
+	Phases    []Phase `json:"phases"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (see -list), or \"all\"")
-		scale = flag.String("scale", "full", "dataset scale: full or test")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id to run (see -list), or \"all\"")
+		scale    = flag.String("scale", "full", "dataset scale: full or test")
+		list     = flag.Bool("list", false, "list available experiments")
+		jsonPath = flag.String("json", "", "write a machine-readable timing report to this path (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -48,6 +81,14 @@ func main() {
 	}
 	suite := experiments.NewSuite(sc)
 
+	if *jsonPath != "" {
+		if err := runJSON(suite, *scale, *exp, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "squid-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *exp == "all" {
 		experiments.RunAll(suite, os.Stdout)
 		return
@@ -59,3 +100,123 @@ func main() {
 	}
 	runner.Run(suite, os.Stdout)
 }
+
+// runJSON measures the pipeline phases plus the selected experiments and
+// writes the report.
+func runJSON(suite *experiments.Suite, scale, exp, path string) error {
+	// Validate the selection before paying for the pipeline phases.
+	runners := experiments.Registry()
+	if exp != "all" {
+		runner, ok := experiments.Lookup(exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; use -list", exp)
+		}
+		runners = []experiments.Runner{runner}
+	}
+	report := Report{
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOMAXPROC: runtime.GOMAXPROCS(0),
+		UnixTime:  time.Now().Unix(),
+	}
+	timed := func(id string, rows int, fn func()) {
+		start := time.Now()
+		fn()
+		wall := time.Since(start)
+		p := Phase{ID: id, WallMS: msOf(wall), Rows: rows}
+		if rows > 0 && wall > 0 {
+			p.RowsPerSec = float64(rows) / wall.Seconds()
+		}
+		report.Phases = append(report.Phases, p)
+	}
+
+	// Offline pipeline phases on the IMDb dataset: generation, αDB
+	// build (the Fig 18 precomputation), then online batch-discovery
+	// throughput through the public API. The row count is only known
+	// after generation, so the phase is patched up afterwards.
+	var g *datagen.IMDb
+	timed("generate:imdb", 0, func() { g = datagen.GenerateIMDb(suite.Scale.IMDb) })
+	rows := g.DB.TotalRows()
+	last := &report.Phases[len(report.Phases)-1]
+	last.Rows = rows
+	if last.WallMS > 0 {
+		last.RowsPerSec = float64(rows) / (last.WallMS / 1e3)
+	}
+
+	var sys *squid.System
+	timed("alphadb-build:imdb", rows, func() {
+		var err error
+		sys, err = squid.Build(g.DB, squid.DefaultBuildConfig())
+		if err != nil {
+			panic(err)
+		}
+	})
+
+	// Batch discovery: the funny-actors intent at several |E| plus
+	// sliding windows of plain person names, fanned across the worker
+	// pool.
+	person := g.DB.Relation("person")
+	nameOf := func(id int64) (string, bool) {
+		r, ok := sys.AlphaDB().Entity("person").RowByID(id)
+		if !ok {
+			return "", false
+		}
+		return person.Column("name").Get(r).Str(), true
+	}
+	var sets [][]string
+	for _, k := range []int{5, 10, 15, 20} {
+		if k > len(g.Comedians) {
+			break
+		}
+		var ex []string
+		for _, id := range g.Comedians[:k] {
+			name, ok := nameOf(id)
+			if !ok {
+				return fmt.Errorf("comedian id %d has no αDB row; dataset and αDB drifted", id)
+			}
+			ex = append(ex, name)
+		}
+		sets = append(sets, ex)
+	}
+	for i := 0; i+3 < person.NumRows() && len(sets) < 16; i += 7 {
+		sets = append(sets, []string{
+			person.Column("name").Get(i).Str(),
+			person.Column("name").Get(i + 1).Str(),
+			person.Column("name").Get(i + 2).Str(),
+		})
+	}
+	if len(sets) > 0 {
+		start := time.Now()
+		if _, err := sys.DiscoverBatch(context.Background(), sets); err != nil {
+			// Individual sets may legitimately fail to resolve; only
+			// abort on systemic errors.
+			fmt.Fprintln(os.Stderr, "note: batch discovery reported:", err)
+		}
+		wall := time.Since(start)
+		report.Phases = append(report.Phases, Phase{
+			ID:       "discover-batch:imdb",
+			WallMS:   msOf(wall),
+			Runs:     len(sets),
+			PerRunMS: msOf(wall) / float64(len(sets)),
+		})
+	}
+
+	// Experiment harness phases.
+	for _, r := range runners {
+		runner := r
+		timed("exp:"+runner.ID, 0, func() { runner.Run(suite, io.Discard) })
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

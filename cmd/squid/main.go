@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,16 @@ func main() {
 	start = time.Now()
 	disc, err := sys.Discover(examples)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "discovery failed:", err)
+		switch {
+		case errors.Is(err, squid.ErrNoEntities):
+			fmt.Fprintf(os.Stderr, "no entity in the %s dataset matches all %d examples.\n", *dataset, len(examples))
+			fmt.Fprintln(os.Stderr, "Check the spelling of each example, or try fewer examples —")
+			fmt.Fprintln(os.Stderr, "every example must denote the same kind of thing (all actors, all researchers, ...).")
+		case errors.Is(err, squid.ErrNoExamples):
+			fmt.Fprintln(os.Stderr, "no examples given; pass at least one example value.")
+		default:
+			fmt.Fprintln(os.Stderr, "discovery failed:", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("query intent discovered in %v (base query: %s.%s)\n\n",

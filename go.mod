@@ -1,0 +1,3 @@
+module squid
+
+go 1.24

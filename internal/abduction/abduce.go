@@ -1,11 +1,23 @@
 package abduction
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"squid/internal/adb"
 	"squid/internal/index"
+)
+
+// Typed sentinel errors of the online phase; callers match them with
+// errors.Is to distinguish bad input from genuine lookup misses.
+var (
+	// ErrNoExamples reports that Discover was called with an empty
+	// example set.
+	ErrNoExamples = errors.New("no examples provided")
+	// ErrNoEntities reports that no entity attribute of the database
+	// contains every example value, so no base query exists.
+	ErrNoEntities = errors.New("no entity attribute contains all examples")
 )
 
 // BaseQuery is the minimal project-join query Q* capturing the structure
@@ -86,7 +98,7 @@ func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, pa
 // internal/disambig and is injected by the public API).
 func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolver) ([]*Result, error) {
 	if len(examples) == 0 {
-		return nil, fmt.Errorf("abduction: no examples provided")
+		return nil, fmt.Errorf("abduction: %w", ErrNoExamples)
 	}
 	matches := a.Inverted.CommonColumns(examples)
 	var results []*Result
@@ -128,7 +140,7 @@ func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolve
 		}
 	}
 	if len(results) == 0 {
-		return nil, fmt.Errorf("abduction: no entity attribute contains all %d examples", len(examples))
+		return nil, fmt.Errorf("abduction: %w (%d examples)", ErrNoEntities, len(examples))
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
 	return results, nil

@@ -33,6 +33,7 @@ func DiscoverContexts(info *adb.EntityInfo, exampleRows []int, params Params) []
 	if len(exampleRows) == 0 {
 		return nil
 	}
+	st := newExampleState(info, exampleRows, params)
 	var out []Context
 
 	for _, prop := range info.Basic {
@@ -46,9 +47,52 @@ func DiscoverContexts(info *adb.EntityInfo, exampleRows []int, params Params) []
 		}
 	}
 	for _, prop := range info.Derived {
-		out = append(out, derivedContexts(info, prop, exampleRows, params)...)
+		out = append(out, derivedContexts(st, prop, params)...)
 	}
 	return out
+}
+
+// exampleState is the shared per-example lookup state of one context
+// discovery: entity ids resolved once, and per-degree-property
+// normalization denominators computed once and reused by every derived
+// property sharing that association (instead of re-deriving them per
+// property as the scan-based pipeline did).
+type exampleState struct {
+	info *adb.EntityInfo
+	rows []int
+	ids  []int64
+	// degrees memoizes, per degree property, the per-example total
+	// association counts.
+	degrees map[*adb.DerivedProperty][]float64
+}
+
+func newExampleState(info *adb.EntityInfo, exampleRows []int, params Params) *exampleState {
+	st := &exampleState{info: info, rows: exampleRows}
+	st.ids = make([]int64, len(exampleRows))
+	for i, row := range exampleRows {
+		st.ids[i] = info.IDByRow(row)
+	}
+	if params.NormalizeAssociation {
+		st.degrees = make(map[*adb.DerivedProperty][]float64)
+	}
+	return st
+}
+
+// degreesFor returns the per-example degree (total association count)
+// vector for the given degree property, computing it once.
+func (st *exampleState) degreesFor(degree *adb.DerivedProperty) []float64 {
+	if degree == nil {
+		return nil
+	}
+	if d, ok := st.degrees[degree]; ok {
+		return d
+	}
+	d := make([]float64, len(st.rows))
+	for i, row := range st.rows {
+		d[i] = float64(degree.StrengthOf(row, degree.Via))
+	}
+	st.degrees[degree] = d
+	return d
 }
 
 // categoricalContexts emits shared-value contexts for a categorical
@@ -134,19 +178,15 @@ func numericContext(prop *adb.BasicProperty, exampleRows []int) (*Filter, bool) 
 
 // derivedContexts emits contexts for a derived property: one per value
 // that every example is associated with, at the minimum observed
-// strength θmin (§6.1.2 "Derived property").
-func derivedContexts(info *adb.EntityInfo, prop *adb.DerivedProperty, exampleRows []int, params Params) []Context {
+// strength θmin (§6.1.2 "Derived property"). Entity ids and
+// normalization degrees come precomputed from the shared example state.
+func derivedContexts(st *exampleState, prop *adb.DerivedProperty, params Params) []Context {
+	exampleRows := st.rows
 	var degree *adb.DerivedProperty
 	if params.NormalizeAssociation {
-		degree = info.DerivedByAttr(prop.Via + ":count")
+		degree = st.info.DerivedByAttr(prop.Via + ":count")
 	}
-	degOf := func(row int) float64 {
-		if degree == nil {
-			return 0
-		}
-		c := degree.Counts(info.IDByRow(row))
-		return float64(c[degree.Via])
-	}
+	degs := st.degreesFor(degree)
 
 	type agg struct {
 		minCount int
@@ -154,9 +194,12 @@ func derivedContexts(info *adb.EntityInfo, prop *adb.DerivedProperty, exampleRow
 		seen     int
 	}
 	shared := make(map[string]*agg)
-	for i, row := range exampleRows {
-		counts := prop.Counts(info.IDByRow(row))
-		d := degOf(row)
+	for i := range exampleRows {
+		counts := prop.Counts(st.ids[i])
+		d := 0.0
+		if degs != nil {
+			d = degs[i]
+		}
 		for v, c := range counts {
 			frac := 0.0
 			if d > 0 {
@@ -194,7 +237,10 @@ func derivedContexts(info *adb.EntityInfo, prop *adb.DerivedProperty, exampleRow
 			Values: []string{v},
 			Theta:  a.minCount,
 		}
-		if params.NormalizeAssociation {
+		// Normalization needs the companion degree property; derived
+		// properties without one (self-edge associations label their
+		// degree differently) keep the absolute threshold.
+		if params.NormalizeAssociation && degree != nil {
 			f.NormUse = true
 			f.ThetaN = a.minFrac
 			f.degree = degree

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"squid/internal/adb"
+	"squid/internal/index"
 )
 
 // FilterKind classifies semantic property filters (§3.1).
@@ -38,6 +39,28 @@ type Filter struct {
 	// degree is the companion degree property used to normalize
 	// association strengths (set only in normalized mode).
 	degree *adb.DerivedProperty
+
+	// Per-filter memos, tagged with the αDB statistics generation so a
+	// filter held across an incremental insert recomputes instead of
+	// serving pre-insert answers. A Filter belongs to one discovery
+	// running on one goroutine, so these need no locking;
+	// cross-discovery reuse happens one layer down in the αDB's
+	// selectivity cache.
+	selVal  float64
+	selOK   bool
+	selGen  uint64
+	rowsVal []int
+	rowsOK  bool
+	rowsGen uint64
+}
+
+// statsGeneration returns the generation of the αDB statistics backing
+// this filter.
+func (f *Filter) statsGeneration() uint64 {
+	if f.Kind == Derived {
+		return f.Derivd.StatsGeneration()
+	}
+	return f.Basic.StatsGeneration()
 }
 
 // Attr returns the display attribute name.
@@ -72,25 +95,36 @@ func (f *Filter) String() string {
 }
 
 // Selectivity returns ψ(φ): the fraction of base-query tuples satisfying
-// the filter (§4.2.1), from the αDB's precomputed statistics.
+// the filter (§4.2.1), from the αDB's precomputed statistics. The value
+// is memoized per filter, so callers (Algorithm 1, the intersection
+// planner's sort) can ask repeatedly at map-read cost.
 func (f *Filter) Selectivity() float64 {
+	if gen := f.statsGeneration(); !f.selOK || f.selGen != gen {
+		f.selGen = gen
+	} else {
+		return f.selVal
+	}
 	switch f.Kind {
 	case BasicCategorical:
 		if len(f.Values) == 1 {
-			return f.Basic.CategoricalSelectivity(f.Values[0])
+			f.selVal = f.Basic.CategoricalSelectivity(f.Values[0])
+		} else {
+			// Disjunction: count entities holding any value. For
+			// multi-valued attributes the per-value sets can overlap,
+			// so count the union exactly.
+			f.selVal = float64(len(f.EntityRows())) / float64(max(1, f.Basic.NumEntities()))
 		}
-		// Disjunction: count entities holding any value. For
-		// multi-valued attributes the per-value sets can overlap,
-		// so count the union exactly.
-		return float64(len(f.EntityRows())) / float64(max(1, f.Basic.NumEntities()))
 	case BasicNumeric:
-		return f.Basic.RangeSelectivity(f.Lo, f.Hi)
+		f.selVal = f.Basic.RangeSelectivity(f.Lo, f.Hi)
 	default:
 		if f.NormUse {
-			return float64(len(f.EntityRows())) / float64(max(1, f.Derivd.NumEntities()))
+			f.selVal = float64(len(f.EntityRows())) / float64(max(1, f.Derivd.NumEntities()))
+		} else {
+			f.selVal = f.Derivd.Selectivity(f.Value(), f.Theta)
 		}
-		return f.Derivd.Selectivity(f.Value(), f.Theta)
 	}
+	f.selOK = true
+	return f.selVal
 }
 
 // DomainCoverage returns the fraction of the attribute domain the filter
@@ -108,46 +142,30 @@ func (f *Filter) DomainCoverage() float64 {
 	}
 }
 
-// EntityRows returns the sorted rows of the entity relation satisfying
-// the filter. The returned slice may alias αDB-internal storage; callers
-// must not mutate it (IntersectRows copies before filtering).
+// EntityRows returns the sorted (ascending) rows of the entity relation
+// satisfying the filter, straight from the αDB's indexes and memoized
+// row-set cache — no column rescans. The returned slice aliases
+// αDB-cache storage; callers must not mutate it.
 func (f *Filter) EntityRows() []int {
+	if gen := f.statsGeneration(); !f.rowsOK || f.rowsGen != gen {
+		f.rowsGen = gen
+	} else {
+		return f.rowsVal
+	}
 	switch f.Kind {
 	case BasicCategorical:
-		if len(f.Values) == 1 {
-			return f.Basic.EntityRowsWithValue(f.Values[0])
-		}
-		set := map[int]struct{}{}
-		for _, v := range f.Values {
-			for _, r := range f.Basic.EntityRowsWithValue(v) {
-				set[r] = struct{}{}
-			}
-		}
-		return sortedRowSet(set)
+		f.rowsVal = f.Basic.EntityRowsWithAnyValue(f.Values)
 	case BasicNumeric:
-		var out []int
-		n := f.Basic.NumEntities()
-		for row := 0; row < n; row++ {
-			if v, ok := f.Basic.NumValue(row); ok && v >= f.Lo && v <= f.Hi {
-				out = append(out, row)
-			}
-		}
-		return out
+		f.rowsVal = f.Basic.EntityRowsInRange(f.Lo, f.Hi)
 	default:
 		if f.NormUse {
-			var out []int
-			for _, e := range f.Derivd.ValueEntries(f.Value()) {
-				if d := f.degreeOf(e.Row); d > 0 && float64(e.Count)/d >= f.ThetaN {
-					out = append(out, e.Row)
-				}
-			}
-			sort.Ints(out)
-			return out
+			f.rowsVal = f.Derivd.EntityRowsWithNormStrength(f.Value(), f.ThetaN, f.degree)
+		} else {
+			f.rowsVal = f.Derivd.EntityRowsWithStrength(f.Value(), f.Theta)
 		}
-		rows := append([]int(nil), f.Derivd.EntityRowsWithStrength(f.Value(), f.Theta)...)
-		sort.Ints(rows)
-		return rows
 	}
+	f.rowsOK = true
+	return f.rowsVal
 }
 
 // SatisfiedBy reports whether the entity at row satisfies the filter.
@@ -167,8 +185,7 @@ func (f *Filter) SatisfiedBy(info *adb.EntityInfo, row int) bool {
 		v, ok := f.Basic.NumValue(row)
 		return ok && v >= f.Lo && v <= f.Hi
 	default:
-		counts := f.Derivd.Counts(info.IDByRow(row))
-		c := counts[f.Value()]
+		c := f.Derivd.StrengthOf(row, f.Value())
 		if f.NormUse {
 			d := f.degreeOf(row)
 			return d > 0 && float64(c)/d >= f.ThetaN
@@ -178,25 +195,24 @@ func (f *Filter) SatisfiedBy(info *adb.EntityInfo, row int) bool {
 }
 
 // degreeOf returns the entity's total association count for the derived
-// property's via-entity (the normalization denominator), or 0.
+// property's via-entity (the normalization denominator), or 0; an
+// O(log n) posting-list search.
 func (f *Filter) degreeOf(row int) float64 {
 	if f.degree == nil {
 		return 0
 	}
 	// The degree property has a single pseudo-value named after the
 	// associated entity relation.
-	for _, e := range f.degree.ValueEntries(f.degree.Via) {
-		if e.Row == row {
-			return float64(e.Count)
-		}
-	}
-	return 0
+	return float64(f.degree.StrengthOf(row, f.degree.Via))
 }
 
 // IntersectRows intersects the satisfying-row sets of all filters,
 // starting from the full entity relation; it returns the output rows of
 // the abduced query Qϕ (used to measure precision/recall without a full
-// engine round trip).
+// engine round trip). Each filter's row set comes sorted from the αDB
+// indexes, so the intersection is a cascade of posting-list merges
+// seeded by the most selective filter — shared intersection state that
+// never re-probes entities per filter.
 func IntersectRows(info *adb.EntityInfo, filters []*Filter) []int {
 	if len(filters) == 0 {
 		all := make([]int, info.NumRows)
@@ -209,31 +225,18 @@ func IntersectRows(info *adb.EntityInfo, filters []*Filter) []int {
 	// fast.
 	fs := append([]*Filter(nil), filters...)
 	sort.Slice(fs, func(i, j int) bool { return fs[i].Selectivity() < fs[j].Selectivity() })
-	// Copy before filtering in place: EntityRows may return an internal
-	// αDB posting list, which must never be mutated.
-	current := append([]int(nil), fs[0].EntityRows()...)
+	current := fs[0].EntityRows()
 	for _, f := range fs[1:] {
 		if len(current) == 0 {
 			return nil
 		}
-		keep := current[:0]
-		for _, row := range current {
-			if f.SatisfiedBy(info, row) {
-				keep = append(keep, row)
-			}
-		}
-		current = keep
+		current = index.IntersectSorted(current, f.EntityRows())
+	}
+	if len(fs) == 1 {
+		// Detach from the shared αDB cache before handing out.
+		current = append([]int(nil), current...)
 	}
 	return current
-}
-
-func sortedRowSet(set map[int]struct{}) []int {
-	out := make([]int, 0, len(set))
-	for r := range set {
-		out = append(out, r)
-	}
-	sort.Ints(out)
-	return out
 }
 
 func max(a, b int) int {

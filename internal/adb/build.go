@@ -96,13 +96,20 @@ type AlphaDB struct {
 	Inverted *index.Inverted
 	Entities map[string]*EntityInfo
 
+	// Indexes is the shared hash-index pool over base and derived
+	// relations: every point lookup of the online phase (dimension
+	// resolution, incremental maintenance, engine predicate pushdown)
+	// is served from here instead of rebuilding ad-hoc maps.
+	Indexes *index.IndexSet
+
 	// DerivedDB holds the materialized derived relations (Fig 18's
 	// "precomputed DB size" reports its footprint).
 	DerivedDB *relation.Database
 	// BuildTime is the offline precomputation wall time.
 	BuildTime time.Duration
 
-	cfg Config
+	cfg      Config
+	selCache *SelCache
 }
 
 // Build constructs the abduction-ready database for db.
@@ -114,8 +121,10 @@ func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
 	a := &AlphaDB{
 		DB:        db,
 		Entities:  make(map[string]*EntityInfo),
+		Indexes:   index.NewIndexSet(),
 		DerivedDB: relation.NewDatabase(db.Name + "_alpha"),
 		cfg:       cfg,
+		selCache:  NewSelCache(),
 	}
 	a.Inverted = index.BuildInverted(db)
 
@@ -137,6 +146,10 @@ func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
 // Entity returns the EntityInfo for a relation name, or nil.
 func (a *AlphaDB) Entity(name string) *EntityInfo { return a.Entities[name] }
 
+// SelectivityCache exposes the memoized selectivity/row-set cache shared
+// by every property of this αDB (monitoring and test surface).
+func (a *AlphaDB) SelectivityCache() *SelCache { return a.selCache }
+
 // EphemeralEntity builds a property-less EntityInfo for a non-entity
 // relation with an integer primary key. It backs the dimension-fallback
 // path of query discovery: when examples only match a dimension relation
@@ -156,7 +169,7 @@ func (a *AlphaDB) EphemeralEntity(name string) *EntityInfo {
 		PK:       rel.PrimaryKey,
 		NumRows:  rel.NumRows(),
 		rel:      rel,
-		pkIndex:  index.BuildIntHash(rel, rel.PrimaryKey),
+		pkIndex:  a.Indexes.IntHash(rel, rel.PrimaryKey),
 	}
 	info.rowIDs = make([]int64, rel.NumRows())
 	for i := range info.rowIDs {
@@ -198,7 +211,7 @@ func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
 		PK:       rel.PrimaryKey,
 		NumRows:  rel.NumRows(),
 		rel:      rel,
-		pkIndex:  index.BuildIntHash(rel, rel.PrimaryKey),
+		pkIndex:  a.Indexes.IntHash(rel, rel.PrimaryKey),
 	}
 	info.rowIDs = make([]int64, rel.NumRows())
 	for i := range info.rowIDs {
@@ -325,6 +338,7 @@ func (a *AlphaDB) finishCategorical(p *BasicProperty) *BasicProperty {
 	if !a.keepCategorical(len(p.catCounts), p.numEntities) {
 		return nil
 	}
+	p.cache = a.selCache
 	return p
 }
 
@@ -351,6 +365,7 @@ func (a *AlphaDB) buildDirectProperty(info *EntityInfo, col *relation.Column) *B
 	p.Kind = Numeric
 	p.numByRow = make([]*float64, info.NumRows)
 	var vals []float64
+	var rows []int
 	for row := 0; row < info.NumRows; row++ {
 		if col.IsNull(row) {
 			continue
@@ -358,11 +373,14 @@ func (a *AlphaDB) buildDirectProperty(info *EntityInfo, col *relation.Column) *B
 		v := col.Float64(row)
 		p.numByRow[row] = &v
 		vals = append(vals, v)
+		rows = append(rows, row)
 	}
 	if len(vals) == 0 {
 		return nil
 	}
 	p.sorted = index.BuildSortedFromValues(vals)
+	p.numIdx = index.BuildNumericRows(vals, rows)
+	p.cache = a.selCache
 	return p
 }
 
@@ -387,7 +405,7 @@ func (a *AlphaDB) buildFKDimProperty(info *EntityInfo, fk relation.ForeignKey) *
 	if valCol == "" {
 		return nil
 	}
-	dimIdx := index.BuildIntHash(dim, fk.RefColumn)
+	dimIdx := a.Indexes.IntHash(dim, fk.RefColumn)
 	vc := dim.Column(valCol)
 	fkc := info.rel.Column(fk.Column)
 	p := &BasicProperty{
@@ -451,7 +469,7 @@ func (a *AlphaDB) buildFactDimProperty(info *EntityInfo, factName string, fkToMe
 	if valCol == "" {
 		return nil
 	}
-	dimIdx := index.BuildIntHash(dim, fkToDim.RefColumn)
+	dimIdx := a.Indexes.IntHash(dim, fkToDim.RefColumn)
 	vc := dim.Column(valCol)
 	entCol := fact.Column(fkToMe.Column)
 	dimFK := fact.Column(fkToDim.Column)

@@ -1,0 +1,113 @@
+package adb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SelKey identifies one selectivity / satisfying-row-set question about
+// a property: the property identity plus the filter operands. Keys are
+// comparable structs so cache lookups allocate nothing.
+type SelKey struct {
+	// Prop is the *BasicProperty or *DerivedProperty identity.
+	Prop any
+	// Value is the categorical value ("" for numeric ranges); for
+	// disjunctions the values are joined with '\x00'.
+	Value string
+	// Lo, Hi bound numeric range filters; normalized derived
+	// thresholds (θn) are carried in Lo with Theta set to the -1
+	// sentinel.
+	Lo, Hi float64
+	// Theta is the absolute derived association-strength threshold;
+	// -1 marks a normalized-threshold key (θn lives in Lo).
+	Theta int
+}
+
+// SelCache memoizes satisfying-entity row sets across discoveries
+// (§5's "smart selectivity computation" made persistent): the row sets
+// back every selectivity question that is not already a precomputed
+// O(1)/O(log n) statistic (disjunctions, numeric ranges, normalized
+// derived thresholds), so concurrent batches of similar intents cost
+// one map read instead of a posting walk per repeated filter. Cached
+// row slices are shared — callers must treat them as immutable,
+// exactly like the αDB posting lists they memoize.
+//
+// The cache is guarded by an RWMutex and carries a generation counter:
+// incremental inserts bump the generation, which atomically discards
+// every stale entry (statistics shift on insert, so per-entry patching
+// is not worth the bookkeeping).
+type SelCache struct {
+	mu   sync.RWMutex
+	rows map[SelKey][]int
+	gen  uint64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSelCache creates an empty cache.
+func NewSelCache() *SelCache {
+	return &SelCache{rows: make(map[SelKey][]int)}
+}
+
+// Rows returns the memoized satisfying-row set for key, computing and
+// storing it on a miss. The returned slice is shared: do not mutate.
+func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
+	if c == nil {
+		return compute()
+	}
+	c.mu.RLock()
+	rows, ok := c.rows[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return rows
+	}
+	c.misses.Add(1)
+	rows = compute()
+	c.mu.Lock()
+	c.rows[key] = rows
+	c.mu.Unlock()
+	return rows
+}
+
+// Invalidate discards every entry and bumps the generation; called by
+// the αDB after each incremental insert.
+func (c *SelCache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.rows = make(map[SelKey][]int)
+	c.gen++
+	c.mu.Unlock()
+}
+
+// Generation returns the invalidation counter (tests assert it moves).
+func (c *SelCache) Generation() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// Len returns the number of live row-set entries.
+func (c *SelCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rows)
+}
+
+// Metrics reports cumulative hit/miss counts (monitoring surface for
+// the batch API).
+func (c *SelCache) Metrics() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

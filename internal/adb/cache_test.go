@@ -1,0 +1,239 @@
+package adb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"squid/internal/relation"
+)
+
+// randomEntityDB builds an entity relation large enough to exercise both
+// the sparse (index) and dense (scan) paths of EntityRowsInRange.
+func randomEntityDB(n int) *relation.Database {
+	rng := rand.New(rand.NewSource(7))
+	db := relation.NewDatabase("rand")
+	ent := relation.New("item",
+		relation.Col("id", relation.Int),
+		relation.Col("label", relation.String),
+		relation.Col("weight", relation.Int),
+		relation.Col("class", relation.String),
+	).SetPrimaryKey("id")
+	classes := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < n; i++ {
+		w := relation.IntVal(int64(rng.Intn(1000)))
+		if rng.Intn(20) == 0 {
+			w = relation.Null // exercise NULL handling
+		}
+		ent.MustAppend(
+			relation.IntVal(int64(i)),
+			relation.StringVal(fmt.Sprintf("item %d", i)),
+			w,
+			relation.StringVal(classes[rng.Intn(len(classes))]),
+		)
+	}
+	db.AddRelation(ent)
+	db.MarkEntity("item")
+	return db
+}
+
+// TestEntityRowsCrossCheck is the property-style oracle of the ISSUE:
+// every index-backed row-set accessor must agree with a naive scan.
+func TestEntityRowsCrossCheck(t *testing.T) {
+	const n = 400
+	a, err := Build(randomEntityDB(n), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := a.Entity("item")
+	weight := info.BasicByAttr("weight")
+	if weight == nil || weight.Kind != Numeric {
+		t.Fatal("weight property missing")
+	}
+	naiveRange := func(lo, hi float64) []int {
+		var out []int
+		for row := 0; row < n; row++ {
+			if v, ok := weight.NumValue(row); ok && v >= lo && v <= hi {
+				out = append(out, row)
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		lo := float64(rng.Intn(1000))
+		span := float64(rng.Intn(400)) // narrow → index path, wide → dense path
+		if trial%2 == 0 {
+			span = float64(900 + rng.Intn(300))
+		}
+		got := weight.EntityRowsInRange(lo, lo+span)
+		want := naiveRange(lo, lo+span)
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("EntityRowsInRange(%v,%v): got %d rows, want %d (%v vs %v)",
+				lo, lo+span, len(got), len(want), got, want)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("EntityRowsInRange(%v,%v) not sorted", lo, lo+span)
+		}
+	}
+
+	class := info.BasicByAttr("class")
+	if class == nil {
+		t.Fatal("class property missing")
+	}
+	naiveAny := func(vals []string) []int {
+		var out []int
+		for row := 0; row < n; row++ {
+			for _, have := range class.Values(row) {
+				matched := false
+				for _, want := range vals {
+					if have == want {
+						matched = true
+						break
+					}
+				}
+				if matched {
+					out = append(out, row)
+					break
+				}
+			}
+		}
+		return out
+	}
+	for _, vals := range [][]string{{"a"}, {"a", "c"}, {"b", "d", "e"}, {"nope"}} {
+		got := class.EntityRowsWithAnyValue(vals)
+		want := naiveAny(vals)
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("EntityRowsWithAnyValue(%v): %v want %v", vals, got, want)
+		}
+	}
+}
+
+// TestDerivedStrengthCrossCheck verifies the O(log n) StrengthOf lookup
+// and the cached EntityRowsWithStrength against the Counts oracle on the
+// paper's running-example fixture.
+func TestDerivedStrengthCrossCheck(t *testing.T) {
+	a, err := Build(fixtureDB(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := a.Entity("person")
+	for _, p := range info.Derived {
+		for _, v := range p.DistinctValues() {
+			for row := 0; row < info.NumRows; row++ {
+				want := p.Counts(info.IDByRow(row))[v]
+				if got := p.StrengthOf(row, v); got != want {
+					t.Errorf("%s: StrengthOf(%d,%s)=%d want %d", p.Attr, row, v, got, want)
+				}
+			}
+			for theta := 1; theta <= p.MaxStrength(v); theta++ {
+				var want []int
+				for row := 0; row < info.NumRows; row++ {
+					if p.Counts(info.IDByRow(row))[v] >= theta {
+						want = append(want, row)
+					}
+				}
+				got := p.EntityRowsWithStrength(v, theta)
+				if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+					t.Errorf("%s: EntityRowsWithStrength(%s,%d)=%v want %v", p.Attr, v, theta, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectivityCacheInvalidation checks that memoized row sets are
+// discarded when inserts shift the statistics — the cache must never
+// serve pre-insert answers.
+func TestSelectivityCacheInvalidation(t *testing.T) {
+	a, err := Build(fixtureDB(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := a.Entity("person")
+	age := info.BasicByAttr("age")
+	cache := a.SelectivityCache()
+
+	before := age.EntityRowsInRange(45, 65) // populate the cache
+	if cache.Len() == 0 {
+		t.Fatal("cache not populated by EntityRowsInRange")
+	}
+	gen0 := cache.Generation()
+
+	// Insert a 50-year-old: the cached [45,65] row set is stale.
+	err = a.InsertEntity("person",
+		relation.IntVal(7), relation.StringVal("New Actor"),
+		relation.StringVal("Male"), relation.IntVal(50), relation.IntVal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Generation() == gen0 {
+		t.Error("InsertEntity did not bump the cache generation")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("InsertEntity left %d stale cache entries", cache.Len())
+	}
+	after := age.EntityRowsInRange(45, 65)
+	if len(after) != len(before)+1 {
+		t.Errorf("post-insert range rows = %d want %d", len(after), len(before)+1)
+	}
+	newRow, ok := info.RowByID(7)
+	if !ok {
+		t.Fatal("inserted entity unresolvable")
+	}
+	found := false
+	for _, r := range after {
+		if r == newRow {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("post-insert range rows missing the new entity")
+	}
+
+	// Fact inserts must invalidate derived-row memos too.
+	ptg := info.DerivedByAttr("movie:genre")
+	if ptg == nil {
+		t.Fatal("movie:genre derived property missing")
+	}
+	preRows := ptg.EntityRowsWithStrength("Drama", 1)
+	gen1 := cache.Generation()
+	// Person 3 appears in movie 13 (Drama) for the first time.
+	if err := a.InsertFact("castinfo", relation.IntVal(3), relation.IntVal(13)); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Generation() == gen1 {
+		t.Error("InsertFact did not bump the cache generation")
+	}
+	postRows := ptg.EntityRowsWithStrength("Drama", 1)
+	if len(postRows) != len(preRows)+1 {
+		t.Errorf("post-fact Drama rows = %v want one more than %v", postRows, preRows)
+	}
+	if !sort.IntsAreSorted(postRows) {
+		t.Errorf("post-fact rows not sorted: %v", postRows)
+	}
+	rebuildAndCompare(t, a)
+}
+
+// TestCacheMetrics checks the hit/miss accounting the batch API
+// monitors.
+func TestCacheMetrics(t *testing.T) {
+	a, err := Build(fixtureDB(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	age := a.Entity("person").BasicByAttr("age")
+	cache := a.SelectivityCache()
+	h0, m0 := cache.Metrics()
+	_ = age.EntityRowsInRange(40, 70)
+	_ = age.EntityRowsInRange(40, 70)
+	h1, m1 := cache.Metrics()
+	if m1 != m0+1 {
+		t.Errorf("misses %d -> %d, want one new miss", m0, m1)
+	}
+	if h1 != h0+1 {
+		t.Errorf("hits %d -> %d, want one new hit", h0, h1)
+	}
+}

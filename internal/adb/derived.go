@@ -27,7 +27,7 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 	fact := a.DB.Relation(fact1)
 	entCol := fact.Column(fkToMe.Column)
 	viaCol := fact.Column(fkToVia.Column)
-	viaIdx := index.BuildIntHash(via, fkToVia.RefColumn)
+	viaIdx := a.Indexes.IntHash(via, fkToVia.RefColumn)
 
 	// adjacency: entity row -> distinct associated via-rows. Multiple
 	// fact rows linking the same pair (e.g. an actor with several roles
@@ -97,7 +97,7 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 			if valColName == "" {
 				continue
 			}
-			dimIdx := index.BuildIntHash(dim, fk.RefColumn)
+			dimIdx := a.Indexes.IntHash(dim, fk.RefColumn)
 			vc := dim.Column(valColName)
 			fkc := via.Column(fk.Column)
 			p := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{
@@ -171,9 +171,9 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 						continue
 					}
 					// via row -> dim values (precomputed once).
-					dimIdx := index.BuildIntHash(dim, fkToDim.RefColumn)
+					dimIdx := a.Indexes.IntHash(dim, fkToDim.RefColumn)
 					vc := dim.Column(valColName)
-					viaByPK := index.BuildIntHash(via, via.PrimaryKey)
+					viaByPK := a.Indexes.IntHash(via, via.PrimaryKey)
 					viaVals := make([][]string, via.NumRows())
 					v2 := fact2.Column(fkToVia2.Column)
 					d2 := fact2.Column(fkToDim.Column)
@@ -275,6 +275,7 @@ func (a *AlphaDB) buildEntityAssocProperty(info *EntityInfo, fact1 string, fkToM
 	if len(p.catCounts) == 0 {
 		return nil
 	}
+	p.cache = a.selCache
 	return p
 }
 
@@ -339,8 +340,9 @@ func (a *AlphaDB) materializeDerived(info *EntityInfo, p *DerivedProperty, adjac
 		}
 	}
 	p.rel = rel
+	p.cache = a.selCache
 	a.DerivedDB.AddRelation(rel)
-	p.byEntity = index.BuildIntHash(rel, "entity_id")
+	p.byEntity = a.Indexes.IntHash(rel, "entity_id")
 	p.perValue = make(map[string]*index.Sorted, len(p.perValueRows))
 	for v, vcs := range p.perValueRows {
 		vals := make([]float64, len(vcs))

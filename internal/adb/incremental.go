@@ -2,6 +2,7 @@ package adb
 
 import (
 	"fmt"
+	"sort"
 
 	"squid/internal/index"
 	"squid/internal/relation"
@@ -41,9 +42,9 @@ func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
 	row := rel.NumRows() - 1
 	info.NumRows = rel.NumRows()
 	info.rowIDs = append(info.rowIDs, pk.Int())
-	// The hash index has no incremental API surface; rebuilds are O(n)
-	// but only on the entity relation, not the fact tables.
-	info.pkIndex = index.BuildIntHash(rel, rel.PrimaryKey)
+	// The shared index pool maintains every materialized index of this
+	// relation (including pkIndex, which lives in the pool) in place.
+	a.Indexes.NoteAppend(rel, row)
 
 	// Update basic-property statistics for the new row.
 	for _, p := range info.Basic {
@@ -72,6 +73,8 @@ func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
 		}
 		a.Inverted.Insert(col.Str(row), index.Posting{Relation: entityRel, Column: col.Name, Row: row})
 	}
+	// Statistics shifted: every memoized selectivity is stale.
+	a.selCache.Invalidate()
 	return nil
 }
 
@@ -83,6 +86,7 @@ func (a *AlphaDB) insertDirectValue(p *BasicProperty, rel *relation.Relation, ro
 			v := col.Float64(row)
 			p.numByRow[row] = &v
 			p.sorted = p.sorted.Insert(v)
+			p.numIdx = p.numIdx.Insert(v, row)
 		}
 		return
 	}
@@ -102,7 +106,7 @@ func (a *AlphaDB) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row
 		return
 	}
 	dim := a.DB.Relation(p.Access.Dim)
-	dimIdx := index.BuildIntHash(dim, p.Access.DimPK)
+	dimIdx := a.Indexes.IntHash(dim, p.Access.DimPK)
 	vc := dim.Column(p.Access.DimValueCol)
 	if dimRow, ok := dimIdx.First(fkc.Int64(row)); ok && !vc.IsNull(dimRow) {
 		v := vc.Str(dimRow)
@@ -128,6 +132,7 @@ func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
 		return err
 	}
 	row := fact.NumRows() - 1
+	a.Indexes.NoteAppend(fact, row)
 
 	for _, fk := range fact.Foreign {
 		info := a.Entities[fk.RefRelation]
@@ -161,6 +166,8 @@ func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
 			a.insertDerivedDelta(info, p, fact, row, eRow)
 		}
 	}
+	// Statistics shifted: every memoized selectivity is stale.
+	a.selCache.Invalidate()
 	return nil
 }
 
@@ -170,7 +177,7 @@ func (a *AlphaDB) insertFactDimValue(p *BasicProperty, fact *relation.Relation, 
 		return
 	}
 	dim := a.DB.Relation(p.Access.Dim)
-	dimIdx := index.BuildIntHash(dim, p.Access.DimPK)
+	dimIdx := a.Indexes.IntHash(dim, p.Access.DimPK)
 	vc := dim.Column(p.Access.DimValueCol)
 	dimRow, ok := dimIdx.First(dimFK.Int64(factRow))
 	if !ok || vc.IsNull(dimRow) {
@@ -217,7 +224,7 @@ func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact 
 		return
 	}
 	via := a.DB.Relation(p.Via)
-	viaIdx := index.BuildIntHash(via, p.ViaPK)
+	viaIdx := a.Indexes.IntHash(via, p.ViaPK)
 	vRow, ok := viaIdx.First(viaCol.Int64(factRow))
 	if !ok {
 		return
@@ -235,7 +242,7 @@ func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact 
 		fkc := via.Column(p.Target.Column)
 		if !fkc.IsNull(vRow) {
 			dim := a.DB.Relation(p.Target.Dim)
-			dimIdx := index.BuildIntHash(dim, p.Target.DimPK)
+			dimIdx := a.Indexes.IntHash(dim, p.Target.DimPK)
 			vc := dim.Column(p.Target.DimValueCol)
 			if dr, ok := dimIdx.First(fkc.Int64(vRow)); ok && !vc.IsNull(dr) {
 				values = []string{vc.Str(dr)}
@@ -244,13 +251,14 @@ func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact 
 	case FactDim:
 		fact2 := a.DB.Relation(p.Target.Fact)
 		dim := a.DB.Relation(p.Target.Dim)
-		dimIdx := index.BuildIntHash(dim, p.Target.DimPK)
+		dimIdx := a.Indexes.IntHash(dim, p.Target.DimPK)
 		vc := dim.Column(p.Target.DimValueCol)
-		v2 := fact2.Column(p.Target.FactEntityCol)
 		d2 := fact2.Column(p.Target.FactDimCol)
 		viaID := via.Column(p.ViaPK).Int64(vRow)
-		for fr := 0; fr < fact2.NumRows(); fr++ {
-			if v2.IsNull(fr) || d2.IsNull(fr) || v2.Int64(fr) != viaID {
+		// The second-fact rows of this via-entity come from the hash
+		// index instead of a full fact2 scan.
+		for _, fr := range a.Indexes.IntHash(fact2, p.Target.FactEntityCol).Rows(viaID) {
+			if d2.IsNull(fr) {
 				continue
 			}
 			if dr, ok := dimIdx.First(d2.Int64(fr)); ok && !vc.IsNull(dr) {
@@ -260,14 +268,16 @@ func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact 
 	}
 	entityID := info.rowIDs[eRow]
 	for _, v := range values {
-		p.bump(entityID, eRow, v)
+		p.bump(a.Indexes, entityID, eRow, v)
 	}
 }
 
 // bump increments the (entity, value) association strength by one,
 // updating the derived relation, the per-value rows, and the sorted
-// count index.
-func (p *DerivedProperty) bump(entityID int64, eRow int, v string) {
+// count index. The shared index pool keeps the entity_id hash index
+// consistent (appends) and drops any index over the mutated count
+// column.
+func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v string) {
 	// Locate the existing derived row.
 	vcol, ccol := p.rel.Column("value"), p.rel.Column("count")
 	old := 0
@@ -281,21 +291,22 @@ func (p *DerivedProperty) bump(entityID int64, eRow int, v string) {
 	}
 	if found >= 0 {
 		_ = ccol.Set(found, relation.IntVal(int64(old+1)))
+		idx.Drop(p.rel.Name, "count")
 	} else {
 		p.rel.MustAppend(relation.IntVal(entityID), relation.StringVal(v), relation.IntVal(1))
-		p.byEntity = index.BuildIntHash(p.rel, "entity_id")
+		idx.NoteAppend(p.rel, p.rel.NumRows()-1)
 	}
-	// Per-value row list.
-	updated := false
-	for i := range p.perValueRows[v] {
-		if p.perValueRows[v][i].entityRow == eRow {
-			p.perValueRows[v][i].count = old + 1
-			updated = true
-			break
-		}
-	}
-	if !updated {
-		p.perValueRows[v] = append(p.perValueRows[v], valCount{entityRow: eRow, count: old + 1})
+	// Per-value row list: insert in entity-row order (the invariant
+	// behind StrengthOf's binary search and merge intersection).
+	vcs := p.perValueRows[v]
+	at := sort.Search(len(vcs), func(i int) bool { return vcs[i].entityRow >= eRow })
+	if at < len(vcs) && vcs[at].entityRow == eRow {
+		vcs[at].count = old + 1
+	} else {
+		vcs = append(vcs, valCount{})
+		copy(vcs[at+1:], vcs[at:])
+		vcs[at] = valCount{entityRow: eRow, count: old + 1}
+		p.perValueRows[v] = vcs
 	}
 	// Sorted selectivity index: replace old count with new.
 	s := p.perValue[v]

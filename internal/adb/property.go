@@ -11,6 +11,7 @@ package adb
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"squid/internal/index"
 	"squid/internal/relation"
@@ -94,6 +95,9 @@ type BasicProperty struct {
 	// Numeric statistics: the sorted value multiset for prefix
 	// selectivity, and the column for per-entity access.
 	sorted *index.Sorted
+	// numIdx maps value ranges back to entity rows in O(log n + k)
+	// (the online phase's range-filter row lookup).
+	numIdx *index.NumericRows
 
 	// valuesByRow caches per-entity values (always set; single
 	// element for single-valued properties). Numeric properties store
@@ -102,10 +106,16 @@ type BasicProperty struct {
 	numByRow []*float64
 
 	numEntities int
+	cache       *SelCache
 }
 
 // NumEntities returns |R|, the selectivity denominator.
 func (p *BasicProperty) NumEntities() int { return p.numEntities }
+
+// StatsGeneration returns the αDB statistics generation this property
+// answers from; it moves on every incremental insert, letting callers
+// holding memoized answers detect staleness.
+func (p *BasicProperty) StatsGeneration() uint64 { return p.cache.Generation() }
 
 // Values returns the categorical values of the entity at row (nil when
 // the entity has none).
@@ -176,8 +186,54 @@ func (p *BasicProperty) CategoricalDomainCoverage(k int) float64 {
 }
 
 // EntityRowsWithValue returns the entity rows exhibiting categorical
-// value v (sorted ascending).
+// value v (sorted ascending). The slice is αDB-internal: do not mutate.
 func (p *BasicProperty) EntityRowsWithValue(v string) []int { return p.catRows[v] }
+
+// EntityRowsWithAnyValue returns the union of the per-value row sets
+// (sorted ascending): the satisfying rows of a disjunctive IN filter.
+// Results are memoized in the αDB selectivity cache; do not mutate.
+func (p *BasicProperty) EntityRowsWithAnyValue(values []string) []int {
+	if len(values) == 0 {
+		return nil
+	}
+	if len(values) == 1 {
+		return p.catRows[values[0]]
+	}
+	key := SelKey{Prop: p, Value: strings.Join(values, "\x00")}
+	return p.cache.Rows(key, func() []int {
+		var out []int
+		for _, v := range values {
+			out = index.UnionSorted(out, p.catRows[v])
+		}
+		return out
+	})
+}
+
+// EntityRowsInRange returns the entity rows whose numeric value lies in
+// [lo, hi], sorted ascending. Selective ranges are answered from the
+// sorted value→row index in O(log n + k); wide ranges (≥ ¼ of the
+// entities) fall back to the dense row-order scan, which is cheaper
+// than re-sorting a near-complete row set. Results are memoized; do not
+// mutate the returned slice.
+func (p *BasicProperty) EntityRowsInRange(lo, hi float64) []int {
+	if p.Kind != Numeric || p.sorted == nil {
+		return nil
+	}
+	key := SelKey{Prop: p, Lo: lo, Hi: hi}
+	return p.cache.Rows(key, func() []int {
+		k := p.sorted.CountRange(lo, hi)
+		if p.numIdx != nil && k*4 < p.numEntities {
+			return p.numIdx.RowsInRange(lo, hi)
+		}
+		out := make([]int, 0, k)
+		for row, v := range p.numByRow {
+			if v != nil && *v >= lo && *v <= hi {
+				out = append(out, row)
+			}
+		}
+		return out
+	})
+}
 
 // DistinctValues returns the property's categorical domain, sorted.
 func (p *BasicProperty) DistinctValues() []string {
@@ -229,15 +285,25 @@ type DerivedProperty struct {
 	// "persontogenre".
 	RelName string
 
-	rel          *relation.Relation
-	byEntity     *index.IntHash
-	perValue     map[string]*index.Sorted
+	rel      *relation.Relation
+	byEntity *index.IntHash
+	perValue map[string]*index.Sorted
+	// perValueRows lists, per value, the (entity row, strength) pairs
+	// sorted ascending by entity row — the invariant behind the O(log n)
+	// StrengthOf lookup and the merge-intersection of the abduction
+	// layer. The builder emits rows in order; incremental bumps insert
+	// in place.
 	perValueRows map[string][]valCount
 	numEntities  int
+	cache        *SelCache
 }
 
 // NumEntities returns |R| for the owning entity relation.
 func (p *DerivedProperty) NumEntities() int { return p.numEntities }
+
+// StatsGeneration returns the αDB statistics generation this property
+// answers from (see BasicProperty.StatsGeneration).
+func (p *DerivedProperty) StatsGeneration() uint64 { return p.cache.Generation() }
 
 // Relation returns the materialized derived relation.
 func (p *DerivedProperty) Relation() *relation.Relation { return p.rel }
@@ -274,15 +340,51 @@ func (p *DerivedProperty) Selectivity(v string, theta int) float64 {
 }
 
 // EntityRowsWithStrength returns the entity rows associated with value v
-// at strength ≥ θ.
+// at strength ≥ θ, sorted ascending. Results are memoized in the αDB
+// selectivity cache; do not mutate the returned slice.
 func (p *DerivedProperty) EntityRowsWithStrength(v string, theta int) []int {
-	var out []int
-	for _, vc := range p.perValueRows[v] {
-		if vc.count >= theta {
-			out = append(out, vc.entityRow)
+	key := SelKey{Prop: p, Value: v, Theta: theta}
+	return p.cache.Rows(key, func() []int {
+		var out []int
+		for _, vc := range p.perValueRows[v] {
+			if vc.count >= theta {
+				out = append(out, vc.entityRow)
+			}
 		}
+		return out
+	})
+}
+
+// EntityRowsWithNormStrength returns the entity rows associated with
+// value v at normalized strength ≥ θn, where each row's strength is
+// divided by its degree (total association count) from the companion
+// degree property. Sorted ascending; memoized; do not mutate.
+func (p *DerivedProperty) EntityRowsWithNormStrength(v string, thetaN float64, degree *DerivedProperty) []int {
+	if degree == nil {
+		return nil // no denominator: nothing satisfies a normalized threshold
 	}
-	return out
+	key := SelKey{Prop: p, Value: v, Lo: thetaN, Theta: -1}
+	return p.cache.Rows(key, func() []int {
+		var out []int
+		for _, vc := range p.perValueRows[v] {
+			if d := float64(degree.StrengthOf(vc.entityRow, degree.Via)); d > 0 && float64(vc.count)/d >= thetaN {
+				out = append(out, vc.entityRow)
+			}
+		}
+		return out
+	})
+}
+
+// StrengthOf returns the association strength of the entity at row for
+// value v (0 when unassociated) by binary search over the row-sorted
+// posting list — the O(log n) replacement for scanning ValueEntries.
+func (p *DerivedProperty) StrengthOf(row int, v string) int {
+	vcs := p.perValueRows[v]
+	i := sort.Search(len(vcs), func(i int) bool { return vcs[i].entityRow >= row })
+	if i < len(vcs) && vcs[i].entityRow == row {
+		return vcs[i].count
+	}
+	return 0
 }
 
 // ValEntry pairs an entity row with its association strength.

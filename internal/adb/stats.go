@@ -21,6 +21,13 @@ type Stats struct {
 	DerivedRows    int
 	NumBasicProps  int
 	NumDerivedProp int
+
+	// Online-pipeline surfaces: materialized hash indexes in the shared
+	// pool and the selectivity-cache health counters.
+	NumHashIndexes  int
+	SelCacheEntries int
+	SelCacheHits    uint64
+	SelCacheMisses  uint64
 }
 
 // RelCard pairs a relation name with its row count.
@@ -53,6 +60,9 @@ func (a *AlphaDB) ComputeStats() Stats {
 		s.NumBasicProps += len(e.Basic)
 		s.NumDerivedProp += len(e.Derived)
 	}
+	s.NumHashIndexes = a.Indexes.NumIndexes()
+	s.SelCacheEntries = a.selCache.Len()
+	s.SelCacheHits, s.SelCacheMisses = a.selCache.Metrics()
 	return s
 }
 
@@ -66,6 +76,9 @@ func (s Stats) String() string {
 		humanBytes(s.PrecomputedSize), s.NumDerivedRels, s.DerivedRows)
 	fmt.Fprintf(&b, "  Precomputation time  %v\n", s.BuildTime.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  Properties           %d basic, %d derived\n", s.NumBasicProps, s.NumDerivedProp)
+	fmt.Fprintf(&b, "  Hash indexes         %d\n", s.NumHashIndexes)
+	fmt.Fprintf(&b, "  Selectivity cache    %d entries (%d hits, %d misses)\n",
+		s.SelCacheEntries, s.SelCacheHits, s.SelCacheMisses)
 	for _, rc := range s.RelationCards {
 		fmt.Fprintf(&b, "  Rel. Card.           %-14s %d\n", rc.Relation, rc.Rows)
 	}

@@ -51,32 +51,90 @@ type scorer struct {
 	info  *adb.EntityInfo
 	self  map[int]float64
 	pairs map[[2]int]float64
+	rows  map[int]*rowProfile
+}
+
+// rowProfile caches one candidate row's property values, fetched from
+// the αDB once and reused across every pair the row participates in
+// (the exhaustive search scores O(candidates²) pairs; without the
+// profile each pair re-resolved value sets and association-count maps).
+type rowProfile struct {
+	// catVals holds, per basic categorical property (aligned with
+	// info.Basic), the row's deduplicated value set.
+	catVals []map[string]struct{}
+	// counts holds, per derived property (aligned with info.Derived),
+	// the row's association counts.
+	counts []map[string]int
 }
 
 func newScorer(info *adb.EntityInfo) *scorer {
-	return &scorer{info: info, self: map[int]float64{}, pairs: map[[2]int]float64{}}
+	return &scorer{
+		info:  info,
+		self:  map[int]float64{},
+		pairs: map[[2]int]float64{},
+		rows:  map[int]*rowProfile{},
+	}
 }
 
-// resolveExhaustive scores every combination.
+// profile fetches (once) the cached property values of a row.
+func (sc *scorer) profile(row int) *rowProfile {
+	if p, ok := sc.rows[row]; ok {
+		return p
+	}
+	info := sc.info
+	p := &rowProfile{
+		catVals: make([]map[string]struct{}, len(info.Basic)),
+		counts:  make([]map[string]int, len(info.Derived)),
+	}
+	for i, prop := range info.Basic {
+		if prop.Kind != adb.Categorical {
+			continue
+		}
+		vals := prop.Values(row)
+		if len(vals) == 0 {
+			continue
+		}
+		set := make(map[string]struct{}, len(vals))
+		for _, v := range vals {
+			set[v] = struct{}{}
+		}
+		p.catVals[i] = set
+	}
+	id := info.IDByRow(row)
+	for i, prop := range info.Derived {
+		p.counts[i] = prop.Counts(id)
+	}
+	sc.rows[row] = p
+	return p
+}
+
+// resolveExhaustive scores every combination. The recursion carries the
+// partial pairwise score of the prefix, so extending an assignment by
+// one example costs O(prefix) cached-sim lookups instead of rescoring
+// the whole set per leaf.
 func (sc *scorer) resolveExhaustive(candidates [][]int) []int {
 	assign := make([]int, len(candidates))
 	best := make([]int, len(candidates))
 	bestScore := -1.0
-	var recurse func(i int)
-	recurse = func(i int) {
+	var recurse func(i int, partial float64)
+	recurse = func(i int, partial float64) {
 		if i == len(candidates) {
-			if s := sc.setScore(assign); s > bestScore {
-				bestScore = s
+			if partial > bestScore {
+				bestScore = partial
 				copy(best, assign)
 			}
 			return
 		}
 		for _, row := range candidates[i] {
 			assign[i] = row
-			recurse(i + 1)
+			gain := 0.0
+			for j := 0; j < i; j++ {
+				gain += sc.sim(assign[j], row)
+			}
+			recurse(i+1, partial+gain)
 		}
 	}
-	recurse(0)
+	recurse(0, 0)
 	return best
 }
 
@@ -114,17 +172,6 @@ func (sc *scorer) resolveGreedy(candidates [][]int) []int {
 	return out
 }
 
-// setScore sums pairwise similarities over the chosen rows.
-func (sc *scorer) setScore(rows []int) float64 {
-	s := 0.0
-	for i := 0; i < len(rows); i++ {
-		for j := i + 1; j < len(rows); j++ {
-			s += sc.sim(rows[i], rows[j])
-		}
-	}
-	return s
-}
-
 // sim is the cosine-normalized similarity: shared information weight
 // divided by the geometric mean of the rows' self weights. The
 // normalization stops high-degree hub entities (a prolific actor shares
@@ -141,7 +188,7 @@ func (sc *scorer) sim(a, b int) float64 {
 	if v, ok := sc.pairs[key]; ok {
 		return v
 	}
-	raw := pairSimilarity(sc.info, a, b)
+	raw := sc.pairSimilarity(a, b)
 	norm := math.Sqrt(sc.selfWeight(a) * sc.selfWeight(b))
 	v := 0.0
 	if norm > 0 {
@@ -158,16 +205,12 @@ func (sc *scorer) selfWeight(row int) float64 {
 		return v
 	}
 	info := sc.info
+	prof := sc.profile(row)
 	w := 0.0
-	for _, p := range info.Basic {
+	for i, p := range info.Basic {
 		switch p.Kind {
 		case adb.Categorical:
-			seen := map[string]struct{}{}
-			for _, v := range p.Values(row) {
-				if _, dup := seen[v]; dup {
-					continue
-				}
-				seen[v] = struct{}{}
+			for v := range prof.catVals[i] {
 				w += rarity(p.CategoricalSelectivity(v))
 			}
 		case adb.Numeric:
@@ -176,9 +219,8 @@ func (sc *scorer) selfWeight(row int) float64 {
 			}
 		}
 	}
-	id := info.IDByRow(row)
-	for _, p := range info.Derived {
-		for v, n := range p.Counts(id) {
+	for i, p := range info.Derived {
+		for v, n := range prof.counts[i] {
 			w += rarity(p.Selectivity(v, n))
 		}
 	}
@@ -194,30 +236,28 @@ func (sc *scorer) selfWeight(row int) float64 {
 // namesakes, and what keeps an ambiguous cast-member name resolving to
 // the co-star rather than a popular homonym. Derived associations use
 // ψ(v, min-strength), so strong shared associations count more (the
-// paper: "SQuID aims to increase the association strength").
-func pairSimilarity(info *adb.EntityInfo, a, b int) float64 {
+// paper: "SQuID aims to increase the association strength"). Both rows'
+// value sets come from the scorer's per-row profiles, so each pair costs
+// a weighted set intersection with no αDB refetches.
+func (sc *scorer) pairSimilarity(a, b int) float64 {
 	if a == b {
 		return 0
 	}
+	info := sc.info
+	pa, pb := sc.profile(a), sc.profile(b)
 	score := 0.0
-	for _, p := range info.Basic {
+	for i, p := range info.Basic {
 		switch p.Kind {
 		case adb.Categorical:
-			av, bv := p.Values(a), p.Values(b)
+			av, bv := pa.catVals[i], pb.catVals[i]
 			if len(av) == 0 || len(bv) == 0 {
 				continue
 			}
-			set := make(map[string]struct{}, len(av))
-			for _, v := range av {
-				set[v] = struct{}{}
+			if len(bv) < len(av) {
+				av, bv = bv, av
 			}
-			seen := make(map[string]struct{}, len(bv))
-			for _, v := range bv {
-				if _, dup := seen[v]; dup {
-					continue
-				}
-				seen[v] = struct{}{}
-				if _, ok := set[v]; ok {
+			for v := range av {
+				if _, ok := bv[v]; ok {
 					score += rarity(p.CategoricalSelectivity(v))
 				}
 			}
@@ -239,13 +279,11 @@ func pairSimilarity(info *adb.EntityInfo, a, b int) float64 {
 			score += 1 - d/span
 		}
 	}
-	aid, bid := info.IDByRow(a), info.IDByRow(b)
-	for _, p := range info.Derived {
-		ac := p.Counts(aid)
-		if len(ac) == 0 {
+	for i, p := range info.Derived {
+		ac, bc := pa.counts[i], pb.counts[i]
+		if len(ac) == 0 || len(bc) == 0 {
 			continue
 		}
-		bc := p.Counts(bid)
 		for v, n := range ac {
 			if m, ok := bc[v]; ok {
 				minStrength := n

@@ -3,19 +3,34 @@ package engine
 import (
 	"fmt"
 
+	"squid/internal/index"
 	"squid/internal/relation"
 )
 
 // Executor runs logical queries against a database using hash joins with
-// predicate pushdown. It is stateless beyond the database handle; build
-// one per database.
+// predicate pushdown. Point predicates (= and IN) on indexed-size
+// relations are answered from a shared hash-index pool instead of column
+// scans; the pool is concurrency-safe, so one executor can serve many
+// goroutines.
 type Executor struct {
-	db *relation.Database
+	db  *relation.Database
+	idx *index.IndexSet
 }
 
-// NewExecutor creates an executor over db.
+// indexMinRows is the relation size below which a scan beats building or
+// probing a hash index.
+const indexMinRows = 64
+
+// NewExecutor creates an executor over db with a private index pool.
 func NewExecutor(db *relation.Database) *Executor {
-	return &Executor{db: db}
+	return NewExecutorWithIndexes(db, index.NewIndexSet())
+}
+
+// NewExecutorWithIndexes creates an executor sharing an existing index
+// pool (the αDB hands its own pool over, so engine lookups reuse the
+// offline indexes and stay consistent under incremental inserts).
+func NewExecutorWithIndexes(db *relation.Database, idx *index.IndexSet) *Executor {
+	return &Executor{db: db, idx: idx}
 }
 
 // Execute runs the query and returns its projected tuples. DISTINCT and
@@ -177,13 +192,37 @@ func (e *Executor) executeNoIntersect(q *Query) (*Result, error) {
 	return res, nil
 }
 
-// filterRows returns the rows of rel that satisfy all preds.
+// filterRows returns the rows of rel that satisfy all preds, sorted
+// ascending. When a point predicate (= or IN) targets an indexable
+// column of a large-enough relation, the candidate rows come from the
+// hash-index pool in O(k) and only the remaining predicates are
+// verified; otherwise the relation is scanned.
 func (e *Executor) filterRows(rel *relation.Relation, preds []Pred) []int {
-	var out []int
 	cols := make([]*relation.Column, len(preds))
 	for i, p := range preds {
 		cols[i] = rel.Column(p.Col)
 	}
+
+	if rel.NumRows() >= indexMinRows {
+		if cands, ok := e.indexCandidates(rel, preds, cols); ok {
+			out := cands[:0:0]
+			for _, row := range cands {
+				keep := true
+				for i, p := range preds {
+					if !p.Matches(cols[i].Get(row)) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out = append(out, row)
+				}
+			}
+			return out
+		}
+	}
+
+	var out []int
 	for row := 0; row < rel.NumRows(); row++ {
 		ok := true
 		for i, p := range preds {
@@ -197,6 +236,66 @@ func (e *Executor) filterRows(rel *relation.Relation, preds []Pred) []int {
 		}
 	}
 	return out
+}
+
+// indexCandidates picks the most selective point predicate that a hash
+// index can answer and returns its candidate rows (sorted ascending; a
+// superset of the matching rows — string indexes are
+// normalization-folded, so every candidate is re-verified by the
+// caller). ok is false when no predicate is index-answerable.
+func (e *Executor) indexCandidates(rel *relation.Relation, preds []Pred, cols []*relation.Column) (cands []int, ok bool) {
+	best := -1
+	var bestRows []int
+	consider := func(i int, rows []int) {
+		if best == -1 || len(rows) < len(bestRows) {
+			best, bestRows = i, rows
+		}
+	}
+	for i, p := range preds {
+		col := cols[i]
+		switch {
+		case p.Op == OpEq && col.Type == relation.Int && p.Val.IsInt():
+			consider(i, e.idx.IntHash(rel, p.Col).Rows(p.Val.Int()))
+		case p.Op == OpEq && col.Type == relation.String && p.Val.IsString():
+			consider(i, e.idx.StrHash(rel, p.Col).Rows(p.Val.Str()))
+		case p.Op == OpIn && col.Type == relation.String:
+			rows, valid := e.inCandidates(rel, p)
+			if valid {
+				consider(i, rows)
+			}
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	return bestRows, true
+}
+
+// inCandidates unions the per-value posting lists of an IN predicate
+// into one ascending row list.
+func (e *Executor) inCandidates(rel *relation.Relation, p Pred) ([]int, bool) {
+	h := e.idx.StrHash(rel, p.Col)
+	var lists [][]int
+	for _, v := range p.Vals {
+		if !v.IsString() {
+			return nil, false
+		}
+		if rows := h.Rows(v.Str()); len(rows) > 0 {
+			lists = append(lists, rows)
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return nil, true
+	case 1:
+		return lists[0], true
+	}
+	// k-way union by repeated two-way merges (IN lists are short).
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = index.UnionSorted(out, l)
+	}
+	return out, true
 }
 
 // hashJoin extends each intermediate tuple with matching rows of the new

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"squid/internal/index"
+	"squid/internal/relation"
+)
+
+// pushdownDB builds a relation comfortably above indexMinRows so point
+// predicates take the hash-index path.
+func pushdownDB(n int) *relation.Database {
+	db := relation.NewDatabase("push")
+	items := relation.New("items",
+		relation.Col("id", relation.Int),
+		relation.Col("cat", relation.String),
+		relation.Col("score", relation.Int),
+	).SetPrimaryKey("id")
+	cats := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < n; i++ {
+		items.MustAppend(
+			relation.IntVal(int64(i)),
+			relation.StringVal(cats[i%len(cats)]),
+			relation.IntVal(int64(i%10)),
+		)
+	}
+	db.AddRelation(items)
+
+	tags := relation.New("tags",
+		relation.Col("item_id", relation.Int),
+		relation.Col("tag", relation.String),
+	).AddForeignKey("item_id", "items", "id")
+	for i := 0; i < n; i += 2 {
+		tags.MustAppend(relation.IntVal(int64(i)), relation.StringVal(fmt.Sprintf("tag%d", i%5)))
+	}
+	db.AddRelation(tags)
+	return db
+}
+
+// scanRows evaluates predicates by brute force, the oracle for the
+// index-backed filterRows.
+func scanRows(rel *relation.Relation, preds []Pred) []int {
+	var out []int
+	for row := 0; row < rel.NumRows(); row++ {
+		ok := true
+		for _, p := range preds {
+			if !p.Matches(rel.Column(p.Col).Get(row)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func TestFilterRowsIndexVsScan(t *testing.T) {
+	db := pushdownDB(200)
+	e := NewExecutor(db)
+	items := db.Relation("items")
+	cases := [][]Pred{
+		{{Rel: "items", Col: "id", Op: OpEq, Val: relation.IntVal(17)}},
+		{{Rel: "items", Col: "cat", Op: OpEq, Val: relation.StringVal("beta")}},
+		{
+			{Rel: "items", Col: "cat", Op: OpEq, Val: relation.StringVal("gamma")},
+			{Rel: "items", Col: "score", Op: OpGE, Val: relation.IntVal(5)},
+		},
+		{{Rel: "items", Col: "cat", Op: OpIn, Vals: []relation.Value{
+			relation.StringVal("alpha"), relation.StringVal("delta")}}},
+		{{Rel: "items", Col: "cat", Op: OpEq, Val: relation.StringVal("missing")}},
+		{{Rel: "items", Col: "score", Op: OpGE, Val: relation.IntVal(8)}}, // no point pred: scan path
+	}
+	for i, preds := range cases {
+		got := e.filterRows(items, preds)
+		want := scanRows(items, preds)
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Errorf("case %d: filterRows=%v want %v", i, got, want)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Errorf("case %d: rows not sorted", i)
+		}
+	}
+}
+
+func TestExecutePushdownJoin(t *testing.T) {
+	db := pushdownDB(200)
+	q := &Query{
+		From:  []string{"items", "tags"},
+		Joins: []Join{{LeftRel: "items", LeftCol: "id", RightRel: "tags", RightCol: "item_id"}},
+		Preds: []Pred{
+			{Rel: "items", Col: "cat", Op: OpEq, Val: relation.StringVal("alpha")},
+			{Rel: "tags", Col: "tag", Op: OpEq, Val: relation.StringVal("tag0")},
+		},
+		Select:   []ColRef{{Rel: "items", Col: "id"}},
+		Distinct: true,
+	}
+	res, err := NewExecutor(db).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: items with cat=alpha (id%4==0) that carry tag0
+	// (even ids with id%5==0 → id%10==0 among even rows).
+	var want []string
+	for i := 0; i < 200; i += 2 {
+		if i%4 == 0 && i%5 == 0 {
+			want = append(want, fmt.Sprintf("%d", i))
+		}
+	}
+	got := res.Strings()
+	sort.Strings(got)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("pushdown join = %v want %v", got, want)
+	}
+}
+
+// TestExecutorSharedPoolConcurrent runs queries from many goroutines
+// against one executor sharing an index pool (the DiscoverBatch engine
+// configuration); meaningful under -race.
+func TestExecutorSharedPoolConcurrent(t *testing.T) {
+	db := pushdownDB(200)
+	pool := index.NewIndexSet()
+	e := NewExecutorWithIndexes(db, pool)
+	q := &Query{
+		From:   []string{"items"},
+		Preds:  []Pred{{Rel: "items", Col: "cat", Op: OpEq, Val: relation.StringVal("beta")}},
+		Select: []ColRef{{Rel: "items", Col: "id"}},
+	}
+	want, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := e.Execute(q)
+				if err != nil {
+					t.Errorf("execute: %v", err)
+					return
+				}
+				if res.NumRows() != want.NumRows() {
+					t.Errorf("rows %d want %d", res.NumRows(), want.NumRows())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

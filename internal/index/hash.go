@@ -44,6 +44,12 @@ func (h *IntHash) First(v int64) (int, bool) {
 // NumKeys returns the number of distinct indexed values.
 func (h *IntHash) NumKeys() int { return len(h.rows) }
 
+// Insert adds one (value, row) posting incrementally; rows must be
+// appended in ascending order so posting lists stay sorted.
+func (h *IntHash) Insert(v int64, row int) {
+	h.rows[v] = append(h.rows[v], row)
+}
+
 // StrHash is a hash index from a string column's (normalized) values to
 // row numbers.
 type StrHash struct {
@@ -72,3 +78,10 @@ func (h *StrHash) Rows(v string) []int { return h.rows[Normalize(v)] }
 
 // NumKeys returns the number of distinct indexed values.
 func (h *StrHash) NumKeys() int { return len(h.rows) }
+
+// Insert adds one (value, row) posting incrementally; rows must be
+// appended in ascending order so posting lists stay sorted.
+func (h *StrHash) Insert(v string, row int) {
+	key := Normalize(v)
+	h.rows[key] = append(h.rows[key], row)
+}

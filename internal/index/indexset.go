@@ -1,0 +1,298 @@
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"squid/internal/relation"
+)
+
+// IndexSet is a concurrency-safe registry of hash indexes keyed by
+// (relation, column). It is the per-αDB index pool of the online
+// pipeline: every point lookup that used to rebuild an ad-hoc hash map
+// (dimension resolution during incremental maintenance, point-predicate
+// pushdown in the engine) instead asks the set, which builds each index
+// at most once and serves all later lookups from the shared copy.
+//
+// Reads are lock-free after the first build of an index; builds use
+// double-checked locking so concurrent readers of a cold index block
+// only each other, never readers of warm indexes.
+type IndexSet struct {
+	mu   sync.RWMutex
+	ints map[ColumnKey]*IntHash
+	strs map[ColumnKey]*StrHash
+}
+
+// NewIndexSet creates an empty index set.
+func NewIndexSet() *IndexSet {
+	return &IndexSet{
+		ints: make(map[ColumnKey]*IntHash),
+		strs: make(map[ColumnKey]*StrHash),
+	}
+}
+
+// IntHash returns the shared hash index over the named integer column of
+// rel, building it on first use.
+func (s *IndexSet) IntHash(rel *relation.Relation, col string) *IntHash {
+	key := ColumnKey{rel.Name, col}
+	s.mu.RLock()
+	h := s.ints[key]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h = s.ints[key]; h == nil {
+		h = BuildIntHash(rel, col)
+		s.ints[key] = h
+	}
+	return h
+}
+
+// StrHash returns the shared hash index over the named string column of
+// rel, building it on first use.
+func (s *IndexSet) StrHash(rel *relation.Relation, col string) *StrHash {
+	key := ColumnKey{rel.Name, col}
+	s.mu.RLock()
+	h := s.strs[key]
+	s.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h = s.strs[key]; h == nil {
+		h = BuildStrHash(rel, col)
+		s.strs[key] = h
+	}
+	return h
+}
+
+// NoteAppend maintains every materialized index of rel for the row that
+// was just appended, keeping the set consistent with incremental inserts
+// without rebuilding (the αDB calls this from InsertEntity/InsertFact).
+func (s *IndexSet) NoteAppend(rel *relation.Relation, row int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, col := range rel.Columns() {
+		key := ColumnKey{rel.Name, col.Name}
+		switch col.Type {
+		case relation.Int:
+			if h := s.ints[key]; h != nil && !col.IsNull(row) {
+				h.Insert(col.Int64(row), row)
+			}
+		case relation.String:
+			if h := s.strs[key]; h != nil && !col.IsNull(row) {
+				h.Insert(col.Str(row), row)
+			}
+		}
+	}
+}
+
+// Drop discards the materialized indexes of one column; used when a
+// cell of that column is mutated in place (appends are handled by
+// NoteAppend; in-place updates would leave postings stale).
+func (s *IndexSet) Drop(relName, col string) {
+	key := ColumnKey{relName, col}
+	s.mu.Lock()
+	delete(s.ints, key)
+	delete(s.strs, key)
+	s.mu.Unlock()
+}
+
+// NumIndexes reports how many hash indexes have been materialized.
+func (s *IndexSet) NumIndexes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ints) + len(s.strs)
+}
+
+// NumericRows is a sorted (value, row) index over a numeric column: it
+// answers "which rows fall in [lo, hi]" in O(log n + k) instead of a
+// full column scan, backing the numeric range filters of the online
+// phase. Values are sorted; rows ride along.
+type NumericRows struct {
+	vals []float64
+	rows []int
+}
+
+// BuildNumericRows builds the index from parallel value/row slices
+// (typically the non-NULL cells of one column). The inputs are copied.
+func BuildNumericRows(vals []float64, rows []int) *NumericRows {
+	n := &NumericRows{
+		vals: append([]float64(nil), vals...),
+		rows: append([]int(nil), rows...),
+	}
+	n.sortPairs(0, len(n.vals))
+	return n
+}
+
+// sortPairs sorts vals[lo:hi] and rows[lo:hi] together by value
+// (insertion into already-sorted prefixes is the common incremental
+// case; initial builds use the stdlib via an index permutation when the
+// slice is large).
+func (n *NumericRows) sortPairs(lo, hi int) {
+	// Simple binary-insertion sort over the pair slices: builds are
+	// one-time and incremental inserts touch a single element, so this
+	// stays O(n log n) comparisons / O(n²) moves worst case but in
+	// practice the builder feeds nearly-unsorted data only once per
+	// column at αDB construction. For large columns switch to a
+	// permutation sort.
+	if hi-lo > 64 {
+		n.permSort(lo, hi)
+		return
+	}
+	for i := lo + 1; i < hi; i++ {
+		v, r := n.vals[i], n.rows[i]
+		j := i
+		for j > lo && n.vals[j-1] > v {
+			n.vals[j], n.rows[j] = n.vals[j-1], n.rows[j-1]
+			j--
+		}
+		n.vals[j], n.rows[j] = v, r
+	}
+}
+
+// permSort sorts the pair slices via an index permutation using the
+// stdlib sort (O(n log n)).
+func (n *NumericRows) permSort(lo, hi int) {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	sort.Slice(idx, func(a, b int) bool { return n.vals[idx[a]] < n.vals[idx[b]] })
+	vals := make([]float64, hi-lo)
+	rows := make([]int, hi-lo)
+	for i, p := range idx {
+		vals[i], rows[i] = n.vals[p], n.rows[p]
+	}
+	copy(n.vals[lo:hi], vals)
+	copy(n.rows[lo:hi], rows)
+}
+
+// Len returns the number of indexed (value, row) pairs.
+func (n *NumericRows) Len() int { return len(n.vals) }
+
+// RowsInRange returns the rows whose value lies in the closed interval
+// [lo, hi], sorted ascending by row number.
+func (n *NumericRows) RowsInRange(lo, hi float64) []int {
+	if hi < lo || len(n.vals) == 0 {
+		return nil
+	}
+	from := searchFloat(n.vals, lo)    // first index with val >= lo
+	to := searchFloatAfter(n.vals, hi) // first index with val > hi
+	if from >= to {
+		return nil
+	}
+	out := append([]int(nil), n.rows[from:to]...)
+	sort.Ints(out)
+	return out
+}
+
+// CountRange returns |{rows : lo ≤ value ≤ hi}| in O(log n).
+func (n *NumericRows) CountRange(lo, hi float64) int {
+	if hi < lo {
+		return 0
+	}
+	return searchFloatAfter(n.vals, hi) - searchFloat(n.vals, lo)
+}
+
+// Insert adds one (value, row) pair, keeping the value order (αDB
+// incremental maintenance). A nil receiver allocates a fresh index.
+func (n *NumericRows) Insert(v float64, row int) *NumericRows {
+	if n == nil {
+		return &NumericRows{vals: []float64{v}, rows: []int{row}}
+	}
+	pos := searchFloat(n.vals, v)
+	n.vals = append(n.vals, 0)
+	n.rows = append(n.rows, 0)
+	copy(n.vals[pos+1:], n.vals[pos:])
+	copy(n.rows[pos+1:], n.rows[pos:])
+	n.vals[pos], n.rows[pos] = v, row
+	return n
+}
+
+// searchFloat returns the first index i with xs[i] >= v.
+func searchFloat(xs []float64, v float64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchFloatAfter returns the first index i with xs[i] > v.
+func searchFloatAfter(xs []float64, v float64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IntersectSorted intersects two ascending row lists by merge; the
+// result is ascending. It is the abduction layer's posting-list
+// intersection primitive.
+func IntersectSorted(a, b []int) []int {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]int, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// UnionSorted merges two ascending row lists, dropping duplicates; the
+// result is ascending. Together with IntersectSorted it is the posting
+// -list algebra shared by the abduction layer, the αDB's disjunctive
+// row sets, and the engine's IN-predicate pushdown.
+func UnionSorted(a, b []int) []int {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

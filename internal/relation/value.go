@@ -70,6 +70,12 @@ func StringVal(v string) Value { return Value{kind: kindString, s: v} }
 // IsNull reports whether the value is NULL.
 func (v Value) IsNull() bool { return v.kind == kindNull }
 
+// IsInt reports whether the value holds an integer payload.
+func (v Value) IsInt() bool { return v.kind == kindInt }
+
+// IsString reports whether the value holds a string payload.
+func (v Value) IsString() bool { return v.kind == kindString }
+
 // Int returns the integer payload; it panics if the value is not an Int.
 func (v Value) Int() int64 {
 	if v.kind != kindInt {

@@ -22,6 +22,32 @@
 //     contexts, and runs the linear-time abduction algorithm (Algorithm 1,
 //     optimal per Theorem 1) to select the filters of the intended query.
 //
+// # Online pipeline architecture
+//
+// The online phase is index-backed, cache-aware, and concurrency-safe,
+// so discovery cost tracks the number of candidate filters rather than
+// the data size (the paper's Fig 16b scalability claim):
+//
+//   - An IndexSet (internal/index) pools hash indexes over every base
+//     and derived relation, built once and maintained in place by
+//     incremental inserts; dimension lookups, αDB maintenance, and the
+//     engine's point-predicate pushdown all share it.
+//   - Each property answers selectivity and satisfying-row questions
+//     from precomputed postings and sorted value→row indexes; a
+//     memoized selectivity cache (internal/adb.SelCache) shares row
+//     sets across discoveries and is invalidated on insert.
+//   - Filter row sets intersect as sorted posting-list merges, seeded
+//     by the most selective filter.
+//   - DiscoverBatch fans independent example sets across a bounded
+//     worker pool with read-only shared access to the αDB; writes
+//     (InsertEntity/InsertFact) must be externally serialized with
+//     respect to discovery.
+//
+// Benchmarks: `go test -bench=.` runs the experiment harness at reduced
+// scale; `go run ./cmd/squid-bench -exp all` regenerates the paper's
+// tables, and `-json` emits machine-readable per-phase timings for
+// tracking across commits.
+//
 // A minimal session:
 //
 //	db := squid.NewDatabase("cs_academics")
@@ -33,7 +59,11 @@
 package squid
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"squid/internal/abduction"
 	"squid/internal/adb"
@@ -41,6 +71,15 @@ import (
 	"squid/internal/engine"
 	"squid/internal/relation"
 	"squid/internal/sqlgen"
+)
+
+// Typed sentinel errors of the online phase, matched with errors.Is.
+var (
+	// ErrNoExamples reports that Discover was called with no examples.
+	ErrNoExamples = abduction.ErrNoExamples
+	// ErrNoEntities reports that no entity attribute contains every
+	// example value, so no query intent can be abduced.
+	ErrNoEntities = abduction.ErrNoEntities
 )
 
 // Re-exported schema-building types: a Database is a set of Relations
@@ -113,9 +152,17 @@ var (
 type CSVColumn = relation.CSVColumn
 
 // System is an abduction-ready SQuID instance over one database.
+// Discovery (Discover, DiscoverAll, DiscoverBatch, Execute) is safe for
+// concurrent use; inserts must not run concurrently with discovery.
 type System struct {
 	alpha  *adb.AlphaDB
 	params Params
+
+	// batchWorkers bounds DiscoverBatch's worker pool (0 = GOMAXPROCS).
+	batchWorkers int
+
+	execOnce sync.Once
+	exec     *engine.Executor
 }
 
 // Build runs the offline phase: it constructs the abduction-ready
@@ -200,6 +247,71 @@ func (s *System) InsertFact(rel string, vals ...Value) error {
 	return s.alpha.InsertFact(rel, vals...)
 }
 
+// SetBatchWorkers bounds the DiscoverBatch worker pool; n ≤ 0 restores
+// the default (GOMAXPROCS).
+func (s *System) SetBatchWorkers(n int) { s.batchWorkers = n }
+
+// DiscoverBatch runs the online phase for many independent example sets
+// concurrently over the shared read-only αDB: example sets fan out
+// across a bounded worker pool (SetBatchWorkers; default GOMAXPROCS),
+// and similar intents reuse each other's memoized selectivity row sets.
+//
+// The returned slice is parallel to exampleSets; entries whose
+// discovery failed are nil, and the error is the join of the per-set
+// failures wrapped with their index (errors.Is still matches the
+// sentinels, e.g. ErrNoEntities). When ctx is canceled before every
+// set has been dispatched, the undispatched entries stay nil, their
+// failures are recorded as ctx's error, and the joined error also
+// matches ctx.Err(); sets that finished before the cancellation keep
+// their results either way.
+func (s *System) DiscoverBatch(ctx context.Context, exampleSets [][]string) ([]*Discovery, error) {
+	out := make([]*Discovery, len(exampleSets))
+	if len(exampleSets) == 0 {
+		return out, nil
+	}
+	workers := s.batchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exampleSets) {
+		workers = len(exampleSets)
+	}
+	errs := make([]error, len(exampleSets))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = s.Discover(exampleSets[i])
+			}
+		}()
+	}
+	dispatched := len(exampleSets)
+dispatch:
+	for i := range exampleSets {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			dispatched = i
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	var failed []error
+	for i, err := range errs {
+		switch {
+		case err != nil:
+			failed = append(failed, fmt.Errorf("example set %d: %w", i, err))
+		case i >= dispatched:
+			failed = append(failed, fmt.Errorf("example set %d: %w", i, ctx.Err()))
+		}
+	}
+	return out, errors.Join(failed...)
+}
+
 // DiscoverWithoutDisambiguation runs discovery with ambiguity resolved
 // arbitrarily (first match); used by the Fig 12 ablation.
 func (s *System) DiscoverWithoutDisambiguation(examples []string) (*Discovery, error) {
@@ -252,7 +364,15 @@ func (d *Discovery) Result() *abduction.Result { return d.result }
 // against which Plan() queries run.
 func (s *System) ExecutableDB() *Database { return s.alpha.CombinedDB() }
 
-// Execute runs a logical query plan against the combined database.
+// Execute runs a logical query plan against the combined database. The
+// executor is built once and shares the αDB's hash-index pool, so point
+// predicates push down to index lookups and repeated executions skip
+// re-planning setup; it remains valid across incremental inserts
+// (relations are shared by reference and the pool is maintained in
+// place).
 func (s *System) Execute(q *Query) (*ExecResult, error) {
-	return engine.NewExecutor(s.alpha.CombinedDB()).Execute(q)
+	s.execOnce.Do(func() {
+		s.exec = engine.NewExecutorWithIndexes(s.alpha.CombinedDB(), s.alpha.Indexes)
+	})
+	return s.exec.Execute(q)
 }

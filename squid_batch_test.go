@@ -1,0 +1,174 @@
+package squid
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestDiscoverBatchMatchesSerial(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := [][]string{
+		{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"},
+		{"Thomas Cormen", "James Kurose"},
+		{"Dan Suciu", "Jiawei Han"},
+	}
+	batch, err := sys.DiscoverBatch(context.Background(), sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sets) {
+		t.Fatalf("batch returned %d results want %d", len(batch), len(sets))
+	}
+	for i, set := range sets {
+		serial, err := sys.Discover(set)
+		if err != nil {
+			t.Fatalf("serial discover %d: %v", i, err)
+		}
+		if batch[i] == nil {
+			t.Fatalf("batch result %d is nil", i)
+		}
+		if batch[i].SQL != serial.SQL {
+			t.Errorf("set %d: batch SQL %q != serial %q", i, batch[i].SQL, serial.SQL)
+		}
+		if !reflect.DeepEqual(batch[i].Output, serial.Output) {
+			t.Errorf("set %d: outputs diverge", i)
+		}
+	}
+}
+
+func TestDiscoverBatchPartialFailure(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := [][]string{
+		{"Dan Suciu", "Sam Madden"},
+		{"No Such Person", "Equally Missing"},
+		{},
+	}
+	results, err := sys.DiscoverBatch(context.Background(), sets)
+	if err == nil {
+		t.Fatal("expected a joined error for the failing sets")
+	}
+	if !errors.Is(err, ErrNoEntities) {
+		t.Errorf("joined error does not match ErrNoEntities: %v", err)
+	}
+	if !errors.Is(err, ErrNoExamples) {
+		t.Errorf("joined error does not match ErrNoExamples: %v", err)
+	}
+	if results[0] == nil || results[0].Entity != "academics" {
+		t.Error("healthy set did not produce a discovery")
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Error("failed sets should yield nil discoveries")
+	}
+}
+
+func TestDiscoverBatchEmptyAndCancel(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sys.DiscoverBatch(context.Background(), nil); err != nil || len(res) != 0 {
+		t.Errorf("empty batch: res=%v err=%v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sets := make([][]string, 64)
+	for i := range sets {
+		sets[i] = []string{"Dan Suciu", "Sam Madden"}
+	}
+	if _, err := sys.DiscoverBatch(ctx, sets); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled batch returned %v", err)
+	}
+}
+
+// TestFilterStatsRefreshAfterInsert regresses the filter-level memo: a
+// Filter held from a prior discovery must answer from post-insert
+// statistics, not from rows memoized before the insert.
+func TestFilterStatsRefreshAfterInsert(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := sys.Discover([]string{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *Filter
+	for _, d := range disc.Decisions {
+		if d.Filter.Value() == "data management" {
+			f = d.Filter
+		}
+	}
+	if f == nil {
+		t.Fatal("interest filter not among candidates")
+	}
+	before := len(f.EntityRows())
+	psiBefore := f.Selectivity()
+
+	// Thomas Cormen (id 100, row 0) picks up the interest.
+	if err := sys.InsertFact("research", IntVal(100), StringVal("data management")); err != nil {
+		t.Fatal(err)
+	}
+	after := f.EntityRows()
+	if len(after) != before+1 {
+		t.Errorf("post-insert EntityRows = %d want %d (stale memo?)", len(after), before+1)
+	}
+	if f.Selectivity() <= psiBefore {
+		t.Errorf("post-insert selectivity %v did not grow from %v", f.Selectivity(), psiBefore)
+	}
+}
+
+// TestDiscoverBatchHammer fans many concurrent batches over one shared
+// System; under -race it proves the read path (inverted index, property
+// statistics, selectivity cache, lazy index pool, engine executor) is
+// concurrency-safe.
+func TestDiscoverBatchHammer(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetBatchWorkers(4)
+	sets := [][]string{
+		{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"},
+		{"Thomas Cormen", "James Kurose"},
+		{"Dan Suciu", "Joseph Hellerstein"},
+		{"Jiawei Han", "Dan Suciu"},
+	}
+	want, err := sys.Discover(sets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				res, err := sys.DiscoverBatch(context.Background(), sets)
+				if err != nil {
+					t.Errorf("batch failed: %v", err)
+					return
+				}
+				if res[0] == nil || res[0].SQL != want.SQL {
+					t.Error("concurrent batch diverged from serial result")
+					return
+				}
+				// Exercise the shared engine executor concurrently too.
+				if _, err := sys.Execute(res[0].Plan()); err != nil {
+					t.Errorf("execute failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
