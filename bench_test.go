@@ -1,6 +1,7 @@
 package squid
 
 import (
+	"bytes"
 	"testing"
 
 	"squid/internal/adb"
@@ -141,6 +142,59 @@ func BenchmarkAlphaDBBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBuild compares the serial and parallel offline phases at
+// bench scale (the ISSUE 2 acceptance metric: ≥ 2x on ≥ 2 cores).
+func BenchmarkBuild(b *testing.B) {
+	g := datagen.GenerateIMDb(benchScale().IMDb)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := adb.DefaultConfig()
+			cfg.Workers = bc.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := adb.Build(g.DB, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshot measures warm-boot persistence: Save and Load
+// against the cold Build above (the ISSUE 2 acceptance metric: load ≥
+// 5x faster than a cold build).
+func BenchmarkSnapshot(b *testing.B) {
+	g := datagen.GenerateIMDb(benchScale().IMDb)
+	sys, err := Build(g.DB, DefaultBuildConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bytes.Buffer
+			w.Grow(buf.Len())
+			if err := sys.Save(&w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		b.SetBytes(int64(buf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDiscovery measures one end-to-end online discovery on a

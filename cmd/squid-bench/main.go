@@ -7,14 +7,22 @@
 //	squid-bench -exp fig10
 //	squid-bench -exp all [-scale full|test]
 //	squid-bench -exp all -json bench.json   # machine-readable timings
+//	squid-bench -exp build -json -          # offline-phase build-vs-load
 //
 // With -json the harness also measures the pipeline phases (dataset
 // generation, αDB construction, batch discovery throughput) and writes a
 // JSON report with per-phase wall times and rows/sec, so the benchmark
 // trajectory (BENCH_*.json) can be tracked across commits.
+//
+// The build experiment (aliases: build, build-vs-load) measures the
+// offline phase per dataset generator: serial vs parallel αDB
+// construction, snapshot save/load against the cold build, the αDB heap
+// footprint under dictionary encoding, and the process peak RSS.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -22,6 +30,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"squid"
@@ -39,13 +49,33 @@ type Phase struct {
 	PerRunMS   float64 `json:"per_run_ms,omitempty"`
 }
 
+// BuildResult is one dataset's offline-phase measurement (the
+// build-vs-load experiment).
+type BuildResult struct {
+	Dataset            string  `json:"dataset"`
+	Rows               int     `json:"rows"`
+	SerialBuildMS      float64 `json:"serial_build_ms"`
+	ParallelBuildMS    float64 `json:"parallel_build_ms"`
+	ParallelSpeedup    float64 `json:"parallel_speedup"`
+	Workers            int     `json:"workers"`
+	SnapshotBytes      int64   `json:"snapshot_bytes"`
+	SnapshotSaveMS     float64 `json:"snapshot_save_ms"`
+	SnapshotLoadMS     float64 `json:"snapshot_load_ms"`
+	LoadVsBuildSpeedup float64 `json:"load_vs_build_speedup"`
+	AlphaHeapBytes     int64   `json:"alpha_heap_bytes"`
+	DBBytes            int64   `json:"db_bytes"`
+	PrecomputedBytes   int64   `json:"precomputed_bytes"`
+}
+
 // Report is the machine-readable benchmark output.
 type Report struct {
-	Scale     string  `json:"scale"`
-	GoVersion string  `json:"go_version"`
-	GOMAXPROC int     `json:"gomaxprocs"`
-	UnixTime  int64   `json:"unix_time"`
-	Phases    []Phase `json:"phases"`
+	Scale     string        `json:"scale"`
+	GoVersion string        `json:"go_version"`
+	GOMAXPROC int           `json:"gomaxprocs"`
+	UnixTime  int64         `json:"unix_time"`
+	Phases    []Phase       `json:"phases,omitempty"`
+	Build     []BuildResult `json:"build,omitempty"`
+	PeakRSSKB int64         `json:"peak_rss_kb,omitempty"`
 }
 
 func main() {
@@ -62,6 +92,7 @@ func main() {
 		for _, r := range experiments.Registry() {
 			fmt.Printf("  %-8s %s\n", r.ID, r.Description)
 		}
+		fmt.Println("  build    offline phase: serial vs parallel build, snapshot save/load, heap, peak RSS")
 		fmt.Println("  all      run everything")
 		if *exp == "" && !*list {
 			os.Exit(2)
@@ -80,6 +111,14 @@ func main() {
 		os.Exit(2)
 	}
 	suite := experiments.NewSuite(sc)
+
+	if *exp == "build" || *exp == "build-vs-load" {
+		if err := runBuildExperiment(sc, *scale, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "squid-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := runJSON(suite, *scale, *exp, *jsonPath); err != nil {
@@ -220,3 +259,164 @@ func runJSON(suite *experiments.Suite, scale, exp, path string) error {
 }
 
 func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// runBuildExperiment measures the offline phase for the IMDb and DBLP
+// generators: serial vs parallel αDB construction, snapshot save/load
+// against the cold build, the αDB heap footprint under dictionary
+// encoding, and the process peak RSS. Text goes to stdout; -json writes
+// the machine-readable report.
+func runBuildExperiment(sc experiments.Scale, scale, jsonPath string) error {
+	report := Report{
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOMAXPROC: runtime.GOMAXPROCS(0),
+		UnixTime:  time.Now().Unix(),
+	}
+	datasets := []struct {
+		name string
+		gen  func() *squid.Database
+	}{
+		{"imdb", func() *squid.Database { return datagen.GenerateIMDb(sc.IMDb).DB }},
+		{"dblp", func() *squid.Database { return datagen.GenerateDBLP(sc.DBLP).DB }},
+	}
+	for _, d := range datasets {
+		res, err := measureBuild(d.name, d.gen())
+		if err != nil {
+			return err
+		}
+		report.Build = append(report.Build, res)
+	}
+	report.PeakRSSKB = peakRSSKB()
+
+	fmt.Printf("offline phase (build-vs-load), %s scale, %d workers\n", scale, runtime.GOMAXPROCS(0))
+	for _, b := range report.Build {
+		fmt.Printf("  %-6s %8d rows  build %8.1fms serial / %8.1fms parallel (%.2fx)\n",
+			b.Dataset, b.Rows, b.SerialBuildMS, b.ParallelBuildMS, b.ParallelSpeedup)
+		fmt.Printf("         snapshot %8d bytes  save %6.1fms  load %6.1fms (%.2fx vs cold build)\n",
+			b.SnapshotBytes, b.SnapshotSaveMS, b.SnapshotLoadMS, b.LoadVsBuildSpeedup)
+		fmt.Printf("         heap %s (db %s + precomputed %s, dictionary-encoded)\n",
+			humanBytes(b.AlphaHeapBytes), humanBytes(b.DBBytes), humanBytes(b.PrecomputedBytes))
+	}
+	if report.PeakRSSKB > 0 {
+		fmt.Printf("  peak RSS %s\n", humanBytes(report.PeakRSSKB*1024))
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(jsonPath, out, 0o644)
+}
+
+// measureBuild runs the offline-phase measurements for one generated
+// database.
+func measureBuild(name string, db *squid.Database) (BuildResult, error) {
+	res := BuildResult{Dataset: name, Rows: db.TotalRows(), Workers: runtime.GOMAXPROCS(0)}
+
+	// Warmup build so serial and parallel timings see the same cache
+	// state, then the serial baseline; both systems are dropped before
+	// the heap probe.
+	serialCfg := squid.DefaultBuildConfig()
+	serialCfg.Workers = 1
+	if _, err := squid.Build(db, serialCfg); err != nil {
+		return res, err
+	}
+	runtime.GC()
+	start := time.Now()
+	if _, err := squid.Build(db, serialCfg); err != nil {
+		return res, err
+	}
+	res.SerialBuildMS = msOf(time.Since(start))
+
+	// Parallel build, bracketed with GC'd heap readings so the delta
+	// approximates the αDB's resident footprint.
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start = time.Now()
+	sys, err := squid.Build(db, squid.DefaultBuildConfig())
+	if err != nil {
+		return res, err
+	}
+	res.ParallelBuildMS = msOf(time.Since(start))
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		res.AlphaHeapBytes = int64(m1.HeapAlloc - m0.HeapAlloc)
+	}
+	if res.ParallelBuildMS > 0 {
+		res.ParallelSpeedup = res.SerialBuildMS / res.ParallelBuildMS
+	}
+	stats := sys.Stats()
+	res.DBBytes = stats.DBBytes
+	res.PrecomputedBytes = stats.PrecomputedSize
+
+	// Snapshot round trip.
+	var buf bytes.Buffer
+	start = time.Now()
+	if err := sys.Save(&buf); err != nil {
+		return res, err
+	}
+	res.SnapshotSaveMS = msOf(time.Since(start))
+	res.SnapshotBytes = int64(buf.Len())
+	start = time.Now()
+	loaded, err := squid.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return res, err
+	}
+	res.SnapshotLoadMS = msOf(time.Since(start))
+	if res.SnapshotLoadMS > 0 {
+		res.LoadVsBuildSpeedup = res.SerialBuildMS / res.SnapshotLoadMS
+	}
+	runtime.KeepAlive(loaded)
+	runtime.KeepAlive(sys)
+	return res, nil
+}
+
+// peakRSSKB reads the process's peak resident set (VmHWM) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func peakRSSKB() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -7,9 +7,13 @@
 //	squid -dataset imdb "Eddie Murphy" "Jim Carrey" "Robin Williams"
 //	squid -dataset dblp -qre "Dr James Smith" ...
 //	squid -dataset adult -show-candidates "James Smith #1" ...
+//	squid -dataset imdb -snapshot /tmp/imdb.sqas "Eddie Murphy" ...
 //
 // Flags select the dataset, the parameter preset, and how much of the
-// abduction detail to print.
+// abduction detail to print. With -snapshot, the abduction-ready
+// database is loaded from the given file when it exists (a warm boot,
+// O(read)) and built-then-saved there when it does not, so only the
+// first run pays the offline phase.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"squid"
@@ -31,6 +36,7 @@ func main() {
 		rho        = flag.Float64("rho", 0, "override base filter prior ρ (0 = default)")
 		candidates = flag.Bool("show-candidates", false, "print every candidate filter with its include/exclude scores")
 		maxOut     = flag.Int("max-output", 20, "output rows to print")
+		snapPath   = flag.String("snapshot", "", "αDB snapshot file: load it when present, build and save it otherwise")
 	)
 	flag.Parse()
 	examples := flag.Args()
@@ -39,27 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var db *squid.Database
-	switch *dataset {
-	case "imdb":
-		db = datagen.GenerateIMDb(datagen.DefaultIMDbConfig()).DB
-	case "dblp":
-		db = datagen.GenerateDBLP(datagen.DefaultDBLPConfig()).DB
-	case "adult":
-		db = datagen.GenerateAdult(datagen.DefaultAdultConfig()).DB
-	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
-		os.Exit(2)
-	}
-
-	fmt.Printf("building abduction-ready database for %s ...\n", *dataset)
-	start := time.Now()
-	sys, err := squid.Build(db, squid.DefaultBuildConfig())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "offline phase failed:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("αDB ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+	sys := bootSystem(*dataset, *snapPath)
 
 	params := squid.DefaultParams()
 	if *qre {
@@ -73,7 +59,7 @@ func main() {
 	}
 	sys.SetParams(params)
 
-	start = time.Now()
+	start := time.Now()
 	disc, err := sys.Discover(examples)
 	if err != nil {
 		switch {
@@ -122,4 +108,80 @@ func main() {
 		}
 		fmt.Println("  ", v)
 	}
+}
+
+// bootSystem produces the abduction-ready system: a warm boot from the
+// snapshot file when one exists, otherwise a cold build of the selected
+// dataset (saved to the snapshot path when one was given).
+func bootSystem(dataset, snapPath string) *squid.System {
+	if snapPath != "" {
+		if f, err := os.Open(snapPath); err == nil {
+			defer f.Close()
+			start := time.Now()
+			sys, err := squid.Load(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loading snapshot %s failed: %v\n", snapPath, err)
+				fmt.Fprintln(os.Stderr, "delete the file to rebuild it from scratch")
+				os.Exit(1)
+			}
+			// The snapshot carries the database it was built from;
+			// refuse to serve answers for a different dataset.
+			if got := sys.AlphaDB().DB.Name; got != dataset && !strings.HasPrefix(got, dataset+"_") {
+				fmt.Fprintf(os.Stderr, "snapshot %s holds dataset %q, not %q\n", snapPath, got, dataset)
+				fmt.Fprintln(os.Stderr, "pass the matching -dataset, or delete the file to rebuild it")
+				os.Exit(1)
+			}
+			fmt.Printf("αDB loaded from %s in %v (warm boot)\n\n", snapPath, time.Since(start).Round(time.Millisecond))
+			return sys
+		}
+	}
+
+	var db *squid.Database
+	switch dataset {
+	case "imdb":
+		db = datagen.GenerateIMDb(datagen.DefaultIMDbConfig()).DB
+	case "dblp":
+		db = datagen.GenerateDBLP(datagen.DefaultDBLPConfig()).DB
+	case "adult":
+		db = datagen.GenerateAdult(datagen.DefaultAdultConfig()).DB
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", dataset)
+		os.Exit(2)
+	}
+
+	fmt.Printf("building abduction-ready database for %s ...\n", dataset)
+	start := time.Now()
+	sys, err := squid.Build(db, squid.DefaultBuildConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "offline phase failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("αDB ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if snapPath != "" {
+		// Write-then-rename so an interrupted save never leaves a
+		// truncated snapshot poisoning later warm boots.
+		tmp := snapPath + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cannot create snapshot:", err)
+			os.Exit(1)
+		}
+		if err := sys.Save(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err == nil {
+			err = os.Rename(tmp, snapPath)
+		}
+		if err != nil {
+			os.Remove(tmp)
+			fmt.Fprintln(os.Stderr, "saving snapshot failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot saved to %s (next boot is warm)\n", snapPath)
+	}
+	fmt.Println()
+	return sys
 }

@@ -96,33 +96,35 @@ func (st *exampleState) degreesFor(degree *adb.DerivedProperty) []float64 {
 }
 
 // categoricalContexts emits shared-value contexts for a categorical
-// basic property.
+// basic property. The value sets intersect as dictionary codes — int32
+// map operations with no string hashing; codes decode to strings only
+// when a filter is emitted.
 func categoricalContexts(prop *adb.BasicProperty, exampleRows []int, params Params) []Context {
-	// Intersect the value sets across examples.
-	shared := make(map[string]int)
-	for _, v := range dedupStrings(prop.Values(exampleRows[0])) {
-		shared[v] = 1
+	// Intersect the value-code sets across examples.
+	shared := make(map[int32]int)
+	for _, c := range dedupCodes(prop.ValueCodes(exampleRows[0])) {
+		shared[c] = 1
 	}
 	for _, row := range exampleRows[1:] {
 		if len(shared) == 0 {
 			break
 		}
-		for _, v := range dedupStrings(prop.Values(row)) {
-			if c, ok := shared[v]; ok && c == 1 {
+		for _, c := range dedupCodes(prop.ValueCodes(row)) {
+			if n, ok := shared[c]; ok && n == 1 {
 				// mark seen this round by bumping; reset below
-				shared[v] = 2
+				shared[c] = 2
 			}
 		}
-		for v, c := range shared {
-			if c == 2 {
-				shared[v] = 1
+		for c, n := range shared {
+			if n == 2 {
+				shared[c] = 1
 			} else {
-				delete(shared, v)
+				delete(shared, c)
 			}
 		}
 	}
 	var out []Context
-	for _, v := range sortedStringKeys(shared) {
+	for _, v := range decodeSorted(prop, shared) {
 		out = append(out, Context{
 			Filter:      &Filter{Kind: BasicCategorical, Basic: prop, Values: []string{v}},
 			NumExamples: len(exampleRows),
@@ -133,26 +135,36 @@ func categoricalContexts(prop *adb.BasicProperty, exampleRows []int, params Para
 	}
 	// Disjunction extension: no single shared value — consider the set
 	// of distinct values the examples take, if small enough.
-	distinct := make(map[string]struct{})
+	distinct := make(map[int32]struct{})
 	for _, row := range exampleRows {
-		vals := prop.Values(row)
-		if len(vals) == 0 {
+		codes := prop.ValueCodes(row)
+		if len(codes) == 0 {
 			return out // an example lacks the property: no valid filter
 		}
-		distinct[vals[0]] = struct{}{}
+		distinct[codes[0]] = struct{}{}
 	}
 	if len(distinct) < 2 || len(distinct) > params.MaxDisjunction {
 		return out
 	}
 	vals := make([]string, 0, len(distinct))
-	for v := range distinct {
-		vals = append(vals, v)
+	for c := range distinct {
+		vals = append(vals, prop.DecodeValue(c))
 	}
 	sort.Strings(vals)
 	out = append(out, Context{
 		Filter:      &Filter{Kind: BasicCategorical, Basic: prop, Values: vals},
 		NumExamples: len(exampleRows),
 	})
+	return out
+}
+
+// decodeSorted decodes the keys of a code-keyed map and sorts them.
+func decodeSorted[V any](prop *adb.BasicProperty, m map[int32]V) []string {
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, prop.DecodeValue(c))
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -193,14 +205,18 @@ func derivedContexts(st *exampleState, prop *adb.DerivedProperty, params Params)
 		minFrac  float64
 		seen     int
 	}
-	shared := make(map[string]*agg)
+	// Intersect the per-example association maps as value codes of the
+	// derived relation's dictionary — integer comparisons throughout;
+	// values decode to strings only when a filter is emitted.
+	shared := make(map[int32]*agg)
 	for i := range exampleRows {
-		counts := prop.Counts(st.ids[i])
+		counts := prop.CountsCodes(st.ids[i])
 		d := 0.0
 		if degs != nil {
 			d = degs[i]
 		}
-		for v, c := range counts {
+		for _, cc := range counts {
+			v, c := cc.Code, cc.Count
 			frac := 0.0
 			if d > 0 {
 				frac = float64(c) / d
@@ -228,13 +244,18 @@ func derivedContexts(st *exampleState, prop *adb.DerivedProperty, params Params)
 			}
 		}
 	}
+	codes := make([]int32, 0, len(shared))
+	for c := range shared {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return prop.DecodeValue(codes[i]) < prop.DecodeValue(codes[j]) })
 	var out []Context
-	for _, v := range sortedAggKeys(shared) {
-		a := shared[v]
+	for _, code := range codes {
+		a := shared[code]
 		f := &Filter{
 			Kind:   Derived,
 			Derivd: prop,
-			Values: []string{v},
+			Values: []string{prop.DecodeValue(code)},
 			Theta:  a.minCount,
 		}
 		// Normalization needs the companion degree property; derived
@@ -250,12 +271,13 @@ func derivedContexts(st *exampleState, prop *adb.DerivedProperty, params Params)
 	return out
 }
 
-func dedupStrings(xs []string) []string {
+// dedupCodes removes duplicate codes, preserving first-appearance order.
+func dedupCodes(xs []int32) []int32 {
 	if len(xs) < 2 {
 		return xs
 	}
-	seen := make(map[string]struct{}, len(xs))
-	out := make([]string, 0, len(xs))
+	seen := make(map[int32]struct{}, len(xs))
+	out := make([]int32, 0, len(xs))
 	for _, x := range xs {
 		if _, dup := seen[x]; dup {
 			continue
@@ -265,14 +287,3 @@ func dedupStrings(xs []string) []string {
 	}
 	return out
 }
-
-func sortedStringKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func sortedAggKeys[V any](m map[string]V) []string { return sortedStringKeys(m) }

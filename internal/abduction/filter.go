@@ -169,13 +169,18 @@ func (f *Filter) EntityRows() []int {
 }
 
 // SatisfiedBy reports whether the entity at row satisfies the filter.
+// Categorical membership compares dictionary codes, not strings.
 func (f *Filter) SatisfiedBy(info *adb.EntityInfo, row int) bool {
 	switch f.Kind {
 	case BasicCategorical:
-		vals := f.Basic.Values(row)
+		codes := f.Basic.ValueCodes(row)
 		for _, want := range f.Values {
-			for _, v := range vals {
-				if v == want {
+			wc, ok := f.Basic.LookupCode(want)
+			if !ok {
+				continue
+			}
+			for _, c := range codes {
+				if c == wc {
 					return true
 				}
 			}

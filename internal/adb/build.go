@@ -2,6 +2,7 @@ package adb
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -32,6 +33,12 @@ type Config struct {
 	// ExcludeColumns lists entity columns to skip entirely, keyed by
 	// relation name (e.g. free-text columns).
 	ExcludeColumns map[string][]string
+	// Workers bounds the offline build's worker pool: basic-property
+	// stats, derived-property walks, inverted-index shards, and
+	// IndexSet warming fan out across this many goroutines. 0 means
+	// GOMAXPROCS; 1 forces a serial build. Output is deterministic
+	// regardless of the worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -57,6 +64,12 @@ type EntityInfo struct {
 	rel     *relation.Relation
 	pkIndex *index.IntHash
 	rowIDs  []int64 // row -> entity id
+
+	// Name→property maps built once at construction, replacing the
+	// linear scans the hot paths (normalization-degree lookup, tests)
+	// used to pay per call.
+	basicByAttr   map[string]*BasicProperty
+	derivedByAttr map[string]*DerivedProperty
 }
 
 // RowByID resolves an entity id to its row in the entity relation.
@@ -70,6 +83,9 @@ func (e *EntityInfo) Rel() *relation.Relation { return e.rel }
 
 // BasicByAttr returns the basic property with the given display name.
 func (e *EntityInfo) BasicByAttr(attr string) *BasicProperty {
+	if e.basicByAttr != nil {
+		return e.basicByAttr[attr]
+	}
 	for _, p := range e.Basic {
 		if p.Attr == attr {
 			return p
@@ -80,12 +96,33 @@ func (e *EntityInfo) BasicByAttr(attr string) *BasicProperty {
 
 // DerivedByAttr returns the derived property with the given display name.
 func (e *EntityInfo) DerivedByAttr(attr string) *DerivedProperty {
+	if e.derivedByAttr != nil {
+		return e.derivedByAttr[attr]
+	}
 	for _, p := range e.Derived {
 		if p.Attr == attr {
 			return p
 		}
 	}
 	return nil
+}
+
+// buildAttrMaps indexes the (sorted) property lists by display name;
+// the first property wins for duplicate names, matching the order the
+// linear scans observed.
+func (e *EntityInfo) buildAttrMaps() {
+	e.basicByAttr = make(map[string]*BasicProperty, len(e.Basic))
+	for _, p := range e.Basic {
+		if _, dup := e.basicByAttr[p.Attr]; !dup {
+			e.basicByAttr[p.Attr] = p
+		}
+	}
+	e.derivedByAttr = make(map[string]*DerivedProperty, len(e.Derived))
+	for _, p := range e.Derived {
+		if _, dup := e.derivedByAttr[p.Attr]; !dup {
+			e.derivedByAttr[p.Attr] = p
+		}
+	}
 }
 
 // AlphaDB is the abduction-ready database: the original database plus the
@@ -112,11 +149,41 @@ type AlphaDB struct {
 	selCache *SelCache
 }
 
-// Build constructs the abduction-ready database for db.
+// entityBuild carries one entity relation through the parallel offline
+// phase: the scaffolded EntityInfo plus one result slot per property
+// task, so workers write disjoint slots and assembly replays them in
+// enumeration order for deterministic output.
+type entityBuild struct {
+	info    *EntityInfo
+	results []taskResult
+}
+
+// taskResult is the output of one property-discovery task. Derived
+// groups additionally emit second-wave build closures (one per derived
+// property, parallel to subErrs) so per-property materializations fan
+// out instead of serializing inside the group task.
+type taskResult struct {
+	basics   []*BasicProperty
+	deriveds []*DerivedProperty
+	subs     []func() error
+	subErrs  []error
+	err      error
+}
+
+// Build constructs the abduction-ready database for db. Construction
+// fans out over Config.Workers goroutines (per-relation inverted-index
+// shards, per-entity scaffolds, and one task per candidate property);
+// the assembled αDB is byte-for-byte independent of the worker count.
 func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
 	start := time.Now()
 	if cfg.MaxFactDepth == 0 {
+		workers := cfg.Workers
 		cfg = DefaultConfig()
+		cfg.Workers = workers
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	a := &AlphaDB{
 		DB:        db,
@@ -126,19 +193,66 @@ func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
 		cfg:       cfg,
 		selCache:  NewSelCache(),
 	}
-	a.Inverted = index.BuildInverted(db)
 
 	entities := db.EntityRelations()
 	if len(entities) == 0 {
 		return nil, fmt.Errorf("adb: database %q declares no entity relations", db.Name)
 	}
-	for _, name := range entities {
-		info, err := a.buildEntity(name)
+
+	// The inverted index build shares no state with property discovery;
+	// run it concurrently with everything below. The channel is closed
+	// when done, so the deferred receive also covers error returns.
+	invDone := make(chan struct{})
+	go func() {
+		a.Inverted = index.BuildInvertedParallel(db, workers)
+		close(invDone)
+	}()
+	defer func() { <-invDone }()
+
+	// Phase 1: scaffold every entity (PK index warming, row-id table).
+	builds := make([]*entityBuild, len(entities))
+	errs := make([]error, len(entities))
+	index.RunBounded(len(entities), workers, func(i int) {
+		builds[i], errs[i] = a.scaffoldEntity(entities[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		a.Entities[name] = info
 	}
+
+	// Phase 2: enumerate property tasks (cheap, sequential), then fan
+	// them out across the pool; each task writes its own result slot.
+	var tasks []func()
+	for _, eb := range builds {
+		tasks = append(tasks, a.planEntity(eb)...)
+	}
+	index.RunBounded(len(tasks), workers, func(i int) { tasks[i]() })
+
+	// Phase 2b: derived groups emitted per-property build closures;
+	// fan those out as a second wave so one heavyweight fact pair
+	// (castinfo) does not serialize its materializations.
+	var subs []func()
+	for _, eb := range builds {
+		for ri := range eb.results {
+			res := &eb.results[ri]
+			res.subErrs = make([]error, len(res.subs))
+			for si, sub := range res.subs {
+				subs = append(subs, func() { res.subErrs[si] = sub() })
+			}
+		}
+	}
+	index.RunBounded(len(subs), workers, func(i int) { subs[i]() })
+
+	// Phase 3: assemble deterministically in entity order, replaying
+	// task results in enumeration order.
+	for i, eb := range builds {
+		if err := a.finishEntity(eb); err != nil {
+			return nil, err
+		}
+		a.Entities[entities[i]] = eb.info
+	}
+	<-invDone
 	a.BuildTime = time.Since(start)
 	return a, nil
 }
@@ -195,9 +309,10 @@ func (a *AlphaDB) CombinedDB() *relation.Database {
 	return combined
 }
 
-// buildEntity discovers and materializes all semantic properties of one
-// entity relation.
-func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
+// scaffoldEntity validates one entity relation and builds its lookup
+// scaffolding (primary-key index, row→id table); safe to run in
+// parallel across entities (the shared IndexSet serializes builds).
+func (a *AlphaDB) scaffoldEntity(name string) (*entityBuild, error) {
 	rel := a.DB.Relation(name)
 	if rel.PrimaryKey == "" {
 		return nil, fmt.Errorf("adb: entity relation %q has no primary key", name)
@@ -217,6 +332,17 @@ func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
 	for i := range info.rowIDs {
 		info.rowIDs[i] = pkCol.Int64(i)
 	}
+	return &entityBuild{info: info}, nil
+}
+
+// planEntity enumerates the property-discovery tasks of one entity in
+// the same order the sequential builder visited them, reserving one
+// result slot per task. Tasks only read base relations and the
+// concurrency-safe IndexSet, so they run freely in parallel.
+func (a *AlphaDB) planEntity(eb *entityBuild) []func() {
+	info := eb.info
+	name := info.Relation
+	rel := info.rel
 
 	excluded := make(map[string]bool)
 	for _, c := range a.cfg.ExcludeColumns[name] {
@@ -227,6 +353,20 @@ func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
 		fkCols[fk.Column] = fk
 	}
 
+	var tasks []func()
+	addTask := func(run func(res *taskResult)) {
+		idx := len(eb.results)
+		eb.results = append(eb.results, taskResult{})
+		tasks = append(tasks, func() { run(&eb.results[idx]) })
+	}
+	addBasic := func(build func() *BasicProperty) {
+		addTask(func(res *taskResult) {
+			if p := build(); p != nil {
+				res.basics = append(res.basics, p)
+			}
+		})
+	}
+
 	// 1. Direct attributes of the entity relation.
 	for _, col := range rel.Columns() {
 		if col.Name == rel.PrimaryKey || excluded[col.Name] {
@@ -235,15 +375,13 @@ func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
 		if fk, isFK := fkCols[col.Name]; isFK {
 			// 2. FK-dimension attribute (person.country_id → country.name).
 			if a.DB.Kind(fk.RefRelation) == relation.KindProperty {
-				if p := a.buildFKDimProperty(info, fk); p != nil {
-					info.Basic = append(info.Basic, p)
-				}
+				fk := fk
+				addBasic(func() *BasicProperty { return a.buildFKDimProperty(info, fk) })
 			}
 			continue
 		}
-		if p := a.buildDirectProperty(info, col); p != nil {
-			info.Basic = append(info.Basic, p)
-		}
+		col := col
+		addBasic(func() *BasicProperty { return a.buildDirectProperty(info, col) })
 	}
 
 	// 3. Attribute tables: side relations with a single foreign key to
@@ -262,9 +400,8 @@ func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
 			if col.Name == fk.Column || col.Type != relation.String {
 				continue
 			}
-			if p := a.buildAttrTableProperty(info, sideName, fk, col); p != nil {
-				info.Basic = append(info.Basic, p)
-			}
+			sideName, fk, col := sideName, fk, col
+			addBasic(func() *BasicProperty { return a.buildAttrTableProperty(info, sideName, fk, col) })
 		}
 	}
 
@@ -283,25 +420,62 @@ func (a *AlphaDB) buildEntity(name string) (*EntityInfo, error) {
 				if other == fkToMe {
 					continue
 				}
+				factName, fkToMe, other := factName, fkToMe, other
 				switch a.DB.Kind(other.RefRelation) {
 				case relation.KindProperty:
-					if p := a.buildFactDimProperty(info, factName, fkToMe, other); p != nil {
-						info.Basic = append(info.Basic, p)
-					}
+					addBasic(func() *BasicProperty { return a.buildFactDimProperty(info, factName, fkToMe, other) })
 				case relation.KindEntity:
-					ps, err := a.buildDerivedProperties(info, factName, fkToMe, other)
-					if err != nil {
-						return nil, err
-					}
-					info.Derived = append(info.Derived, ps...)
+					addTask(func(res *taskResult) {
+						res.basics, res.deriveds, res.subs, res.err = a.buildDerivedProperties(info, factName, fkToMe, other)
+					})
 				}
 			}
 		}
 	}
+	return tasks
+}
 
-	sort.Slice(info.Basic, func(i, j int) bool { return info.Basic[i].Attr < info.Basic[j].Attr })
-	sort.Slice(info.Derived, func(i, j int) bool { return info.Derived[i].Attr < info.Derived[j].Attr })
-	return info, nil
+// finishEntity assembles one entity's task results in enumeration order,
+// registers its derived relations under collision-free names, sorts the
+// property lists, and builds the name→property maps.
+func (a *AlphaDB) finishEntity(eb *entityBuild) error {
+	info := eb.info
+	for i := range eb.results {
+		res := &eb.results[i]
+		if res.err != nil {
+			return res.err
+		}
+		for _, err := range res.subErrs {
+			if err != nil {
+				return err
+			}
+		}
+		info.Basic = append(info.Basic, res.basics...)
+		info.Derived = append(info.Derived, res.deriveds...)
+		for _, p := range res.deriveds {
+			a.registerDerived(p)
+		}
+	}
+	sort.SliceStable(info.Basic, func(i, j int) bool { return info.Basic[i].Attr < info.Basic[j].Attr })
+	sort.SliceStable(info.Derived, func(i, j int) bool { return info.Derived[i].Attr < info.Derived[j].Attr })
+	info.buildAttrMaps()
+	return nil
+}
+
+// registerDerived gives a worker-built derived relation its final unique
+// name, adds it to the derived database, and adopts its entity index
+// into the shared pool. Called sequentially in enumeration order, so
+// collision suffixes are deterministic.
+func (a *AlphaDB) registerDerived(p *DerivedProperty) {
+	base := p.RelName
+	name := base
+	for i := 2; a.DerivedDB.Relation(name) != nil; i++ {
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+	p.RelName = name
+	p.rel.Name = name
+	a.DerivedDB.AddRelation(p.rel)
+	a.Indexes.AdoptIntHash(name, "entity_id", p.byEntity)
 }
 
 // keepCategorical applies the distinct-count guards that exclude
@@ -319,27 +493,56 @@ func (a *AlphaDB) keepCategorical(distinct, entities int) bool {
 	return true
 }
 
-// finishCategorical computes the per-value statistics of a categorical
-// basic property from its per-row value lists.
+// finishCategorical computes the per-code statistics of a categorical
+// basic property from its per-row code lists and applies the
+// distinct-count guards.
 func (a *AlphaDB) finishCategorical(p *BasicProperty) *BasicProperty {
-	p.catCounts = make(map[string]int)
-	p.catRows = make(map[string][]int)
-	for row, vals := range p.strByRow {
-		seen := make(map[string]bool, len(vals))
-		for _, v := range vals {
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			p.catCounts[v]++
-			p.catRows[v] = append(p.catRows[v], row)
-		}
-	}
-	if !a.keepCategorical(len(p.catCounts), p.numEntities) {
+	p.buildCatStats()
+	if !a.keepCategorical(p.numValues, p.numEntities) {
 		return nil
 	}
 	p.cache = a.selCache
 	return p
+}
+
+// buildCatStats fills catCounts/catRows from valsByRow, counting each
+// (entity, code) pair once.
+func (p *BasicProperty) buildCatStats() {
+	p.catCounts = make([]int, p.dict.Len())
+	p.catRows = make([][]int, p.dict.Len())
+	add := func(c int32, row int) {
+		if p.catCounts[c] == 0 {
+			p.numValues++
+		}
+		p.catCounts[c]++
+		p.catRows[c] = append(p.catRows[c], row)
+	}
+	for row, codes := range p.valsByRow {
+		// Dedup codes within the row: linear scan for the common short
+		// lists, a set for heavy multi-valued rows.
+		if len(codes) > 16 {
+			seen := make(map[int32]bool, len(codes))
+			for _, c := range codes {
+				if !seen[c] {
+					seen[c] = true
+					add(c, row)
+				}
+			}
+			continue
+		}
+		for i, c := range codes {
+			dup := false
+			for _, prev := range codes[:i] {
+				if prev == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				add(c, row)
+			}
+		}
+	}
 }
 
 // buildDirectProperty creates a basic property from a direct entity
@@ -353,12 +556,15 @@ func (a *AlphaDB) buildDirectProperty(info *EntityInfo, col *relation.Column) *B
 	}
 	if col.Type == relation.String {
 		p.Kind = Categorical
-		p.strByRow = make([][]string, info.NumRows)
+		p.dict = col.Dict()
+		p.valsByRow = make([][]int32, info.NumRows)
+		backing := make([]int32, info.NumRows)
 		for row := 0; row < info.NumRows; row++ {
 			if col.IsNull(row) {
 				continue
 			}
-			p.strByRow[row] = []string{col.Str(row)}
+			backing[row] = col.Code(row)
+			p.valsByRow[row] = backing[row : row+1 : row+1]
 		}
 		return a.finishCategorical(p)
 	}
@@ -417,14 +623,17 @@ func (a *AlphaDB) buildFKDimProperty(info *EntityInfo, fk relation.ForeignKey) *
 			Dim: dim.Name, DimPK: fk.RefColumn, DimValueCol: valCol,
 		},
 		numEntities: info.NumRows,
+		dict:        vc.Dict(),
 	}
-	p.strByRow = make([][]string, info.NumRows)
+	p.valsByRow = make([][]int32, info.NumRows)
+	backing := make([]int32, info.NumRows)
 	for row := 0; row < info.NumRows; row++ {
 		if fkc.IsNull(row) {
 			continue
 		}
 		if dimRow, ok := dimIdx.First(fkc.Int64(row)); ok && !vc.IsNull(dimRow) {
-			p.strByRow[row] = []string{vc.Str(dimRow)}
+			backing[row] = vc.Code(dimRow)
+			p.valsByRow[row] = backing[row : row+1 : row+1]
 		}
 	}
 	return a.finishCategorical(p)
@@ -447,14 +656,15 @@ func (a *AlphaDB) buildAttrTableProperty(info *EntityInfo, sideName string, fk r
 			Column: col.Name,
 		},
 		numEntities: info.NumRows,
+		dict:        col.Dict(),
 	}
-	p.strByRow = make([][]string, info.NumRows)
+	p.valsByRow = make([][]int32, info.NumRows)
 	for sr := 0; sr < side.NumRows(); sr++ {
 		if fkc.IsNull(sr) || col.IsNull(sr) {
 			continue
 		}
 		if row, ok := info.pkIndex.First(fkc.Int64(sr)); ok {
-			p.strByRow[row] = append(p.strByRow[row], col.Str(sr))
+			p.valsByRow[row] = append(p.valsByRow[row], col.Code(sr))
 		}
 	}
 	return a.finishCategorical(p)
@@ -485,8 +695,9 @@ func (a *AlphaDB) buildFactDimProperty(info *EntityInfo, factName string, fkToMe
 			Dim: dim.Name, DimPK: fkToDim.RefColumn, DimValueCol: valCol,
 		},
 		numEntities: info.NumRows,
+		dict:        vc.Dict(),
 	}
-	p.strByRow = make([][]string, info.NumRows)
+	p.valsByRow = make([][]int32, info.NumRows)
 	for fr := 0; fr < fact.NumRows(); fr++ {
 		if entCol.IsNull(fr) || dimFK.IsNull(fr) {
 			continue
@@ -499,7 +710,7 @@ func (a *AlphaDB) buildFactDimProperty(info *EntityInfo, factName string, fkToMe
 		if !ok || vc.IsNull(dimRow) {
 			continue
 		}
-		p.strByRow[row] = append(p.strByRow[row], vc.Str(dimRow))
+		p.valsByRow[row] = append(p.valsByRow[row], vc.Code(dimRow))
 	}
 	return a.finishCategorical(p)
 }

@@ -1,22 +1,28 @@
 package adb
 
 import (
-	"fmt"
+	"sort"
 
 	"squid/internal/index"
 	"squid/internal/relation"
 )
 
-// buildDerivedProperties materializes every derived property reachable
+// buildDerivedProperties discovers every derived property reachable
 // from info's entity through fact1 to the associated entity relation
 // (fkToVia.RefRelation): the degree property, aggregates over the
 // associated entity's direct categorical and FK-dimension attributes
 // (depth 1), and aggregates over second-fact dimension attributes such
-// as persontogenre (depth 2).
-func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey) ([]*DerivedProperty, error) {
+// as persontogenre (depth 2). It computes the shared adjacency and the
+// entity-association basic property inline, but returns the per-property
+// materializations as deferred build closures (parallel to the returned
+// derived shells) so the second fan-out wave runs them concurrently —
+// one fact pair can dominate the offline phase otherwise. Everything
+// built here is task-local; finishEntity registers the derived relations
+// and indexes after the parallel phase.
+func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey) ([]*BasicProperty, []*DerivedProperty, []func() error, error) {
 	via := a.DB.Relation(fkToVia.RefRelation)
 	if via.PrimaryKey == "" || via.Column(via.PrimaryKey).Type != relation.Int {
-		return nil, nil
+		return nil, nil, nil, nil
 	}
 	// Label the association; self edges (movie→sequelof→movie) qualify
 	// the label with the FK column so the two directions stay distinct.
@@ -52,7 +58,9 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 		adjacency[i] = dedupInts(vs)
 	}
 
+	var basics []*BasicProperty
 	var out []*DerivedProperty
+	var builds []func() error
 
 	// Entity-association basic property: the set of associated entities
 	// themselves, identified by their display value (e.g. for person,
@@ -62,21 +70,23 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 	// distinct-cardinality guards: its domain is the associated entity
 	// relation itself.
 	if assoc := a.buildEntityAssocProperty(info, fact1, fkToMe, fkToVia, via, adjacency); assoc != nil {
-		info.Basic = append(info.Basic, assoc)
+		basics = append(basics, assoc)
 	}
 
-	// Degree property: number of associated entities.
+	// Degree property: number of associated entities. Its single
+	// pseudo-value is the associated relation's name.
 	deg := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{Type: Degree}, viaLabel+":count")
-	degCounts := func(vRows []int) map[string]int {
+	degCounts := func(vRows []int) map[int32]int {
 		if len(vRows) == 0 {
 			return nil
 		}
-		return map[string]int{via.Name: len(vRows)}
+		return map[int32]int{0: len(vRows)}
 	}
-	if err := a.materializeDerived(info, deg, adjacency, degCounts); err != nil {
-		return nil, err
-	}
+	degDecode := func(int32) string { return via.Name }
 	out = append(out, deg)
+	builds = append(builds, func() error {
+		return a.materializeDerived(info, deg, adjacency, degCounts, degDecode)
+	})
 
 	// Depth-1: aggregate over the associated entity's direct
 	// categorical columns and FK-dimension attributes.
@@ -104,22 +114,22 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 				Type: FKDim, Column: fk.Column,
 				Dim: dim.Name, DimPK: fk.RefColumn, DimValueCol: valColName,
 			}, viaLabel+":"+dim.Name)
-			counts := func(vRows []int) map[string]int {
-				m := make(map[string]int)
+			counts := func(vRows []int) map[int32]int {
+				m := make(map[int32]int)
 				for _, vr := range vRows {
 					if fkc.IsNull(vr) {
 						continue
 					}
 					if dr, ok := dimIdx.First(fkc.Int64(vr)); ok && !vc.IsNull(dr) {
-						m[vc.Str(dr)]++
+						m[vc.Code(dr)]++
 					}
 				}
 				return m
 			}
-			if err := a.materializeDerived(info, p, adjacency, counts); err != nil {
-				return nil, err
-			}
 			out = append(out, p)
+			builds = append(builds, func() error {
+				return a.materializeDerived(info, p, adjacency, counts, vc.Dict().Value)
+			})
 			continue
 		}
 		if col.Type != relation.String {
@@ -127,25 +137,25 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 			// not aggregated (see DESIGN.md: bucketed categorical
 			// columns such as decade stand in for them)
 		}
-		if !a.keepCategorical(len(via.DistinctValues(col.Name)), via.NumRows()) {
+		if !a.keepCategorical(col.DistinctCount(), via.NumRows()) {
 			continue
 		}
 		c := col
 		p := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{Type: Direct, Column: col.Name}, viaLabel+":"+col.Name)
-		counts := func(vRows []int) map[string]int {
-			m := make(map[string]int)
+		counts := func(vRows []int) map[int32]int {
+			m := make(map[int32]int)
 			for _, vr := range vRows {
 				if c.IsNull(vr) {
 					continue
 				}
-				m[c.Str(vr)]++
+				m[c.Code(vr)]++
 			}
 			return m
 		}
-		if err := a.materializeDerived(info, p, adjacency, counts); err != nil {
-			return nil, err
-		}
 		out = append(out, p)
+		builds = append(builds, func() error {
+			return a.materializeDerived(info, p, adjacency, counts, c.Dict().Value)
+		})
 	}
 
 	// Depth-2: aggregate over a second fact table from the associated
@@ -170,50 +180,53 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 					if valColName == "" {
 						continue
 					}
-					// via row -> dim values (precomputed once).
-					dimIdx := a.Indexes.IntHash(dim, fkToDim.RefColumn)
 					vc := dim.Column(valColName)
-					viaByPK := a.Indexes.IntHash(via, via.PrimaryKey)
-					viaVals := make([][]string, via.NumRows())
-					v2 := fact2.Column(fkToVia2.Column)
-					d2 := fact2.Column(fkToDim.Column)
-					for fr := 0; fr < fact2.NumRows(); fr++ {
-						if v2.IsNull(fr) || d2.IsNull(fr) {
-							continue
-						}
-						vRow, ok := viaByPK.First(v2.Int64(fr))
-						if !ok {
-							continue
-						}
-						dr, ok := dimIdx.First(d2.Int64(fr))
-						if !ok || vc.IsNull(dr) {
-							continue
-						}
-						viaVals[vRow] = append(viaVals[vRow], vc.Str(dr))
-					}
 					p := a.newDerived(info, fact1, fkToMe, fkToVia, AccessPath{
 						Type: FactDim,
 						Fact: fact2Name, FactEntityCol: fkToVia2.Column, FactDimCol: fkToDim.Column,
 						Dim: dim.Name, DimPK: fkToDim.RefColumn, DimValueCol: valColName,
 					}, viaLabel+":"+dim.Name)
-					counts := func(vRows []int) map[string]int {
-						m := make(map[string]int)
-						for _, vr := range vRows {
-							for _, val := range viaVals[vr] {
-								m[val]++
-							}
-						}
-						return m
-					}
-					if err := a.materializeDerived(info, p, adjacency, counts); err != nil {
-						return nil, err
-					}
 					out = append(out, p)
+					builds = append(builds, func() error {
+						// via row -> dim value codes: the fact2 scan is
+						// the expensive part of a depth-2 walk, so it
+						// lives in the deferred build and runs on the
+						// second fan-out wave.
+						dimIdx := a.Indexes.IntHash(dim, fkToDim.RefColumn)
+						viaByPK := a.Indexes.IntHash(via, via.PrimaryKey)
+						viaVals := make([][]int32, via.NumRows())
+						v2 := fact2.Column(fkToVia2.Column)
+						d2 := fact2.Column(fkToDim.Column)
+						for fr := 0; fr < fact2.NumRows(); fr++ {
+							if v2.IsNull(fr) || d2.IsNull(fr) {
+								continue
+							}
+							vRow, ok := viaByPK.First(v2.Int64(fr))
+							if !ok {
+								continue
+							}
+							dr, ok := dimIdx.First(d2.Int64(fr))
+							if !ok || vc.IsNull(dr) {
+								continue
+							}
+							viaVals[vRow] = append(viaVals[vRow], vc.Code(dr))
+						}
+						counts := func(vRows []int) map[int32]int {
+							m := make(map[int32]int)
+							for _, vr := range vRows {
+								for _, code := range viaVals[vr] {
+									m[code]++
+								}
+							}
+							return m
+						}
+						return a.materializeDerived(info, p, adjacency, counts, vc.Dict().Value)
+					})
 				}
 			}
 		}
 	}
-	return out, nil
+	return basics, out, builds, nil
 }
 
 // entityDisplayColumn resolves the display column of an entity relation
@@ -249,44 +262,29 @@ func (a *AlphaDB) buildEntityAssocProperty(info *EntityInfo, fact1 string, fkToM
 			Dim: via.Name, DimPK: via.PrimaryKey, DimValueCol: valCol,
 		},
 		numEntities: info.NumRows,
+		dict:        vc.Dict(),
 	}
-	p.strByRow = make([][]string, info.NumRows)
+	p.valsByRow = make([][]int32, info.NumRows)
 	for eRow, viaRows := range adjacency {
 		for _, vr := range viaRows {
 			if !vc.IsNull(vr) {
-				p.strByRow[eRow] = append(p.strByRow[eRow], vc.Str(vr))
+				p.valsByRow[eRow] = append(p.valsByRow[eRow], vc.Code(vr))
 			}
 		}
 	}
 	// Bypass the cardinality guards: build stats directly.
-	p.catCounts = make(map[string]int)
-	p.catRows = make(map[string][]int)
-	for row, vals := range p.strByRow {
-		seen := make(map[string]bool, len(vals))
-		for _, v := range vals {
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			p.catCounts[v]++
-			p.catRows[v] = append(p.catRows[v], row)
-		}
-	}
-	if len(p.catCounts) == 0 {
+	p.buildCatStats()
+	if p.numValues == 0 {
 		return nil
 	}
 	p.cache = a.selCache
 	return p
 }
 
-// newDerived initializes a DerivedProperty shell with a unique
-// materialized-relation name.
+// newDerived initializes a DerivedProperty shell. The relation name is
+// tentative — finishEntity resolves collisions when it registers the
+// materialized relation into the derived database.
 func (a *AlphaDB) newDerived(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey, target AccessPath, attr string) *DerivedProperty {
-	relName := info.Relation + "to" + sanitizeRelName(attr)
-	base := relName
-	for i := 2; a.DerivedDB.Relation(relName) != nil; i++ {
-		relName = fmt.Sprintf("%s_%d", base, i)
-	}
 	return &DerivedProperty{
 		Entity:         info.Relation,
 		Via:            fkToVia.RefRelation,
@@ -296,7 +294,7 @@ func (a *AlphaDB) newDerived(info *EntityInfo, fact1 string, fkToMe, fkToVia rel
 		Fact1EntityCol: fkToMe.Column,
 		Fact1ViaCol:    fkToVia.Column,
 		Target:         target,
-		RelName:        relName,
+		RelName:        info.Relation + "to" + sanitizeRelName(attr),
 		numEntities:    info.NumRows,
 	}
 }
@@ -313,17 +311,20 @@ func sanitizeRelName(attr string) string {
 }
 
 // materializeDerived computes the (entity_id, value, count) rows of a
-// derived property using the adjacency and a per-entity count function,
-// stores the derived relation, and builds its statistics (the in-Go
-// equivalent of the paper's Q6 CREATE TABLE ... GROUP BY).
-func (a *AlphaDB) materializeDerived(info *EntityInfo, p *DerivedProperty, adjacency [][]int, counts func(viaRows []int) map[string]int) error {
+// derived property using the adjacency and a per-entity count function
+// (keyed by source-dictionary codes, decoded only when a row is
+// emitted), stores the derived relation, and builds its statistics (the
+// in-Go equivalent of the paper's Q6 CREATE TABLE ... GROUP BY). The
+// relation and its entity index stay task-local until finishEntity
+// registers them.
+func (a *AlphaDB) materializeDerived(info *EntityInfo, p *DerivedProperty, adjacency [][]int, counts func(viaRows []int) map[int32]int, decode func(int32) string) error {
 	rel := relation.New(p.RelName,
 		relation.Col("entity_id", relation.Int),
 		relation.Col("value", relation.String),
 		relation.Col("count", relation.Int),
 	).AddForeignKey("entity_id", p.Entity, info.PK)
+	vcol := rel.Column("value")
 
-	p.perValueRows = make(map[string][]valCount)
 	for eRow, viaRows := range adjacency {
 		if len(viaRows) == 0 {
 			continue
@@ -333,25 +334,40 @@ func (a *AlphaDB) materializeDerived(info *EntityInfo, p *DerivedProperty, adjac
 			continue
 		}
 		id := info.rowIDs[eRow]
-		for _, v := range sortedKeys(m) {
-			c := m[v]
-			rel.MustAppend(relation.IntVal(id), relation.StringVal(v), relation.IntVal(int64(c)))
-			p.perValueRows[v] = append(p.perValueRows[v], valCount{entityRow: eRow, count: c})
+		for _, c := range sortedCodesByValue(m, decode) {
+			cnt := m[c]
+			rel.MustAppend(relation.IntVal(id), relation.StringVal(decode(c)), relation.IntVal(int64(cnt)))
+			dcode := vcol.Code(rel.NumRows() - 1)
+			p.growTo(dcode)
+			p.perValueRows[dcode] = append(p.perValueRows[dcode], valCount{entityRow: eRow, count: cnt})
 		}
 	}
 	p.rel = rel
 	p.cache = a.selCache
-	a.DerivedDB.AddRelation(rel)
-	p.byEntity = a.Indexes.IntHash(rel, "entity_id")
-	p.perValue = make(map[string]*index.Sorted, len(p.perValueRows))
-	for v, vcs := range p.perValueRows {
+	p.byEntity = index.BuildIntHash(rel, "entity_id")
+	for code, vcs := range p.perValueRows {
+		if len(vcs) == 0 {
+			continue
+		}
 		vals := make([]float64, len(vcs))
 		for i, vc := range vcs {
 			vals[i] = float64(vc.count)
 		}
-		p.perValue[v] = index.BuildSortedFromValues(vals)
+		p.perValue[code] = index.BuildSortedFromValues(vals)
 	}
 	return nil
+}
+
+// sortedCodesByValue orders a code→count map by the decoded value
+// string, preserving the deterministic value-sorted row order of the
+// materialized derived relations.
+func sortedCodesByValue(m map[int32]int, decode func(int32) string) []int32 {
+	out := make([]int32, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return decode(out[i]) < decode(out[j]) })
+	return out
 }
 
 func dedupInts(xs []int) []int {
@@ -368,24 +384,4 @@ func dedupInts(xs []int) []int {
 		out = append(out, x)
 	}
 	return out
-}
-
-func sortedKeys(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sortStrings(out)
-	return out
-}
-
-// sortStrings is a tiny insertion sort to avoid importing sort twice in
-// hot paths with small inputs; falls back to O(n²) which is fine for the
-// per-entity value maps it serves (a handful of values).
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

@@ -58,7 +58,7 @@ func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
 			// FactDim/AttrTable properties gain values only via fact
 			// inserts; the new entity simply has none yet.
 			if p.Kind == Categorical {
-				p.strByRow = append(p.strByRow, nil)
+				p.valsByRow = append(p.valsByRow, nil)
 			}
 		}
 	}
@@ -90,17 +90,16 @@ func (a *AlphaDB) insertDirectValue(p *BasicProperty, rel *relation.Relation, ro
 		}
 		return
 	}
-	p.strByRow = append(p.strByRow, nil)
+	p.valsByRow = append(p.valsByRow, nil)
 	if !col.IsNull(row) {
-		v := col.Str(row)
-		p.strByRow[row] = []string{v}
-		p.catCounts[v]++
-		p.catRows[v] = append(p.catRows[v], row)
+		code := col.Code(row)
+		p.valsByRow[row] = []int32{code}
+		p.addCatRow(code, row)
 	}
 }
 
 func (a *AlphaDB) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row int) {
-	p.strByRow = append(p.strByRow, nil)
+	p.valsByRow = append(p.valsByRow, nil)
 	fkc := rel.Column(p.Access.Column)
 	if fkc.IsNull(row) {
 		return
@@ -109,10 +108,9 @@ func (a *AlphaDB) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row
 	dimIdx := a.Indexes.IntHash(dim, p.Access.DimPK)
 	vc := dim.Column(p.Access.DimValueCol)
 	if dimRow, ok := dimIdx.First(fkc.Int64(row)); ok && !vc.IsNull(dimRow) {
-		v := vc.Str(dimRow)
-		p.strByRow[row] = []string{v}
-		p.catCounts[v]++
-		p.catRows[v] = append(p.catRows[v], row)
+		code := vc.Code(dimRow)
+		p.valsByRow[row] = []int32{code}
+		p.addCatRow(code, row)
 	}
 }
 
@@ -171,6 +169,17 @@ func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
 	return nil
 }
 
+// addCatValueAt records code for the entity at eRow, inserting into the
+// posting list in row order (fact inserts touch arbitrary entity rows).
+func (p *BasicProperty) addCatValueAt(code int32, eRow int) {
+	p.growTo(code)
+	if p.catCounts[code] == 0 {
+		p.numValues++
+	}
+	p.catCounts[code]++
+	p.catRows[code] = insertSortedInt(p.catRows[code], eRow)
+}
+
 func (a *AlphaDB) insertFactDimValue(p *BasicProperty, fact *relation.Relation, factRow, eRow int) {
 	dimFK := fact.Column(p.Access.FactDimCol)
 	if dimFK.IsNull(factRow) {
@@ -183,16 +192,15 @@ func (a *AlphaDB) insertFactDimValue(p *BasicProperty, fact *relation.Relation, 
 	if !ok || vc.IsNull(dimRow) {
 		return
 	}
-	v := vc.Str(dimRow)
-	for _, existing := range p.strByRow[eRow] {
-		if existing == v {
-			p.strByRow[eRow] = append(p.strByRow[eRow], v)
+	code := vc.Code(dimRow)
+	for _, existing := range p.valsByRow[eRow] {
+		if existing == code {
+			p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
 			return // value already counted for this entity
 		}
 	}
-	p.strByRow[eRow] = append(p.strByRow[eRow], v)
-	p.catCounts[v]++
-	p.catRows[v] = insertSortedInt(p.catRows[v], eRow)
+	p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
+	p.addCatValueAt(code, eRow)
 }
 
 // insertAttrTableValue maintains an attribute-table basic property
@@ -202,16 +210,15 @@ func (a *AlphaDB) insertAttrTableValue(p *BasicProperty, side *relation.Relation
 	if col.IsNull(sideRow) {
 		return
 	}
-	v := col.Str(sideRow)
-	for _, existing := range p.strByRow[eRow] {
-		if existing == v {
-			p.strByRow[eRow] = append(p.strByRow[eRow], v)
+	code := col.Code(sideRow)
+	for _, existing := range p.valsByRow[eRow] {
+		if existing == code {
+			p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
 			return // value already counted for this entity
 		}
 	}
-	p.strByRow[eRow] = append(p.strByRow[eRow], v)
-	p.catCounts[v]++
-	p.catRows[v] = insertSortedInt(p.catRows[v], eRow)
+	p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
+	p.addCatValueAt(code, eRow)
 }
 
 // insertDerivedDelta bumps the derived counts of one entity for the new
@@ -278,15 +285,18 @@ func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact 
 // consistent (appends) and drops any index over the mutated count
 // column.
 func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v string) {
-	// Locate the existing derived row.
+	// Locate the existing derived row by comparing value codes.
 	vcol, ccol := p.rel.Column("value"), p.rel.Column("count")
+	code, known := vcol.Dict().Lookup(v)
 	old := 0
 	found := -1
-	for _, r := range p.byEntity.Rows(entityID) {
-		if vcol.Str(r) == v {
-			found = r
-			old = int(ccol.Int64(r))
-			break
+	if known {
+		for _, r := range p.byEntity.Rows(entityID) {
+			if vcol.Code(r) == code {
+				found = r
+				old = int(ccol.Int64(r))
+				break
+			}
 		}
 	}
 	if found >= 0 {
@@ -294,11 +304,13 @@ func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v 
 		idx.Drop(p.rel.Name, "count")
 	} else {
 		p.rel.MustAppend(relation.IntVal(entityID), relation.StringVal(v), relation.IntVal(1))
+		code = vcol.Code(p.rel.NumRows() - 1)
 		idx.NoteAppend(p.rel, p.rel.NumRows()-1)
 	}
+	p.growTo(code)
 	// Per-value row list: insert in entity-row order (the invariant
 	// behind StrengthOf's binary search and merge intersection).
-	vcs := p.perValueRows[v]
+	vcs := p.perValueRows[code]
 	at := sort.Search(len(vcs), func(i int) bool { return vcs[i].entityRow >= eRow })
 	if at < len(vcs) && vcs[at].entityRow == eRow {
 		vcs[at].count = old + 1
@@ -306,15 +318,15 @@ func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v 
 		vcs = append(vcs, valCount{})
 		copy(vcs[at+1:], vcs[at:])
 		vcs[at] = valCount{entityRow: eRow, count: old + 1}
-		p.perValueRows[v] = vcs
+		p.perValueRows[code] = vcs
 	}
 	// Sorted selectivity index: replace old count with new.
-	s := p.perValue[v]
+	s := p.perValue[code]
 	if s == nil {
-		p.perValue[v] = index.BuildSortedFromValues([]float64{float64(old + 1)})
+		p.perValue[code] = index.BuildSortedFromValues([]float64{float64(old + 1)})
 		return
 	}
-	p.perValue[v] = s.Replace(float64(old), float64(old+1), old == 0)
+	p.perValue[code] = s.Replace(float64(old), float64(old+1), old == 0)
 }
 
 func insertSortedInt(xs []int, v int) []int {

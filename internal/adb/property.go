@@ -6,6 +6,11 @@
 // (Fig 5 / query Q6 of the paper), precomputes selectivity statistics for
 // every basic and derived semantic property, and builds the inverted
 // column index used for entity lookup (§5).
+//
+// Categorical statistics are dictionary-encoded: every property keys its
+// per-value counts and posting lists by the int32 codes of the source
+// column's dictionary, so property scans and row-set computation compare
+// integers; strings appear only at the API boundary.
 package adb
 
 import (
@@ -87,23 +92,30 @@ type BasicProperty struct {
 	// (only FactDim paths).
 	MultiValued bool
 
-	// Categorical statistics: per value, the number of distinct
-	// entities exhibiting it, and the rows of those entities.
-	catCounts map[string]int
-	catRows   map[string][]int
+	// dict is the dictionary of the source column the property's
+	// values come from; every categorical statistic below is keyed by
+	// its int32 codes.
+	dict *relation.Dict
+	// catCounts[code] is the number of distinct entities exhibiting
+	// the value, catRows[code] the rows of those entities (ascending).
+	// numValues counts codes with a nonzero count — the property's
+	// distinct-value cardinality (the dictionary can hold values this
+	// property never exhibits).
+	catCounts []int
+	catRows   [][]int
+	numValues int
 
 	// Numeric statistics: the sorted value multiset for prefix
-	// selectivity, and the column for per-entity access.
+	// selectivity, and the value→row index for range-filter row lookup
+	// in O(log n + k).
 	sorted *index.Sorted
-	// numIdx maps value ranges back to entity rows in O(log n + k)
-	// (the online phase's range-filter row lookup).
 	numIdx *index.NumericRows
 
-	// valuesByRow caches per-entity values (always set; single
-	// element for single-valued properties). Numeric properties store
-	// the raw value; categorical store strings.
-	strByRow [][]string
-	numByRow []*float64
+	// valsByRow caches per-entity value codes (always set for
+	// categorical properties; single element for single-valued ones);
+	// numByRow the raw numeric values.
+	valsByRow [][]int32
+	numByRow  []*float64
 
 	numEntities int
 	cache       *SelCache
@@ -117,13 +129,43 @@ func (p *BasicProperty) NumEntities() int { return p.numEntities }
 // holding memoized answers detect staleness.
 func (p *BasicProperty) StatsGeneration() uint64 { return p.cache.Generation() }
 
-// Values returns the categorical values of the entity at row (nil when
-// the entity has none).
-func (p *BasicProperty) Values(row int) []string {
+// Dict returns the value dictionary the property's codes index into.
+func (p *BasicProperty) Dict() *relation.Dict { return p.dict }
+
+// DecodeValue decodes a value code to its string.
+func (p *BasicProperty) DecodeValue(code int32) string { return p.dict.Value(code) }
+
+// LookupCode returns the code of a categorical value and whether the
+// value exists in the property's dictionary.
+func (p *BasicProperty) LookupCode(v string) (int32, bool) {
+	if p.dict == nil {
+		return 0, false
+	}
+	return p.dict.Lookup(v)
+}
+
+// ValueCodes returns the categorical value codes of the entity at row
+// (nil when the entity has none). The slice is αDB-internal: do not
+// mutate.
+func (p *BasicProperty) ValueCodes(row int) []int32 {
 	if p.Kind != Categorical {
 		return nil
 	}
-	return p.strByRow[row]
+	return p.valsByRow[row]
+}
+
+// Values returns the categorical values of the entity at row (nil when
+// the entity has none).
+func (p *BasicProperty) Values(row int) []string {
+	codes := p.ValueCodes(row)
+	if codes == nil {
+		return nil
+	}
+	out := make([]string, len(codes))
+	for i, c := range codes {
+		out[i] = p.dict.Value(c)
+	}
+	return out
 }
 
 // NumValue returns the numeric value of the entity at row.
@@ -134,13 +176,60 @@ func (p *BasicProperty) NumValue(row int) (float64, bool) {
 	return *p.numByRow[row], true
 }
 
+// countOf returns the entity count of a code (0 when out of range: the
+// dictionary can grow past the statistics under incremental inserts).
+func (p *BasicProperty) countOf(code int32) int {
+	if int(code) < len(p.catCounts) {
+		return p.catCounts[code]
+	}
+	return 0
+}
+
+// rowsOf returns the posting list of a code.
+func (p *BasicProperty) rowsOf(code int32) []int {
+	if int(code) < len(p.catRows) {
+		return p.catRows[code]
+	}
+	return nil
+}
+
+// growTo extends the per-code statistics to cover code (incremental
+// inserts can intern values the build never saw).
+func (p *BasicProperty) growTo(code int32) {
+	for int32(len(p.catCounts)) <= code {
+		p.catCounts = append(p.catCounts, 0)
+		p.catRows = append(p.catRows, nil)
+	}
+}
+
+// addCatRow records that the entity at row exhibits code; rows must
+// arrive in ascending order (the builder scans rows in order).
+func (p *BasicProperty) addCatRow(code int32, row int) {
+	p.growTo(code)
+	if p.catCounts[code] == 0 {
+		p.numValues++
+	}
+	p.catCounts[code]++
+	p.catRows[code] = append(p.catRows[code], row)
+}
+
 // CategoricalSelectivity returns ψ(φ⟨Attr,v,⊥⟩): the fraction of entities
 // exhibiting value v.
 func (p *BasicProperty) CategoricalSelectivity(v string) float64 {
+	code, ok := p.LookupCode(v)
+	if !ok {
+		return 0
+	}
+	return p.SelectivityOfCode(code)
+}
+
+// SelectivityOfCode returns ψ(φ⟨Attr,v,⊥⟩) for a value code — the
+// string-free fast path of the disambiguation scorer.
+func (p *BasicProperty) SelectivityOfCode(code int32) float64 {
 	if p.numEntities == 0 {
 		return 0
 	}
-	return float64(p.catCounts[v]) / float64(p.numEntities)
+	return float64(p.countOf(code)) / float64(p.numEntities)
 }
 
 // RangeSelectivity returns ψ(φ⟨Attr,[lo,hi],⊥⟩) using the precomputed
@@ -175,10 +264,10 @@ func (p *BasicProperty) DomainCoverage(lo, hi float64) float64 {
 // CategoricalDomainCoverage returns the domain coverage of a k-value
 // disjunctive filter over a categorical attribute: k / |distinct values|.
 func (p *BasicProperty) CategoricalDomainCoverage(k int) float64 {
-	if len(p.catCounts) == 0 {
+	if p.numValues == 0 {
 		return 1
 	}
-	cov := float64(k) / float64(len(p.catCounts))
+	cov := float64(k) / float64(p.numValues)
 	if cov > 1 {
 		cov = 1
 	}
@@ -187,7 +276,13 @@ func (p *BasicProperty) CategoricalDomainCoverage(k int) float64 {
 
 // EntityRowsWithValue returns the entity rows exhibiting categorical
 // value v (sorted ascending). The slice is αDB-internal: do not mutate.
-func (p *BasicProperty) EntityRowsWithValue(v string) []int { return p.catRows[v] }
+func (p *BasicProperty) EntityRowsWithValue(v string) []int {
+	code, ok := p.LookupCode(v)
+	if !ok {
+		return nil
+	}
+	return p.rowsOf(code)
+}
 
 // EntityRowsWithAnyValue returns the union of the per-value row sets
 // (sorted ascending): the satisfying rows of a disjunctive IN filter.
@@ -197,13 +292,13 @@ func (p *BasicProperty) EntityRowsWithAnyValue(values []string) []int {
 		return nil
 	}
 	if len(values) == 1 {
-		return p.catRows[values[0]]
+		return p.EntityRowsWithValue(values[0])
 	}
 	key := SelKey{Prop: p, Value: strings.Join(values, "\x00")}
 	return p.cache.Rows(key, func() []int {
 		var out []int
 		for _, v := range values {
-			out = index.UnionSorted(out, p.catRows[v])
+			out = index.UnionSorted(out, p.EntityRowsWithValue(v))
 		}
 		return out
 	})
@@ -235,11 +330,17 @@ func (p *BasicProperty) EntityRowsInRange(lo, hi float64) []int {
 	})
 }
 
+// NumDistinct returns the number of distinct values the property
+// exhibits (categorical).
+func (p *BasicProperty) NumDistinct() int { return p.numValues }
+
 // DistinctValues returns the property's categorical domain, sorted.
 func (p *BasicProperty) DistinctValues() []string {
-	out := make([]string, 0, len(p.catCounts))
-	for v := range p.catCounts {
-		out = append(out, v)
+	out := make([]string, 0, p.numValues)
+	for code, cnt := range p.catCounts {
+		if cnt > 0 {
+			out = append(out, p.dict.Value(int32(code)))
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -263,7 +364,8 @@ type valCount struct {
 // DerivedProperty is an aggregate over a basic property of an associated
 // entity (§3.1): e.g. for person, the number of Comedy movies they
 // appear in. It is materialized as a derived relation
-// (entity_id, value, count) in the αDB.
+// (entity_id, value, count) in the αDB. Per-value statistics are keyed
+// by the codes of the derived relation's value-column dictionary.
 type DerivedProperty struct {
 	Entity string
 	// Via is the associated entity relation (movie for persontogenre).
@@ -287,13 +389,14 @@ type DerivedProperty struct {
 
 	rel      *relation.Relation
 	byEntity *index.IntHash
-	perValue map[string]*index.Sorted
-	// perValueRows lists, per value, the (entity row, strength) pairs
-	// sorted ascending by entity row — the invariant behind the O(log n)
+	// perValue[code] is the sorted strength multiset of one value;
+	// perValueRows[code] lists the (entity row, strength) pairs sorted
+	// ascending by entity row — the invariant behind the O(log n)
 	// StrengthOf lookup and the merge-intersection of the abduction
 	// layer. The builder emits rows in order; incremental bumps insert
 	// in place.
-	perValueRows map[string][]valCount
+	perValue     []*index.Sorted
+	perValueRows [][]valCount
 	numEntities  int
 	cache        *SelCache
 }
@@ -307,6 +410,43 @@ func (p *DerivedProperty) StatsGeneration() uint64 { return p.cache.Generation()
 
 // Relation returns the materialized derived relation.
 func (p *DerivedProperty) Relation() *relation.Relation { return p.rel }
+
+// valueDict returns the dictionary of the derived relation's value
+// column, which keys every per-value statistic.
+func (p *DerivedProperty) valueDict() *relation.Dict { return p.rel.Column("value").Dict() }
+
+// Dict returns the value dictionary the property's codes index into.
+func (p *DerivedProperty) Dict() *relation.Dict { return p.valueDict() }
+
+// DecodeValue decodes a value code to its string.
+func (p *DerivedProperty) DecodeValue(code int32) string { return p.valueDict().Value(code) }
+
+// LookupCode returns the code of a derived value and whether it exists.
+func (p *DerivedProperty) LookupCode(v string) (int32, bool) { return p.valueDict().Lookup(v) }
+
+// pairsOf returns the (entity row, strength) list of a code.
+func (p *DerivedProperty) pairsOf(code int32) []valCount {
+	if int(code) < len(p.perValueRows) {
+		return p.perValueRows[code]
+	}
+	return nil
+}
+
+// sortedOf returns the strength multiset of a code (nil when absent).
+func (p *DerivedProperty) sortedOf(code int32) *index.Sorted {
+	if int(code) < len(p.perValue) {
+		return p.perValue[code]
+	}
+	return nil
+}
+
+// growTo extends the per-code statistics to cover code.
+func (p *DerivedProperty) growTo(code int32) {
+	for int32(len(p.perValueRows)) <= code {
+		p.perValueRows = append(p.perValueRows, nil)
+		p.perValue = append(p.perValue, nil)
+	}
+}
 
 // Counts returns the per-value association strengths of the entity at
 // the given row of the entity relation.
@@ -323,6 +463,28 @@ func (p *DerivedProperty) Counts(entityID int64) map[string]int {
 	return out
 }
 
+// CodeCount pairs a value code with an association strength.
+type CodeCount struct {
+	Code  int32
+	Count int
+}
+
+// CountsCodes returns the per-value association strengths of an entity
+// keyed by value code — the allocation-light variant of Counts used by
+// the abduction layer's code-based context discovery.
+func (p *DerivedProperty) CountsCodes(entityID int64) []CodeCount {
+	rows := p.byEntity.Rows(entityID)
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]CodeCount, len(rows))
+	vcol, ccol := p.rel.Column("value"), p.rel.Column("count")
+	for i, r := range rows {
+		out[i] = CodeCount{Code: vcol.Code(r), Count: int(ccol.Int64(r))}
+	}
+	return out
+}
+
 // Selectivity returns ψ(φ⟨Attr,v,θ⟩): the fraction of entities associated
 // with value v at strength ≥ θ. Entities with no association count as 0.
 func (p *DerivedProperty) Selectivity(v string, theta int) float64 {
@@ -332,7 +494,23 @@ func (p *DerivedProperty) Selectivity(v string, theta int) float64 {
 	if theta <= 0 {
 		return 1
 	}
-	s := p.perValue[v]
+	code, ok := p.LookupCode(v)
+	if !ok {
+		return 0
+	}
+	return p.SelectivityOfCode(code, theta)
+}
+
+// SelectivityOfCode returns ψ(φ⟨Attr,v,θ⟩) for a value code — the
+// string-free fast path of the disambiguation scorer.
+func (p *DerivedProperty) SelectivityOfCode(code int32, theta int) float64 {
+	if p.numEntities == 0 {
+		return 0
+	}
+	if theta <= 0 {
+		return 1
+	}
+	s := p.sortedOf(code)
 	if s == nil {
 		return 0
 	}
@@ -345,8 +523,12 @@ func (p *DerivedProperty) Selectivity(v string, theta int) float64 {
 func (p *DerivedProperty) EntityRowsWithStrength(v string, theta int) []int {
 	key := SelKey{Prop: p, Value: v, Theta: theta}
 	return p.cache.Rows(key, func() []int {
+		code, ok := p.LookupCode(v)
+		if !ok {
+			return nil
+		}
 		var out []int
-		for _, vc := range p.perValueRows[v] {
+		for _, vc := range p.pairsOf(code) {
 			if vc.count >= theta {
 				out = append(out, vc.entityRow)
 			}
@@ -365,8 +547,12 @@ func (p *DerivedProperty) EntityRowsWithNormStrength(v string, thetaN float64, d
 	}
 	key := SelKey{Prop: p, Value: v, Lo: thetaN, Theta: -1}
 	return p.cache.Rows(key, func() []int {
+		code, ok := p.LookupCode(v)
+		if !ok {
+			return nil
+		}
 		var out []int
-		for _, vc := range p.perValueRows[v] {
+		for _, vc := range p.pairsOf(code) {
 			if d := float64(degree.StrengthOf(vc.entityRow, degree.Via)); d > 0 && float64(vc.count)/d >= thetaN {
 				out = append(out, vc.entityRow)
 			}
@@ -375,16 +561,26 @@ func (p *DerivedProperty) EntityRowsWithNormStrength(v string, thetaN float64, d
 	})
 }
 
-// StrengthOf returns the association strength of the entity at row for
-// value v (0 when unassociated) by binary search over the row-sorted
-// posting list — the O(log n) replacement for scanning ValueEntries.
-func (p *DerivedProperty) StrengthOf(row int, v string) int {
-	vcs := p.perValueRows[v]
+// StrengthOfCode returns the association strength of the entity at row
+// for the value code (0 when unassociated) by binary search over the
+// row-sorted posting list.
+func (p *DerivedProperty) StrengthOfCode(row int, code int32) int {
+	vcs := p.pairsOf(code)
 	i := sort.Search(len(vcs), func(i int) bool { return vcs[i].entityRow >= row })
 	if i < len(vcs) && vcs[i].entityRow == row {
 		return vcs[i].count
 	}
 	return 0
+}
+
+// StrengthOf returns the association strength of the entity at row for
+// value v (0 when unassociated).
+func (p *DerivedProperty) StrengthOf(row int, v string) int {
+	code, ok := p.LookupCode(v)
+	if !ok {
+		return 0
+	}
+	return p.StrengthOfCode(row, code)
 }
 
 // ValEntry pairs an entity row with its association strength.
@@ -396,7 +592,11 @@ type ValEntry struct {
 // ValueEntries returns every (entity row, strength) pair for value v;
 // the abduction layer uses it for normalized association strength.
 func (p *DerivedProperty) ValueEntries(v string) []ValEntry {
-	vcs := p.perValueRows[v]
+	code, ok := p.LookupCode(v)
+	if !ok {
+		return nil
+	}
+	vcs := p.pairsOf(code)
 	out := make([]ValEntry, len(vcs))
 	for i, vc := range vcs {
 		out[i] = ValEntry{Row: vc.entityRow, Count: vc.count}
@@ -406,7 +606,11 @@ func (p *DerivedProperty) ValueEntries(v string) []ValEntry {
 
 // MaxStrength returns the largest association strength observed for v.
 func (p *DerivedProperty) MaxStrength(v string) int {
-	s := p.perValue[v]
+	code, ok := p.LookupCode(v)
+	if !ok {
+		return 0
+	}
+	s := p.sortedOf(code)
 	if s == nil || s.Len() == 0 {
 		return 0
 	}
@@ -415,9 +619,11 @@ func (p *DerivedProperty) MaxStrength(v string) int {
 
 // DistinctValues returns the derived value domain, sorted.
 func (p *DerivedProperty) DistinctValues() []string {
-	out := make([]string, 0, len(p.perValue))
-	for v := range p.perValue {
-		out = append(out, v)
+	var out []string
+	for code, vcs := range p.perValueRows {
+		if len(vcs) > 0 {
+			out = append(out, p.valueDict().Value(int32(code)))
+		}
 	}
 	sort.Strings(out)
 	return out

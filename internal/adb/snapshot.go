@@ -1,0 +1,576 @@
+package adb
+
+import (
+	"sort"
+	"time"
+
+	"squid/internal/index"
+	"squid/internal/relation"
+	"squid/internal/snapshot"
+)
+
+// This file persists and restores the αDB through the versioned binary
+// codec of internal/snapshot. Everything the offline phase computes is
+// serialized — base and derived databases (with their column
+// dictionaries), the inverted entity-lookup index, per-property
+// statistics, and the sorted numeric indexes — so a warm boot costs one
+// sequential read plus O(n) hash-index rebuilds instead of the full
+// precomputation. The selectivity cache restarts empty (it is a pure
+// memo), and restored systems support incremental inserts exactly like
+// freshly built ones.
+
+// Encode writes the αDB to a snapshot stream (the caller owns the
+// header; see squid.System.Save).
+func (a *AlphaDB) Encode(w *snapshot.Writer) {
+	writeConfig(w, a.cfg)
+	w.Varint(int64(a.BuildTime))
+	snapshot.WriteDatabase(w, a.DB)
+	snapshot.WriteDatabase(w, a.DerivedDB)
+	a.encodeInverted(w)
+
+	names := make([]string, 0, len(a.Entities))
+	for name := range a.Entities {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		writeEntity(w, a.Entities[name])
+	}
+}
+
+// Decode restores an αDB from a snapshot stream positioned after the
+// header. The returned αDB shares nothing with the stream; hash indexes
+// (primary keys, derived entity ids) are rebuilt into a fresh IndexSet.
+func Decode(r *snapshot.Reader) (*AlphaDB, error) {
+	cfg := readConfig(r)
+	buildTime := time.Duration(r.Varint())
+	db := snapshot.ReadDatabase(r)
+	derived := snapshot.ReadDatabase(r)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	a := &AlphaDB{
+		DB:        db,
+		Entities:  make(map[string]*EntityInfo),
+		Indexes:   index.NewIndexSet(),
+		DerivedDB: derived,
+		BuildTime: buildTime,
+		cfg:       cfg,
+		selCache:  NewSelCache(),
+	}
+	a.decodeInverted(r)
+	n := r.Len()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		info := readEntity(r, a)
+		if r.Err() != nil {
+			break
+		}
+		a.Entities[info.Relation] = info
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return a, nil
+}
+
+func writeConfig(w *snapshot.Writer, cfg Config) {
+	w.Int(cfg.MaxFactDepth)
+	w.Int(cfg.MaxCatDistinct)
+	w.Float(cfg.MaxCatRatio)
+	w.Int(cfg.Workers)
+	writeStringMap(w, cfg.PropertyValueColumn)
+	writeStringMap(w, cfg.DisplayColumn)
+	keys := sortedKeys(cfg.ExcludeColumns)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		cols := cfg.ExcludeColumns[k]
+		w.Uvarint(uint64(len(cols)))
+		for _, c := range cols {
+			w.String(c)
+		}
+	}
+}
+
+func readConfig(r *snapshot.Reader) Config {
+	cfg := Config{
+		MaxFactDepth:   r.Int(),
+		MaxCatDistinct: r.Int(),
+		MaxCatRatio:    r.Float(),
+		Workers:        r.Int(),
+	}
+	cfg.PropertyValueColumn = readStringMap(r)
+	cfg.DisplayColumn = readStringMap(r)
+	if n := r.Len(); n > 0 {
+		cfg.ExcludeColumns = make(map[string][]string, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			k := r.String()
+			nc := r.Len()
+			cols := make([]string, 0, nc)
+			for j := 0; j < nc && r.Err() == nil; j++ {
+				cols = append(cols, r.String())
+			}
+			cfg.ExcludeColumns[k] = cols
+		}
+	}
+	return cfg
+}
+
+func writeStringMap(w *snapshot.Writer, m map[string]string) {
+	keys := sortedKeys(m)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.String(m[k])
+	}
+}
+
+func readStringMap(r *snapshot.Reader) map[string]string {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.String()
+		m[k] = r.String()
+	}
+	return m
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// encodeInverted writes the inverted index as sorted keys with postings
+// referencing base relations/columns by table index, so the on-disk form
+// is compact and deterministic.
+func (a *AlphaDB) encodeInverted(w *snapshot.Writer) {
+	relNames := a.DB.RelationNames()
+	relIdx := make(map[string]int, len(relNames))
+	colIdx := make(map[string]map[string]int, len(relNames))
+	for i, name := range relNames {
+		relIdx[name] = i
+		cols := a.DB.Relation(name).ColumnNames()
+		m := make(map[string]int, len(cols))
+		for j, c := range cols {
+			m[c] = j
+		}
+		colIdx[name] = m
+	}
+	postings := a.Inverted.RawPostings()
+	keys := sortedKeys(postings)
+	w.Uvarint(uint64(len(keys)))
+	total := 0
+	for _, ps := range postings {
+		total += len(ps)
+	}
+	// Keys, per-key lengths, then the postings as three flat
+	// fixed-width blocks — the reader decodes the whole section with
+	// four contiguous reads and one backing array.
+	lens := make([]int, len(keys))
+	ris := make([]int, 0, total)
+	cis := make([]int, 0, total)
+	rows := make([]int, 0, total)
+	for i, key := range keys {
+		w.String(key)
+		ps := postings[key]
+		lens[i] = len(ps)
+		for _, p := range ps {
+			ris = append(ris, relIdx[p.Relation])
+			cis = append(cis, colIdx[p.Relation][p.Column])
+			rows = append(rows, p.Row)
+		}
+	}
+	w.Ints(lens)
+	w.Ints(ris)
+	w.Ints(cis)
+	w.Ints(rows)
+}
+
+func (a *AlphaDB) decodeInverted(r *snapshot.Reader) {
+	relNames := a.DB.RelationNames()
+	colNames := make([][]string, len(relNames))
+	for i, name := range relNames {
+		colNames[i] = a.DB.Relation(name).ColumnNames()
+	}
+	n := r.Len()
+	keys := make([]string, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		keys[i] = r.String()
+	}
+	lens := r.Ints()
+	ris := r.Ints()
+	cis := r.Ints()
+	rows := r.Ints()
+	if r.Err() != nil {
+		return
+	}
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	if len(lens) != n || len(ris) != total || len(cis) != total || len(rows) != total {
+		r.Fail("inverted payload blocks disagree (%d keys, %d lens, %d/%d/%d postings for total %d)",
+			n, len(lens), len(ris), len(cis), len(rows), total)
+		return
+	}
+	postings := make(map[string][]index.Posting, n)
+	// One backing array for every posting list: per-key slices are
+	// capacity-capped views, so later incremental Inserts copy out
+	// instead of clobbering the neighbor list.
+	backing := make([]index.Posting, total)
+	off := 0
+	for i, key := range keys {
+		np := lens[i]
+		seg := backing[off : off+np : off+np]
+		for j := 0; j < np; j++ {
+			ri, ci := ris[off+j], cis[off+j]
+			if ri >= len(relNames) || ci >= len(colNames[ri]) {
+				r.Fail("inverted posting references relation %d column %d out of range", ri, ci)
+				return
+			}
+			seg[j] = index.Posting{Relation: relNames[ri], Column: colNames[ri][ci], Row: rows[off+j]}
+		}
+		postings[key] = seg
+		off += np
+	}
+	a.Inverted = index.RestoreInverted(postings)
+}
+
+func writeAccess(w *snapshot.Writer, ap AccessPath) {
+	w.Uvarint(uint64(ap.Type))
+	w.String(ap.Column)
+	w.String(ap.Fact)
+	w.String(ap.FactEntityCol)
+	w.String(ap.FactDimCol)
+	w.String(ap.Dim)
+	w.String(ap.DimPK)
+	w.String(ap.DimValueCol)
+}
+
+func readAccess(r *snapshot.Reader) AccessPath {
+	return AccessPath{
+		Type:          PathType(r.Uvarint()),
+		Column:        r.String(),
+		Fact:          r.String(),
+		FactEntityCol: r.String(),
+		FactDimCol:    r.String(),
+		Dim:           r.String(),
+		DimPK:         r.String(),
+		DimValueCol:   r.String(),
+	}
+}
+
+func writeEntity(w *snapshot.Writer, info *EntityInfo) {
+	w.String(info.Relation)
+	w.String(info.PK)
+	w.Int(info.NumRows)
+	w.Int64s(info.rowIDs)
+	w.Uvarint(uint64(len(info.Basic)))
+	for _, p := range info.Basic {
+		writeBasic(w, p)
+	}
+	w.Uvarint(uint64(len(info.Derived)))
+	for _, p := range info.Derived {
+		writeDerived(w, p)
+	}
+}
+
+func readEntity(r *snapshot.Reader, a *AlphaDB) *EntityInfo {
+	info := &EntityInfo{
+		Relation: r.String(),
+		PK:       r.String(),
+		NumRows:  r.Int(),
+		rowIDs:   r.Int64s(),
+	}
+	if r.Err() != nil {
+		return info
+	}
+	rel := a.DB.Relation(info.Relation)
+	if rel == nil {
+		r.Fail("entity %q not present in restored database", info.Relation)
+		return info
+	}
+	info.rel = rel
+	info.pkIndex = a.Indexes.IntHash(rel, info.PK)
+	nb := r.Len()
+	for i := 0; i < nb && r.Err() == nil; i++ {
+		p := readBasic(r, a, info)
+		if r.Err() == nil {
+			info.Basic = append(info.Basic, p)
+		}
+	}
+	nd := r.Len()
+	for i := 0; i < nd && r.Err() == nil; i++ {
+		p := readDerived(r, a, info)
+		if r.Err() == nil {
+			info.Derived = append(info.Derived, p)
+		}
+	}
+	info.buildAttrMaps()
+	return info
+}
+
+func writeBasic(w *snapshot.Writer, p *BasicProperty) {
+	w.String(p.Attr)
+	w.Uvarint(uint64(p.Kind))
+	writeAccess(w, p.Access)
+	w.Bool(p.MultiValued)
+	w.Int(p.numEntities)
+	if p.Kind == Categorical {
+		w.Int(p.numValues)
+		w.Ints(p.catCounts)
+		// Jagged lists flatten to (lengths, payload) block pairs: one
+		// contiguous read each on load, sliced back per code/row.
+		lens := make([]int, len(p.catRows))
+		var flat []int
+		for code, rows := range p.catRows {
+			lens[code] = len(rows)
+			flat = append(flat, rows...)
+		}
+		w.Ints(lens)
+		w.Ints(flat)
+		vlens := make([]int, len(p.valsByRow))
+		var vflat []int32
+		for row, codes := range p.valsByRow {
+			vlens[row] = len(codes)
+			vflat = append(vflat, codes...)
+		}
+		w.Ints(vlens)
+		w.Int32s(vflat)
+		return
+	}
+	// Numeric: the per-row values as a presence bitmap plus the dense
+	// payload, then the two sorted indexes.
+	present := make([]bool, len(p.numByRow))
+	var vals []float64
+	for i, v := range p.numByRow {
+		if v != nil {
+			present[i] = true
+			vals = append(vals, *v)
+		}
+	}
+	w.Bools(present)
+	w.Floats(vals)
+	w.Floats(p.sorted.RawVals())
+	idxVals, idxRows := p.numIdx.RawPairs()
+	w.Floats(idxVals)
+	w.Ints(idxRows)
+}
+
+// sourceColumn resolves the column whose dictionary keys a categorical
+// property's statistics, from its access path.
+func (a *AlphaDB) sourceColumn(entityRel *relation.Relation, access AccessPath) *relation.Column {
+	switch access.Type {
+	case Direct:
+		return entityRel.Column(access.Column)
+	case FKDim, FactDim:
+		if dim := a.DB.Relation(access.Dim); dim != nil {
+			return dim.Column(access.DimValueCol)
+		}
+	case AttrTable:
+		if side := a.DB.Relation(access.Fact); side != nil {
+			return side.Column(access.Column)
+		}
+	}
+	return nil
+}
+
+func readBasic(r *snapshot.Reader, a *AlphaDB, info *EntityInfo) *BasicProperty {
+	p := &BasicProperty{
+		Entity: info.Relation,
+		Attr:   r.String(),
+		Kind:   PropKind(r.Uvarint()),
+	}
+	p.Access = readAccess(r)
+	p.MultiValued = r.Bool()
+	p.numEntities = r.Int()
+	p.cache = a.selCache
+	if r.Err() != nil {
+		return p
+	}
+	if p.Kind == Categorical {
+		src := a.sourceColumn(info.rel, p.Access)
+		if src == nil || src.Dict() == nil {
+			r.Fail("property %s.%s: cannot resolve source dictionary", info.Relation, p.Attr)
+			return p
+		}
+		p.dict = src.Dict()
+		p.numValues = r.Int()
+		p.catCounts = r.Ints()
+		var ok bool
+		if p.catRows, ok = sliceJaggedInts(r, r.Ints(), r.Ints()); !ok {
+			r.Fail("property %s.%s: catRows payload mismatch", info.Relation, p.Attr)
+			return p
+		}
+		if p.valsByRow, ok = sliceJaggedInt32s(r, r.Ints(), r.Int32s()); !ok {
+			r.Fail("property %s.%s: valsByRow payload mismatch", info.Relation, p.Attr)
+			return p
+		}
+		return p
+	}
+	present := r.Bools()
+	vals := r.Floats()
+	p.numByRow = make([]*float64, len(present))
+	vi := 0
+	for i, ok := range present {
+		if !ok {
+			continue
+		}
+		if vi >= len(vals) {
+			r.Fail("property %s.%s: numeric payload shorter than presence bitmap", info.Relation, p.Attr)
+			return p
+		}
+		// Point into the decoded payload: one backing array, no
+		// per-value boxing.
+		p.numByRow[i] = &vals[vi]
+		vi++
+	}
+	p.sorted = index.RestoreSorted(r.Floats())
+	p.numIdx = index.RestoreNumericRows(r.Floats(), r.Ints())
+	return p
+}
+
+// sliceJaggedInts rebuilds a jagged [][]int from its flattened
+// (lengths, payload) form. Segments are capacity-capped slices of one
+// backing array, so later in-place appends (incremental maintenance)
+// copy out instead of clobbering the neighbor segment.
+func sliceJaggedInts(r *snapshot.Reader, lens, flat []int) ([][]int, bool) {
+	if r.Err() != nil {
+		return nil, true // defer to the sticky error
+	}
+	out := make([][]int, len(lens))
+	off := 0
+	for i, n := range lens {
+		if n < 0 || off+n > len(flat) {
+			return nil, false
+		}
+		if n > 0 {
+			out[i] = flat[off : off+n : off+n]
+		}
+		off += n
+	}
+	return out, off == len(flat)
+}
+
+// sliceJaggedInt32s is sliceJaggedInts for int32 payloads.
+func sliceJaggedInt32s(r *snapshot.Reader, lens []int, flat []int32) ([][]int32, bool) {
+	if r.Err() != nil {
+		return nil, true
+	}
+	out := make([][]int32, len(lens))
+	off := 0
+	for i, n := range lens {
+		if n < 0 || off+n > len(flat) {
+			return nil, false
+		}
+		if n > 0 {
+			out[i] = flat[off : off+n : off+n]
+		}
+		off += n
+	}
+	return out, off == len(flat)
+}
+
+func writeDerived(w *snapshot.Writer, p *DerivedProperty) {
+	w.String(p.Attr)
+	w.String(p.Via)
+	w.String(p.ViaPK)
+	w.String(p.Fact1)
+	w.String(p.Fact1EntityCol)
+	w.String(p.Fact1ViaCol)
+	writeAccess(w, p.Target)
+	w.String(p.RelName)
+	w.Int(p.numEntities)
+	// Per-code statistics flatten to four whole-property blocks:
+	// lengths, entity rows, counts, and the sorted strength multisets
+	// (which ride along so load adopts instead of re-sorting). The
+	// multiset of a code always has exactly one entry per (row, count)
+	// pair, so the lengths block covers it too.
+	lens := make([]int, len(p.perValueRows))
+	var rows, counts []int
+	var svals []float64
+	for code, vcs := range p.perValueRows {
+		lens[code] = len(vcs)
+		for _, vc := range vcs {
+			rows = append(rows, vc.entityRow)
+			counts = append(counts, vc.count)
+		}
+		if s := p.perValue[code]; s != nil {
+			svals = append(svals, s.RawVals()...)
+		}
+	}
+	w.Ints(lens)
+	w.Ints(rows)
+	w.Ints(counts)
+	w.Floats(svals)
+}
+
+func readDerived(r *snapshot.Reader, a *AlphaDB, info *EntityInfo) *DerivedProperty {
+	p := &DerivedProperty{
+		Entity:         info.Relation,
+		Attr:           r.String(),
+		Via:            r.String(),
+		ViaPK:          r.String(),
+		Fact1:          r.String(),
+		Fact1EntityCol: r.String(),
+		Fact1ViaCol:    r.String(),
+	}
+	p.Target = readAccess(r)
+	p.RelName = r.String()
+	p.numEntities = r.Int()
+	p.cache = a.selCache
+	if r.Err() != nil {
+		return p
+	}
+	rel := a.DerivedDB.Relation(p.RelName)
+	if rel == nil {
+		r.Fail("derived property %s.%s: relation %q missing from restored derived database",
+			info.Relation, p.Attr, p.RelName)
+		return p
+	}
+	p.rel = rel
+	p.byEntity = a.Indexes.IntHash(rel, "entity_id")
+	lens := r.Ints()
+	rows := r.Ints()
+	counts := r.Ints()
+	svals := r.Floats()
+	if r.Err() != nil {
+		return p
+	}
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	if len(rows) != total || len(counts) != total || len(svals) != total {
+		r.Fail("derived property %s.%s: payload blocks disagree (%d lens, %d rows, %d counts, %d strengths)",
+			info.Relation, p.Attr, total, len(rows), len(counts), len(svals))
+		return p
+	}
+	backing := make([]valCount, total)
+	p.perValueRows = make([][]valCount, len(lens))
+	p.perValue = make([]*index.Sorted, len(lens))
+	off := 0
+	for code, n := range lens {
+		if n == 0 {
+			continue
+		}
+		seg := backing[off : off+n : off+n]
+		for i := 0; i < n; i++ {
+			seg[i] = valCount{entityRow: rows[off+i], count: counts[off+i]}
+		}
+		p.perValueRows[code] = seg
+		// Capacity-capped slice of the shared payload: incremental
+		// Insert/Replace copy out instead of clobbering the neighbor.
+		p.perValue[code] = index.RestoreSorted(svals[off : off+n : off+n])
+		off += n
+	}
+	return p
+}

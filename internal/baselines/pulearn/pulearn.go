@@ -138,14 +138,14 @@ func Learn(X [][]float64, feats []ml.Feature, positiveRows []int, cfg Config) *R
 func Featurize(info *adb.EntityInfo) ([][]float64, []ml.Feature) {
 	var feats []ml.Feature
 	var props []*adb.BasicProperty
-	codes := []map[string]float64{}
+	codes := []map[int32]float64{}
 	for _, p := range info.Basic {
 		if p.MultiValued {
 			continue // the §7.6 setting is a single denormalized relation
 		}
 		props = append(props, p)
 		feats = append(feats, ml.Feature{Name: p.Attr, Categorical: p.Kind == adb.Categorical})
-		codes = append(codes, map[string]float64{})
+		codes = append(codes, map[int32]float64{})
 	}
 	X := make([][]float64, info.NumRows)
 	for row := 0; row < info.NumRows; row++ {
@@ -159,7 +159,9 @@ func Featurize(info *adb.EntityInfo) ([][]float64, []ml.Feature) {
 				}
 				continue
 			}
-			vals := p.Values(row)
+			// Dictionary codes stand in for the strings: same dense
+			// feature coding, no per-row decode.
+			vals := p.ValueCodes(row)
 			if len(vals) == 0 {
 				x[i] = ml.MissingCat
 				continue

@@ -135,15 +135,16 @@ func denormalize(info *adb.EntityInfo, maxRows int) *denormTable {
 	})
 	props := append(append([]*adb.BasicProperty(nil), single...), multi...)
 
-	// Feature encoding: per categorical property a code table.
-	codes := make([]map[string]float64, len(props))
+	// Feature encoding: per categorical property a code table, keyed
+	// by dictionary code so featurization never decodes strings.
+	codes := make([]map[int32]float64, len(props))
 	for i, p := range props {
 		t.feats = append(t.feats, ml.Feature{Name: p.Attr, Categorical: p.Kind == adb.Categorical})
 		if p.Kind == adb.Categorical {
-			codes[i] = map[string]float64{}
+			codes[i] = map[int32]float64{}
 		}
 	}
-	encode := func(i int, v string) float64 {
+	encode := func(i int, v int32) float64 {
 		c, ok := codes[i][v]
 		if !ok {
 			c = float64(len(codes[i]))
@@ -169,7 +170,7 @@ func denormalize(info *adb.EntityInfo, maxRows int) *denormTable {
 					r[i] = cell
 				}
 			case !p.MultiValued:
-				vals := p.Values(entityRow)
+				vals := p.ValueCodes(entityRow)
 				cell := float64(ml.MissingCat)
 				if len(vals) > 0 {
 					cell = encode(i, vals[0])
@@ -178,7 +179,7 @@ func denormalize(info *adb.EntityInfo, maxRows int) *denormTable {
 					r[i] = cell
 				}
 			default:
-				vals := p.Values(entityRow)
+				vals := p.ValueCodes(entityRow)
 				if len(vals) == 0 {
 					for _, r := range rows {
 						r[i] = ml.MissingCat
@@ -221,7 +222,7 @@ func avgMultiplicity(p *adb.BasicProperty, info *adb.EntityInfo) float64 {
 	n, total := 0, 0
 	step := info.NumRows/200 + 1
 	for row := 0; row < info.NumRows; row += step {
-		total += len(p.Values(row))
+		total += len(p.ValueCodes(row))
 		n++
 	}
 	if n == 0 {

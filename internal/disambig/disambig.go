@@ -58,13 +58,15 @@ type scorer struct {
 // the αDB once and reused across every pair the row participates in
 // (the exhaustive search scores O(candidates²) pairs; without the
 // profile each pair re-resolved value sets and association-count maps).
+// Values are dictionary codes, so set intersections and selectivity
+// lookups are integer operations with no string hashing.
 type rowProfile struct {
 	// catVals holds, per basic categorical property (aligned with
-	// info.Basic), the row's deduplicated value set.
-	catVals []map[string]struct{}
+	// info.Basic), the row's deduplicated value-code set.
+	catVals []map[int32]struct{}
 	// counts holds, per derived property (aligned with info.Derived),
-	// the row's association counts.
-	counts []map[string]int
+	// the row's association counts keyed by value code.
+	counts []map[int32]int
 }
 
 func newScorer(info *adb.EntityInfo) *scorer {
@@ -83,26 +85,34 @@ func (sc *scorer) profile(row int) *rowProfile {
 	}
 	info := sc.info
 	p := &rowProfile{
-		catVals: make([]map[string]struct{}, len(info.Basic)),
-		counts:  make([]map[string]int, len(info.Derived)),
+		catVals: make([]map[int32]struct{}, len(info.Basic)),
+		counts:  make([]map[int32]int, len(info.Derived)),
 	}
 	for i, prop := range info.Basic {
 		if prop.Kind != adb.Categorical {
 			continue
 		}
-		vals := prop.Values(row)
-		if len(vals) == 0 {
+		codes := prop.ValueCodes(row)
+		if len(codes) == 0 {
 			continue
 		}
-		set := make(map[string]struct{}, len(vals))
-		for _, v := range vals {
-			set[v] = struct{}{}
+		set := make(map[int32]struct{}, len(codes))
+		for _, c := range codes {
+			set[c] = struct{}{}
 		}
 		p.catVals[i] = set
 	}
 	id := info.IDByRow(row)
 	for i, prop := range info.Derived {
-		p.counts[i] = prop.Counts(id)
+		ccs := prop.CountsCodes(id)
+		if len(ccs) == 0 {
+			continue
+		}
+		m := make(map[int32]int, len(ccs))
+		for _, cc := range ccs {
+			m[cc.Code] = cc.Count
+		}
+		p.counts[i] = m
 	}
 	sc.rows[row] = p
 	return p
@@ -210,8 +220,8 @@ func (sc *scorer) selfWeight(row int) float64 {
 	for i, p := range info.Basic {
 		switch p.Kind {
 		case adb.Categorical:
-			for v := range prof.catVals[i] {
-				w += rarity(p.CategoricalSelectivity(v))
+			for c := range prof.catVals[i] {
+				w += rarity(p.SelectivityOfCode(c))
 			}
 		case adb.Numeric:
 			if _, ok := p.NumValue(row); ok {
@@ -220,8 +230,8 @@ func (sc *scorer) selfWeight(row int) float64 {
 		}
 	}
 	for i, p := range info.Derived {
-		for v, n := range prof.counts[i] {
-			w += rarity(p.Selectivity(v, n))
+		for c, n := range prof.counts[i] {
+			w += rarity(p.SelectivityOfCode(c, n))
 		}
 	}
 	sc.self[row] = w
@@ -256,9 +266,9 @@ func (sc *scorer) pairSimilarity(a, b int) float64 {
 			if len(bv) < len(av) {
 				av, bv = bv, av
 			}
-			for v := range av {
-				if _, ok := bv[v]; ok {
-					score += rarity(p.CategoricalSelectivity(v))
+			for c := range av {
+				if _, ok := bv[c]; ok {
+					score += rarity(p.SelectivityOfCode(c))
 				}
 			}
 		case adb.Numeric:
@@ -284,13 +294,13 @@ func (sc *scorer) pairSimilarity(a, b int) float64 {
 		if len(ac) == 0 || len(bc) == 0 {
 			continue
 		}
-		for v, n := range ac {
-			if m, ok := bc[v]; ok {
+		for c, n := range ac {
+			if m, ok := bc[c]; ok {
 				minStrength := n
 				if m < n {
 					minStrength = m
 				}
-				score += rarity(p.Selectivity(v, minStrength))
+				score += rarity(p.SelectivityOfCode(c, minStrength))
 			}
 		}
 	}

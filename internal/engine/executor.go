@@ -2,16 +2,18 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"squid/internal/index"
 	"squid/internal/relation"
 )
 
 // Executor runs logical queries against a database using hash joins with
-// predicate pushdown. Point predicates (= and IN) on indexed-size
-// relations are answered from a shared hash-index pool instead of column
-// scans; the pool is concurrency-safe, so one executor can serve many
-// goroutines.
+// predicate pushdown. On indexed-size relations, point predicates
+// (= and IN) are answered from a shared hash-index pool and range
+// predicates (<, <=, >, >=, and their BETWEEN combinations) from shared
+// sorted value→row indexes instead of column scans; the pool is
+// concurrency-safe, so one executor can serve many goroutines.
 type Executor struct {
 	db  *relation.Database
 	idx *index.IndexSet
@@ -238,35 +240,88 @@ func (e *Executor) filterRows(rel *relation.Relation, preds []Pred) []int {
 	return out
 }
 
-// indexCandidates picks the most selective point predicate that a hash
-// index can answer and returns its candidate rows (sorted ascending; a
-// superset of the matching rows — string indexes are
-// normalization-folded, so every candidate is re-verified by the
-// caller). ok is false when no predicate is index-answerable.
+// indexCandidates picks the most selective index-answerable predicate
+// and returns its candidate rows (sorted ascending; a superset of the
+// matching rows — string indexes are normalization-folded, so every
+// candidate is re-verified by the caller). Point predicates (= and IN)
+// are answered from hash indexes; range predicates (≥, ≤, and their
+// BETWEEN combination on one column) from the sorted value→row index,
+// whose O(log n) count lets selection happen before any row list is
+// materialized. ok is false when no predicate is index-answerable.
 func (e *Executor) indexCandidates(rel *relation.Relation, preds []Pred, cols []*relation.Column) (cands []int, ok bool) {
-	best := -1
+	bestCount := -1
 	var bestRows []int
-	consider := func(i int, rows []int) {
-		if best == -1 || len(rows) < len(bestRows) {
-			best, bestRows = i, rows
+	var bestLazy func() []int
+	consider := func(rows []int) {
+		if bestCount == -1 || len(rows) < bestCount {
+			bestCount, bestRows, bestLazy = len(rows), rows, nil
 		}
 	}
+	considerLazy := func(count int, materialize func() []int) {
+		if bestCount == -1 || count < bestCount {
+			bestCount, bestRows, bestLazy = count, nil, materialize
+		}
+	}
+
+	// Range predicates combine per column: age >= 50 AND age <= 90 is
+	// one [50, 90] probe, the engine-level form of BETWEEN.
+	type bounds struct{ lo, hi float64 }
+	var ranges map[string]*bounds
+
 	for i, p := range preds {
 		col := cols[i]
 		switch {
 		case p.Op == OpEq && col.Type == relation.Int && p.Val.IsInt():
-			consider(i, e.idx.IntHash(rel, p.Col).Rows(p.Val.Int()))
+			consider(e.idx.IntHash(rel, p.Col).Rows(p.Val.Int()))
 		case p.Op == OpEq && col.Type == relation.String && p.Val.IsString():
-			consider(i, e.idx.StrHash(rel, p.Col).Rows(p.Val.Str()))
+			consider(e.idx.StrHash(rel, p.Col).Rows(p.Val.Str()))
 		case p.Op == OpIn && col.Type == relation.String:
 			rows, valid := e.inCandidates(rel, p)
 			if valid {
-				consider(i, rows)
+				consider(rows)
+			}
+		case (p.Op == OpGE || p.Op == OpLE || p.Op == OpGT || p.Op == OpLT) &&
+			col.Type != relation.String && !p.Val.IsNull() && !p.Val.IsString():
+			if ranges == nil {
+				ranges = make(map[string]*bounds)
+			}
+			b := ranges[p.Col]
+			if b == nil {
+				b = &bounds{lo: math.Inf(-1), hi: math.Inf(1)}
+				ranges[p.Col] = b
+			}
+			// The sorted index answers closed intervals; strict bounds
+			// shift to the adjacent representable float, which is exact
+			// for the float64 values the index stores.
+			v := p.Val.Float()
+			switch p.Op {
+			case OpGT:
+				v = math.Nextafter(v, math.Inf(1))
+				fallthrough
+			case OpGE:
+				if v > b.lo {
+					b.lo = v
+				}
+			case OpLT:
+				v = math.Nextafter(v, math.Inf(-1))
+				fallthrough
+			case OpLE:
+				if v < b.hi {
+					b.hi = v
+				}
 			}
 		}
 	}
-	if best == -1 {
+	for colName, b := range ranges {
+		n := e.idx.Numeric(rel, colName)
+		b := b
+		considerLazy(n.CountRange(b.lo, b.hi), func() []int { return n.RowsInRange(b.lo, b.hi) })
+	}
+	if bestCount == -1 {
 		return nil, false
+	}
+	if bestLazy != nil {
+		return bestLazy(), true
 	}
 	return bestRows, true
 }

@@ -74,7 +74,22 @@ func TestFilterRowsIndexVsScan(t *testing.T) {
 		{{Rel: "items", Col: "cat", Op: OpIn, Vals: []relation.Value{
 			relation.StringVal("alpha"), relation.StringVal("delta")}}},
 		{{Rel: "items", Col: "cat", Op: OpEq, Val: relation.StringVal("missing")}},
-		{{Rel: "items", Col: "score", Op: OpGE, Val: relation.IntVal(8)}}, // no point pred: scan path
+		{{Rel: "items", Col: "score", Op: OpGE, Val: relation.IntVal(8)}}, // range pushdown
+		{{Rel: "items", Col: "score", Op: OpLE, Val: relation.IntVal(2)}},
+		{{Rel: "items", Col: "score", Op: OpGT, Val: relation.IntVal(7)}},
+		{{Rel: "items", Col: "score", Op: OpLT, Val: relation.IntVal(3)}},
+		{ // BETWEEN: both bounds combine into one sorted-index probe
+			{Rel: "items", Col: "score", Op: OpGE, Val: relation.IntVal(3)},
+			{Rel: "items", Col: "score", Op: OpLE, Val: relation.IntVal(6)},
+		},
+		{ // strict BETWEEN
+			{Rel: "items", Col: "score", Op: OpGT, Val: relation.IntVal(3)},
+			{Rel: "items", Col: "score", Op: OpLT, Val: relation.IntVal(6)},
+		},
+		{ // empty range
+			{Rel: "items", Col: "score", Op: OpGE, Val: relation.IntVal(6)},
+			{Rel: "items", Col: "score", Op: OpLE, Val: relation.IntVal(3)},
+		},
 	}
 	for i, preds := range cases {
 		got := e.filterRows(items, preds)
@@ -85,6 +100,39 @@ func TestFilterRowsIndexVsScan(t *testing.T) {
 		if !sort.IntsAreSorted(got) {
 			t.Errorf("case %d: rows not sorted", i)
 		}
+	}
+}
+
+// TestRangePushdownAfterAppend verifies the sorted numeric index stays
+// consistent when rows are appended through the shared pool's NoteAppend
+// (the incremental-maintenance contract of the αDB).
+func TestRangePushdownAfterAppend(t *testing.T) {
+	db := pushdownDB(200)
+	pool := index.NewIndexSet()
+	e := NewExecutorWithIndexes(db, pool)
+	items := db.Relation("items")
+	preds := []Pred{{Rel: "items", Col: "score", Op: OpGE, Val: relation.IntVal(7)}}
+
+	before := e.filterRows(items, preds)
+	if want := scanRows(items, preds); !reflect.DeepEqual(before, want) {
+		t.Fatalf("pre-append filterRows=%v want %v", before, want)
+	}
+	// Append rows and maintain the pool as the αDB does.
+	for i := 0; i < 10; i++ {
+		items.MustAppend(
+			relation.IntVal(int64(1000+i)),
+			relation.StringVal("epsilon"),
+			relation.IntVal(int64(9)),
+		)
+		pool.NoteAppend(items, items.NumRows()-1)
+	}
+	got := e.filterRows(items, preds)
+	want := scanRows(items, preds)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-append filterRows=%v want %v", got, want)
+	}
+	if len(got) != len(before)+10 {
+		t.Fatalf("expected %d rows, got %d", len(before)+10, len(got))
 	}
 }
 

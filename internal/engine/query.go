@@ -26,6 +26,11 @@ const (
 	// OpIn is attribute ∈ values (the paper's optional disjunction
 	// support for categorical attributes, §3.1 footnote 7).
 	OpIn
+	// OpGT is attribute > value (strict variant beyond the paper's
+	// {=, ≥, ≤} class, for external workloads).
+	OpGT
+	// OpLT is attribute < value.
+	OpLT
 )
 
 // String renders the operator in SQL syntax.
@@ -39,6 +44,10 @@ func (o Op) String() string {
 		return "<="
 	case OpIn:
 		return "IN"
+	case OpGT:
+		return ">"
+	case OpLT:
+		return "<"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -93,6 +102,10 @@ func (p Pred) Matches(v relation.Value) bool {
 			}
 		}
 		return false
+	case OpGT:
+		return p.Val.Less(v)
+	case OpLT:
+		return v.Less(p.Val)
 	}
 	return false
 }

@@ -11,19 +11,41 @@ type IntHash struct {
 	rows map[int64][]int
 }
 
-// BuildIntHash indexes the named integer column of rel.
+// BuildIntHash indexes the named integer column of rel. The map is
+// presized to the row count and posting lists are capacity-capped runs
+// of one shared backing array — key columns are unique (runs of one)
+// and derived-relation entity ids arrive clustered (runs per entity),
+// so bulk builds allocate O(1) slices instead of one per key. Warm
+// boots rebuild every hash index through this path.
 func BuildIntHash(rel *relation.Relation, col string) *IntHash {
 	c := rel.Column(col)
-	h := &IntHash{rows: make(map[int64][]int)}
+	h := &IntHash{rows: make(map[int64][]int, rel.NumRows())}
 	if c == nil || c.Type != relation.Int {
 		return h
 	}
-	for row := 0; row < c.Len(); row++ {
-		if c.IsNull(row) {
+	n := c.Len()
+	backing := make([]int, n)
+	for i := range backing {
+		backing[i] = i
+	}
+	for i := 0; i < n; {
+		if c.IsNull(i) {
+			i++
 			continue
 		}
-		v := c.Int64(row)
-		h.rows[v] = append(h.rows[v], row)
+		v := c.Int64(i)
+		j := i + 1
+		for j < n && !c.IsNull(j) && c.Int64(j) == v {
+			j++
+		}
+		if existing := h.rows[v]; existing == nil {
+			// Capped at the run end: a later Insert reallocates
+			// instead of clobbering the next run.
+			h.rows[v] = backing[i:j:j]
+		} else {
+			h.rows[v] = append(existing, backing[i:j]...)
+		}
+		i = j
 	}
 	return h
 }
@@ -56,21 +78,35 @@ type StrHash struct {
 	rows map[string][]int
 }
 
-// BuildStrHash indexes the named string column of rel.
+// BuildStrHash indexes the named string column of rel. The column is
+// dictionary-encoded, so each distinct value is normalized exactly once
+// (a table indexed by dictionary code) and the per-row work is an int32
+// table lookup instead of a string normalization.
 func BuildStrHash(rel *relation.Relation, col string) *StrHash {
 	c := rel.Column(col)
 	h := &StrHash{rows: make(map[string][]int)}
 	if c == nil || c.Type != relation.String {
 		return h
 	}
+	norm := normalizedDict(c.Dict())
 	for row := 0; row < c.Len(); row++ {
 		if c.IsNull(row) {
 			continue
 		}
-		key := Normalize(c.Str(row))
+		key := norm[c.Code(row)]
 		h.rows[key] = append(h.rows[key], row)
 	}
 	return h
+}
+
+// normalizedDict precomputes Normalize for every dictionary code.
+func normalizedDict(d *relation.Dict) []string {
+	vals := d.Values()
+	norm := make([]string, len(vals))
+	for i, v := range vals {
+		norm[i] = Normalize(v)
+	}
+	return norm
 }
 
 // Rows returns the rows holding the (normalized) value.

@@ -21,6 +21,7 @@ type IndexSet struct {
 	mu   sync.RWMutex
 	ints map[ColumnKey]*IntHash
 	strs map[ColumnKey]*StrHash
+	nums map[ColumnKey]*NumericRows
 }
 
 // NewIndexSet creates an empty index set.
@@ -28,6 +29,7 @@ func NewIndexSet() *IndexSet {
 	return &IndexSet{
 		ints: make(map[ColumnKey]*IntHash),
 		strs: make(map[ColumnKey]*StrHash),
+		nums: make(map[ColumnKey]*NumericRows),
 	}
 }
 
@@ -69,6 +71,36 @@ func (s *IndexSet) StrHash(rel *relation.Relation, col string) *StrHash {
 	return h
 }
 
+// Numeric returns the shared sorted value→row index over the named
+// numeric (Int or Float) column of rel, building it on first use; it
+// backs the engine's range-predicate pushdown.
+func (s *IndexSet) Numeric(rel *relation.Relation, col string) *NumericRows {
+	key := ColumnKey{rel.Name, col}
+	s.mu.RLock()
+	n := s.nums[key]
+	s.mu.RUnlock()
+	if n != nil {
+		return n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n = s.nums[key]; n == nil {
+		n = BuildNumericRowsFromColumn(rel.Column(col))
+		s.nums[key] = n
+	}
+	return n
+}
+
+// AdoptIntHash registers a pre-built hash index under (relName, col),
+// replacing any existing entry. The parallel αDB build constructs derived
+// -relation indexes worker-locally and adopts them into the shared pool
+// once the relation's final name is fixed.
+func (s *IndexSet) AdoptIntHash(relName, col string, h *IntHash) {
+	s.mu.Lock()
+	s.ints[ColumnKey{relName, col}] = h
+	s.mu.Unlock()
+}
+
 // NoteAppend maintains every materialized index of rel for the row that
 // was just appended, keeping the set consistent with incremental inserts
 // without rebuilding (the αDB calls this from InsertEntity/InsertFact).
@@ -87,6 +119,11 @@ func (s *IndexSet) NoteAppend(rel *relation.Relation, row int) {
 				h.Insert(col.Str(row), row)
 			}
 		}
+		if col.Type != relation.String {
+			if n := s.nums[key]; n != nil && !col.IsNull(row) {
+				s.nums[key] = n.Insert(col.Float64(row), row)
+			}
+		}
 	}
 }
 
@@ -98,6 +135,7 @@ func (s *IndexSet) Drop(relName, col string) {
 	s.mu.Lock()
 	delete(s.ints, key)
 	delete(s.strs, key)
+	delete(s.nums, key)
 	s.mu.Unlock()
 }
 
@@ -115,6 +153,24 @@ func (s *IndexSet) NumIndexes() int {
 type NumericRows struct {
 	vals []float64
 	rows []int
+}
+
+// BuildNumericRowsFromColumn indexes the non-NULL cells of a numeric
+// column (Int cells are widened to float64).
+func BuildNumericRowsFromColumn(c *relation.Column) *NumericRows {
+	n := &NumericRows{}
+	if c == nil || c.Type == relation.String {
+		return n
+	}
+	for row := 0; row < c.Len(); row++ {
+		if c.IsNull(row) {
+			continue
+		}
+		n.vals = append(n.vals, c.Float64(row))
+		n.rows = append(n.rows, row)
+	}
+	n.sortPairs(0, len(n.vals))
+	return n
 }
 
 // BuildNumericRows builds the index from parallel value/row slices
@@ -173,6 +229,16 @@ func (n *NumericRows) permSort(lo, hi int) {
 
 // Len returns the number of indexed (value, row) pairs.
 func (n *NumericRows) Len() int { return len(n.vals) }
+
+// RawPairs exposes the sorted value/row storage for snapshot
+// serialization; do not mutate.
+func (n *NumericRows) RawPairs() (vals []float64, rows []int) { return n.vals, n.rows }
+
+// RestoreNumericRows adopts already-sorted value/row slices (snapshot
+// load).
+func RestoreNumericRows(vals []float64, rows []int) *NumericRows {
+	return &NumericRows{vals: vals, rows: rows}
+}
 
 // RowsInRange returns the rows whose value lies in the closed interval
 // [lo, hi], sorted ascending by row number.

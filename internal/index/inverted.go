@@ -8,6 +8,7 @@ package index
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"squid/internal/relation"
 )
@@ -29,25 +30,79 @@ type Inverted struct {
 
 // BuildInverted indexes every String column of every relation in db.
 func BuildInverted(db *relation.Database) *Inverted {
+	return BuildInvertedParallel(db, 1)
+}
+
+// BuildInvertedParallel builds the inverted index with per-relation
+// shards fanned over a bounded worker pool, then merges the shards in
+// relation order, so the posting lists are byte-identical to a serial
+// build. Columns are dictionary-encoded: each distinct value is
+// normalized once per column, and the per-row work is a code lookup.
+func BuildInvertedParallel(db *relation.Database, workers int) *Inverted {
+	names := db.RelationNames()
+	shards := make([]map[string][]Posting, len(names))
+	RunBounded(len(names), workers, func(i int) {
+		shards[i] = invertRelation(names[i], db.Relation(names[i]))
+	})
 	inv := &Inverted{postings: make(map[string][]Posting)}
-	for _, name := range db.RelationNames() {
-		rel := db.Relation(name)
-		for _, col := range rel.Columns() {
-			if col.Type != relation.String {
-				continue
-			}
-			for row := 0; row < col.Len(); row++ {
-				if col.IsNull(row) {
-					continue
-				}
-				key := Normalize(col.Str(row))
-				inv.postings[key] = append(inv.postings[key], Posting{
-					Relation: name, Column: col.Name, Row: row,
-				})
-			}
+	for _, shard := range shards {
+		for key, ps := range shard {
+			inv.postings[key] = append(inv.postings[key], ps...)
 		}
 	}
 	return inv
+}
+
+// invertRelation builds the posting shard of one relation.
+func invertRelation(name string, rel *relation.Relation) map[string][]Posting {
+	shard := make(map[string][]Posting)
+	for _, col := range rel.Columns() {
+		if col.Type != relation.String {
+			continue
+		}
+		norm := normalizedDict(col.Dict())
+		for row := 0; row < col.Len(); row++ {
+			if col.IsNull(row) {
+				continue
+			}
+			key := norm[col.Code(row)]
+			shard[key] = append(shard[key], Posting{
+				Relation: name, Column: col.Name, Row: row,
+			})
+		}
+	}
+	return shard
+}
+
+// RunBounded executes fn(0..n-1) over a worker pool of the given size
+// (≤ 1 means inline). It is the minimal fan-out primitive shared by the
+// parallel inverted-index build and the αDB's parallel offline phase.
+func RunBounded(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // Normalize canonicalizes a lookup string: lower-case, trimmed,
@@ -69,6 +124,15 @@ func (inv *Inverted) Insert(value string, p Posting) {
 
 // NumKeys returns the number of distinct indexed values.
 func (inv *Inverted) NumKeys() int { return len(inv.postings) }
+
+// RawPostings exposes the posting map for snapshot serialization; do not
+// mutate.
+func (inv *Inverted) RawPostings() map[string][]Posting { return inv.postings }
+
+// RestoreInverted adopts a posting map rebuilt from a snapshot.
+func RestoreInverted(postings map[string][]Posting) *Inverted {
+	return &Inverted{postings: postings}
+}
 
 // ColumnKey identifies a (relation, column) pair.
 type ColumnKey struct {

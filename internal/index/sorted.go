@@ -52,6 +52,19 @@ func BuildSortedFromValues(vals []float64) *Sorted {
 // Len returns the number of indexed (non-NULL) values.
 func (s *Sorted) Len() int { return len(s.vals) }
 
+// RawVals exposes the sorted value storage for snapshot serialization;
+// do not mutate.
+func (s *Sorted) RawVals() []float64 { return s.vals }
+
+// RestoreSorted adopts an already-sorted value slice (snapshot load).
+func RestoreSorted(vals []float64) *Sorted {
+	s := &Sorted{vals: vals}
+	if len(vals) > 0 {
+		s.min, s.max = vals[0], vals[len(vals)-1]
+	}
+	return s
+}
+
 // Min returns the smallest indexed value (0 when empty).
 func (s *Sorted) Min() float64 { return s.min }
 

@@ -3,21 +3,28 @@ package relation
 import "fmt"
 
 // Column is a typed column of a relation, stored densely with a NULL
-// bitmap. Exactly one of the ints/floats/strs slices is in use, chosen by
-// Type.
+// bitmap. Integer and float columns store raw 64-bit values; TEXT columns
+// are dictionary-encoded: cells hold int32 codes into a per-column Dict,
+// so the dense storage is four bytes per row regardless of string length
+// and scans compare codes instead of strings.
 type Column struct {
 	Name string
 	Type ColType
 
 	ints  []int64
 	flts  []float64
-	strs  []string
+	codes []int32
+	dict  *Dict
 	nulls []bool // nil when the column has no NULLs so far
 }
 
 // NewColumn creates an empty column.
 func NewColumn(name string, t ColType) *Column {
-	return &Column{Name: name, Type: t}
+	c := &Column{Name: name, Type: t}
+	if t == String {
+		c.dict = NewDict()
+	}
+	return c
 }
 
 // Len returns the number of stored cells.
@@ -28,12 +35,13 @@ func (c *Column) Len() int {
 	case Float:
 		return len(c.flts)
 	default:
-		return len(c.strs)
+		return len(c.codes)
 	}
 }
 
 // Append adds a value to the end of the column. A NULL value is stored as
-// the zero of the column type with the null bitmap set.
+// the zero of the column type (the NoCode sentinel for TEXT) with the
+// null bitmap set.
 func (c *Column) Append(v Value) error {
 	if v.IsNull() {
 		c.ensureNulls()
@@ -44,7 +52,7 @@ func (c *Column) Append(v Value) error {
 		case Float:
 			c.flts = append(c.flts, 0)
 		default:
-			c.strs = append(c.strs, "")
+			c.codes = append(c.codes, NoCode)
 		}
 		return nil
 	}
@@ -70,7 +78,7 @@ func (c *Column) Append(v Value) error {
 		if v.kind != kindString {
 			return fmt.Errorf("relation: column %q is TEXT, got %s", c.Name, v.kindName())
 		}
-		c.strs = append(c.strs, v.s)
+		c.codes = append(c.codes, c.dict.Intern(v.s))
 	}
 	return nil
 }
@@ -98,7 +106,7 @@ func (c *Column) Get(row int) Value {
 	case Float:
 		return FloatVal(c.flts[row])
 	default:
-		return StringVal(c.strs[row])
+		return StringVal(c.dict.Value(c.codes[row]))
 	}
 }
 
@@ -114,14 +122,41 @@ func (c *Column) Float64(row int) float64 {
 	return c.flts[row]
 }
 
-// Str returns the raw string at row.
-func (c *Column) Str(row int) string { return c.strs[row] }
+// Str returns the raw string at row. The caller must know the column is
+// TEXT and the cell is non-NULL.
+func (c *Column) Str(row int) string { return c.dict.Value(c.codes[row]) }
+
+// Code returns the dictionary code at row (NoCode for NULL cells); the
+// fast path for scans that compare codes instead of strings.
+func (c *Column) Code(row int) int32 { return c.codes[row] }
+
+// Dict returns the column's dictionary (nil for non-TEXT columns).
+func (c *Column) Dict() *Dict { return c.dict }
+
+// DistinctCount returns the number of distinct non-NULL values ever
+// stored in the column — exact for append-only columns (the dictionary
+// grows monotonically), an upper bound if cells were overwritten.
+func (c *Column) DistinctCount() int {
+	if c.Type == String {
+		return c.dict.Len()
+	}
+	seen := make(map[Value]struct{})
+	for i := 0; i < c.Len(); i++ {
+		if !c.IsNull(i) {
+			seen[c.Get(i)] = struct{}{}
+		}
+	}
+	return len(seen)
+}
 
 // Set overwrites the cell at row.
 func (c *Column) Set(row int, v Value) error {
 	if v.IsNull() {
 		c.ensureNulls()
 		c.nulls[row] = true
+		if c.Type == String {
+			c.codes[row] = NoCode
+		}
 		return nil
 	}
 	if c.nulls != nil {
@@ -139,7 +174,7 @@ func (c *Column) Set(row int, v Value) error {
 		if v.kind != kindString {
 			return fmt.Errorf("relation: column %q is TEXT, got %s", c.Name, v.kindName())
 		}
-		c.strs[row] = v.s
+		c.codes[row] = c.dict.Intern(v.s)
 	}
 	return nil
 }
@@ -154,13 +189,42 @@ func (c *Column) ByteSize() int64 {
 	case Float:
 		n = int64(len(c.flts)) * 8
 	default:
-		n = int64(len(c.strs)) * 16
-		for _, s := range c.strs {
-			n += int64(len(s))
-		}
+		n = int64(len(c.codes))*4 + c.dict.ByteSize()
 	}
 	if c.nulls != nil {
 		n += int64(len(c.nulls))
 	}
 	return n
+}
+
+// Raw accessors for snapshot serialization. The returned slices alias
+// column storage: do not mutate.
+
+// RawInts returns the dense integer cells (Int columns).
+func (c *Column) RawInts() []int64 { return c.ints }
+
+// RawFloats returns the dense float cells (Float columns).
+func (c *Column) RawFloats() []float64 { return c.flts }
+
+// RawCodes returns the dense dictionary codes (String columns).
+func (c *Column) RawCodes() []int32 { return c.codes }
+
+// RawNulls returns the null bitmap (nil when the column has no NULLs).
+func (c *Column) RawNulls() []bool { return c.nulls }
+
+// RestoreIntColumn rebuilds an Int column from raw storage (snapshot
+// load). The slices are adopted, not copied.
+func RestoreIntColumn(name string, ints []int64, nulls []bool) *Column {
+	return &Column{Name: name, Type: Int, ints: ints, nulls: nulls}
+}
+
+// RestoreFloatColumn rebuilds a Float column from raw storage.
+func RestoreFloatColumn(name string, flts []float64, nulls []bool) *Column {
+	return &Column{Name: name, Type: Float, flts: flts, nulls: nulls}
+}
+
+// RestoreStringColumn rebuilds a dictionary-encoded String column from
+// raw storage.
+func RestoreStringColumn(name string, codes []int32, dict *Dict, nulls []bool) *Column {
+	return &Column{Name: name, Type: String, codes: codes, dict: dict, nulls: nulls}
 }

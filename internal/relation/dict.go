@@ -1,0 +1,76 @@
+package relation
+
+// Dict is a per-column string dictionary: every distinct value of a TEXT
+// column is interned once and referenced by a dense int32 code. Columns
+// store codes instead of Go strings, which cuts the per-row footprint to
+// four bytes, makes equality comparisons integer compares, and lets index
+// builders normalize each distinct value exactly once instead of once per
+// row.
+//
+// Codes are assigned in first-appearance order and are never reused, so a
+// snapshot that serializes the dictionary in code order restores the exact
+// same encoding. A Dict is owned by one column; readers may call Value and
+// Lookup concurrently, but interning must be serialized with reads exactly
+// like appends to the owning column.
+type Dict struct {
+	vals []string
+	ids  map[string]int32
+}
+
+// NoCode is the sentinel code stored for NULL cells; it never names a
+// dictionary entry.
+const NoCode int32 = -1
+
+// NewDict creates an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]int32)}
+}
+
+// Intern returns the code of v, assigning the next dense code on first
+// appearance.
+func (d *Dict) Intern(v string) int32 {
+	if id, ok := d.ids[v]; ok {
+		return id
+	}
+	id := int32(len(d.vals))
+	d.vals = append(d.vals, v)
+	d.ids[v] = id
+	return id
+}
+
+// Lookup returns the code of v without interning, and whether v is known.
+func (d *Dict) Lookup(v string) (int32, bool) {
+	id, ok := d.ids[v]
+	return id, ok
+}
+
+// Value decodes a code back to its string.
+func (d *Dict) Value(code int32) string { return d.vals[code] }
+
+// Len returns the number of distinct interned values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Values returns the interned values in code order. The slice is
+// dictionary-internal: do not mutate.
+func (d *Dict) Values() []string { return d.vals }
+
+// ByteSize estimates the dictionary's in-memory footprint.
+func (d *Dict) ByteSize() int64 {
+	// 16 bytes of string header per entry, roughly doubled for the
+	// reverse map entry, plus the payload bytes stored once.
+	n := int64(len(d.vals)) * 40
+	for _, v := range d.vals {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// RestoreDict rebuilds a dictionary from values in code order (snapshot
+// load).
+func RestoreDict(vals []string) *Dict {
+	d := &Dict{vals: vals, ids: make(map[string]int32, len(vals))}
+	for i, v := range vals {
+		d.ids[v] = int32(i)
+	}
+	return d
+}

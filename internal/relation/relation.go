@@ -65,6 +65,16 @@ func (r *Relation) AddForeignKey(col, refRel, refCol string) *Relation {
 	return r
 }
 
+// Restore rebuilds a relation from restored columns (snapshot load);
+// every column must already hold numRows cells.
+func Restore(name, primaryKey string, fks []ForeignKey, cols []*Column, numRows int) *Relation {
+	r := New(name, cols...)
+	r.PrimaryKey = primaryKey
+	r.Foreign = fks
+	r.numRows = numRows
+	return r
+}
+
 // NumRows returns the number of rows.
 func (r *Relation) NumRows() int { return r.numRows }
 

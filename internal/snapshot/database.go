@@ -1,0 +1,164 @@
+package snapshot
+
+import (
+	"squid/internal/relation"
+)
+
+// WriteDatabase serializes a database: relations in insertion order
+// (schema, dictionary-encoded column storage, NULL bitmaps) followed by
+// the entity/property kind annotations.
+func WriteDatabase(w *Writer, db *relation.Database) {
+	w.String(db.Name)
+	names := db.RelationNames()
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		writeRelation(w, db.Relation(name))
+	}
+	// Kind annotations, in relation order for determinism.
+	for _, name := range names {
+		w.Uvarint(uint64(db.Kind(name)))
+	}
+}
+
+// ReadDatabase decodes a database written by WriteDatabase.
+func ReadDatabase(r *Reader) *relation.Database {
+	db := relation.NewDatabase(r.String())
+	n := r.Len()
+	names := make([]string, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rel := readRelation(r)
+		if r.Err() != nil {
+			break
+		}
+		db.AddRelation(rel)
+		names = append(names, rel.Name)
+	}
+	for _, name := range names {
+		if r.Err() != nil {
+			break
+		}
+		switch relation.EntityKind(r.Uvarint()) {
+		case relation.KindEntity:
+			db.MarkEntity(name)
+		case relation.KindProperty:
+			db.MarkProperty(name)
+		}
+	}
+	return db
+}
+
+func writeRelation(w *Writer, rel *relation.Relation) {
+	w.String(rel.Name)
+	w.String(rel.PrimaryKey)
+	w.Uvarint(uint64(len(rel.Foreign)))
+	for _, fk := range rel.Foreign {
+		w.String(fk.Column)
+		w.String(fk.RefRelation)
+		w.String(fk.RefColumn)
+	}
+	w.Int(rel.NumRows())
+	cols := rel.Columns()
+	w.Uvarint(uint64(len(cols)))
+	for _, c := range cols {
+		writeColumn(w, c)
+	}
+}
+
+func readRelation(r *Reader) *relation.Relation {
+	name := r.String()
+	pk := r.String()
+	nfk := r.Len()
+	var fks []relation.ForeignKey
+	for i := 0; i < nfk && r.Err() == nil; i++ {
+		fks = append(fks, relation.ForeignKey{
+			Column:      r.String(),
+			RefRelation: r.String(),
+			RefColumn:   r.String(),
+		})
+	}
+	numRows := r.Int()
+	ncols := r.Len()
+	cols := make([]*relation.Column, 0, ncols)
+	for i := 0; i < ncols && r.Err() == nil; i++ {
+		c := readColumn(r, numRows)
+		if r.Err() != nil {
+			break
+		}
+		cols = append(cols, c)
+	}
+	if r.Err() != nil {
+		return relation.New(name)
+	}
+	return relation.Restore(name, pk, fks, cols, numRows)
+}
+
+func writeColumn(w *Writer, c *relation.Column) {
+	w.String(c.Name)
+	w.Uvarint(uint64(c.Type))
+	w.Bools(c.RawNulls())
+	switch c.Type {
+	case relation.Int:
+		w.Int64s(c.RawInts())
+	case relation.Float:
+		w.Floats(c.RawFloats())
+	default:
+		d := c.Dict()
+		vals := d.Values()
+		w.Uvarint(uint64(len(vals)))
+		for _, v := range vals {
+			w.String(v)
+		}
+		w.Int32s(c.RawCodes())
+	}
+}
+
+func readColumn(r *Reader, numRows int) *relation.Column {
+	name := r.String()
+	typ := relation.ColType(r.Uvarint())
+	nulls := r.Bools()
+	if nulls != nil && len(nulls) != numRows {
+		r.Fail("column %q: null bitmap has %d bits, want %d", name, len(nulls), numRows)
+		return nil
+	}
+	check := func(n int) bool {
+		if n != numRows {
+			r.Fail("column %q: %d cells, want %d", name, n, numRows)
+			return false
+		}
+		return true
+	}
+	switch typ {
+	case relation.Int:
+		ints := r.Int64s()
+		if r.Err() != nil || !check(len(ints)) {
+			return nil
+		}
+		return relation.RestoreIntColumn(name, ints, nulls)
+	case relation.Float:
+		flts := r.Floats()
+		if r.Err() != nil || !check(len(flts)) {
+			return nil
+		}
+		return relation.RestoreFloatColumn(name, flts, nulls)
+	case relation.String:
+		nvals := r.Len()
+		vals := make([]string, 0, nvals)
+		for i := 0; i < nvals && r.Err() == nil; i++ {
+			vals = append(vals, r.String())
+		}
+		codes := r.Int32s()
+		if r.Err() != nil || !check(len(codes)) {
+			return nil
+		}
+		for _, code := range codes {
+			if code != relation.NoCode && (code < 0 || int(code) >= nvals) {
+				r.Fail("column %q: code %d outside dictionary of %d values", name, code, nvals)
+				return nil
+			}
+		}
+		return relation.RestoreStringColumn(name, codes, relation.RestoreDict(vals), nulls)
+	default:
+		r.Fail("column %q: unknown type %d", name, typ)
+		return nil
+	}
+}

@@ -1,0 +1,160 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"squid/internal/relation"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header()
+	w.Varint(-12345)
+	w.Uvarint(67890)
+	w.Float(math.Pi)
+	w.Bool(true)
+	w.String("héllo\x00world")
+	w.Ints([]int{3, 1 << 30, 0})
+	w.DeltaInts([]int{2, 5, 5, 900})
+	w.Floats([]float64{0, -1.5, math.Inf(1)})
+	w.Int64s([]int64{math.MinInt64, math.MaxInt64})
+	w.Int32s([]int32{-1, 0, 7})
+	w.Bools([]bool{true, false, true, true, false, true, false, false, true})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Header()
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("Varint=%d", got)
+	}
+	if got := r.Uvarint(); got != 67890 {
+		t.Errorf("Uvarint=%d", got)
+	}
+	if got := r.Float(); got != math.Pi {
+		t.Errorf("Float=%v", got)
+	}
+	if !r.Bool() {
+		t.Error("Bool=false")
+	}
+	if got := r.String(); got != "héllo\x00world" {
+		t.Errorf("String=%q", got)
+	}
+	if got := r.Ints(); !reflect.DeepEqual(got, []int{3, 1 << 30, 0}) {
+		t.Errorf("Ints=%v", got)
+	}
+	if got := r.DeltaInts(); !reflect.DeepEqual(got, []int{2, 5, 5, 900}) {
+		t.Errorf("DeltaInts=%v", got)
+	}
+	if got := r.Floats(); !reflect.DeepEqual(got, []float64{0, -1.5, math.Inf(1)}) {
+		t.Errorf("Floats=%v", got)
+	}
+	if got := r.Int64s(); !reflect.DeepEqual(got, []int64{math.MinInt64, math.MaxInt64}) {
+		t.Errorf("Int64s=%v", got)
+	}
+	if got := r.Int32s(); !reflect.DeepEqual(got, []int32{-1, 0, 7}) {
+		t.Errorf("Int32s=%v", got)
+	}
+	if got := r.Bools(); !reflect.DeepEqual(got, []bool{true, false, true, true, false, true, false, false, true}) {
+		t.Errorf("Bools=%v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntsRejectsOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Ints([]int{-1})
+	if w.Err() == nil {
+		t.Error("negative Ints value accepted")
+	}
+}
+
+func TestVersionPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.raw([]byte(Magic))
+	w.Uvarint(Version + 1)
+	_ = w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Header()
+	if !errors.Is(r.Err(), ErrVersion) {
+		t.Errorf("future version accepted: %v", r.Err())
+	}
+
+	r = NewReader(bytes.NewReader([]byte("XXXXgarbage")))
+	r.Header()
+	if r.Err() == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	db := relation.NewDatabase("rt")
+	people := relation.New("people",
+		relation.Col("id", relation.Int),
+		relation.Col("name", relation.String),
+		relation.Col("score", relation.Float),
+	).SetPrimaryKey("id")
+	people.MustAppend(relation.IntVal(1), relation.StringVal("a"), relation.FloatVal(0.5))
+	people.MustAppend(relation.IntVal(2), relation.Null, relation.Null)
+	people.MustAppend(relation.IntVal(3), relation.StringVal("a"), relation.FloatVal(-2))
+	db.AddRelation(people)
+	db.MarkEntity("people")
+	tags := relation.New("tags",
+		relation.Col("pid", relation.Int),
+		relation.Col("tag", relation.String),
+	).AddForeignKey("pid", "people", "id")
+	tags.MustAppend(relation.IntVal(1), relation.StringVal("x"))
+	db.AddRelation(tags)
+	db.MarkProperty("tags")
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	WriteDatabase(w, db)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	got := ReadDatabase(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || !reflect.DeepEqual(got.RelationNames(), db.RelationNames()) {
+		t.Fatalf("database shape diverged: %v", got.RelationNames())
+	}
+	if got.Kind("people") != relation.KindEntity || got.Kind("tags") != relation.KindProperty {
+		t.Error("kinds lost")
+	}
+	gp := got.Relation("people")
+	if gp.PrimaryKey != "id" || gp.NumRows() != 3 {
+		t.Fatalf("people shape: pk=%q rows=%d", gp.PrimaryKey, gp.NumRows())
+	}
+	for row := 0; row < 3; row++ {
+		for _, col := range []string{"id", "name", "score"} {
+			if want, g := people.Get(row, col), gp.Get(row, col); !want.Equal(g) {
+				t.Errorf("cell (%d,%s): %v != %v", row, col, g, want)
+			}
+		}
+	}
+	if gt := got.Relation("tags"); len(gt.Foreign) != 1 || gt.Foreign[0].RefRelation != "people" {
+		t.Error("foreign keys lost")
+	}
+	// Dictionary restored with identical codes.
+	if gp.Column("name").Code(0) != gp.Column("name").Code(2) {
+		t.Error("dictionary codes diverged for equal values")
+	}
+	// Restored relations accept appends (dict keeps interning).
+	gp.MustAppend(relation.IntVal(4), relation.StringVal("b"), relation.FloatVal(1))
+	if gp.NumRows() != 4 || gp.Get(3, "name").Str() != "b" {
+		t.Error("append to restored relation failed")
+	}
+}

@@ -62,7 +62,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
+	"strings"
 	"sync"
 
 	"squid/internal/abduction"
@@ -70,6 +72,7 @@ import (
 	"squid/internal/disambig"
 	"squid/internal/engine"
 	"squid/internal/relation"
+	"squid/internal/snapshot"
 	"squid/internal/sqlgen"
 )
 
@@ -174,6 +177,72 @@ func Build(db *Database, cfg BuildConfig) (*System, error) {
 		return nil, fmt.Errorf("squid: offline phase failed: %w", err)
 	}
 	return &System{alpha: alpha, params: DefaultParams()}, nil
+}
+
+// ErrSnapshotVersion reports a snapshot whose format version this build
+// cannot read; rebuild from the source database and save again.
+var ErrSnapshotVersion = snapshot.ErrVersion
+
+// Save persists the system — the αDB with its dictionaries, derived
+// relations, statistics, numeric indexes, and the discovery parameters —
+// to the versioned binary snapshot format (internal/snapshot). A warm
+// boot via Load is O(read) instead of O(rebuild).
+func (s *System) Save(w io.Writer) error {
+	sw := snapshot.NewWriter(w)
+	sw.Header()
+	writeParams(sw, s.params)
+	s.alpha.Encode(sw)
+	if err := sw.Flush(); err != nil {
+		return fmt.Errorf("squid: save snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load restores a System from a snapshot written by Save. The restored
+// system is fully operational: discovery answers are identical to the
+// saved system's, and incremental inserts (InsertEntity/InsertFact)
+// maintain it exactly like a freshly built one. Version mismatches
+// return an error matching ErrSnapshotVersion.
+func Load(r io.Reader) (*System, error) {
+	sr := snapshot.NewReader(r)
+	sr.Header()
+	params := readParams(sr)
+	if err := sr.Err(); err != nil {
+		return nil, fmt.Errorf("squid: load snapshot: %w", err)
+	}
+	alpha, err := adb.Decode(sr)
+	if err != nil {
+		return nil, fmt.Errorf("squid: load snapshot: %w", err)
+	}
+	return &System{alpha: alpha, params: params}, nil
+}
+
+func writeParams(w *snapshot.Writer, p Params) {
+	w.Float(p.Rho)
+	w.Float(p.Gamma)
+	w.Float(p.Eta)
+	w.Int(p.TauA)
+	w.Float(p.TauS)
+	w.Bool(p.DisableOutlier)
+	w.Float(p.OutlierK)
+	w.Bool(p.NormalizeAssociation)
+	w.Float(p.TauANorm)
+	w.Int(p.MaxDisjunction)
+}
+
+func readParams(r *snapshot.Reader) Params {
+	return Params{
+		Rho:                  r.Float(),
+		Gamma:                r.Float(),
+		Eta:                  r.Float(),
+		TauA:                 r.Int(),
+		TauS:                 r.Float(),
+		DisableOutlier:       r.Bool(),
+		OutlierK:             r.Float(),
+		NormalizeAssociation: r.Bool(),
+		TauANorm:             r.Float(),
+		MaxDisjunction:       r.Int(),
+	}
 }
 
 // SetParams replaces the discovery parameters (see Params).
@@ -337,6 +406,30 @@ func (s *System) wrap(res *abduction.Result) *Discovery {
 		Output:    res.OutputValues(),
 		result:    res,
 	}
+}
+
+// Explain renders the full abduction reasoning of the discovery as a
+// deterministic text block: the base query, both SQL forms, and every
+// candidate filter's Algorithm 1 decision (selectivity, include/exclude
+// scores, chosen or not). It is the introspection surface of cmd/squid's
+// -show-candidates flag, and snapshot tests assert it is byte-identical
+// across a Save/Load round trip.
+func (d *Discovery) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "base query: %s.%s\n", d.Entity, d.Attribute)
+	fmt.Fprintf(&b, "-- abduced query (aDB form):\n%s\n", d.SQL)
+	fmt.Fprintf(&b, "-- equivalent query (original schema):\n%s\n", d.Original)
+	fmt.Fprintf(&b, "-- candidate filters (Algorithm 1 decisions):\n")
+	for _, dec := range d.Decisions {
+		mark := " "
+		if dec.Included {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s %-50s psi=%.6f include=%.6g exclude=%.6g\n",
+			mark, dec.Filter.String(), dec.Selectivity, dec.Include, dec.Exclude)
+	}
+	fmt.Fprintf(&b, "-- output: %d rows\n", len(d.Output))
+	return b.String()
 }
 
 // PredicateCount reports the number of join and selection predicates of

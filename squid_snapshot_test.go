@@ -1,0 +1,154 @@
+package squid
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"squid/internal/datagen"
+)
+
+// snapshotSystem builds a small IMDb system for round-trip tests.
+func snapshotSystem(t *testing.T) (*System, *datagen.IMDb) {
+	t.Helper()
+	g := datagen.GenerateIMDb(datagen.IMDbConfig{Seed: 11, NumPersons: 300, NumMovies: 150, NumCompany: 10})
+	sys, err := Build(g.DB, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, g
+}
+
+// exampleNames picks comedian names from the generator (a discovery-rich
+// intent: shared gender, genre associations, degree).
+func exampleNames(t *testing.T, sys *System, g *datagen.IMDb, k int) []string {
+	t.Helper()
+	person := g.DB.Relation("person")
+	info := sys.AlphaDB().Entity("person")
+	var out []string
+	for _, id := range g.Comedians {
+		if len(out) == k {
+			break
+		}
+		row, ok := info.RowByID(id)
+		if !ok {
+			t.Fatalf("comedian id %d has no αDB row", id)
+		}
+		out = append(out, person.Column("name").Get(row).Str())
+	}
+	if len(out) < k {
+		t.Fatalf("generator produced %d comedians, want %d", len(out), k)
+	}
+	return out
+}
+
+// discoveryFingerprint captures everything a user can observe from a
+// discovery, byte-exactly.
+func discoveryFingerprint(t *testing.T, sys *System, examples []string) string {
+	t.Helper()
+	disc, err := sys.Discover(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := disc.Explain()
+	for _, v := range disc.Output {
+		out += v + "\n"
+	}
+	return out
+}
+
+// TestSnapshotRoundTrip saves a built system, loads it back, and asserts
+// the discovery result and Explain output are byte-identical — the
+// warm-boot contract of the snapshot format.
+func TestSnapshotRoundTrip(t *testing.T) {
+	sys, g := snapshotSystem(t)
+	examples := exampleNames(t, sys, g, 8)
+	before := discoveryFingerprint(t, sys, examples)
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := discoveryFingerprint(t, loaded, examples)
+	if before != after {
+		t.Errorf("discovery diverged across snapshot round trip:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+	}
+
+	// Statistics surfaces must agree too.
+	bs, ls := sys.Stats(), loaded.Stats()
+	if bs.NumBasicProps != ls.NumBasicProps || bs.NumDerivedProp != ls.NumDerivedProp ||
+		bs.NumDerivedRels != ls.NumDerivedRels || bs.DerivedRows != ls.DerivedRows {
+		t.Errorf("stats diverged: built %+v loaded %+v", bs, ls)
+	}
+}
+
+// TestSnapshotRoundTripAfterInsert asserts a loaded system supports
+// incremental maintenance identically to the system it was saved from:
+// the same post-load inserts yield byte-identical discovery output.
+func TestSnapshotRoundTripAfterInsert(t *testing.T) {
+	sys, g := snapshotSystem(t)
+	examples := exampleNames(t, sys, g, 8)
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Apply identical inserts to both systems: a new person, a new
+	// movie, and facts linking the person into existing structure.
+	insert := func(s *System) {
+		if err := s.InsertEntity("person",
+			IntVal(900001), StringVal("Roundtrip Actor"), StringVal("Male"), IntVal(1980), IntVal(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InsertFact("castinfo", IntVal(900001), IntVal(1), IntVal(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InsertFact("castinfo", IntVal(900001), IntVal(2), IntVal(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert(sys)
+	insert(loaded)
+
+	before := discoveryFingerprint(t, sys, examples)
+	after := discoveryFingerprint(t, loaded, examples)
+	if before != after {
+		t.Errorf("post-insert discovery diverged:\n--- built ---\n%s\n--- loaded ---\n%s", before, after)
+	}
+
+	// The inserted entity must be discoverable on both systems.
+	for name, s := range map[string]*System{"built": sys, "loaded": loaded} {
+		if _, err := s.Discover([]string{"Roundtrip Actor"}); err != nil {
+			t.Errorf("%s system cannot discover inserted entity: %v", name, err)
+		}
+	}
+}
+
+// TestSnapshotVersionMismatch asserts the strict version policy: a
+// stream with a bumped version is rejected with ErrSnapshotVersion.
+func TestSnapshotVersionMismatch(t *testing.T) {
+	sys, _ := snapshotSystem(t)
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4]++ // version varint lives right after the 4-byte magic
+	if _, err := Load(bytes.NewReader(b)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("Load of bumped-version snapshot = %v, want ErrSnapshotVersion", err)
+	}
+
+	// And garbage is rejected without panicking.
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Error("Load of garbage succeeded")
+	}
+}
