@@ -18,6 +18,12 @@
 // offline phase per dataset generator: serial vs parallel αDB
 // construction, snapshot save/load against the cold build, the αDB heap
 // footprint under dictionary encoding, and the process peak RSS.
+//
+// The mixed experiment (-exp mixed) measures the online phase under
+// sustained ingest: reader goroutines run DiscoverBatch while a writer
+// concurrently inserts fact rows (and occasional new entities) through
+// InsertBatch, reporting discovery and insert throughput plus the
+// selectivity-cache hit rate under per-property invalidation.
 package main
 
 import (
@@ -32,6 +38,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"squid"
@@ -67,6 +75,25 @@ type BuildResult struct {
 	PrecomputedBytes   int64   `json:"precomputed_bytes"`
 }
 
+// MixedResult is the mixed read/write experiment measurement: batch
+// discovery throughput sustained while a writer goroutine ingests rows
+// concurrently through the incremental-maintenance path (InsertBatch
+// plus single-row inserts), exercising the per-property cache
+// invalidation and the αDB's internal read/write locking.
+type MixedResult struct {
+	Dataset         string  `json:"dataset"`
+	Readers         int     `json:"readers"`
+	WallMS          float64 `json:"wall_ms"`
+	Discoveries     int     `json:"discoveries"`
+	DiscoverPerSec  float64 `json:"discoveries_per_sec"`
+	InsertRows      int     `json:"insert_rows"`
+	InsertBatchRows int     `json:"insert_batch_rows"`
+	InsertsPerSec   float64 `json:"inserts_per_sec"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheEntries    int     `json:"cache_entries"`
+}
+
 // Report is the machine-readable benchmark output.
 type Report struct {
 	Scale     string        `json:"scale"`
@@ -75,6 +102,7 @@ type Report struct {
 	UnixTime  int64         `json:"unix_time"`
 	Phases    []Phase       `json:"phases,omitempty"`
 	Build     []BuildResult `json:"build,omitempty"`
+	Mixed     []MixedResult `json:"mixed,omitempty"`
 	PeakRSSKB int64         `json:"peak_rss_kb,omitempty"`
 }
 
@@ -93,6 +121,7 @@ func main() {
 			fmt.Printf("  %-8s %s\n", r.ID, r.Description)
 		}
 		fmt.Println("  build    offline phase: serial vs parallel build, snapshot save/load, heap, peak RSS")
+		fmt.Println("  mixed    online phase: batch discovery concurrent with incremental ingest")
 		fmt.Println("  all      run everything")
 		if *exp == "" && !*list {
 			os.Exit(2)
@@ -114,6 +143,14 @@ func main() {
 
 	if *exp == "build" || *exp == "build-vs-load" {
 		if err := runBuildExperiment(sc, *scale, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "squid-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *exp == "mixed" {
+		if err := runMixedExperiment(sc, *scale, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "squid-bench:", err)
 			os.Exit(1)
 		}
@@ -194,35 +231,9 @@ func runJSON(suite *experiments.Suite, scale, exp, path string) error {
 	// Batch discovery: the funny-actors intent at several |E| plus
 	// sliding windows of plain person names, fanned across the worker
 	// pool.
-	person := g.DB.Relation("person")
-	nameOf := func(id int64) (string, bool) {
-		r, ok := sys.AlphaDB().Entity("person").RowByID(id)
-		if !ok {
-			return "", false
-		}
-		return person.Column("name").Get(r).Str(), true
-	}
-	var sets [][]string
-	for _, k := range []int{5, 10, 15, 20} {
-		if k > len(g.Comedians) {
-			break
-		}
-		var ex []string
-		for _, id := range g.Comedians[:k] {
-			name, ok := nameOf(id)
-			if !ok {
-				return fmt.Errorf("comedian id %d has no αDB row; dataset and αDB drifted", id)
-			}
-			ex = append(ex, name)
-		}
-		sets = append(sets, ex)
-	}
-	for i := 0; i+3 < person.NumRows() && len(sets) < 16; i += 7 {
-		sets = append(sets, []string{
-			person.Column("name").Get(i).Str(),
-			person.Column("name").Get(i + 1).Str(),
-			person.Column("name").Get(i + 2).Str(),
-		})
+	sets, err := imdbExampleSets(g, sys)
+	if err != nil {
+		return err
 	}
 	if len(sets) > 0 {
 		start := time.Now()
@@ -245,7 +256,15 @@ func runJSON(suite *experiments.Suite, scale, exp, path string) error {
 		runner := r
 		timed("exp:"+runner.ID, 0, func() { runner.Run(suite, io.Discard) })
 	}
+	return writeReport(report, path)
+}
 
+// writeReport renders the machine-readable report to path: "-" means
+// stdout, "" skips the write (text-only run).
+func writeReport(report Report, path string) error {
+	if path == "" {
+		return nil
+	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -259,6 +278,43 @@ func runJSON(suite *experiments.Suite, scale, exp, path string) error {
 }
 
 func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// imdbExampleSets builds the batch-discovery workload over a generated
+// IMDb dataset: the funny-actors intent at several |E| plus sliding
+// windows of plain person names.
+func imdbExampleSets(g *datagen.IMDb, sys *squid.System) ([][]string, error) {
+	person := g.DB.Relation("person")
+	nameOf := func(id int64) (string, bool) {
+		r, ok := sys.AlphaDB().Entity("person").RowByID(id)
+		if !ok {
+			return "", false
+		}
+		return person.Column("name").Get(r).Str(), true
+	}
+	var sets [][]string
+	for _, k := range []int{5, 10, 15, 20} {
+		if k > len(g.Comedians) {
+			break
+		}
+		var ex []string
+		for _, id := range g.Comedians[:k] {
+			name, ok := nameOf(id)
+			if !ok {
+				return nil, fmt.Errorf("comedian id %d has no αDB row; dataset and αDB drifted", id)
+			}
+			ex = append(ex, name)
+		}
+		sets = append(sets, ex)
+	}
+	for i := 0; i+3 < person.NumRows() && len(sets) < 16; i += 7 {
+		sets = append(sets, []string{
+			person.Column("name").Get(i).Str(),
+			person.Column("name").Get(i + 1).Str(),
+			person.Column("name").Get(i + 2).Str(),
+		})
+	}
+	return sets, nil
+}
 
 // runBuildExperiment measures the offline phase for the IMDb and DBLP
 // generators: serial vs parallel αDB construction, snapshot save/load
@@ -300,20 +356,7 @@ func runBuildExperiment(sc experiments.Scale, scale, jsonPath string) error {
 	if report.PeakRSSKB > 0 {
 		fmt.Printf("  peak RSS %s\n", humanBytes(report.PeakRSSKB*1024))
 	}
-
-	if jsonPath == "" {
-		return nil
-	}
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if jsonPath == "-" {
-		_, err = os.Stdout.Write(out)
-		return err
-	}
-	return os.WriteFile(jsonPath, out, 0o644)
+	return writeReport(report, jsonPath)
 }
 
 // measureBuild runs the offline-phase measurements for one generated
@@ -379,6 +422,164 @@ func measureBuild(name string, db *squid.Database) (BuildResult, error) {
 	runtime.KeepAlive(loaded)
 	runtime.KeepAlive(sys)
 	return res, nil
+}
+
+// runMixedExperiment measures the online phase under sustained ingest:
+// reader goroutines run DiscoverBatch in a loop while one writer
+// ingests castinfo facts (with occasional new person entities) through
+// InsertBatch. It reports discovery and insert throughput plus the
+// selectivity-cache health — per-property invalidation is what keeps
+// the cache hit rate up while the fact table grows.
+func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
+	report := Report{
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOMAXPROC: runtime.GOMAXPROCS(0),
+		UnixTime:  time.Now().Unix(),
+	}
+	g := datagen.GenerateIMDb(sc.IMDb)
+	sys, err := squid.Build(g.DB, squid.DefaultBuildConfig())
+	if err != nil {
+		return err
+	}
+	sets, err := imdbExampleSets(g, sys)
+	if err != nil {
+		return err
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("mixed: no example sets")
+	}
+
+	readers := runtime.GOMAXPROCS(0) - 1
+	if readers < 1 {
+		readers = 1
+	}
+	const batchRows = 64
+	insertRows := 8192
+	if scale == "test" {
+		insertRows = 1024
+	}
+	numPersons := g.DB.Relation("person").NumRows()
+	numMovies := g.DB.Relation("movie").NumRows()
+
+	var discoveries atomic.Int64
+	var writerDone atomic.Bool
+	var writerWall time.Duration
+	var insertErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Snapshot the flag first so every reader completes one
+				// full round after the writer finishes (post-ingest
+				// answers come from a fully maintained αDB).
+				done := writerDone.Load()
+				res, err := sys.DiscoverBatch(context.Background(), sets)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "note: mixed discovery reported:", err)
+				}
+				// Count only the sets that actually produced a
+				// discovery, so a persistent online-phase regression
+				// shows up as zero throughput instead of healthy noise.
+				for _, d := range res {
+					if d != nil {
+						discoveries.Add(1)
+					}
+				}
+				if done {
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			writerWall = time.Since(start)
+			writerDone.Store(true)
+		}()
+		nextPersonID := int64(10_000_000) // clear of every generated id
+		for off := 0; off < insertRows; off += batchRows {
+			n := insertRows - off
+			if n > batchRows {
+				n = batchRows
+			}
+			ops := make([]squid.InsertOp, 0, n+1)
+			if (off/batchRows)%8 == 0 {
+				// Every eighth batch also ingests a brand-new person the
+				// following facts reference.
+				ops = append(ops, squid.InsertOp{Rel: "person", Vals: []squid.Value{
+					squid.IntVal(nextPersonID),
+					squid.StringVal(fmt.Sprintf("Ingested Person %d", nextPersonID)),
+					squid.StringVal("Female"),
+					squid.IntVal(1980),
+					squid.IntVal(0),
+				}})
+			}
+			for k := 0; k < n; k++ {
+				i := off + k
+				pid := int64(i % numPersons)
+				if len(ops) > 0 && ops[0].Rel == "person" && k%16 == 0 {
+					pid = nextPersonID
+				}
+				ops = append(ops, squid.InsertOp{Rel: "castinfo", Vals: []squid.Value{
+					squid.IntVal(pid),
+					squid.IntVal(int64((i * 7) % numMovies)),
+					squid.IntVal(0),
+				}})
+			}
+			if (off/batchRows)%8 == 0 {
+				nextPersonID++
+			}
+			if err := sys.InsertBatch(ops); err != nil {
+				insertErr = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	wall := time.Since(start)
+	if insertErr != nil {
+		return insertErr
+	}
+	if discoveries.Load() == 0 {
+		return fmt.Errorf("mixed: no example set produced a discovery; online phase is broken")
+	}
+
+	stats := sys.Stats()
+	res := MixedResult{
+		Dataset:         "imdb",
+		Readers:         readers,
+		WallMS:          msOf(wall),
+		Discoveries:     int(discoveries.Load()),
+		InsertRows:      insertRows,
+		InsertBatchRows: batchRows,
+		CacheHits:       stats.SelCacheHits,
+		CacheMisses:     stats.SelCacheMisses,
+		CacheEntries:    stats.SelCacheEntries,
+	}
+	if wall > 0 {
+		res.DiscoverPerSec = float64(res.Discoveries) / wall.Seconds()
+	}
+	// Insert throughput over the writer's own elapsed time: the overall
+	// wall includes the readers' final post-ingest rounds, which would
+	// understate ingest and couple it to discovery latency.
+	if writerWall > 0 {
+		res.InsertsPerSec = float64(insertRows) / writerWall.Seconds()
+	}
+	report.Mixed = append(report.Mixed, res)
+	report.PeakRSSKB = peakRSSKB()
+
+	fmt.Printf("online phase (mixed read/write), %s scale, %d readers + 1 writer\n", scale, res.Readers)
+	fmt.Printf("  %-6s %8.1fms wall  %6d discoveries (%8.1f/s)  %6d rows ingested (%8.1f/s, batches of %d)\n",
+		res.Dataset, res.WallMS, res.Discoveries, res.DiscoverPerSec, res.InsertRows, res.InsertsPerSec, res.InsertBatchRows)
+	fmt.Printf("         selectivity cache: %d entries, %d hits / %d misses\n",
+		res.CacheEntries, res.CacheHits, res.CacheMisses)
+	return writeReport(report, jsonPath)
 }
 
 // peakRSSKB reads the process's peak resident set (VmHWM) from

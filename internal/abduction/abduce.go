@@ -100,6 +100,13 @@ func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolve
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("abduction: %w", ErrNoExamples)
 	}
+	// Concurrency: the caller pins the statistics epoch (squid.System
+	// holds the αDB's shared read lock across discovery and result
+	// materialization), so every filter's selectivity and row set
+	// answer from one consistent αDB state while concurrent
+	// discoveries proceed in parallel. Direct callers that insert
+	// concurrently must bracket this call with AlphaDB.RLock/RUnlock
+	// themselves.
 	matches := a.Inverted.CommonColumns(examples)
 	var results []*Result
 	for _, m := range matches {

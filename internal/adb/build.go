@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"squid/internal/index"
@@ -147,7 +148,26 @@ type AlphaDB struct {
 
 	cfg      Config
 	selCache *SelCache
+
+	// mu is the online phase's epoch lock: readers (discovery, stats,
+	// snapshot encode, engine execution) hold it shared for their full
+	// duration, so they observe one consistent statistics epoch;
+	// incremental inserts hold it exclusively while they mutate
+	// relations, postings, and indexes. Readers never block each other,
+	// and writers need no external serialization with discovery.
+	mu sync.RWMutex
 }
+
+// RLock pins the current statistics epoch for a reader: relations,
+// property statistics, postings, and indexes will not shift until the
+// matching RUnlock. Discovery, snapshot encoding, and engine execution
+// take it for their full duration; it is shared, so concurrent readers
+// proceed in parallel. Do not nest (Go's RWMutex read locks are not
+// reentrant while a writer waits).
+func (a *AlphaDB) RLock() { a.mu.RLock() }
+
+// RUnlock releases the epoch pinned by RLock.
+func (a *AlphaDB) RUnlock() { a.mu.RUnlock() }
 
 // entityBuild carries one entity relation through the parallel offline
 // phase: the scaffolded EntityInfo plus one result slot per property

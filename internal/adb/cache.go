@@ -12,7 +12,8 @@ type SelKey struct {
 	// Prop is the *BasicProperty or *DerivedProperty identity.
 	Prop any
 	// Value is the categorical value ("" for numeric ranges); for
-	// disjunctions the values are joined with '\x00'.
+	// disjunctions it is the canonical sorted, length-prefixed join of
+	// the value set (see disjunctionKey).
 	Value string
 	// Lo, Hi bound numeric range filters; normalized derived
 	// thresholds (θn) are carried in Lo with Theta set to the -1
@@ -32,14 +33,41 @@ type SelKey struct {
 // row slices are shared — callers must treat them as immutable,
 // exactly like the αDB posting lists they memoize.
 //
-// The cache is guarded by an RWMutex and carries a generation counter:
-// incremental inserts bump the generation, which atomically discards
-// every stale entry (statistics shift on insert, so per-entry patching
-// is not worth the bookkeeping).
+// Invalidation is per property: every property carries its own
+// generation counter, and an incremental insert bumps only the
+// generations of the properties whose statistics actually shifted
+// (InvalidateProps), discarding just their entries. An insert into
+// relation A therefore leaves the memoized row sets of relation B's
+// properties live — the sustained-ingest workload keeps its warm cache
+// instead of the old stop-the-world wipe.
+//
+// Rows is safe against the store/invalidate race: the property
+// generation is captured before compute runs, and the result is
+// dropped (not stored) if an invalidation lands in between, so a
+// compute that started before an insert can never publish a stale row
+// set afterwards.
 type SelCache struct {
 	mu   sync.RWMutex
 	rows map[SelKey][]int
-	gen  uint64
+	// keys indexes the cached entries by property, so InvalidateProps
+	// deletes exactly one property's entries instead of sweeping the
+	// whole map under the write lock (inserts hold the αDB's exclusive
+	// epoch lock while invalidating — readers are stalled for the
+	// duration). A key may appear more than once after re-stores; the
+	// deletes are idempotent.
+	keys map[any][]SelKey
+	// gens holds the per-property invalidation generation, keyed by
+	// property identity (the same identity SelKey.Prop carries).
+	// Properties never invalidated sit at generation 0.
+	gens map[any]uint64
+	// wipes counts whole-cache invalidations; it folds into every
+	// property's effective generation so a full wipe also moves
+	// properties the cache has never seen (protecting their in-flight
+	// computes from storing stale results).
+	wipes uint64
+	// gen counts invalidation events cache-wide (monitoring surface;
+	// tests assert it moves on insert).
+	gen uint64
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -47,17 +75,25 @@ type SelCache struct {
 
 // NewSelCache creates an empty cache.
 func NewSelCache() *SelCache {
-	return &SelCache{rows: make(map[SelKey][]int)}
+	return &SelCache{
+		rows: make(map[SelKey][]int),
+		keys: make(map[any][]SelKey),
+		gens: make(map[any]uint64),
+	}
 }
 
 // Rows returns the memoized satisfying-row set for key, computing and
 // storing it on a miss. The returned slice is shared: do not mutate.
+// If the key's property is invalidated while compute runs, the result
+// is returned but not stored — the next caller recomputes against the
+// post-insert statistics.
 func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
 	if c == nil {
 		return compute()
 	}
 	c.mu.RLock()
 	rows, ok := c.rows[key]
+	gen0 := c.propGenLocked(key.Prop)
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -66,24 +102,69 @@ func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
 	c.misses.Add(1)
 	rows = compute()
 	c.mu.Lock()
-	c.rows[key] = rows
+	if c.propGenLocked(key.Prop) == gen0 {
+		c.rows[key] = rows
+		c.keys[key.Prop] = append(c.keys[key.Prop], key)
+	}
 	c.mu.Unlock()
 	return rows
 }
 
-// Invalidate discards every entry and bumps the generation; called by
-// the αDB after each incremental insert.
+// propGenLocked returns the effective generation of one property: its
+// own invalidation counter plus the cache-wide wipe counter. Callers
+// hold c.mu in either mode.
+func (c *SelCache) propGenLocked(prop any) uint64 {
+	return c.gens[prop] + c.wipes
+}
+
+// InvalidateProps bumps the generation of each given property and
+// discards only their cached entries; called by the αDB after an
+// incremental insert with the properties whose statistics shifted.
+func (c *SelCache) InvalidateProps(props ...any) {
+	if c == nil || len(props) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, p := range props {
+		c.gens[p]++
+		for _, k := range c.keys[p] {
+			delete(c.rows, k)
+		}
+		delete(c.keys, p)
+	}
+	c.gen++
+	c.mu.Unlock()
+}
+
+// Invalidate discards every entry and moves every property's effective
+// generation, including properties the cache has never seen; kept for
+// whole-αDB resets where per-property attribution is unavailable.
 func (c *SelCache) Invalidate() {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
+	c.wipes++
 	c.rows = make(map[SelKey][]int)
+	c.keys = make(map[any][]SelKey)
 	c.gen++
 	c.mu.Unlock()
 }
 
-// Generation returns the invalidation counter (tests assert it moves).
+// PropGeneration returns the effective invalidation generation of one
+// property; filters memoize against it to detect staleness of their own
+// property without being disturbed by inserts elsewhere.
+func (c *SelCache) PropGeneration(prop any) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.propGenLocked(prop)
+}
+
+// Generation returns the cache-wide invalidation event counter (tests
+// assert it moves on insert).
 func (c *SelCache) Generation() uint64 {
 	if c == nil {
 		return 0

@@ -217,6 +217,177 @@ func TestSelectivityCacheInvalidation(t *testing.T) {
 	rebuildAndCompare(t, a)
 }
 
+// TestPerPropertyInvalidation is the acceptance check of the
+// per-property generation scheme: an insert touching only relation A
+// leaves cached entries for properties of relation B live, and only the
+// generations of the touched properties move.
+func TestPerPropertyInvalidation(t *testing.T) {
+	a, err := Build(fixtureDB(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	person := a.Entity("person")
+	movie := a.Entity("movie")
+	age := person.BasicByAttr("age")
+	year := movie.BasicByAttr("year")
+	if age == nil || year == nil {
+		t.Fatal("fixture properties missing")
+	}
+	cache := a.SelectivityCache()
+
+	_ = age.EntityRowsInRange(45, 65)
+	yearRows := year.EntityRowsInRange(2000, 2003)
+	if cache.Len() != 2 {
+		t.Fatalf("cache primed with %d entries, want 2", cache.Len())
+	}
+	ageGen0, yearGen0 := age.StatsGeneration(), year.StatsGeneration()
+
+	// Insert into person: only person's properties go stale.
+	err = a.InsertEntity("person",
+		relation.IntVal(7), relation.StringVal("New Actor"),
+		relation.StringVal("Male"), relation.IntVal(50), relation.IntVal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age.StatsGeneration() == ageGen0 {
+		t.Error("person insert did not move the person property generation")
+	}
+	if year.StatsGeneration() != yearGen0 {
+		t.Error("person insert moved the movie property generation")
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache has %d entries after person insert, want only the movie entry", cache.Len())
+	}
+	h0, _ := cache.Metrics()
+	got := year.EntityRowsInRange(2000, 2003)
+	if h1, _ := cache.Metrics(); h1 != h0+1 {
+		t.Error("movie row set was not served from cache after a person insert")
+	}
+	if !reflect.DeepEqual(got, yearRows) {
+		t.Errorf("movie row set changed across a person insert: %v vs %v", got, yearRows)
+	}
+
+	// A fact insert shifts only the properties routed through that fact:
+	// the direct age and year properties stay live, the derived
+	// movie:genre property goes stale.
+	_ = age.EntityRowsInRange(45, 65) // re-prime person.age
+	ptg := person.DerivedByAttr("movie:genre")
+	if ptg == nil {
+		t.Fatal("movie:genre derived property missing")
+	}
+	_ = ptg.EntityRowsWithStrength("Drama", 1)
+	ageGen1, ptgGen0 := age.StatsGeneration(), ptg.StatsGeneration()
+	if cache.Len() != 3 {
+		t.Fatalf("cache primed with %d entries, want 3", cache.Len())
+	}
+	if err := a.InsertFact("castinfo", relation.IntVal(3), relation.IntVal(13)); err != nil {
+		t.Fatal(err)
+	}
+	if ptg.StatsGeneration() == ptgGen0 {
+		t.Error("fact insert did not move the derived property generation")
+	}
+	if age.StatsGeneration() != ageGen1 {
+		t.Error("fact insert moved the direct age property generation")
+	}
+	if year.StatsGeneration() != yearGen0 {
+		t.Error("fact insert moved the movie.year property generation")
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache has %d entries after fact insert, want age and year live", cache.Len())
+	}
+	rebuildAndCompare(t, a)
+}
+
+// TestStaleComputeNotCached regresses the store/invalidate race: a
+// compute that started before an invalidation must not publish its
+// result afterwards.
+func TestStaleComputeNotCached(t *testing.T) {
+	c := NewSelCache()
+	prop := new(int)
+	key := SelKey{Prop: prop, Value: "v"}
+	computes := 0
+	got := c.Rows(key, func() []int {
+		computes++
+		c.InvalidateProps(prop) // an insert lands while compute is in flight
+		return []int{1, 2}
+	})
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Rows returned %v, want the computed result", got)
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale compute result was cached")
+	}
+	got = c.Rows(key, func() []int { computes++; return []int{1, 2, 3} })
+	if computes != 2 {
+		t.Fatalf("computes=%d want 2 (stale entry served?)", computes)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("post-insert Rows=%v", got)
+	}
+	if got = c.Rows(key, func() []int { computes++; return nil }); computes != 2 || !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("clean store did not stick: computes=%d rows=%v", computes, got)
+	}
+
+	// A whole-cache wipe must drop in-flight stores too, even for
+	// properties the cache has never seen before.
+	fresh := new(int)
+	c.Rows(SelKey{Prop: fresh, Value: "w"}, func() []int {
+		c.Invalidate()
+		return []int{9}
+	})
+	if c.Len() != 0 {
+		t.Fatal("wipe-raced compute result was cached")
+	}
+}
+
+// TestDisjunctionCacheKey regresses the disjunction cache key: value
+// sets must share one entry regardless of order, and values containing
+// NUL must not collide with a different set that joins to the same
+// bytes (the old '\x00' join aliased {"a\x00b","c"} and {"a","b\x00c"}).
+func TestDisjunctionCacheKey(t *testing.T) {
+	db := relation.NewDatabase("nul")
+	ent := relation.New("thing",
+		relation.Col("id", relation.Int),
+		relation.Col("name", relation.String),
+		relation.Col("class", relation.String),
+	).SetPrimaryKey("id")
+	classes := []string{"a\x00b", "c", "a", "b\x00c", "a", "c"}
+	for i, cl := range classes {
+		ent.MustAppend(relation.IntVal(int64(i)),
+			relation.StringVal(fmt.Sprintf("thing %d", i)),
+			relation.StringVal(cl))
+	}
+	db.AddRelation(ent)
+	db.MarkEntity("thing")
+	a, err := Build(db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	class := a.Entity("thing").BasicByAttr("class")
+	if class == nil {
+		t.Fatal("class property missing")
+	}
+	r1 := class.EntityRowsWithAnyValue([]string{"a\x00b", "c"})
+	r2 := class.EntityRowsWithAnyValue([]string{"a", "b\x00c"})
+	if !reflect.DeepEqual(r1, []int{0, 1, 5}) {
+		t.Errorf(`rows of {"a\x00b","c"} = %v, want [0 1 5]`, r1)
+	}
+	if !reflect.DeepEqual(r2, []int{2, 3, 4}) {
+		t.Errorf(`rows of {"a","b\x00c"} = %v, want [2 3 4] (NUL key collision?)`, r2)
+	}
+
+	// Order canonicalization: the reversed set must hit the same entry.
+	cache := a.SelectivityCache()
+	h0, _ := cache.Metrics()
+	r3 := class.EntityRowsWithAnyValue([]string{"c", "a\x00b"})
+	if h1, _ := cache.Metrics(); h1 != h0+1 {
+		t.Error("reordered disjunction missed the cache")
+	}
+	if !reflect.DeepEqual(r3, r1) {
+		t.Errorf("reordered disjunction rows = %v, want %v", r3, r1)
+	}
+}
+
 // TestCacheMetrics checks the hit/miss accounting the batch API
 // monitors.
 func TestCacheMetrics(t *testing.T) {

@@ -15,29 +15,48 @@ import (
 // indexes. Only inserts are supported (append-only maintenance), which
 // covers the common catalog-growth workload; deletions still require a
 // rebuild.
+//
+// Every insert runs under the αDB's exclusive epoch lock (AlphaDB.mu),
+// so it is safe to call concurrently with discovery: readers pin the
+// pre- or post-insert epoch, never a half-applied one. Each insert
+// reports the properties whose statistics it shifted, and only those
+// properties' selectivity-cache entries are invalidated — memoized row
+// sets of untouched relations stay live through sustained ingest.
 
 // InsertEntity appends a new row to an entity relation and updates the
 // αDB's statistics for that entity's direct and FK-dimension properties.
-// The row's values must match the relation schema.
+// The row's values must match the relation schema. Safe to call
+// concurrently with discovery (it takes the αDB's write lock).
 func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	touched, err := a.insertEntityLocked(entityRel, vals)
+	a.selCache.InvalidateProps(touched...)
+	return err
+}
+
+// insertEntityLocked applies one entity-row insert under the held write
+// lock and returns the properties whose statistics shifted — every
+// property of the entity, since the selectivity denominator |R| grew.
+func (a *AlphaDB) insertEntityLocked(entityRel string, vals []relation.Value) ([]any, error) {
 	info := a.Entities[entityRel]
 	if info == nil {
-		return fmt.Errorf("adb: %q is not an entity relation", entityRel)
+		return nil, fmt.Errorf("adb: %q is not an entity relation", entityRel)
 	}
 	rel := info.rel
 	pkIdx := rel.ColumnIndex(rel.PrimaryKey)
 	if pkIdx < 0 || pkIdx >= len(vals) {
-		return fmt.Errorf("adb: insert into %q lacks a primary key value", entityRel)
+		return nil, fmt.Errorf("adb: insert into %q lacks a primary key value", entityRel)
 	}
 	pk := vals[pkIdx]
 	if pk.IsNull() {
-		return fmt.Errorf("adb: NULL primary key")
+		return nil, fmt.Errorf("adb: NULL primary key")
 	}
 	if _, dup := info.RowByID(pk.Int()); dup {
-		return fmt.Errorf("adb: duplicate primary key %v in %q", pk, entityRel)
+		return nil, fmt.Errorf("adb: duplicate primary key %v in %q", pk, entityRel)
 	}
 	if err := rel.Append(vals...); err != nil {
-		return err
+		return nil, err
 	}
 	row := rel.NumRows() - 1
 	info.NumRows = rel.NumRows()
@@ -46,9 +65,14 @@ func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
 	// relation (including pkIndex, which lives in the pool) in place.
 	a.Indexes.NoteAppend(rel, row)
 
-	// Update basic-property statistics for the new row.
+	// Update basic-property statistics for the new row. The selectivity
+	// denominator |R| grew, so every property of this entity shifted —
+	// but only of this entity: properties of other relations keep their
+	// cached row sets.
+	touched := make([]any, 0, len(info.Basic)+len(info.Derived))
 	for _, p := range info.Basic {
 		p.numEntities = info.NumRows
+		touched = append(touched, p)
 		switch p.Access.Type {
 		case Direct:
 			a.insertDirectValue(p, rel, row)
@@ -64,6 +88,7 @@ func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
 	}
 	for _, p := range info.Derived {
 		p.numEntities = info.NumRows
+		touched = append(touched, p)
 	}
 
 	// Index the new row's text values for entity lookup.
@@ -73,9 +98,7 @@ func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
 		}
 		a.Inverted.Insert(col.Str(row), index.Posting{Relation: entityRel, Column: col.Name, Row: row})
 	}
-	// Statistics shifted: every memoized selectivity is stale.
-	a.selCache.Invalidate()
-	return nil
+	return touched, nil
 }
 
 func (a *AlphaDB) insertDirectValue(p *BasicProperty, rel *relation.Relation, row int) {
@@ -117,21 +140,36 @@ func (a *AlphaDB) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row
 // InsertFact appends a row to a fact table and incrementally updates the
 // affected fact-dimension basic properties and derived relations of
 // every entity the fact references. The fact relation must have been
-// present at Build time.
+// present at Build time. Safe to call concurrently with discovery (it
+// takes the αDB's write lock).
 func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	touched, err := a.insertFactLocked(factRel, vals)
+	a.selCache.InvalidateProps(touched...)
+	return err
+}
+
+// insertFactLocked applies one fact-row insert under the held write lock
+// and returns the properties whose statistics shifted: only those routed
+// through this fact table for the entities the row references —
+// properties of unrelated relations (and even direct properties of the
+// referenced entities) keep their cached row sets.
+func (a *AlphaDB) insertFactLocked(factRel string, vals []relation.Value) ([]any, error) {
 	fact := a.DB.Relation(factRel)
 	if fact == nil {
-		return fmt.Errorf("adb: unknown fact relation %q", factRel)
+		return nil, fmt.Errorf("adb: unknown fact relation %q", factRel)
 	}
 	if a.DB.Kind(factRel) != relation.KindUnknown {
-		return fmt.Errorf("adb: %q is not a fact relation", factRel)
+		return nil, fmt.Errorf("adb: %q is not a fact relation", factRel)
 	}
 	if err := fact.Append(vals...); err != nil {
-		return err
+		return nil, err
 	}
 	row := fact.NumRows() - 1
 	a.Indexes.NoteAppend(fact, row)
 
+	var touched []any
 	for _, fk := range fact.Foreign {
 		info := a.Entities[fk.RefRelation]
 		if info == nil {
@@ -152,8 +190,10 @@ func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
 			switch {
 			case p.Access.Type == FactDim && p.Access.Fact == factRel && p.Access.FactEntityCol == fk.Column:
 				a.insertFactDimValue(p, fact, row, eRow)
+				touched = append(touched, p)
 			case p.Access.Type == AttrTable && p.Access.Fact == factRel && p.Access.FactEntityCol == fk.Column:
 				a.insertAttrTableValue(p, fact, row, eRow)
+				touched = append(touched, p)
 			}
 		}
 		// Derived properties whose first hop is this fact.
@@ -162,11 +202,58 @@ func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
 				continue
 			}
 			a.insertDerivedDelta(info, p, fact, row, eRow)
+			touched = append(touched, p)
 		}
 	}
-	// Statistics shifted: every memoized selectivity is stale.
-	a.selCache.Invalidate()
-	return nil
+	return touched, nil
+}
+
+// InsertOp describes one row of an InsertBatch: the target relation
+// (entity or fact, dispatched automatically) and its values.
+type InsertOp struct {
+	Rel  string
+	Vals []relation.Value
+}
+
+// InsertBatch appends many rows inside one critical section, amortizing
+// the αDB's write lock and the cache invalidation over the whole batch:
+// concurrent discoveries wait once per batch instead of once per row,
+// and each touched property's generation moves once. Rows apply in
+// order; on the first failure the batch stops, already-applied rows
+// stay (append-only maintenance has no rollback), their invalidations
+// are published, and the error reports the failing row's index.
+func (a *AlphaDB) InsertBatch(ops []InsertOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	touched := make(map[any]struct{})
+	var firstErr error
+	for i, op := range ops {
+		var t []any
+		var err error
+		if a.Entities[op.Rel] != nil {
+			t, err = a.insertEntityLocked(op.Rel, op.Vals)
+		} else {
+			t, err = a.insertFactLocked(op.Rel, op.Vals)
+		}
+		for _, p := range t {
+			touched[p] = struct{}{}
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("adb: batch insert %d into %q: %w", i, op.Rel, err)
+			break
+		}
+	}
+	if len(touched) > 0 {
+		props := make([]any, 0, len(touched))
+		for p := range touched {
+			props = append(props, p)
+		}
+		a.selCache.InvalidateProps(props...)
+	}
+	return firstErr
 }
 
 // addCatValueAt records code for the entity at eRow, inserting into the

@@ -16,6 +16,7 @@ package adb
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"squid/internal/index"
@@ -124,10 +125,12 @@ type BasicProperty struct {
 // NumEntities returns |R|, the selectivity denominator.
 func (p *BasicProperty) NumEntities() int { return p.numEntities }
 
-// StatsGeneration returns the αDB statistics generation this property
-// answers from; it moves on every incremental insert, letting callers
-// holding memoized answers detect staleness.
-func (p *BasicProperty) StatsGeneration() uint64 { return p.cache.Generation() }
+// StatsGeneration returns the statistics generation this property
+// answers from; it moves only on incremental inserts that shift this
+// property's own statistics (per-property invalidation), letting
+// callers holding memoized answers detect staleness without being
+// disturbed by inserts into unrelated relations.
+func (p *BasicProperty) StatsGeneration() uint64 { return p.cache.PropGeneration(p) }
 
 // Dict returns the value dictionary the property's codes index into.
 func (p *BasicProperty) Dict() *relation.Dict { return p.dict }
@@ -294,7 +297,7 @@ func (p *BasicProperty) EntityRowsWithAnyValue(values []string) []int {
 	if len(values) == 1 {
 		return p.EntityRowsWithValue(values[0])
 	}
-	key := SelKey{Prop: p, Value: strings.Join(values, "\x00")}
+	key := SelKey{Prop: p, Value: disjunctionKey(values)}
 	return p.cache.Rows(key, func() []int {
 		var out []int
 		for _, v := range values {
@@ -302,6 +305,23 @@ func (p *BasicProperty) EntityRowsWithAnyValue(values []string) []int {
 		}
 		return out
 	})
+}
+
+// disjunctionKey canonicalizes a disjunctive value set into a
+// collision-free cache key: the values are sorted, so {a,b} and {b,a}
+// share one entry, and each is length-prefixed, so no joiner byte can
+// alias — values containing NUL (or any other separator) cannot
+// collide the way a plain '\x00' join did.
+func disjunctionKey(values []string) string {
+	sorted := append([]string(nil), values...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	for _, v := range sorted {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
 }
 
 // EntityRowsInRange returns the entity rows whose numeric value lies in
@@ -404,9 +424,9 @@ type DerivedProperty struct {
 // NumEntities returns |R| for the owning entity relation.
 func (p *DerivedProperty) NumEntities() int { return p.numEntities }
 
-// StatsGeneration returns the αDB statistics generation this property
+// StatsGeneration returns the statistics generation this property
 // answers from (see BasicProperty.StatsGeneration).
-func (p *DerivedProperty) StatsGeneration() uint64 { return p.cache.Generation() }
+func (p *DerivedProperty) StatsGeneration() uint64 { return p.cache.PropGeneration(p) }
 
 // Relation returns the materialized derived relation.
 func (p *DerivedProperty) Relation() *relation.Relation { return p.rel }

@@ -20,8 +20,12 @@ import (
 // freshly built ones.
 
 // Encode writes the αDB to a snapshot stream (the caller owns the
-// header; see squid.System.Save).
+// header; see squid.System.Save). It reads under the shared epoch
+// lock, so the snapshot captures one consistent statistics epoch even
+// with inserts in flight.
 func (a *AlphaDB) Encode(w *snapshot.Writer) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	writeConfig(w, a.cfg)
 	w.Varint(int64(a.BuildTime))
 	snapshot.WriteDatabase(w, a.DB)

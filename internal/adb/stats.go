@@ -36,8 +36,11 @@ type RelCard struct {
 	Rows     int
 }
 
-// ComputeStats gathers the Fig 18 statistics for the αDB.
+// ComputeStats gathers the Fig 18 statistics for the αDB. It reads
+// under the shared epoch lock, so it is safe concurrently with inserts.
 func (a *AlphaDB) ComputeStats() Stats {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	s := Stats{
 		Name:            a.DB.Name,
 		DBBytes:         a.DB.ByteSize(),

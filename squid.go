@@ -35,13 +35,18 @@
 //   - Each property answers selectivity and satisfying-row questions
 //     from precomputed postings and sorted value→row indexes; a
 //     memoized selectivity cache (internal/adb.SelCache) shares row
-//     sets across discoveries and is invalidated on insert.
+//     sets across discoveries. Invalidation is per property: an insert
+//     discards only the entries of the properties whose statistics it
+//     shifted, so sustained ingest into one relation leaves the rest of
+//     the cache warm.
 //   - Filter row sets intersect as sorted posting-list merges, seeded
 //     by the most selective filter.
 //   - DiscoverBatch fans independent example sets across a bounded
-//     worker pool with read-only shared access to the αDB; writes
-//     (InsertEntity/InsertFact) must be externally serialized with
-//     respect to discovery.
+//     worker pool over the shared αDB. Writes (InsertEntity,
+//     InsertFact, InsertBatch) are safe to run concurrently with
+//     discovery: each discovery pins a consistent statistics epoch
+//     under an internal read/write lock, and inserts serialize behind
+//     it — no external coordination required.
 //
 // Benchmarks: `go test -bench=.` runs the experiment harness at reduced
 // scale; `go run ./cmd/squid-bench -exp all` regenerates the paper's
@@ -155,8 +160,20 @@ var (
 type CSVColumn = relation.CSVColumn
 
 // System is an abduction-ready SQuID instance over one database.
-// Discovery (Discover, DiscoverAll, DiscoverBatch, Execute) is safe for
-// concurrent use; inserts must not run concurrently with discovery.
+//
+// Discovery and ingest are safe for concurrent use. Discovery
+// (Discover, DiscoverAll, DiscoverBatch, Execute, Stats, Save) reads
+// under a shared epoch lock, so concurrent discoveries proceed in
+// parallel and each observes one consistent statistics state; writes
+// (InsertEntity, InsertFact, InsertBatch) take the lock exclusively
+// and may interleave freely with discovery — a discovery in flight
+// when an insert lands answers from the pre-insert epoch, the next one
+// sees the new rows. Two surfaces stay outside the lock: the
+// configuration setters (SetParams, SetBatchWorkers), which must be
+// called before the System is shared across goroutines, and
+// introspecting a returned Discovery's Filters against live statistics
+// (Filter.Selectivity, Filter.EntityRows) after later inserts, which
+// must be ordered externally if writes are still arriving.
 type System struct {
 	alpha  *adb.AlphaDB
 	params Params
@@ -245,7 +262,8 @@ func readParams(r *snapshot.Reader) Params {
 	}
 }
 
-// SetParams replaces the discovery parameters (see Params).
+// SetParams replaces the discovery parameters (see Params). Not
+// synchronized: call before sharing the System across goroutines.
 func (s *System) SetParams(p Params) { s.params = p }
 
 // Params returns the current discovery parameters.
@@ -293,6 +311,10 @@ func (s *System) Discover(examples []string) (*Discovery, error) {
 // examples structurally match), ranked by posterior score. The first
 // element equals Discover's result.
 func (s *System) DiscoverAll(examples []string) ([]*Discovery, error) {
+	// Pin one statistics epoch across discovery and result
+	// materialization; inserts wait, concurrent discoveries share.
+	s.alpha.RLock()
+	defer s.alpha.RUnlock()
 	results, err := abduction.Discover(s.alpha, examples, s.params, disambig.Resolve)
 	if err != nil {
 		return nil, fmt.Errorf("squid: %w", err)
@@ -305,25 +327,46 @@ func (s *System) DiscoverAll(examples []string) ([]*Discovery, error) {
 }
 
 // InsertEntity appends a row to an entity relation and incrementally
-// maintains the αDB (the §9 dynamic-dataset extension).
+// maintains the αDB (the §9 dynamic-dataset extension). Safe to call
+// concurrently with discovery; only the cached statistics of the
+// inserted entity's own properties are invalidated.
 func (s *System) InsertEntity(rel string, vals ...Value) error {
 	return s.alpha.InsertEntity(rel, vals...)
 }
 
 // InsertFact appends a row to a fact relation and incrementally
-// maintains the affected derived relations and statistics.
+// maintains the affected derived relations and statistics. Safe to
+// call concurrently with discovery; only the properties routed through
+// that fact table for the referenced entities are invalidated.
 func (s *System) InsertFact(rel string, vals ...Value) error {
 	return s.alpha.InsertFact(rel, vals...)
 }
 
+// InsertOp describes one row of an InsertBatch: the target relation
+// (entity or fact, dispatched automatically) and its values.
+type InsertOp = adb.InsertOp
+
+// InsertBatch appends many rows — entity and fact rows may be mixed —
+// inside one critical section, amortizing the write lock and the cache
+// invalidation over the whole batch: concurrent discoveries wait once
+// per batch instead of once per row. Rows apply in order; on the first
+// failure the batch stops, already-applied rows stay, and the error
+// reports the failing row's index.
+func (s *System) InsertBatch(ops []InsertOp) error {
+	return s.alpha.InsertBatch(ops)
+}
+
 // SetBatchWorkers bounds the DiscoverBatch worker pool; n ≤ 0 restores
-// the default (GOMAXPROCS).
+// the default (GOMAXPROCS). Not synchronized: call before sharing the
+// System across goroutines.
 func (s *System) SetBatchWorkers(n int) { s.batchWorkers = n }
 
 // DiscoverBatch runs the online phase for many independent example sets
-// concurrently over the shared read-only αDB: example sets fan out
-// across a bounded worker pool (SetBatchWorkers; default GOMAXPROCS),
-// and similar intents reuse each other's memoized selectivity row sets.
+// concurrently over the shared αDB: example sets fan out across a
+// bounded worker pool (SetBatchWorkers; default GOMAXPROCS), and
+// similar intents reuse each other's memoized selectivity row sets.
+// Inserts may run concurrently; each set answers from a consistent
+// statistics epoch (sets dispatched after an insert see its rows).
 //
 // The returned slice is parallel to exampleSets; entries whose
 // discovery failed are nil, and the error is the join of the per-set
@@ -388,6 +431,11 @@ func (s *System) DiscoverWithoutDisambiguation(examples []string) (*Discovery, e
 }
 
 func (s *System) discover(examples []string, resolver abduction.Resolver) (*Discovery, error) {
+	// Pin one statistics epoch across discovery and result
+	// materialization (wrap reads relation columns for OutputValues and
+	// SQL rendering); inserts wait, concurrent discoveries share.
+	s.alpha.RLock()
+	defer s.alpha.RUnlock()
 	results, err := abduction.Discover(s.alpha, examples, s.params, resolver)
 	if err != nil {
 		return nil, fmt.Errorf("squid: %w", err)
@@ -462,10 +510,13 @@ func (s *System) ExecutableDB() *Database { return s.alpha.CombinedDB() }
 // predicates push down to index lookups and repeated executions skip
 // re-planning setup; it remains valid across incremental inserts
 // (relations are shared by reference and the pool is maintained in
-// place).
+// place). Execution reads under the shared epoch lock, so it is safe
+// concurrently with inserts.
 func (s *System) Execute(q *Query) (*ExecResult, error) {
 	s.execOnce.Do(func() {
 		s.exec = engine.NewExecutorWithIndexes(s.alpha.CombinedDB(), s.alpha.Indexes)
 	})
+	s.alpha.RLock()
+	defer s.alpha.RUnlock()
 	return s.exec.Execute(q)
 }

@@ -3,7 +3,9 @@ package squid
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -87,6 +89,64 @@ func TestDiscoverBatchEmptyAndCancel(t *testing.T) {
 	if _, err := sys.DiscoverBatch(ctx, sets); !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled batch returned %v", err)
 	}
+}
+
+// TestDiscoverBatchCancellationSemantics pins the documented contract
+// under cancellation: every set either completed (non-nil result, no
+// failure recorded) or was never dispatched (nil result, its index
+// reported with ctx.Err()); the joined error matches ctx.Err(). The
+// example sets are all valid, so cancellation is the only failure mode.
+func TestDiscoverBatchCancellationSemantics(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetBatchWorkers(2)
+	check := func(t *testing.T, ctx context.Context, cancelMidFlight func()) {
+		sets := make([][]string, 48)
+		for i := range sets {
+			sets[i] = []string{"Dan Suciu", "Sam Madden"}
+		}
+		if cancelMidFlight != nil {
+			go cancelMidFlight()
+		}
+		res, err := sys.DiscoverBatch(ctx, sets)
+		if len(res) != len(sets) {
+			t.Fatalf("got %d results want %d", len(res), len(sets))
+		}
+		if err == nil {
+			// The whole batch outran the cancellation; nothing to check.
+			for i, d := range res {
+				if d == nil {
+					t.Errorf("set %d nil without any error", i)
+				}
+			}
+			return
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("joined error does not match ctx.Err(): %v", err)
+		}
+		msg := err.Error()
+		for i, d := range res {
+			reported := strings.Contains(msg, fmt.Sprintf("example set %d: %s", i, context.Canceled))
+			if d == nil && !reported {
+				t.Errorf("set %d: nil result but not reported as canceled", i)
+			}
+			if d != nil && reported {
+				t.Errorf("set %d: completed but reported as canceled", i)
+			}
+		}
+	}
+	t.Run("pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		check(t, ctx, nil)
+	})
+	t.Run("mid-flight", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		check(t, ctx, func() { cancel() })
+	})
 }
 
 // TestFilterStatsRefreshAfterInsert regresses the filter-level memo: a
