@@ -24,6 +24,13 @@
 // concurrently inserts fact rows (and occasional new entities) through
 // InsertBatch, reporting discovery and insert throughput plus the
 // selectivity-cache hit rate under per-property invalidation.
+//
+// The serve experiment (-exp serve) boots the network serving layer
+// (internal/server) in-process on a loopback listener and drives mixed
+// discover/execute/insert HTTP traffic from -conc client goroutines for
+// -duration, reporting sustained throughput and client-observed
+// p50/p95/p99 latency per operation class, then drains the server
+// gracefully.
 package main
 
 import (
@@ -103,6 +110,7 @@ type Report struct {
 	Phases    []Phase       `json:"phases,omitempty"`
 	Build     []BuildResult `json:"build,omitempty"`
 	Mixed     []MixedResult `json:"mixed,omitempty"`
+	Serve     []ServeResult `json:"serve,omitempty"`
 	PeakRSSKB int64         `json:"peak_rss_kb,omitempty"`
 }
 
@@ -112,6 +120,8 @@ func main() {
 		scale    = flag.String("scale", "full", "dataset scale: full or test")
 		list     = flag.Bool("list", false, "list available experiments")
 		jsonPath = flag.String("json", "", "write a machine-readable timing report to this path (\"-\" = stdout)")
+		conc     = flag.Int("conc", 0, "serve experiment: concurrent HTTP clients (0 = 2x GOMAXPROCS)")
+		duration = flag.Duration("duration", 0, "serve experiment: load duration (0 = 5s full scale, 1.5s test scale)")
 	)
 	flag.Parse()
 
@@ -122,7 +132,8 @@ func main() {
 		}
 		fmt.Println("  build    offline phase: serial vs parallel build, snapshot save/load, heap, peak RSS")
 		fmt.Println("  mixed    online phase: batch discovery concurrent with incremental ingest")
-		fmt.Println("  all      run everything")
+		fmt.Println("  serve    serving layer: mixed HTTP workload against a live internal/server instance")
+		fmt.Println("  all      run every paper experiment above (build/mixed/serve run by name)")
 		if *exp == "" && !*list {
 			os.Exit(2)
 		}
@@ -151,6 +162,14 @@ func main() {
 
 	if *exp == "mixed" {
 		if err := runMixedExperiment(sc, *scale, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "squid-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *exp == "serve" {
+		if err := runServeExperiment(sc, *scale, *jsonPath, *conc, *duration); err != nil {
 			fmt.Fprintln(os.Stderr, "squid-bench:", err)
 			os.Exit(1)
 		}

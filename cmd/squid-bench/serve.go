@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squid"
+	"squid/internal/datagen"
+	"squid/internal/experiments"
+	"squid/internal/server"
+)
+
+// ServeOpResult is the latency profile of one operation class of the
+// serve experiment (client-observed, over HTTP).
+type ServeOpResult struct {
+	Op     string  `json:"op"`
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// ServeResult is the serve experiment measurement: mixed
+// discover/execute/insert traffic against a live internal/server
+// instance over loopback HTTP.
+type ServeResult struct {
+	Dataset     string          `json:"dataset"`
+	Concurrency int             `json:"concurrency"`
+	MaxInFlight int             `json:"max_inflight"`
+	WallMS      float64         `json:"wall_ms"`
+	Requests    int             `json:"requests"`
+	PerSec      float64         `json:"requests_per_sec"`
+	Shed429     int             `json:"shed_429"`
+	Errors      int             `json:"errors"`
+	Ops         []ServeOpResult `json:"ops"`
+}
+
+// runServeExperiment boots internal/server in-process on a loopback
+// listener and drives a mixed workload — 1/2 discover, 1/4 execute,
+// 1/4 insert — from conc client goroutines for the given duration,
+// reporting throughput and client-observed p50/p95/p99 latency per
+// operation class. Overload shedding (429) is counted separately so the
+// latency profile reflects served requests only.
+func runServeExperiment(sc experiments.Scale, scale, jsonPath string, conc int, duration time.Duration) error {
+	report := Report{
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOMAXPROC: runtime.GOMAXPROCS(0),
+		UnixTime:  time.Now().Unix(),
+	}
+	if conc <= 0 {
+		conc = 2 * runtime.GOMAXPROCS(0)
+	}
+	if duration <= 0 {
+		duration = 5 * time.Second
+		if scale == "test" {
+			duration = 1500 * time.Millisecond
+		}
+	}
+
+	g := datagen.GenerateIMDb(sc.IMDb)
+	sys, err := squid.Build(g.DB, squid.DefaultBuildConfig())
+	if err != nil {
+		return err
+	}
+	maxInFlight := runtime.GOMAXPROCS(0)
+	srv := server.New(sys, server.Config{
+		MaxInFlight:    maxInFlight,
+		RequestTimeout: 30 * time.Second,
+	})
+	httpSrv := &http.Server{Handler: srv}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{
+		Timeout: time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        conc * 2,
+			MaxIdleConnsPerHost: conc * 2,
+		},
+	}
+
+	// Pre-marshal the request bodies. Discover bodies come from the
+	// planted-intent example sets; the execute body is the plan of one
+	// discovery done over the wire, proving the discover→execute loop
+	// closes over HTTP.
+	sets, err := imdbExampleSets(g, sys)
+	if err != nil {
+		return err
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("serve: no example sets")
+	}
+	discoverBodies := make([][]byte, len(sets))
+	for i, set := range sets {
+		discoverBodies[i], _ = json.Marshal(server.DiscoverRequest{Examples: set})
+	}
+	var seed server.DiscoverResponse
+	status, err := postServe(client, base+"/v1/discover", discoverBodies[0], &seed)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("serve: seed discovery failed (status %d, err %v)", status, err)
+	}
+	executeBody, _ := json.Marshal(server.ExecuteRequest{Query: seed.Query})
+
+	numPersons := g.DB.Relation("person").NumRows()
+	numMovies := g.DB.Relation("movie").NumRows()
+
+	// opLats[k] collects per-op latencies; workers keep local slices and
+	// merge at the end, so the hot loop takes no lock.
+	const (
+		opDiscover = 0
+		opExecute  = 1
+		opInsert   = 2
+	)
+	opNames := []string{"discover", "execute", "insert"}
+	merged := make([][]time.Duration, 3)
+	var mergeMu sync.Mutex
+	var shed, errCount atomic.Int64
+
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := make([][]time.Duration, 3)
+			seq := 0
+			for time.Now().Before(deadline) {
+				seq++
+				var op int
+				switch seq % 4 {
+				case 0, 1:
+					op = opDiscover
+				case 2:
+					op = opExecute
+				default:
+					op = opInsert
+				}
+				var body []byte
+				var url string
+				switch op {
+				case opDiscover:
+					url = base + "/v1/discover"
+					body = discoverBodies[(id+seq)%len(discoverBodies)]
+				case opExecute:
+					url = base + "/v1/execute"
+					body = executeBody
+				case opInsert:
+					url = base + "/v1/insert"
+					i := id*1_000_003 + seq
+					body, _ = json.Marshal(server.InsertRequest{
+						Rel: "castinfo",
+						Values: []any{
+							float64(i % numPersons),
+							float64((i * 7) % numMovies),
+							float64(0),
+						},
+					})
+				}
+				start := time.Now()
+				status, err := postServe(client, url, body, nil)
+				lat := time.Since(start)
+				switch {
+				case err != nil:
+					errCount.Add(1)
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				case status == http.StatusOK:
+					local[op] = append(local[op], lat)
+				default:
+					errCount.Add(1)
+				}
+			}
+			mergeMu.Lock()
+			for k := range local {
+				merged[k] = append(merged[k], local[k]...)
+			}
+			mergeMu.Unlock()
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	wall := time.Since(start)
+	if wall < duration {
+		wall = duration
+	}
+
+	// Graceful drain closes the loop on the serving lifecycle.
+	srv.BeginDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if err := srv.Finalize(); err != nil {
+		return fmt.Errorf("serve: finalize: %w", err)
+	}
+
+	res := ServeResult{
+		Dataset:     "imdb",
+		Concurrency: conc,
+		MaxInFlight: maxInFlight,
+		WallMS:      msOf(wall),
+		Shed429:     int(shed.Load()),
+		Errors:      int(errCount.Load()),
+	}
+	for k, lats := range merged {
+		if len(lats) == 0 {
+			continue
+		}
+		res.Requests += len(lats)
+		res.Ops = append(res.Ops, ServeOpResult{
+			Op:     opNames[k],
+			Count:  len(lats),
+			MeanMS: meanMS(lats),
+			P50MS:  percentileMS(lats, 0.50),
+			P95MS:  percentileMS(lats, 0.95),
+			P99MS:  percentileMS(lats, 0.99),
+		})
+	}
+	if res.Requests == 0 {
+		return fmt.Errorf("serve: no request succeeded (%d errors)", res.Errors)
+	}
+	res.PerSec = float64(res.Requests) / wall.Seconds()
+	report.Serve = append(report.Serve, res)
+	report.PeakRSSKB = peakRSSKB()
+
+	fmt.Printf("serving layer (mixed HTTP workload), %s scale, %d clients over loopback\n", scale, conc)
+	fmt.Printf("  %-6s %8.1fms wall  %6d requests (%8.1f/s)  %d shed (429), %d errors\n",
+		res.Dataset, res.WallMS, res.Requests, res.PerSec, res.Shed429, res.Errors)
+	for _, op := range res.Ops {
+		fmt.Printf("         %-9s %6d reqs  mean %7.2fms  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms\n",
+			op.Op, op.Count, op.MeanMS, op.P50MS, op.P95MS, op.P99MS)
+	}
+	return writeReport(report, jsonPath)
+}
+
+// postServe POSTs a pre-marshaled JSON body, optionally decoding the
+// response; the body is always drained so connections are reused.
+func postServe(client *http.Client, url string, body []byte, out any) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func meanMS(lats []time.Duration) float64 {
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return msOf(sum) / float64(len(lats))
+}
+
+// percentileMS returns the q-quantile (nearest-rank) of the latencies.
+func percentileMS(lats []time.Duration, q float64) float64 {
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return msOf(sorted[rank])
+}

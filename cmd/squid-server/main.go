@@ -1,0 +1,176 @@
+// Command squid-server serves query intent discovery over HTTP: the
+// network front end of the squid engine (internal/server), turning the
+// in-process library into a long-running service.
+//
+// Usage:
+//
+//	squid-server -addr :8080 -dataset imdb
+//	squid-server -dataset dblp -snapshot /var/lib/squid/dblp.sqas -snapshot-interval 5m
+//	squid-server -max-inflight 8 -queue-depth 32 -timeout 10s
+//
+// With -snapshot, boot is warm when the file exists (squid.Load instead
+// of a cold build; the αDB is saved there after a cold build otherwise),
+// a background loop re-saves it every -snapshot-interval, POST
+// /v1/snapshot re-saves it on demand, and the graceful drain writes a
+// final snapshot so no acknowledged insert is lost across restarts.
+//
+// The server sheds load beyond -max-inflight running discoveries plus
+// -queue-depth waiters (429 + Retry-After), bounds every request by
+// -timeout (wired into context cancellation inside the abduction), and
+// drains cleanly on SIGINT/SIGTERM: /healthz flips to 503, in-flight
+// requests finish, then the final snapshot lands.
+//
+// Endpoints: POST /v1/discover, /v1/discover/batch, /v1/execute,
+// /v1/insert, /v1/insert/batch, /v1/snapshot; GET /v1/stats, /healthz,
+// /metrics (Prometheus text).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"squid"
+	"squid/internal/datagen"
+	"squid/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataset      = flag.String("dataset", "imdb", "dataset to build when no snapshot exists: imdb, dblp, or adult")
+		snapPath     = flag.String("snapshot", "", "αDB snapshot file: warm-boot from it when present, save after cold builds, re-save on drain")
+		snapInterval = flag.Duration("snapshot-interval", 0, "periodic snapshot re-save interval (0 = only on demand and on drain)")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently running discovery/execute requests (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 0, "admission waiters beyond max-inflight before shedding 429s (0 = 4x max-inflight)")
+		batchWorkers = flag.Int("batch-workers", 0, "worker pool per /v1/discover/batch request (0 = GOMAXPROCS); worst-case discovery parallelism is max-inflight x batch-workers")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		qre          = flag.Bool("qre", false, "use the optimistic QRE parameter preset (§7.5)")
+	)
+	flag.Parse()
+
+	sys, coldBuilt, err := bootSystem(*dataset, *snapPath)
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+	if *qre {
+		sys.SetParams(squid.QREParams())
+	}
+	if *batchWorkers > 0 {
+		sys.SetBatchWorkers(*batchWorkers)
+	}
+
+	reqTimeout := *timeout
+	if reqTimeout == 0 {
+		reqTimeout = -1 // Config: negative disables the deadline
+	}
+	srv := server.New(sys, server.Config{
+		MaxInFlight:      *maxInFlight,
+		QueueDepth:       *queueDepth,
+		RequestTimeout:   reqTimeout,
+		SnapshotPath:     *snapPath,
+		SnapshotInterval: *snapInterval,
+	})
+	if coldBuilt && *snapPath != "" {
+		// Save the cold build through the server's atomic
+		// write-then-rename path, so the next boot is warm.
+		if _, err := srv.SaveSnapshot(); err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		log.Printf("snapshot saved to %s (next boot is warm)", *snapPath)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful drain on SIGINT/SIGTERM: stop accepting, flip /healthz
+	// to 503 for the load balancer, finish in-flight requests, save the
+	// final snapshot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("signal received, draining (timeout %v)", *drainWait)
+		srv.BeginDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v (some requests may have been cut off)", err)
+		}
+		if err := srv.Finalize(); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else if *snapPath != "" {
+			log.Printf("final snapshot saved to %s", *snapPath)
+		}
+	}()
+
+	log.Printf("serving %s on %s (max-inflight %d, queue %d, timeout %v)",
+		*dataset, *addr, *maxInFlight, *queueDepth, *timeout)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("listen: %v", err)
+	}
+	<-done
+}
+
+// bootSystem produces the abduction-ready system: a warm boot from the
+// snapshot file when one exists, otherwise a cold build of the selected
+// dataset (coldBuilt reports which; the caller persists cold builds
+// through the server's snapshot path).
+func bootSystem(dataset, snapPath string) (sys *squid.System, coldBuilt bool, err error) {
+	if snapPath != "" {
+		f, err := os.Open(snapPath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			start := time.Now()
+			sys, err := squid.Load(f)
+			if err != nil {
+				return nil, false, fmt.Errorf("loading snapshot %s: %w (delete the file to rebuild)", snapPath, err)
+			}
+			if got := sys.AlphaDB().DB.Name; got != dataset && !strings.HasPrefix(got, dataset+"_") {
+				return nil, false, fmt.Errorf("snapshot %s holds dataset %q, not %q", snapPath, got, dataset)
+			}
+			log.Printf("αDB loaded from %s in %v (warm boot)", snapPath, time.Since(start).Round(time.Millisecond))
+			return sys, false, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// Anything but "no snapshot yet" must not fall through to a
+			// cold build: the cold build would overwrite a snapshot that
+			// holds acknowledged writes.
+			return nil, false, fmt.Errorf("opening snapshot %s: %w", snapPath, err)
+		}
+	}
+
+	var db *squid.Database
+	switch dataset {
+	case "imdb":
+		db = datagen.GenerateIMDb(datagen.DefaultIMDbConfig()).DB
+	case "dblp":
+		db = datagen.GenerateDBLP(datagen.DefaultDBLPConfig()).DB
+	case "adult":
+		db = datagen.GenerateAdult(datagen.DefaultAdultConfig()).DB
+	default:
+		return nil, false, fmt.Errorf("unknown dataset %q (want imdb, dblp, or adult)", dataset)
+	}
+	log.Printf("building abduction-ready database for %s ...", dataset)
+	start := time.Now()
+	sys, err = squid.Build(db, squid.DefaultBuildConfig())
+	if err != nil {
+		return nil, false, fmt.Errorf("offline phase: %w", err)
+	}
+	log.Printf("αDB ready in %v", time.Since(start).Round(time.Millisecond))
+	return sys, true, nil
+}

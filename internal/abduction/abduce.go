@@ -1,6 +1,7 @@
 package abduction
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -70,11 +71,26 @@ func (r *Result) OutputValues() []string {
 // resolved to rows of one entity relation: context discovery, Algorithm 1,
 // and output computation.
 func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) *Result {
+	res, _ := abduceForEntityCtx(context.Background(), info, base, exampleRows, params)
+	return res
+}
+
+// abduceForEntityCtx is AbduceForEntity with cooperative cancellation:
+// ctx is consulted between candidate-filter evaluations and before the
+// output-row intersection, so a canceled context aborts a long abduction
+// mid-flight instead of after the fact.
+func abduceForEntityCtx(ctx context.Context, info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) (*Result, error) {
 	contexts := DiscoverContexts(info, exampleRows, params)
-	decisions, selected := Abduce(contexts, params)
+	decisions, selected, err := abduceCtx(ctx, contexts, params)
+	if err != nil {
+		return nil, err
+	}
 	chosen := make(map[*Filter]bool, len(selected))
 	for _, f := range selected {
 		chosen[f] = true
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return &Result{
 		Base:        base,
@@ -84,7 +100,7 @@ func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, pa
 		OutputRows:  IntersectRows(info, selected),
 		Score:       LogPosteriorScore(decisions, chosen),
 		info:        info,
-	}
+	}, nil
 }
 
 // Discover maps raw example strings to candidate entity columns via the
@@ -97,6 +113,15 @@ func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, pa
 // to; pass nil to take the first candidate (disambiguation lives in
 // internal/disambig and is injected by the public API).
 func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolver) ([]*Result, error) {
+	return DiscoverCtx(context.Background(), a, examples, params, resolver)
+}
+
+// DiscoverCtx is Discover with cooperative cancellation: ctx.Err() is
+// checked between candidate base queries and, inside each abduction,
+// between candidate-filter evaluations, so canceling the context makes
+// even a single long discovery return promptly with ctx's error (wrapped;
+// match it with errors.Is).
+func DiscoverCtx(ctx context.Context, a *adb.AlphaDB, examples []string, params Params, resolver Resolver) ([]*Result, error) {
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("abduction: %w", ErrNoExamples)
 	}
@@ -118,7 +143,10 @@ func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolve
 		if rows == nil {
 			continue
 		}
-		res := AbduceForEntity(info, BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column}, rows, params)
+		res, err := abduceForEntityCtx(ctx, info, BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column}, rows, params)
+		if err != nil {
+			return nil, fmt.Errorf("abduction: %w", err)
+		}
 		results = append(results, res)
 	}
 	if len(results) == 0 {
@@ -126,6 +154,9 @@ func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolve
 		// property relation only; the abduced query is the plain
 		// projection with no filters.
 		for _, m := range matches {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("abduction: %w", err)
+			}
 			info := a.EphemeralEntity(m.Key.Relation)
 			if info == nil {
 				continue

@@ -1,6 +1,7 @@
 package abduction
 
 import (
+	"context"
 	"math"
 )
 
@@ -146,6 +147,15 @@ func alphaImpact(f *Filter, params Params) float64 {
 // (Equation 5), returning the decisions and the selected filter set.
 // Ties drop the filter (Occam's razor, Appendix C).
 func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
+	decisions, selected, _ := abduceCtx(context.Background(), contexts, params)
+	return decisions, selected
+}
+
+// abduceCtx is Abduce with a cancellation check between candidate
+// evaluations: each iteration computes the filter's selectivity (the
+// expensive step of Algorithm 1), so consulting ctx here is what makes a
+// single long discovery abort promptly instead of only between requests.
+func abduceCtx(ctx context.Context, contexts []Context, params Params) ([]FilterDecision, []*Filter, error) {
 	filters := make([]*Filter, len(contexts))
 	for i, c := range contexts {
 		filters[i] = c.Filter
@@ -155,6 +165,9 @@ func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
 	decisions := make([]FilterDecision, 0, len(contexts))
 	var selected []*Filter
 	for _, c := range contexts {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		f := c.Filter
 		psi := f.Selectivity()
 		delta := params.deltaImpact(f.DomainCoverage())
@@ -187,7 +200,7 @@ func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
 		}
 		decisions = append(decisions, d)
 	}
-	return decisions, selected
+	return decisions, selected, nil
 }
 
 // LogPosteriorScore returns the (unnormalized) log posterior of a chosen

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,12 +39,28 @@ func NewExecutorWithIndexes(db *relation.Database, idx *index.IndexSet) *Executo
 // Execute runs the query and returns its projected tuples. DISTINCT and
 // intersection are applied after projection.
 func (e *Executor) Execute(q *Query) (*Result, error) {
-	res, err := e.executeNoIntersect(q)
+	return e.ExecuteCtx(context.Background(), q)
+}
+
+// ctxCheckRows is how many tuples a join or aggregation processes
+// between cancellation checks: frequent enough that a pathological
+// query aborts promptly, rare enough to stay off the profile.
+const ctxCheckRows = 4096
+
+// ExecuteCtx is Execute with cooperative cancellation: ctx.Err() is
+// consulted between pipeline stages, between intersect branches, and
+// every few thousand tuples inside joins and aggregation, so a
+// canceled or deadline-expired context aborts even a pathological
+// query (and releases whatever lock the caller executes under) instead
+// of running to completion. The returned error wraps ctx's error;
+// match it with errors.Is.
+func (e *Executor) ExecuteCtx(ctx context.Context, q *Query) (*Result, error) {
+	res, err := e.executeNoIntersect(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	for _, sub := range q.Intersect {
-		subRes, err := e.Execute(sub)
+		subRes, err := e.ExecuteCtx(ctx, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -53,9 +70,12 @@ func (e *Executor) Execute(q *Query) (*Result, error) {
 }
 
 // executeNoIntersect evaluates the SPJA core of the query.
-func (e *Executor) executeNoIntersect(q *Query) (*Result, error) {
+func (e *Executor) executeNoIntersect(ctx context.Context, q *Query) (*Result, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("engine: query has no FROM relations")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 	relPos := make(map[string]int, len(q.From))
 	rels := make([]*relation.Relation, len(q.From))
@@ -102,6 +122,9 @@ func (e *Executor) executeNoIntersect(q *Query) (*Result, error) {
 	// Repeatedly pick a join condition that connects a new relation to the
 	// joined set and hash-join it in.
 	for remaining := len(q.From) - 1; remaining > 0; remaining-- {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
 		progress := false
 		for ji, j := range pendingJoins {
 			var newRel, newCol, oldRel, oldCol string
@@ -118,7 +141,11 @@ func (e *Executor) executeNoIntersect(q *Query) (*Result, error) {
 				return nil, fmt.Errorf("engine: join references %q which is not in FROM", newRel)
 			}
 			opos := relPos[oldRel]
-			tuples = e.hashJoin(tuples, opos, rels[opos], oldCol, npos, rels[npos], newCol, predsByRel[newRel])
+			var err error
+			tuples, err = e.hashJoin(ctx, tuples, opos, rels[opos], oldCol, npos, rels[npos], newCol, predsByRel[newRel])
+			if err != nil {
+				return nil, err
+			}
 			joined[newRel] = true
 			pendingJoins = append(pendingJoins[:ji], pendingJoins[ji+1:]...)
 			progress = true
@@ -145,7 +172,12 @@ func (e *Executor) executeNoIntersect(q *Query) (*Result, error) {
 			return nil, fmt.Errorf("engine: join on unknown column %s", j)
 		}
 		out := tuples[:0]
-		for _, t := range tuples {
+		for i, t := range tuples {
+			if i%ctxCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("engine: %w", err)
+				}
+			}
 			if lcol.Get(t[lpos]).Equal(rcol.Get(t[rpos])) {
 				out = append(out, t)
 			}
@@ -155,7 +187,7 @@ func (e *Executor) executeNoIntersect(q *Query) (*Result, error) {
 
 	if q.HasAggregation() {
 		var err error
-		tuples, err = e.aggregate(q, relPos, rels, tuples)
+		tuples, err = e.aggregate(ctx, q, relPos, rels, tuples)
 		if err != nil {
 			return nil, err
 		}
@@ -355,8 +387,9 @@ func (e *Executor) inCandidates(rel *relation.Relation, p Pred) ([]int, bool) {
 
 // hashJoin extends each intermediate tuple with matching rows of the new
 // relation, applying the new relation's pushed-down predicates while
-// building the hash table.
-func (e *Executor) hashJoin(tuples [][]int, oldPos int, oldRel *relation.Relation, oldCol string, newPos int, newRel *relation.Relation, newCol string, newPreds []Pred) [][]int {
+// building the hash table. It checks cancellation every ctxCheckRows
+// probe tuples, so a blown-up join aborts instead of materializing.
+func (e *Executor) hashJoin(ctx context.Context, tuples [][]int, oldPos int, oldRel *relation.Relation, oldCol string, newPos int, newRel *relation.Relation, newCol string, newPreds []Pred) ([][]int, error) {
 	build := make(map[string][]int)
 	nc := newRel.Column(newCol)
 	for _, row := range e.filterRows(newRel, newPreds) {
@@ -369,7 +402,12 @@ func (e *Executor) hashJoin(tuples [][]int, oldPos int, oldRel *relation.Relatio
 	}
 	oc := oldRel.Column(oldCol)
 	var out [][]int
-	for _, t := range tuples {
+	for i, t := range tuples {
+		if i%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("engine: %w", err)
+			}
+		}
 		v := oc.Get(t[oldPos])
 		if v.IsNull() {
 			continue
@@ -381,12 +419,12 @@ func (e *Executor) hashJoin(tuples [][]int, oldPos int, oldRel *relation.Relatio
 			out = append(out, nt)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // aggregate groups the intermediate tuples by the GroupBy columns, applies
 // HAVING count(*) ≥ N, and keeps one representative tuple per group.
-func (e *Executor) aggregate(q *Query, relPos map[string]int, rels []*relation.Relation, tuples [][]int) ([][]int, error) {
+func (e *Executor) aggregate(ctx context.Context, q *Query, relPos map[string]int, rels []*relation.Relation, tuples [][]int) ([][]int, error) {
 	type keyCol struct {
 		pos int
 		col *relation.Column
@@ -409,7 +447,12 @@ func (e *Executor) aggregate(q *Query, relPos map[string]int, rels []*relation.R
 	}
 	groups := make(map[string]*group)
 	var order []string
-	for _, t := range tuples {
+	for i, t := range tuples {
+		if i%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("engine: %w", err)
+			}
+		}
 		vals := make([]relation.Value, len(keys))
 		for i, k := range keys {
 			vals[i] = k.col.Get(t[k.pos])

@@ -103,6 +103,157 @@ func TestFilterRowsIndexVsScan(t *testing.T) {
 	}
 }
 
+// rangeEdgeDB builds a relation above indexMinRows with a float column
+// carrying NULLs and a lexicographic string column, the substrate for
+// the range-pushdown edge cases: the float column exercises the sorted
+// numeric index, the string column has no numeric index at all.
+func rangeEdgeDB(n int) *relation.Database {
+	db := relation.NewDatabase("edges")
+	m := relation.New("measures",
+		relation.Col("id", relation.Int),
+		relation.Col("temp", relation.Float),
+		relation.Col("grade", relation.String),
+		relation.Col("score", relation.Int),
+	).SetPrimaryKey("id")
+	grades := []string{"A", "B", "C", "D", "F"}
+	for i := 0; i < n; i++ {
+		temp := relation.FloatVal(float64(i%20) + 0.5)
+		if i%7 == 3 {
+			temp = relation.Null // NULLs must never satisfy a range
+		}
+		m.MustAppend(
+			relation.IntVal(int64(i)),
+			temp,
+			relation.StringVal(grades[i%len(grades)]),
+			relation.IntVal(int64(i%10)),
+		)
+	}
+	db.AddRelation(m)
+	return db
+}
+
+// TestRangePushdownEdgeCases pins the index-vs-scan equivalence on the
+// awkward shapes: reversed BETWEEN bounds, empty ranges beyond either
+// end of the data, open-ended one-sided scans, ranges over a column
+// with NULLs, and range predicates on a string column — which has no
+// numeric index, so the executor must fall back to scanning (or verify
+// against another predicate's candidates) and still answer correctly.
+func TestRangePushdownEdgeCases(t *testing.T) {
+	db := rangeEdgeDB(210)
+	e := NewExecutor(db)
+	m := db.Relation("measures")
+	fv := relation.FloatVal
+	iv := relation.IntVal
+	sv := relation.StringVal
+	cases := []struct {
+		name  string
+		preds []Pred
+		empty bool // the oracle must agree AND the result must be empty
+	}{
+		{"reversed BETWEEN", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: fv(15)},
+			{Rel: "measures", Col: "temp", Op: OpLE, Val: fv(5)},
+		}, true},
+		{"strict crossing bounds", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGT, Val: fv(5.5)},
+			{Rel: "measures", Col: "temp", Op: OpLT, Val: fv(5.5)},
+		}, true},
+		{"point BETWEEN (lo == hi)", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: fv(5.5)},
+			{Rel: "measures", Col: "temp", Op: OpLE, Val: fv(5.5)},
+		}, false},
+		{"empty beyond max", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGT, Val: fv(1000)},
+		}, true},
+		{"empty below min", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpLT, Val: fv(-1000)},
+		}, true},
+		{"open-ended GE", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: fv(10)},
+		}, false},
+		{"open-ended LE", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpLE, Val: fv(10)},
+		}, false},
+		{"open-ended covers everything", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: fv(-1000)},
+		}, false},
+		{"tightening duplicate bounds", []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: fv(3)},
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: fv(8)},
+			{Rel: "measures", Col: "temp", Op: OpLE, Val: fv(30)},
+			{Rel: "measures", Col: "temp", Op: OpLE, Val: fv(12)},
+		}, false},
+		{"string range: no numeric index", []Pred{
+			{Rel: "measures", Col: "grade", Op: OpGE, Val: sv("B")},
+		}, false},
+		{"string reversed BETWEEN", []Pred{
+			{Rel: "measures", Col: "grade", Op: OpGE, Val: sv("D")},
+			{Rel: "measures", Col: "grade", Op: OpLE, Val: sv("B")},
+		}, true},
+		{"string range verified on point-index candidates", []Pred{
+			{Rel: "measures", Col: "grade", Op: OpEq, Val: sv("C")},
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: fv(4)},
+		}, false},
+		{"int and float ranges on different columns", []Pred{
+			{Rel: "measures", Col: "score", Op: OpGE, Val: iv(4)},
+			{Rel: "measures", Col: "temp", Op: OpLE, Val: fv(9)},
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := e.filterRows(m, tc.preds)
+			want := scanRows(m, tc.preds)
+			if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+				t.Fatalf("filterRows=%v want %v", got, want)
+			}
+			if tc.empty && len(got) != 0 {
+				t.Fatalf("expected an empty result, got %d rows", len(got))
+			}
+			if !tc.empty && len(got) == 0 {
+				t.Fatalf("edge case degenerated: oracle is empty too, case proves nothing")
+			}
+			if !sort.IntsAreSorted(got) {
+				t.Fatal("rows not sorted")
+			}
+		})
+	}
+
+	// The same shapes must hold on a relation too small for the index
+	// pool (pure scan path).
+	small := rangeEdgeDB(indexMinRows / 2)
+	se := NewExecutor(small)
+	sm := small.Relation("measures")
+	for _, tc := range cases {
+		got := se.filterRows(sm, tc.preds)
+		want := scanRows(sm, tc.preds)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("small relation, %s: filterRows=%v want %v", tc.name, got, want)
+		}
+	}
+}
+
+// TestExecuteReversedRange runs a reversed BETWEEN through the full
+// Execute path: a well-formed query whose range is empty must return
+// zero rows, not an error.
+func TestExecuteReversedRange(t *testing.T) {
+	db := rangeEdgeDB(210)
+	q := &Query{
+		From: []string{"measures"},
+		Preds: []Pred{
+			{Rel: "measures", Col: "temp", Op: OpGE, Val: relation.FloatVal(18)},
+			{Rel: "measures", Col: "temp", Op: OpLE, Val: relation.FloatVal(2)},
+		},
+		Select: []ColRef{{Rel: "measures", Col: "id"}},
+	}
+	res, err := NewExecutor(db).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 0 {
+		t.Errorf("reversed range returned %d rows, want 0", res.NumRows())
+	}
+}
+
 // TestRangePushdownAfterAppend verifies the sorted numeric index stays
 // consistent when rows are appended through the shared pool's NoteAppend
 // (the incremental-maintenance contract of the αDB).

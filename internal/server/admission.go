@@ -1,0 +1,59 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports that a discovery request was shed because the
+// admission queue was already full; clients should back off and retry
+// (the HTTP layer maps it to 429 with a Retry-After hint).
+var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// admission bounds the number of concurrently running discoveries plus a
+// short wait queue. Beyond MaxInFlight running requests, up to queue
+// more may wait for a slot; anything past that is shed immediately with
+// ErrOverloaded, keeping tail latency bounded under overload instead of
+// letting a backlog build.
+type admission struct {
+	tokens chan struct{} // capacity = max in-flight
+	queued atomic.Int64
+	queue  int64
+}
+
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	return &admission{
+		tokens: make(chan struct{}, maxInFlight),
+		queue:  int64(queueDepth),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. It returns ErrOverloaded when the queue is full
+// and ctx's error when the caller's deadline expires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.queue {
+		a.queued.Add(-1)
+		return ErrOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() { <-a.tokens }
+
+// inFlight reports the number of currently claimed slots.
+func (a *admission) inFlight() int { return len(a.tokens) }

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen to
+// resolve both index-backed sub-millisecond discoveries and multi-second
+// cold paths.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// latencyHistogram is a fixed-bucket latency histogram (counts are
+// per-bucket internally, rendered cumulative as the Prometheus
+// exposition format expects).
+type latencyHistogram struct {
+	mu      sync.Mutex
+	buckets []uint64 // one per latencyBuckets entry, plus +Inf at the end
+	sum     float64
+	count   uint64
+}
+
+func newLatencyHistogram() *latencyHistogram {
+	return &latencyHistogram{buckets: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *latencyHistogram) observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.buckets[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// metrics is the server's observability state: request counters by route
+// and status code, in-flight gauges, admission counters, and per-route
+// latency histograms. All methods are safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64            // "route\x00code" → count
+	latency  map[string]*latencyHistogram // route → histogram
+
+	httpInFlight   atomic.Int64 // requests currently being served
+	shedTotal      atomic.Uint64
+	snapshotTotal  atomic.Uint64
+	snapshotFailed atomic.Uint64
+	snapshotUnix   atomic.Int64
+}
+
+// liveGauges are point-in-time readings sampled at scrape time from the
+// admission controller and the αDB statistics.
+type liveGauges struct {
+	discoverInFlight int
+	queueDepth       int64
+	cacheHits        uint64
+	cacheMisses      uint64
+	cacheEntries     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]uint64),
+		latency:  make(map[string]*latencyHistogram),
+	}
+}
+
+func (m *metrics) record(route string, code int, seconds float64) {
+	key := route + "\x00" + strconv.Itoa(code)
+	m.mu.Lock()
+	m.requests[key]++
+	h := m.latency[route]
+	if h == nil {
+		h = newLatencyHistogram()
+		m.latency[route] = h
+	}
+	m.mu.Unlock()
+	h.observe(seconds)
+}
+
+// render writes the Prometheus text exposition. The gauges come from
+// live readings the caller samples at scrape time, so /metrics reflects
+// admission and cache health without the registry holding server state.
+func (m *metrics) render(w *strings.Builder, live liveGauges) {
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Strings(reqKeys)
+	routeKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		routeKeys = append(routeKeys, k)
+	}
+	sort.Strings(routeKeys)
+
+	fmt.Fprintf(w, "# HELP squid_http_requests_total HTTP requests served, by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE squid_http_requests_total counter\n")
+	for _, k := range reqKeys {
+		route, code, _ := strings.Cut(k, "\x00")
+		fmt.Fprintf(w, "squid_http_requests_total{route=%q,code=%q} %d\n", route, code, m.requests[k])
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP squid_http_in_flight_requests Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE squid_http_in_flight_requests gauge\n")
+	fmt.Fprintf(w, "squid_http_in_flight_requests %d\n", m.httpInFlight.Load())
+
+	fmt.Fprintf(w, "# HELP squid_discoveries_in_flight Admitted discovery requests currently running.\n")
+	fmt.Fprintf(w, "# TYPE squid_discoveries_in_flight gauge\n")
+	fmt.Fprintf(w, "squid_discoveries_in_flight %d\n", live.discoverInFlight)
+
+	fmt.Fprintf(w, "# HELP squid_admission_queue_depth Discovery requests waiting for an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE squid_admission_queue_depth gauge\n")
+	fmt.Fprintf(w, "squid_admission_queue_depth %d\n", live.queueDepth)
+
+	fmt.Fprintf(w, "# HELP squid_admission_shed_total Requests rejected with 429 because the admission queue was full.\n")
+	fmt.Fprintf(w, "# TYPE squid_admission_shed_total counter\n")
+	fmt.Fprintf(w, "squid_admission_shed_total %d\n", m.shedTotal.Load())
+
+	fmt.Fprintf(w, "# HELP squid_snapshot_saves_total Snapshot saves completed (periodic and on-demand).\n")
+	fmt.Fprintf(w, "# TYPE squid_snapshot_saves_total counter\n")
+	fmt.Fprintf(w, "squid_snapshot_saves_total %d\n", m.snapshotTotal.Load())
+	fmt.Fprintf(w, "# HELP squid_snapshot_failures_total Snapshot saves that failed (disk full, unwritable path).\n")
+	fmt.Fprintf(w, "# TYPE squid_snapshot_failures_total counter\n")
+	fmt.Fprintf(w, "squid_snapshot_failures_total %d\n", m.snapshotFailed.Load())
+	if unix := m.snapshotUnix.Load(); unix > 0 {
+		fmt.Fprintf(w, "# HELP squid_snapshot_last_save_unix Unix time of the last completed snapshot save.\n")
+		fmt.Fprintf(w, "# TYPE squid_snapshot_last_save_unix gauge\n")
+		fmt.Fprintf(w, "squid_snapshot_last_save_unix %d\n", unix)
+	}
+
+	fmt.Fprintf(w, "# HELP squid_selcache_hits_total Selectivity-cache hits since boot.\n")
+	fmt.Fprintf(w, "# TYPE squid_selcache_hits_total counter\n")
+	fmt.Fprintf(w, "squid_selcache_hits_total %d\n", live.cacheHits)
+	fmt.Fprintf(w, "# HELP squid_selcache_misses_total Selectivity-cache misses since boot.\n")
+	fmt.Fprintf(w, "# TYPE squid_selcache_misses_total counter\n")
+	fmt.Fprintf(w, "squid_selcache_misses_total %d\n", live.cacheMisses)
+	fmt.Fprintf(w, "# HELP squid_selcache_entries Live selectivity-cache entries.\n")
+	fmt.Fprintf(w, "# TYPE squid_selcache_entries gauge\n")
+	fmt.Fprintf(w, "squid_selcache_entries %d\n", live.cacheEntries)
+	if total := live.cacheHits + live.cacheMisses; total > 0 {
+		fmt.Fprintf(w, "# HELP squid_selcache_hit_ratio Selectivity-cache hit ratio since boot.\n")
+		fmt.Fprintf(w, "# TYPE squid_selcache_hit_ratio gauge\n")
+		fmt.Fprintf(w, "squid_selcache_hit_ratio %g\n", float64(live.cacheHits)/float64(total))
+	}
+
+	fmt.Fprintf(w, "# HELP squid_request_duration_seconds Request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE squid_request_duration_seconds histogram\n")
+	for _, route := range routeKeys {
+		m.mu.Lock()
+		h := m.latency[route]
+		m.mu.Unlock()
+		h.mu.Lock()
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "squid_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				route, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		cum += h.buckets[len(latencyBuckets)]
+		fmt.Fprintf(w, "squid_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(w, "squid_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(w, "squid_request_duration_seconds_count{route=%q} %d\n", route, h.count)
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,671 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squid"
+)
+
+// Config tunes the serving layer. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// MaxInFlight bounds concurrently running discovery/execute
+	// requests (0 = GOMAXPROCS). A /v1/discover/batch request occupies
+	// one slot but fans across the System's batch worker pool
+	// (System.SetBatchWorkers), so worst-case discovery parallelism is
+	// MaxInFlight × batch workers. Inserts are not gated: they
+	// serialize on the αDB write lock and are cheap.
+	MaxInFlight int
+	// QueueDepth bounds how many admission waiters may queue behind the
+	// in-flight requests before new work is shed with 429
+	// (0 = 4×MaxInFlight; negative = no queue, shed immediately).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline wired into the
+	// discovery's context (0 = 30s; negative = no deadline). The
+	// abduction checks cancellation between candidate evaluations, so
+	// expiry aborts even a single long discovery.
+	RequestTimeout time.Duration
+	// SnapshotPath, when set, enables the snapshot surfaces: warm-boot
+	// callers load from it, POST /v1/snapshot re-saves it atomically,
+	// and the final drain snapshot lands there.
+	SnapshotPath string
+	// SnapshotInterval, when positive (and SnapshotPath is set), starts
+	// a background loop re-saving the snapshot every interval.
+	SnapshotInterval time.Duration
+}
+
+// Server is the HTTP serving layer over one squid.System. Create it
+// with New, mount it as an http.Handler, and on shutdown call
+// BeginDrain before http.Server.Shutdown and Finalize after (see
+// cmd/squid-server for the canonical wiring).
+type Server struct {
+	sys *squid.System
+	// db is the combined (base + derived) database, resolved once: the
+	// relations are shared by reference and maintained in place by
+	// inserts, so the handle stays valid for the server's lifetime and
+	// the write path doesn't reassemble it per request.
+	db    *squid.Database
+	cfg   Config
+	mux   *http.ServeMux
+	adm   *admission
+	met   *metrics
+	start time.Time
+
+	draining atomic.Bool
+
+	snapMu sync.Mutex // serializes snapshot writes
+
+	stopSnap  chan struct{}
+	snapWG    sync.WaitGroup
+	finalOnce sync.Once
+	finalErr  error
+}
+
+// New builds the serving layer over sys, applying Config defaults and
+// starting the periodic snapshot loop when configured.
+func New(sys *squid.System, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 4 * cfg.MaxInFlight
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	switch {
+	case cfg.RequestTimeout == 0:
+		cfg.RequestTimeout = 30 * time.Second
+	case cfg.RequestTimeout < 0:
+		cfg.RequestTimeout = 0
+	}
+	s := &Server{
+		sys:      sys,
+		db:       sys.ExecutableDB(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+		met:      newMetrics(),
+		start:    time.Now(),
+		stopSnap: make(chan struct{}),
+	}
+	s.route("POST /v1/discover", s.handleDiscover)
+	s.route("POST /v1/discover/batch", s.handleDiscoverBatch)
+	s.route("POST /v1/execute", s.handleExecute)
+	s.route("POST /v1/insert", s.handleInsert)
+	s.route("POST /v1/insert/batch", s.handleInsertBatch)
+	s.route("POST /v1/snapshot", s.handleSnapshot)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+
+	if cfg.SnapshotPath != "" && cfg.SnapshotInterval > 0 {
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route mounts an instrumented handler: every request is counted by
+// route and status code and its latency lands in the route's histogram.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	_, path, _ := strings.Cut(pattern, " ")
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.met.httpInFlight.Add(1)
+		defer s.met.httpInFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.met.record(path, sw.code, time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// requestCtx derives the per-request context: the client's cancellation
+// plus the configured server-side deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// --- wire types -------------------------------------------------------
+
+// ErrorResponse is the JSON error envelope of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// DiscoverRequest asks for one query intent discovery.
+type DiscoverRequest struct {
+	Examples []string `json:"examples"`
+	// Explain requests the full Algorithm 1 reasoning in the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// DiscoverResponse is one abduced query intent.
+type DiscoverResponse struct {
+	Entity     string    `json:"entity"`
+	Attribute  string    `json:"attribute"`
+	SQL        string    `json:"sql"`
+	Original   string    `json:"original"`
+	Filters    []string  `json:"filters"`
+	Joins      int       `json:"join_predicates"`
+	Selections int       `json:"selection_predicates"`
+	Output     []string  `json:"output"`
+	Query      QueryJSON `json:"query"`
+	Explain    string    `json:"explain,omitempty"`
+	WallMS     float64   `json:"wall_ms"`
+}
+
+// BatchDiscoverRequest asks for many independent discoveries, fanned
+// across System.DiscoverBatch's worker pool.
+type BatchDiscoverRequest struct {
+	Sets    [][]string `json:"sets"`
+	Explain bool       `json:"explain,omitempty"`
+}
+
+// BatchDiscoverResponse is parallel to the request's Sets: failed sets
+// have a null result and their error text in Errors.
+type BatchDiscoverResponse struct {
+	Results []*DiscoverResponse `json:"results"`
+	Errors  []string            `json:"errors"`
+	WallMS  float64             `json:"wall_ms"`
+}
+
+// ExecuteRequest runs one logical query plan.
+type ExecuteRequest struct {
+	Query QueryJSON `json:"query"`
+}
+
+// ExecuteResponse holds the projected tuples.
+type ExecuteResponse struct {
+	Cols    []string `json:"cols"`
+	Rows    [][]any  `json:"rows"`
+	NumRows int      `json:"num_rows"`
+	WallMS  float64  `json:"wall_ms"`
+}
+
+// InsertRequest appends one row; the target may be an entity or a fact
+// relation (dispatched automatically, like squid.InsertOp).
+type InsertRequest struct {
+	Rel    string `json:"rel"`
+	Values []any  `json:"values"`
+}
+
+// InsertBatchRequest appends many rows inside one αDB critical section.
+type InsertBatchRequest struct {
+	Ops []InsertRequest `json:"ops"`
+}
+
+// InsertResponse reports how many rows were applied.
+type InsertResponse struct {
+	Inserted int     `json:"inserted"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// SnapshotResponse reports an on-demand snapshot save.
+type SnapshotResponse struct {
+	Path   string  `json:"path"`
+	Bytes  int64   `json:"bytes"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// StatsResponse is the introspection surface: the Fig 18 αDB statistics
+// plus online-pipeline health.
+type StatsResponse struct {
+	Name             string    `json:"name"`
+	UptimeSec        float64   `json:"uptime_sec"`
+	DBBytes          int64     `json:"db_bytes"`
+	NumRelations     int       `json:"num_relations"`
+	PrecomputedBytes int64     `json:"precomputed_bytes"`
+	BuildMS          float64   `json:"build_ms"`
+	DerivedRelations int       `json:"derived_relations"`
+	DerivedRows      int       `json:"derived_rows"`
+	BasicProps       int       `json:"basic_props"`
+	DerivedProps     int       `json:"derived_props"`
+	HashIndexes      int       `json:"hash_indexes"`
+	SelCacheEntries  int       `json:"selcache_entries"`
+	SelCacheHits     uint64    `json:"selcache_hits"`
+	SelCacheMisses   uint64    `json:"selcache_misses"`
+	RelationCards    []RelCard `json:"relation_cards"`
+}
+
+// RelCard pairs a relation with its cardinality.
+type RelCard struct {
+	Relation string `json:"relation"`
+	Rows     int    `json:"rows"`
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req DiscoverRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	start := time.Now()
+	disc, err := s.sys.DiscoverContext(ctx, req.Examples)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.discoverResponse(disc, req.Explain, time.Since(start)))
+}
+
+func (s *Server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchDiscoverRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	start := time.Now()
+	results, errs := s.sys.DiscoverBatchDetailed(ctx, req.Sets)
+	wall := time.Since(start)
+	resp := BatchDiscoverResponse{
+		Results: make([]*DiscoverResponse, len(results)),
+		Errors:  make([]string, len(results)),
+		WallMS:  msOf(wall),
+	}
+	for i, d := range results {
+		if d != nil {
+			resp.Results[i] = s.discoverResponse(d, req.Explain, 0)
+		} else if errs[i] != nil {
+			resp.Errors[i] = errs[i].Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req ExecuteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	q, err := req.Query.ToEngineQuery()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_query"})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	start := time.Now()
+	res, err := s.sys.ExecuteContext(ctx, q)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Code: "timeout"})
+		case errors.Is(err, context.Canceled):
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: "canceled"})
+		default:
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_query"})
+		}
+		return
+	}
+	resp := ExecuteResponse{
+		Cols:    res.Cols,
+		Rows:    make([][]any, 0, len(res.Rows)),
+		NumRows: res.NumRows(),
+		WallMS:  msOf(time.Since(start)),
+	}
+	for _, row := range res.Rows {
+		out := make([]any, len(row))
+		for i, v := range row {
+			out[i] = valueToJSON(v)
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.applyInserts(w, []InsertRequest{req})
+}
+
+func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
+	var req InsertBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.applyInserts(w, req.Ops)
+}
+
+// maxBatchOps caps the rows of one insert request: the whole batch
+// applies under one exclusive αDB write lock, so the cap bounds how
+// long a single request can stall every discovery behind that lock.
+const maxBatchOps = 4096
+
+// applyInserts converts the wire rows against the live schema and
+// applies them through System.InsertBatch (one lock, one invalidation).
+func (s *Server) applyInserts(w http.ResponseWriter, rows []InsertRequest) {
+	if len(rows) > maxBatchOps {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("batch of %d rows exceeds the %d-row cap; split it (each batch holds the write lock once)",
+				len(rows), maxBatchOps),
+			Code: "batch_too_large"})
+		return
+	}
+	ops := make([]squid.InsertOp, 0, len(rows))
+	for i, row := range rows {
+		rel := s.db.Relation(row.Rel)
+		if rel == nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("row %d: unknown relation %q", i, row.Rel), Code: "bad_insert"})
+			return
+		}
+		cols := rel.Columns()
+		if len(row.Values) != len(cols) {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("row %d: relation %q wants %d values, got %d",
+					i, row.Rel, len(cols), len(row.Values)), Code: "bad_insert"})
+			return
+		}
+		vals := make([]squid.Value, len(cols))
+		for j, raw := range row.Values {
+			v, err := valueForColumn(cols[j], raw)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, ErrorResponse{
+					Error: fmt.Sprintf("row %d: %v", i, err), Code: "bad_insert"})
+				return
+			}
+			vals[j] = v
+		}
+		ops = append(ops, squid.InsertOp{Rel: row.Rel, Vals: vals})
+	}
+	start := time.Now()
+	if err := s.sys.InsertBatch(ops); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_insert"})
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: len(ops), WallMS: msOf(time.Since(start))})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SnapshotPath == "" {
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: "no snapshot path configured", Code: "no_snapshot_path"})
+		return
+	}
+	start := time.Now()
+	n, err := s.SaveSnapshot()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: "snapshot_failed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Path: s.cfg.SnapshotPath, Bytes: n, WallMS: msOf(time.Since(start))})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.Stats()
+	resp := StatsResponse{
+		Name:             st.Name,
+		UptimeSec:        time.Since(s.start).Seconds(),
+		DBBytes:          st.DBBytes,
+		NumRelations:     st.NumRelations,
+		PrecomputedBytes: st.PrecomputedSize,
+		BuildMS:          msOf(st.BuildTime),
+		DerivedRelations: st.NumDerivedRels,
+		DerivedRows:      st.DerivedRows,
+		BasicProps:       st.NumBasicProps,
+		DerivedProps:     st.NumDerivedProp,
+		HashIndexes:      st.NumHashIndexes,
+		SelCacheEntries:  st.SelCacheEntries,
+		SelCacheHits:     st.SelCacheHits,
+		SelCacheMisses:   st.SelCacheMisses,
+	}
+	for _, rc := range st.RelationCards {
+		resp.RelationCards = append(resp.RelationCards, RelCard{Relation: rc.Relation, Rows: rc.Rows})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// CacheMetrics reads only the selectivity-cache counters: a scrape
+	// must not pay for (or hold the epoch lock across) the full Stats
+	// computation.
+	hits, misses, entries := s.sys.CacheMetrics()
+	var b strings.Builder
+	s.met.render(&b, liveGauges{
+		discoverInFlight: s.adm.inFlight(),
+		queueDepth:       s.adm.queued.Load(),
+		cacheHits:        hits,
+		cacheMisses:      misses,
+		cacheEntries:     entries,
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// --- shared plumbing --------------------------------------------------
+
+// admit claims an admission slot, writing the load-shedding or timeout
+// response itself when the claim fails.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	err := s.adm.acquire(ctx)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrOverloaded):
+		s.met.shedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: err.Error(), Code: "overloaded"})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: "timed out waiting for an admission slot", Code: "timeout"})
+	default: // client went away while queued
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: err.Error(), Code: "canceled"})
+	}
+	return false
+}
+
+// writeError maps a discovery error to its HTTP shape.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, squid.ErrNoExamples):
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "no_examples"})
+	case errors.Is(err, squid.ErrNoEntities):
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), Code: "no_entities"})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Code: "timeout"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: "canceled"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: "internal"})
+	}
+}
+
+func (s *Server) discoverResponse(d *squid.Discovery, explain bool, wall time.Duration) *DiscoverResponse {
+	joins, sels := d.PredicateCount()
+	resp := &DiscoverResponse{
+		Entity:     d.Entity,
+		Attribute:  d.Attribute,
+		SQL:        d.SQL,
+		Original:   d.Original,
+		Joins:      joins,
+		Selections: sels,
+		Output:     d.Output,
+		Query:      FromEngineQuery(d.Plan()),
+		WallMS:     msOf(wall),
+	}
+	for _, f := range d.Filters {
+		resp.Filters = append(resp.Filters, f.String())
+	}
+	if explain {
+		resp.Explain = d.Explain()
+	}
+	return resp
+}
+
+// decodeBody decodes the JSON request body (capped at 8 MiB), writing
+// the 400 itself on malformed input.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// --- snapshot & drain -------------------------------------------------
+
+// SaveSnapshot persists the system to the configured path with a
+// write-then-rename, so an interrupted save never leaves a truncated
+// snapshot poisoning later warm boots. Concurrent saves serialize; the
+// save itself reads under the αDB's shared epoch lock, so it captures
+// one consistent state while discoveries keep running.
+func (s *Server) SaveSnapshot() (int64, error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, errors.New("server: no snapshot path configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	tmp := s.cfg.SnapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := s.sys.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	// Flush to stable storage before the rename makes the file visible
+	// at the final path: a crash right after the rename must not leave
+	// a truncated snapshot there.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	info, statErr := f.Stat()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	s.met.snapshotTotal.Add(1)
+	s.met.snapshotUnix.Store(time.Now().Unix())
+	if statErr != nil {
+		return 0, nil
+	}
+	return info.Size(), nil
+}
+
+// snapshotLoop re-saves the snapshot every SnapshotInterval until
+// Finalize stops it. Failures are logged and counted
+// (squid_snapshot_failures_total), so a full disk shows up in both the
+// server log and the scrape instead of silently dropping checkpoints.
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := s.SaveSnapshot(); err != nil {
+				s.met.snapshotFailed.Add(1)
+				log.Printf("squid-server: periodic snapshot failed: %v", err)
+			}
+		case <-s.stopSnap:
+			return
+		}
+	}
+}
+
+// BeginDrain flips the server into draining mode: /healthz answers 503
+// so load balancers stop routing new traffic. Requests already accepted
+// keep being served; pair it with http.Server.Shutdown, which stops
+// accepting connections and waits for in-flight requests.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Finalize stops the periodic snapshot loop and writes the final
+// snapshot (when a path is configured). Call it after
+// http.Server.Shutdown has returned, so the final snapshot includes
+// every insert that was in flight. Idempotent.
+func (s *Server) Finalize() error {
+	s.finalOnce.Do(func() {
+		close(s.stopSnap)
+		s.snapWG.Wait()
+		if s.cfg.SnapshotPath != "" {
+			_, s.finalErr = s.SaveSnapshot()
+		}
+	})
+	return s.finalErr
+}

@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"squid"
+)
+
+// academicsDB builds the Fig 1 database through the public API (the
+// same fixture the root package tests use).
+func academicsDB() *squid.Database {
+	db := squid.NewDatabase("cs_academics")
+	a := squid.NewRelation("academics",
+		squid.Col("id", squid.Int),
+		squid.Col("name", squid.String),
+	).SetPrimaryKey("id")
+	names := []string{"Thomas Cormen", "Dan Suciu", "Jiawei Han", "Sam Madden", "James Kurose", "Joseph Hellerstein"}
+	for i, n := range names {
+		a.MustAppend(squid.IntVal(int64(100+i)), squid.StringVal(n))
+	}
+	db.AddRelation(a)
+	db.MarkEntity("academics")
+
+	r := squid.NewRelation("research",
+		squid.Col("aid", squid.Int),
+		squid.Col("interest", squid.String),
+	).AddForeignKey("aid", "academics", "id")
+	rows := []struct {
+		aid      int64
+		interest string
+	}{
+		{100, "algorithms"}, {101, "data management"}, {102, "data mining"},
+		{103, "data management"}, {103, "distributed systems"},
+		{104, "computer networks"}, {105, "data management"}, {105, "distributed systems"},
+	}
+	for _, row := range rows {
+		r.MustAppend(squid.IntVal(row.aid), squid.StringVal(row.interest))
+	}
+	db.AddRelation(r)
+	return db
+}
+
+func newTestSystem(t *testing.T) *squid.System {
+	t.Helper()
+	sys, err := squid.Build(academicsDB(), squid.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// postJSON POSTs body as JSON and decodes the response into out,
+// returning the status code.
+func postJSON(t *testing.T, client *http.Client, url string, body, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+var exampleSet = []string{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"}
+
+func newLocalListener() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+func TestServerEndToEnd(t *testing.T) {
+	sys := newTestSystem(t)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "academics.sqas")
+	srv := New(sys, Config{SnapshotPath: snap})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := ts.Client()
+
+	// Discovery over the network matches the in-process answer.
+	var disc DiscoverResponse
+	if code := postJSON(t, c, ts.URL+"/v1/discover", DiscoverRequest{Examples: exampleSet, Explain: true}, &disc); code != http.StatusOK {
+		t.Fatalf("discover: status %d", code)
+	}
+	want, err := sys.Discover(exampleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.SQL != want.SQL || disc.Entity != want.Entity || disc.Attribute != want.Attribute {
+		t.Errorf("discover diverged from in-process: %+v", disc)
+	}
+	if !reflect.DeepEqual(disc.Output, want.Output) {
+		t.Errorf("output %v want %v", disc.Output, want.Output)
+	}
+	if disc.Explain == "" || !strings.Contains(disc.Explain, "Algorithm 1") {
+		t.Errorf("explain missing from response: %q", disc.Explain)
+	}
+	if disc.Explain != want.Explain() {
+		t.Error("explain diverged from in-process Explain()")
+	}
+
+	// The returned plan executes over /v1/execute and reproduces the
+	// discovery output.
+	var exec ExecuteResponse
+	if code := postJSON(t, c, ts.URL+"/v1/execute", ExecuteRequest{Query: disc.Query}, &exec); code != http.StatusOK {
+		t.Fatalf("execute: status %d", code)
+	}
+	var got []string
+	for _, row := range exec.Rows {
+		if len(row) != 1 {
+			t.Fatalf("execute row %v", row)
+		}
+		got = append(got, fmt.Sprint(row[0]))
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want.Output) {
+		t.Errorf("execute rows %v want %v", got, want.Output)
+	}
+
+	// Batch discovery: healthy and failing sets side by side.
+	var batch BatchDiscoverResponse
+	req := BatchDiscoverRequest{Sets: [][]string{exampleSet, {"Nobody At All", "Equally Missing"}}}
+	if code := postJSON(t, c, ts.URL+"/v1/discover/batch", req, &batch); code != http.StatusOK {
+		t.Fatalf("batch: status %d", code)
+	}
+	if len(batch.Results) != 2 || batch.Results[0] == nil || batch.Results[1] != nil {
+		t.Fatalf("batch results shape wrong: %+v", batch.Results)
+	}
+	if batch.Results[0].SQL != want.SQL {
+		t.Error("batch result diverged")
+	}
+	if batch.Errors[0] != "" || !strings.Contains(batch.Errors[1], "no entity attribute") {
+		t.Errorf("batch errors %v", batch.Errors)
+	}
+
+	// Write path: a new academic plus facts, all over HTTP; the next
+	// discovery includes the new row.
+	var ins InsertResponse
+	code := postJSON(t, c, ts.URL+"/v1/insert", InsertRequest{
+		Rel: "academics", Values: []any{float64(200), "Grace Hopper"}}, &ins)
+	if code != http.StatusOK || ins.Inserted != 1 {
+		t.Fatalf("insert: status %d resp %+v", code, ins)
+	}
+	code = postJSON(t, c, ts.URL+"/v1/insert/batch", InsertBatchRequest{Ops: []InsertRequest{
+		{Rel: "research", Values: []any{float64(200), "data management"}},
+		{Rel: "research", Values: []any{float64(200), "distributed systems"}},
+	}}, &ins)
+	if code != http.StatusOK || ins.Inserted != 2 {
+		t.Fatalf("insert batch: status %d resp %+v", code, ins)
+	}
+	var after DiscoverResponse
+	if code := postJSON(t, c, ts.URL+"/v1/discover", DiscoverRequest{Examples: exampleSet}, &after); code != http.StatusOK {
+		t.Fatalf("post-insert discover: status %d", code)
+	}
+	found := false
+	for _, name := range after.Output {
+		if name == "Grace Hopper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("post-insert discovery output %v misses the ingested row", after.Output)
+	}
+
+	// Bad writes are rejected with 400 and do not crash the server.
+	var errResp ErrorResponse
+	if code := postJSON(t, c, ts.URL+"/v1/insert", InsertRequest{Rel: "nope", Values: []any{1.0}}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("unknown relation insert: status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/insert", InsertRequest{Rel: "academics", Values: []any{"x", "y"}}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("mistyped insert: status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/discover", DiscoverRequest{Examples: nil}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("no examples: status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/discover", DiscoverRequest{Examples: []string{"No Such Entity Anywhere"}}, &errResp); code != http.StatusUnprocessableEntity {
+		t.Errorf("no entities: status %d", code)
+	}
+	// An oversized batch is rejected before taking the write lock.
+	big := InsertBatchRequest{Ops: make([]InsertRequest, maxBatchOps+1)}
+	for i := range big.Ops {
+		big.Ops[i] = InsertRequest{Rel: "research", Values: []any{float64(100), "flood"}}
+	}
+	if code := postJSON(t, c, ts.URL+"/v1/insert/batch", big, &errResp); code != http.StatusBadRequest || errResp.Code != "batch_too_large" {
+		t.Errorf("oversized batch: status %d code %q", code, errResp.Code)
+	}
+
+	// Introspection: stats, healthz, metrics.
+	var stats StatsResponse
+	if code := getJSON(t, c, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Name != "cs_academics" || stats.NumRelations != 2 {
+		t.Errorf("stats %+v", stats)
+	}
+	var health map[string]any
+	if code := getJSON(t, c, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz: %v %v", code, health)
+	}
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, needle := range []string{
+		`squid_http_requests_total{route="/v1/discover",code="200"}`,
+		`squid_http_requests_total{route="/v1/insert",code="400"}`,
+		"squid_discoveries_in_flight 0",
+		"squid_selcache_hits_total",
+		`squid_request_duration_seconds_bucket{route="/v1/discover",le="+Inf"}`,
+		"squid_admission_shed_total 0",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("metrics exposition missing %q", needle)
+		}
+	}
+
+	// On-demand snapshot: saved atomically, loadable, and answers
+	// identically (including the post-insert state).
+	var snapResp SnapshotResponse
+	if code := postJSON(t, c, ts.URL+"/v1/snapshot", struct{}{}, &snapResp); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d resp %+v", code, snapResp)
+	}
+	if snapResp.Bytes <= 0 {
+		t.Errorf("snapshot reported %d bytes", snapResp.Bytes)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := squid.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewarmed, err := loaded.Discover(exampleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rewarmed.Output, after.Output) {
+		t.Errorf("snapshot round trip diverged: %v want %v", rewarmed.Output, after.Output)
+	}
+}
+
+func TestAdmissionQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(context.Background()) }()
+	// ...wait until it is queued, then the next caller is shed.
+	for a.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("over-queue acquire returned %v, want ErrOverloaded", err)
+	}
+	a.release()
+	if err := <-done; err != nil {
+		t.Errorf("queued waiter got %v", err)
+	}
+	a.release()
+
+	// A queued waiter honors its context.
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for a.queued.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	if err := a.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled waiter got %v", err)
+	}
+	a.release()
+}
+
+// TestServerSheds429 deterministically exercises the load-shedding
+// path: with the single slot held and no queue, a discovery request is
+// rejected immediately with 429 and a Retry-After hint.
+func TestServerSheds429(t *testing.T) {
+	sys := newTestSystem(t)
+	srv := New(sys, Config{MaxInFlight: 1, QueueDepth: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if err := srv.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(DiscoverRequest{Examples: exampleSet})
+	resp, err := ts.Client().Post(ts.URL+"/v1/discover", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var errResp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&errResp); err != nil || errResp.Code != "overloaded" {
+		t.Errorf("shed body %+v err %v", errResp, err)
+	}
+	srv.adm.release()
+
+	// With the slot free again the same request succeeds.
+	var disc DiscoverResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/discover", DiscoverRequest{Examples: exampleSet}, &disc); code != http.StatusOK {
+		t.Fatalf("post-release discover: status %d", code)
+	}
+
+	// Metrics recorded the shed.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "squid_admission_shed_total 1") {
+		t.Error("shed not counted in metrics")
+	}
+}
+
+// TestServerRequestTimeout proves the per-request deadline reaches the
+// abduction: an expired budget turns into 504 instead of a hung request.
+func TestServerRequestTimeout(t *testing.T) {
+	sys := newTestSystem(t)
+	srv := New(sys, Config{RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var errResp ErrorResponse
+	code := postJSON(t, ts.Client(), ts.URL+"/v1/discover", DiscoverRequest{Examples: exampleSet}, &errResp)
+	if code != http.StatusGatewayTimeout || errResp.Code != "timeout" {
+		t.Errorf("status %d body %+v, want 504/timeout", code, errResp)
+	}
+}
+
+// TestServerGracefulDrain exercises the full shutdown contract under
+// concurrent load (meaningful with -race): clients hammer discover,
+// execute, and insert while the server drains — in-flight requests
+// complete, shed requests see 429, the final snapshot lands atomically
+// and warm-boots to the post-ingest state.
+func TestServerGracefulDrain(t *testing.T) {
+	sys := newTestSystem(t)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "drain.sqas")
+	srv := New(sys, Config{
+		MaxInFlight:      2,
+		QueueDepth:       2,
+		SnapshotPath:     snap,
+		SnapshotInterval: 5 * time.Millisecond, // exercise the periodic loop too
+	})
+	httpSrv := &http.Server{Handler: srv}
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var (
+		ok429, ok200, other atomic.Int64
+		inserted            atomic.Int64
+	)
+	post := func(path string, body any) (int, bool) {
+		raw, _ := json.Marshal(body)
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, false // connection refused after shutdown
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, true
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var code int
+				var alive bool
+				switch i % 3 {
+				case 0:
+					code, alive = post("/v1/discover", DiscoverRequest{Examples: exampleSet})
+				case 1:
+					code, alive = post("/v1/discover/batch", BatchDiscoverRequest{Sets: [][]string{exampleSet}})
+				default:
+					code, alive = post("/v1/insert", InsertRequest{
+						Rel:    "research",
+						Values: []any{float64(100 + (id+i)%6), "drain testing"},
+					})
+					if alive && code == http.StatusOK {
+						inserted.Add(1)
+					}
+				}
+				if !alive {
+					return // server stopped accepting: expected post-drain
+				}
+				switch code {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusTooManyRequests:
+					ok429.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("unexpected status %d (iteration %d)", code, i)
+				}
+			}
+		}(g)
+	}
+
+	// Let the load run, then drain: healthz flips to 503, Shutdown
+	// finishes the in-flight requests, Finalize writes the snapshot.
+	time.Sleep(150 * time.Millisecond)
+	srv.BeginDrain()
+	hresp, err := client.Get(base + "/healthz")
+	if err == nil {
+		if hresp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining healthz status %d want 503", hresp.StatusCode)
+		}
+		io.Copy(io.Discard, hresp.Body)
+		hresp.Body.Close()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("shutdown did not finish in-flight requests: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := srv.Finalize(); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+
+	if ok200.Load() == 0 {
+		t.Error("no request completed during the drain run")
+	}
+	t.Logf("drain run: %d ok, %d shed (429), %d rows ingested", ok200.Load(), ok429.Load(), inserted.Load())
+
+	// The final snapshot holds every acknowledged insert: a warm boot
+	// answers with the fully ingested fact table.
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("final snapshot missing: %v", err)
+	}
+	loaded, err := squid.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("final snapshot corrupt: %v", err)
+	}
+	wantRows := sys.ExecutableDB().Relation("research").NumRows()
+	gotRows := loaded.ExecutableDB().Relation("research").NumRows()
+	if gotRows != wantRows {
+		t.Errorf("snapshot research rows %d, live system has %d", gotRows, wantRows)
+	}
+	if int64(wantRows) < 8+inserted.Load() {
+		t.Errorf("live system rows %d < 8 seed + %d acknowledged inserts", wantRows, inserted.Load())
+	}
+	// No half-written temp file left behind.
+	if _, err := os.Stat(snap + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale snapshot temp file: %v", err)
+	}
+}

@@ -162,7 +162,8 @@ type CSVColumn = relation.CSVColumn
 // System is an abduction-ready SQuID instance over one database.
 //
 // Discovery and ingest are safe for concurrent use. Discovery
-// (Discover, DiscoverAll, DiscoverBatch, Execute, Stats, Save) reads
+// (Discover, DiscoverContext, DiscoverAll, DiscoverBatch, Execute,
+// Stats, Save) reads
 // under a shared epoch lock, so concurrent discoveries proceed in
 // parallel and each observes one consistent statistics state; writes
 // (InsertEntity, InsertFact, InsertBatch) take the lock exclusively
@@ -276,6 +277,16 @@ func (s *System) AlphaDB() *adb.AlphaDB { return s.alpha }
 // Stats returns the Fig 18 summary of the αDB.
 func (s *System) Stats() Stats { return s.alpha.ComputeStats() }
 
+// CacheMetrics returns the selectivity-cache health counters (hits,
+// misses, live entries) without computing the full Stats block: no
+// epoch lock and no byte-size scans, so a high-frequency metrics
+// scrape never delays writers queued behind the lock.
+func (s *System) CacheMetrics() (hits, misses uint64, entries int) {
+	c := s.alpha.SelectivityCache()
+	hits, misses = c.Metrics()
+	return hits, misses, c.Len()
+}
+
 // Discovery is the result of query intent discovery: the selected
 // filters, both SQL renderings, and the query output.
 type Discovery struct {
@@ -304,7 +315,18 @@ type Discovery struct {
 // entity disambiguation enabled (§6.1.1). It returns the highest-scoring
 // discovery across candidate base queries.
 func (s *System) Discover(examples []string) (*Discovery, error) {
-	return s.discover(examples, disambig.Resolve)
+	return s.discoverCtx(context.Background(), examples, disambig.Resolve)
+}
+
+// DiscoverContext is Discover with cooperative cancellation: ctx.Err()
+// is consulted inside the abduction itself — between candidate base
+// queries and between candidate-filter evaluations — so canceling the
+// context (or hitting its deadline) makes even one long discovery return
+// promptly. The returned error wraps ctx's error and matches it with
+// errors.Is; a canceled discovery holds the αDB read lock only until the
+// next check, so writers are not blocked behind abandoned work.
+func (s *System) DiscoverContext(ctx context.Context, examples []string) (*Discovery, error) {
+	return s.discoverCtx(ctx, examples, disambig.Resolve)
 }
 
 // DiscoverAll returns every candidate discovery (one per base query the
@@ -371,15 +393,34 @@ func (s *System) SetBatchWorkers(n int) { s.batchWorkers = n }
 // The returned slice is parallel to exampleSets; entries whose
 // discovery failed are nil, and the error is the join of the per-set
 // failures wrapped with their index (errors.Is still matches the
-// sentinels, e.g. ErrNoEntities). When ctx is canceled before every
-// set has been dispatched, the undispatched entries stay nil, their
-// failures are recorded as ctx's error, and the joined error also
-// matches ctx.Err(); sets that finished before the cancellation keep
-// their results either way.
+// sentinels, e.g. ErrNoEntities). When ctx is canceled, undispatched
+// sets stay nil, in-flight sets abort at their next cancellation check
+// (the abduction consults ctx between candidate evaluations, see
+// DiscoverContext), both are recorded as ctx's error, and the joined
+// error also matches ctx.Err(); sets that finished before the
+// cancellation keep their results either way.
 func (s *System) DiscoverBatch(ctx context.Context, exampleSets [][]string) ([]*Discovery, error) {
+	out, errs := s.DiscoverBatchDetailed(ctx, exampleSets)
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("example set %d: %w", i, err))
+		}
+	}
+	return out, errors.Join(failed...)
+}
+
+// DiscoverBatchDetailed is DiscoverBatch returning the per-set errors
+// as a slice parallel to exampleSets instead of one joined error:
+// callers that relay failures individually (the HTTP batch endpoint)
+// get each set's cause without parsing error text. A set canceled by
+// ctx — whether undispatched or aborted in flight — reports ctx's bare
+// error.
+func (s *System) DiscoverBatchDetailed(ctx context.Context, exampleSets [][]string) ([]*Discovery, []error) {
 	out := make([]*Discovery, len(exampleSets))
+	errs := make([]error, len(exampleSets))
 	if len(exampleSets) == 0 {
-		return out, nil
+		return out, errs
 	}
 	workers := s.batchWorkers
 	if workers <= 0 {
@@ -388,7 +429,6 @@ func (s *System) DiscoverBatch(ctx context.Context, exampleSets [][]string) ([]*
 	if workers > len(exampleSets) {
 		workers = len(exampleSets)
 	}
-	errs := make([]error, len(exampleSets))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -396,7 +436,7 @@ func (s *System) DiscoverBatch(ctx context.Context, exampleSets [][]string) ([]*
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i], errs[i] = s.Discover(exampleSets[i])
+				out[i], errs[i] = s.discoverCtx(ctx, exampleSets[i], disambig.Resolve)
 			}
 		}()
 	}
@@ -412,31 +452,35 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
-	var failed []error
 	for i, err := range errs {
 		switch {
 		case err != nil:
-			failed = append(failed, fmt.Errorf("example set %d: %w", i, err))
+			// A discovery aborted by the batch's own cancellation is
+			// reported as ctx's bare error, exactly like an undispatched
+			// set: the caller sees one uniform cancellation shape.
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				errs[i] = cerr
+			}
 		case i >= dispatched:
-			failed = append(failed, fmt.Errorf("example set %d: %w", i, ctx.Err()))
+			errs[i] = ctx.Err()
 		}
 	}
-	return out, errors.Join(failed...)
+	return out, errs
 }
 
 // DiscoverWithoutDisambiguation runs discovery with ambiguity resolved
 // arbitrarily (first match); used by the Fig 12 ablation.
 func (s *System) DiscoverWithoutDisambiguation(examples []string) (*Discovery, error) {
-	return s.discover(examples, nil)
+	return s.discoverCtx(context.Background(), examples, nil)
 }
 
-func (s *System) discover(examples []string, resolver abduction.Resolver) (*Discovery, error) {
+func (s *System) discoverCtx(ctx context.Context, examples []string, resolver abduction.Resolver) (*Discovery, error) {
 	// Pin one statistics epoch across discovery and result
 	// materialization (wrap reads relation columns for OutputValues and
 	// SQL rendering); inserts wait, concurrent discoveries share.
 	s.alpha.RLock()
 	defer s.alpha.RUnlock()
-	results, err := abduction.Discover(s.alpha, examples, s.params, resolver)
+	results, err := abduction.DiscoverCtx(ctx, s.alpha, examples, s.params, resolver)
 	if err != nil {
 		return nil, fmt.Errorf("squid: %w", err)
 	}
@@ -513,10 +557,20 @@ func (s *System) ExecutableDB() *Database { return s.alpha.CombinedDB() }
 // place). Execution reads under the shared epoch lock, so it is safe
 // concurrently with inserts.
 func (s *System) Execute(q *Query) (*ExecResult, error) {
+	return s.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: the engine
+// consults ctx between pipeline stages and every few thousand tuples
+// inside joins, so a canceled or deadline-expired context aborts even a
+// pathological query and releases the shared epoch lock promptly
+// instead of blocking writers behind runaway work. The returned error
+// wraps ctx's error; match it with errors.Is.
+func (s *System) ExecuteContext(ctx context.Context, q *Query) (*ExecResult, error) {
 	s.execOnce.Do(func() {
 		s.exec = engine.NewExecutorWithIndexes(s.alpha.CombinedDB(), s.alpha.Indexes)
 	})
 	s.alpha.RLock()
 	defer s.alpha.RUnlock()
-	return s.exec.Execute(q)
+	return s.exec.ExecuteCtx(ctx, q)
 }

@@ -1,0 +1,106 @@
+package squid
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"squid/internal/datagen"
+)
+
+// countdownCtx reports cancellation only after Err has been consulted
+// budget times. It makes the cancellation point inside a single
+// discovery deterministic: the first budget checks pass, the next one
+// aborts — so a test can prove the abduction consults the context
+// repeatedly mid-discovery, not just once at the door.
+type countdownCtx struct {
+	context.Context
+	budget atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.budget.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestDiscoverContextCancellation(t *testing.T) {
+	// The IMDb generator (reduced scale) yields a discovery with many
+	// candidate filters — genres, companies, decades — so one discovery
+	// crosses many cancellation checkpoints.
+	g := datagen.GenerateIMDb(datagen.IMDbConfig{Seed: 7, NumPersons: 800, NumMovies: 400, NumCompany: 20})
+	sys, err := Build(g.DB, DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	person := g.DB.Relation("person")
+	examples := make([]string, 0, 5)
+	for _, id := range g.Comedians[:5] {
+		row, ok := sys.AlphaDB().Entity("person").RowByID(id)
+		if !ok {
+			t.Fatalf("comedian id %d has no αDB row", id)
+		}
+		examples = append(examples, person.Column("name").Get(row).Str())
+	}
+
+	// Baseline: with a live context the ctx-aware path matches Discover,
+	// and one discovery consults the context several times (that is what
+	// makes mid-discovery cancellation prompt).
+	probe := &countdownCtx{Context: context.Background()}
+	probe.budget.Store(1 << 20)
+	disc, err := sys.DiscoverContext(probe, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := sys.Discover(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.SQL != serial.SQL {
+		t.Errorf("DiscoverContext SQL %q != Discover %q", disc.SQL, serial.SQL)
+	}
+	checks := 1<<20 - probe.budget.Load()
+	if checks < 3 {
+		t.Fatalf("one discovery consulted ctx only %d times; cancellation would not be prompt", checks)
+	}
+
+	// Cancel mid-discovery: allow exactly one candidate evaluation, then
+	// trip. The discovery must abort with ctx's error instead of
+	// finishing the remaining candidates.
+	mid := &countdownCtx{Context: context.Background()}
+	mid.budget.Store(1)
+	if _, err := sys.DiscoverContext(mid, examples); !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-discovery cancellation returned %v, want context.Canceled", err)
+	}
+
+	// Pre-canceled context: returns promptly with the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := sys.DiscoverContext(ctx, examples); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled discovery returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("pre-canceled discovery took %v; not prompt", elapsed)
+	}
+
+	// A deadline works the same way through errors.Is.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := sys.DiscoverContext(dctx, examples); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline returned %v, want context.DeadlineExceeded", err)
+	}
+
+	// ExecuteContext honors cancellation the same way, and the
+	// uncanceled path still answers.
+	plan := serial.Plan()
+	if _, err := sys.ExecuteContext(ctx, plan); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled execute returned %v, want context.Canceled", err)
+	}
+	if res, err := sys.Execute(plan); err != nil || res.NumRows() == 0 {
+		t.Errorf("plain execute after cancellation tests: rows=%v err=%v", res, err)
+	}
+}
