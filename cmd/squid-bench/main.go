@@ -83,22 +83,35 @@ type BuildResult struct {
 }
 
 // MixedResult is the mixed read/write experiment measurement: batch
-// discovery throughput sustained while a writer goroutine ingests rows
-// concurrently through the incremental-maintenance path (InsertBatch
-// plus single-row inserts), exercising the per-property cache
-// invalidation and the αDB's internal read/write locking.
+// discovery throughput sustained while writer goroutines ingest rows
+// concurrently through the copy-on-write epoch path (a fact-ingest
+// writer plus disjoint-relation entity writers), exercising the
+// per-property cache invalidation, the per-relation writer locks, and
+// the epoch combiner. Writer-observed publish latency (the wall time
+// of each InsertBatch: copy-on-write apply + publish) and
+// reader-observed discovery latency are reported as percentiles so the
+// wait-free-read claim is visible in the artifact: discovery p99 must
+// not move with ingest pressure.
 type MixedResult struct {
-	Dataset         string  `json:"dataset"`
-	Readers         int     `json:"readers"`
-	WallMS          float64 `json:"wall_ms"`
-	Discoveries     int     `json:"discoveries"`
-	DiscoverPerSec  float64 `json:"discoveries_per_sec"`
-	InsertRows      int     `json:"insert_rows"`
-	InsertBatchRows int     `json:"insert_batch_rows"`
-	InsertsPerSec   float64 `json:"inserts_per_sec"`
-	CacheHits       uint64  `json:"cache_hits"`
-	CacheMisses     uint64  `json:"cache_misses"`
-	CacheEntries    int     `json:"cache_entries"`
+	Dataset          string  `json:"dataset"`
+	Readers          int     `json:"readers"`
+	Writers          int     `json:"writers"`
+	WallMS           float64 `json:"wall_ms"`
+	Discoveries      int     `json:"discoveries"`
+	DiscoverPerSec   float64 `json:"discoveries_per_sec"`
+	DiscoverP50MS    float64 `json:"discover_p50_ms"`
+	DiscoverP99MS    float64 `json:"discover_p99_ms"`
+	InsertRows       int     `json:"insert_rows"`
+	EntityInsertRows int     `json:"entity_insert_rows"`
+	InsertBatchRows  int     `json:"insert_batch_rows"`
+	InsertsPerSec    float64 `json:"inserts_per_sec"`
+	PublishP50MS     float64 `json:"publish_p50_ms"`
+	PublishP99MS     float64 `json:"publish_p99_ms"`
+	EpochPublishes   uint64  `json:"epoch_publishes"`
+	EpochCombines    uint64  `json:"epoch_combines"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	CacheEntries     int     `json:"cache_entries"`
 }
 
 // Report is the machine-readable benchmark output.
@@ -444,11 +457,17 @@ func measureBuild(name string, db *squid.Database) (BuildResult, error) {
 }
 
 // runMixedExperiment measures the online phase under sustained ingest:
-// reader goroutines run DiscoverBatch in a loop while one writer
+// reader goroutines run DiscoverBatch in a loop while a fact writer
 // ingests castinfo facts (with occasional new person entities) through
-// InsertBatch. It reports discovery and insert throughput plus the
-// selectivity-cache health — per-property invalidation is what keeps
-// the cache hit rate up while the fact table grows.
+// InsertBatch and two disjoint-relation entity writers ingest person
+// and movie rows in parallel (their write domains are disjoint, so the
+// copy-on-write epoch scheme lets them commute; the combiner chains
+// their publishes). It reports discovery and insert throughput,
+// reader-observed discovery latency p50/p99 (which must stay flat
+// under ingest — readers are wait-free), writer-observed publish
+// latency p50/p99, the epoch publish/combine counters, and the
+// selectivity-cache health — per-property invalidation keeps the hit
+// rate up while the fact table grows.
 func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 	report := Report{
 		Scale:     scale,
@@ -474,6 +493,7 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 		readers = 1
 	}
 	const batchRows = 64
+	const entityWriters = 2 // person + movie: disjoint write domains
 	insertRows := 8192
 	if scale == "test" {
 		insertRows = 1024
@@ -484,22 +504,28 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 	var discoveries atomic.Int64
 	var writerDone atomic.Bool
 	var writerWall time.Duration
-	var insertErr error
+	// One error slot per writer: the goroutines never share a variable.
+	writerErrs := make([]error, 1+entityWriters)
+	discoverLat := make([][]time.Duration, readers)
+	publishLat := make([][]time.Duration, 1+entityWriters)
+	entityRows := make([]int, entityWriters)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for r := 0; r < readers; r++ {
 		wg.Add(1)
-		go func() {
+		go func(r int) {
 			defer wg.Done()
 			for {
 				// Snapshot the flag first so every reader completes one
 				// full round after the writer finishes (post-ingest
 				// answers come from a fully maintained αDB).
 				done := writerDone.Load()
+				t0 := time.Now()
 				res, err := sys.DiscoverBatch(context.Background(), sets)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "note: mixed discovery reported:", err)
 				}
+				discoverLat[r] = append(discoverLat[r], time.Since(t0))
 				// Count only the sets that actually produced a
 				// discovery, so a persistent online-phase regression
 				// shows up as zero throughput instead of healthy noise.
@@ -512,8 +538,10 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 					return
 				}
 			}
-		}()
+		}(r)
 	}
+	// Writer 0: the fact-ingest workload (castinfo batches, with
+	// occasional brand-new person entities the facts reference).
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -554,50 +582,120 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 			if (off/batchRows)%8 == 0 {
 				nextPersonID++
 			}
+			t0 := time.Now()
 			if err := sys.InsertBatch(ops); err != nil {
-				insertErr = err
+				writerErrs[0] = err
 				return
 			}
+			publishLat[0] = append(publishLat[0], time.Since(t0))
 		}
 	}()
+	// Writers 1..: disjoint-relation entity ingest, running until the
+	// fact writer finishes. The person and movie writers have disjoint
+	// write domains, so THEY build epochs in parallel and exercise the
+	// publish combiner against each other; the castinfo fact writer's
+	// domain covers both entities (its rows reference them), so it
+	// serializes with either entity writer — epoch_combines therefore
+	// counts entity-vs-entity combines.
+	for w := 0; w < entityWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := int64(20_000_000 + w*1_000_000)
+			for batch := 0; !writerDone.Load(); batch++ {
+				ops := make([]squid.InsertOp, 0, batchRows/4)
+				for k := 0; k < batchRows/4; k++ {
+					if w%2 == 0 {
+						ops = append(ops, squid.InsertOp{Rel: "person", Vals: []squid.Value{
+							squid.IntVal(id),
+							squid.StringVal(fmt.Sprintf("Disjoint Person %d", id)),
+							squid.StringVal("Male"),
+							squid.IntVal(1975),
+							squid.IntVal(0),
+						}})
+					} else {
+						ops = append(ops, squid.InsertOp{Rel: "movie", Vals: []squid.Value{
+							squid.IntVal(id),
+							squid.StringVal(fmt.Sprintf("Disjoint Movie %d", id)),
+							squid.IntVal(1999),
+							squid.StringVal("1990s"),
+							squid.StringVal("PG-13"),
+							squid.IntVal(0),
+						}})
+					}
+					id++
+				}
+				t0 := time.Now()
+				if err := sys.InsertBatch(ops); err != nil {
+					writerErrs[1+w] = err
+					return
+				}
+				publishLat[1+w] = append(publishLat[1+w], time.Since(t0))
+				entityRows[w] += len(ops)
+			}
+		}(w)
+	}
 	wg.Wait()
 	wall := time.Since(start)
-	if insertErr != nil {
-		return insertErr
+	for _, err := range writerErrs {
+		if err != nil {
+			return err
+		}
 	}
 	if discoveries.Load() == 0 {
 		return fmt.Errorf("mixed: no example set produced a discovery; online phase is broken")
 	}
 
+	var allDiscover, allPublish []time.Duration
+	for _, ds := range discoverLat {
+		allDiscover = append(allDiscover, ds...)
+	}
+	for _, ds := range publishLat {
+		allPublish = append(allPublish, ds...)
+	}
+	totalEntityRows := 0
+	for _, n := range entityRows {
+		totalEntityRows += n
+	}
 	stats := sys.Stats()
 	res := MixedResult{
-		Dataset:         "imdb",
-		Readers:         readers,
-		WallMS:          msOf(wall),
-		Discoveries:     int(discoveries.Load()),
-		InsertRows:      insertRows,
-		InsertBatchRows: batchRows,
-		CacheHits:       stats.SelCacheHits,
-		CacheMisses:     stats.SelCacheMisses,
-		CacheEntries:    stats.SelCacheEntries,
+		Dataset:          "imdb",
+		Readers:          readers,
+		Writers:          1 + entityWriters,
+		WallMS:           msOf(wall),
+		Discoveries:      int(discoveries.Load()),
+		DiscoverP50MS:    percentileMS(allDiscover, 0.50),
+		DiscoverP99MS:    percentileMS(allDiscover, 0.99),
+		InsertRows:       insertRows,
+		EntityInsertRows: totalEntityRows,
+		InsertBatchRows:  batchRows,
+		PublishP50MS:     percentileMS(allPublish, 0.50),
+		PublishP99MS:     percentileMS(allPublish, 0.99),
+		EpochPublishes:   stats.EpochPublishes,
+		EpochCombines:    stats.EpochCombines,
+		CacheHits:        stats.SelCacheHits,
+		CacheMisses:      stats.SelCacheMisses,
+		CacheEntries:     stats.SelCacheEntries,
 	}
 	if wall > 0 {
 		res.DiscoverPerSec = float64(res.Discoveries) / wall.Seconds()
 	}
-	// Insert throughput over the writer's own elapsed time: the overall
-	// wall includes the readers' final post-ingest rounds, which would
-	// understate ingest and couple it to discovery latency.
+	// Insert throughput over the fact writer's own elapsed time: the
+	// overall wall includes the readers' final post-ingest rounds,
+	// which would understate ingest and couple it to discovery latency.
 	if writerWall > 0 {
-		res.InsertsPerSec = float64(insertRows) / writerWall.Seconds()
+		res.InsertsPerSec = float64(insertRows+totalEntityRows) / writerWall.Seconds()
 	}
 	report.Mixed = append(report.Mixed, res)
 	report.PeakRSSKB = peakRSSKB()
 
-	fmt.Printf("online phase (mixed read/write), %s scale, %d readers + 1 writer\n", scale, res.Readers)
-	fmt.Printf("  %-6s %8.1fms wall  %6d discoveries (%8.1f/s)  %6d rows ingested (%8.1f/s, batches of %d)\n",
-		res.Dataset, res.WallMS, res.Discoveries, res.DiscoverPerSec, res.InsertRows, res.InsertsPerSec, res.InsertBatchRows)
-	fmt.Printf("         selectivity cache: %d entries, %d hits / %d misses\n",
-		res.CacheEntries, res.CacheHits, res.CacheMisses)
+	fmt.Printf("online phase (mixed read/write), %s scale, %d readers + %d writers\n", scale, res.Readers, res.Writers)
+	fmt.Printf("  %-6s %8.1fms wall  %6d discoveries (%8.1f/s, p50 %.2fms p99 %.2fms)\n",
+		res.Dataset, res.WallMS, res.Discoveries, res.DiscoverPerSec, res.DiscoverP50MS, res.DiscoverP99MS)
+	fmt.Printf("         %6d fact + %d entity rows ingested (%8.1f/s, batches of %d); publish p50 %.2fms p99 %.2fms\n",
+		res.InsertRows, res.EntityInsertRows, res.InsertsPerSec, res.InsertBatchRows, res.PublishP50MS, res.PublishP99MS)
+	fmt.Printf("         epochs: %d publishes, %d combines; selectivity cache: %d entries, %d hits / %d misses\n",
+		res.EpochPublishes, res.EpochCombines, res.CacheEntries, res.CacheHits, res.CacheMisses)
 	return writeReport(report, jsonPath)
 }
 

@@ -141,7 +141,7 @@ func bootSystem(dataset, snapPath string) (sys *squid.System, coldBuilt bool, er
 			if err != nil {
 				return nil, false, fmt.Errorf("loading snapshot %s: %w (delete the file to rebuild)", snapPath, err)
 			}
-			if got := sys.AlphaDB().DB.Name; got != dataset && !strings.HasPrefix(got, dataset+"_") {
+			if got := sys.AlphaDB().DB().Name; got != dataset && !strings.HasPrefix(got, dataset+"_") {
 				return nil, false, fmt.Errorf("snapshot %s holds dataset %q, not %q", snapPath, got, dataset)
 			}
 			log.Printf("αDB loaded from %s in %v (warm boot)", snapPath, time.Since(start).Round(time.Millisecond))

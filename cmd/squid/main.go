@@ -126,7 +126,7 @@ func bootSystem(dataset, snapPath string) *squid.System {
 			}
 			// The snapshot carries the database it was built from;
 			// refuse to serve answers for a different dataset.
-			if got := sys.AlphaDB().DB.Name; got != dataset && !strings.HasPrefix(got, dataset+"_") {
+			if got := sys.AlphaDB().DB().Name; got != dataset && !strings.HasPrefix(got, dataset+"_") {
 				fmt.Fprintf(os.Stderr, "snapshot %s holds dataset %q, not %q\n", snapPath, got, dataset)
 				fmt.Fprintln(os.Stderr, "pass the matching -dataset, or delete the file to rebuild it")
 				os.Exit(1)

@@ -112,7 +112,13 @@ func abduceForEntityCtx(ctx context.Context, info *adb.EntityInfo, base BaseQuer
 // The resolver decides which candidate row each ambiguous example maps
 // to; pass nil to take the first candidate (disambiguation lives in
 // internal/disambig and is injected by the public API).
-func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolver) ([]*Result, error) {
+//
+// Discovery runs against one immutable αDB epoch (adb.AlphaDB.Snapshot
+// returns the current one): holding the pointer IS the epoch pin. No
+// lock is taken, concurrent writers can never stall the abduction, and
+// every lookup — example resolution, selectivity, row sets — answers
+// from exactly the state the epoch was published with.
+func Discover(a *adb.Epoch, examples []string, params Params, resolver Resolver) ([]*Result, error) {
 	return DiscoverCtx(context.Background(), a, examples, params, resolver)
 }
 
@@ -121,18 +127,11 @@ func Discover(a *adb.AlphaDB, examples []string, params Params, resolver Resolve
 // between candidate-filter evaluations, so canceling the context makes
 // even a single long discovery return promptly with ctx's error (wrapped;
 // match it with errors.Is).
-func DiscoverCtx(ctx context.Context, a *adb.AlphaDB, examples []string, params Params, resolver Resolver) ([]*Result, error) {
+func DiscoverCtx(ctx context.Context, a *adb.Epoch, examples []string, params Params, resolver Resolver) ([]*Result, error) {
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("abduction: %w", ErrNoExamples)
 	}
-	// Concurrency: the caller pins the statistics epoch (squid.System
-	// holds the αDB's shared read lock across discovery and result
-	// materialization), so every filter's selectivity and row set
-	// answer from one consistent αDB state while concurrent
-	// discoveries proceed in parallel. Direct callers that insert
-	// concurrently must bracket this call with AlphaDB.RLock/RUnlock
-	// themselves.
-	matches := a.Inverted.CommonColumns(examples)
+	matches := a.CommonColumns(examples)
 	var results []*Result
 	for _, m := range matches {
 		info := a.Entity(m.Key.Relation)

@@ -40,43 +40,18 @@ type Filter struct {
 	// association strengths (set only in normalized mode).
 	degree *adb.DerivedProperty
 
-	// Per-filter memos, pinned to one statistics epoch of the backing
-	// property (per-property generations: inserts into unrelated
-	// relations leave them valid). During a discovery the αDB's shared
-	// epoch lock excludes inserts, so the epoch cannot move mid-run and
-	// both memos answer from the same consistent state; a filter held
-	// across an insert that did shift its own property re-pins and
-	// recomputes on first use. A Filter belongs to one discovery running
-	// on one goroutine, so these need no locking; cross-discovery reuse
-	// happens one layer down in the αDB's selectivity cache.
-	epoch   uint64
-	epochOK bool
+	// Per-filter memos. A filter references properties of one immutable
+	// αDB epoch, whose statistics never change for the lifetime of the
+	// pointer (copy-on-write inserts publish clones under fresh
+	// identities), so the memos can never go stale — the generation
+	// re-pinning machinery the locked αDB needed is gone. A Filter
+	// belongs to one discovery running on one goroutine, so these need
+	// no locking; cross-discovery reuse happens one layer down in the
+	// αDB's selectivity cache.
 	selVal  float64
 	selOK   bool
 	rowsVal []int
 	rowsOK  bool
-}
-
-// statsGeneration returns the generation of the αDB statistics backing
-// this filter — the backing property's own generation, which moves only
-// when an insert shifts that property.
-func (f *Filter) statsGeneration() uint64 {
-	if f.Kind == Derived {
-		return f.Derivd.StatsGeneration()
-	}
-	return f.Basic.StatsGeneration()
-}
-
-// pinEpoch (re-)pins the memos to the property's current statistics
-// epoch, dropping both together when the epoch moved so selectivity and
-// row-set answers never mix pre- and post-insert state.
-func (f *Filter) pinEpoch() {
-	if gen := f.statsGeneration(); !f.epochOK || f.epoch != gen {
-		f.epoch = gen
-		f.epochOK = true
-		f.selOK = false
-		f.rowsOK = false
-	}
 }
 
 // Attr returns the display attribute name.
@@ -115,7 +90,6 @@ func (f *Filter) String() string {
 // is memoized per filter, so callers (Algorithm 1, the intersection
 // planner's sort) can ask repeatedly at map-read cost.
 func (f *Filter) Selectivity() float64 {
-	f.pinEpoch()
 	if f.selOK {
 		return f.selVal
 	}
@@ -162,7 +136,6 @@ func (f *Filter) DomainCoverage() float64 {
 // row-set cache — no column rescans. The returned slice aliases
 // αDB-cache storage; callers must not mutate it.
 func (f *Filter) EntityRows() []int {
-	f.pinEpoch()
 	if f.rowsOK {
 		return f.rowsVal
 	}

@@ -50,7 +50,7 @@ func TestNormalizedSelfEdgeNoDegree(t *testing.T) {
 	// derived contexts over the self-edge exist; with normalization on
 	// and no matching plain degree attribute this used to panic inside
 	// EntityRows.
-	results, err := Discover(a, []string{"MB", "MD"}, params, nil)
+	results, err := Discover(a.Snapshot(), []string{"MB", "MD"}, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

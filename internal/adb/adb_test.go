@@ -105,8 +105,8 @@ func buildFixture(t *testing.T) *AlphaDB {
 
 func TestBuildDiscoversEntities(t *testing.T) {
 	a := buildFixture(t)
-	if len(a.Entities) != 2 {
-		t.Fatalf("entities=%d want 2", len(a.Entities))
+	if len(a.Snapshot().Entities) != 2 {
+		t.Fatalf("entities=%d want 2", len(a.Snapshot().Entities))
 	}
 	p := a.Entity("person")
 	if p == nil || p.NumRows != 6 || p.PK != "id" {
@@ -340,7 +340,7 @@ func TestBuildErrors(t *testing.T) {
 func TestSelectivityBounds(t *testing.T) {
 	// All selectivities must lie in [0, 1].
 	a := buildFixture(t)
-	for _, e := range a.Entities {
+	for _, e := range a.Snapshot().Entities {
 		for _, b := range e.Basic {
 			if b.Kind == Categorical {
 				for _, v := range b.DistinctValues() {
@@ -369,7 +369,7 @@ func TestSelectivityBounds(t *testing.T) {
 
 func TestDerivedSelectivityMonotoneInTheta(t *testing.T) {
 	a := buildFixture(t)
-	for _, e := range a.Entities {
+	for _, e := range a.Snapshot().Entities {
 		for _, d := range e.Derived {
 			for _, v := range d.DistinctValues() {
 				prev := 2.0

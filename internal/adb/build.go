@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"squid/internal/index"
@@ -126,49 +125,6 @@ func (e *EntityInfo) buildAttrMaps() {
 	}
 }
 
-// AlphaDB is the abduction-ready database: the original database plus the
-// inverted index, per-entity semantic properties, materialized derived
-// relations, and precomputed selectivity statistics.
-type AlphaDB struct {
-	DB       *relation.Database
-	Inverted *index.Inverted
-	Entities map[string]*EntityInfo
-
-	// Indexes is the shared hash-index pool over base and derived
-	// relations: every point lookup of the online phase (dimension
-	// resolution, incremental maintenance, engine predicate pushdown)
-	// is served from here instead of rebuilding ad-hoc maps.
-	Indexes *index.IndexSet
-
-	// DerivedDB holds the materialized derived relations (Fig 18's
-	// "precomputed DB size" reports its footprint).
-	DerivedDB *relation.Database
-	// BuildTime is the offline precomputation wall time.
-	BuildTime time.Duration
-
-	cfg      Config
-	selCache *SelCache
-
-	// mu is the online phase's epoch lock: readers (discovery, stats,
-	// snapshot encode, engine execution) hold it shared for their full
-	// duration, so they observe one consistent statistics epoch;
-	// incremental inserts hold it exclusively while they mutate
-	// relations, postings, and indexes. Readers never block each other,
-	// and writers need no external serialization with discovery.
-	mu sync.RWMutex
-}
-
-// RLock pins the current statistics epoch for a reader: relations,
-// property statistics, postings, and indexes will not shift until the
-// matching RUnlock. Discovery, snapshot encoding, and engine execution
-// take it for their full duration; it is shared, so concurrent readers
-// proceed in parallel. Do not nest (Go's RWMutex read locks are not
-// reentrant while a writer waits).
-func (a *AlphaDB) RLock() { a.mu.RLock() }
-
-// RUnlock releases the epoch pinned by RLock.
-func (a *AlphaDB) RUnlock() { a.mu.RUnlock() }
-
 // entityBuild carries one entity relation through the parallel offline
 // phase: the scaffolded EntityInfo plus one result slot per property
 // task, so workers write disjoint slots and assembly replays them in
@@ -194,7 +150,17 @@ type taskResult struct {
 // fans out over Config.Workers goroutines (per-relation inverted-index
 // shards, per-entity scaffolds, and one task per candidate property);
 // the assembled αDB is byte-for-byte independent of the worker count.
+// The result is published as epoch 0 of the returned handle.
 func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
+	e, err := buildEpoch(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newAlphaDB(e), nil
+}
+
+// buildEpoch runs the offline phase and assembles the initial epoch.
+func buildEpoch(db *relation.Database, cfg Config) (*Epoch, error) {
 	start := time.Now()
 	if cfg.MaxFactDepth == 0 {
 		workers := cfg.Workers
@@ -205,7 +171,7 @@ func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	a := &AlphaDB{
+	a := &Epoch{
 		DB:        db,
 		Entities:  make(map[string]*EntityInfo),
 		Indexes:   index.NewIndexSet(),
@@ -274,22 +240,16 @@ func Build(db *relation.Database, cfg Config) (*AlphaDB, error) {
 	}
 	<-invDone
 	a.BuildTime = time.Since(start)
+	a.rowCounts = snapshotRowCounts(db)
 	return a, nil
 }
-
-// Entity returns the EntityInfo for a relation name, or nil.
-func (a *AlphaDB) Entity(name string) *EntityInfo { return a.Entities[name] }
-
-// SelectivityCache exposes the memoized selectivity/row-set cache shared
-// by every property of this αDB (monitoring and test surface).
-func (a *AlphaDB) SelectivityCache() *SelCache { return a.selCache }
 
 // EphemeralEntity builds a property-less EntityInfo for a non-entity
 // relation with an integer primary key. It backs the dimension-fallback
 // path of query discovery: when examples only match a dimension relation
 // (all movie genres, IQ7 of the paper), the abduced query is the plain
 // projection over that relation with no filters.
-func (a *AlphaDB) EphemeralEntity(name string) *EntityInfo {
+func (a *Epoch) EphemeralEntity(name string) *EntityInfo {
 	rel := a.DB.Relation(name)
 	if rel == nil || rel.PrimaryKey == "" {
 		return nil
@@ -312,27 +272,28 @@ func (a *AlphaDB) EphemeralEntity(name string) *EntityInfo {
 	return info
 }
 
-// Config returns the build configuration.
-func (a *AlphaDB) Config() Config { return a.cfg }
-
 // CombinedDB returns a database containing both the original and the
 // derived relations, so the execution engine can run αDB-form SPJ queries
-// (Q5 of the paper) directly.
-func (a *AlphaDB) CombinedDB() *relation.Database {
-	combined := relation.NewDatabase(a.DB.Name + "_combined")
-	for _, n := range a.DB.RelationNames() {
-		combined.AddRelation(a.DB.Relation(n))
-	}
-	for _, n := range a.DerivedDB.RelationNames() {
-		combined.AddRelation(a.DerivedDB.Relation(n))
-	}
-	return combined
+// (Q5 of the paper) directly. It is assembled once per epoch and
+// memoized — all executors over this epoch share one instance.
+func (a *Epoch) CombinedDB() *relation.Database {
+	a.combinedOnce.Do(func() {
+		combined := relation.NewDatabase(a.DB.Name + "_combined")
+		for _, n := range a.DB.RelationNames() {
+			combined.AddRelation(a.DB.Relation(n))
+		}
+		for _, n := range a.DerivedDB.RelationNames() {
+			combined.AddRelation(a.DerivedDB.Relation(n))
+		}
+		a.combined = combined
+	})
+	return a.combined
 }
 
 // scaffoldEntity validates one entity relation and builds its lookup
 // scaffolding (primary-key index, row→id table); safe to run in
 // parallel across entities (the shared IndexSet serializes builds).
-func (a *AlphaDB) scaffoldEntity(name string) (*entityBuild, error) {
+func (a *Epoch) scaffoldEntity(name string) (*entityBuild, error) {
 	rel := a.DB.Relation(name)
 	if rel.PrimaryKey == "" {
 		return nil, fmt.Errorf("adb: entity relation %q has no primary key", name)
@@ -359,7 +320,7 @@ func (a *AlphaDB) scaffoldEntity(name string) (*entityBuild, error) {
 // the same order the sequential builder visited them, reserving one
 // result slot per task. Tasks only read base relations and the
 // concurrency-safe IndexSet, so they run freely in parallel.
-func (a *AlphaDB) planEntity(eb *entityBuild) []func() {
+func (a *Epoch) planEntity(eb *entityBuild) []func() {
 	info := eb.info
 	name := info.Relation
 	rel := info.rel
@@ -458,7 +419,7 @@ func (a *AlphaDB) planEntity(eb *entityBuild) []func() {
 // finishEntity assembles one entity's task results in enumeration order,
 // registers its derived relations under collision-free names, sorts the
 // property lists, and builds the name→property maps.
-func (a *AlphaDB) finishEntity(eb *entityBuild) error {
+func (a *Epoch) finishEntity(eb *entityBuild) error {
 	info := eb.info
 	for i := range eb.results {
 		res := &eb.results[i]
@@ -486,7 +447,7 @@ func (a *AlphaDB) finishEntity(eb *entityBuild) error {
 // name, adds it to the derived database, and adopts its entity index
 // into the shared pool. Called sequentially in enumeration order, so
 // collision suffixes are deterministic.
-func (a *AlphaDB) registerDerived(p *DerivedProperty) {
+func (a *Epoch) registerDerived(p *DerivedProperty) {
 	base := p.RelName
 	name := base
 	for i := 2; a.DerivedDB.Relation(name) != nil; i++ {
@@ -502,7 +463,7 @@ func (a *AlphaDB) registerDerived(p *DerivedProperty) {
 // identifier-like text columns from property discovery. The ratio guard
 // only applies to relations large enough for the ratio to be meaningful
 // (small dimension-like tables legitimately have high distinct ratios).
-func (a *AlphaDB) keepCategorical(distinct, entities int) bool {
+func (a *Epoch) keepCategorical(distinct, entities int) bool {
 	if distinct == 0 || distinct > a.cfg.MaxCatDistinct {
 		return false
 	}
@@ -516,7 +477,7 @@ func (a *AlphaDB) keepCategorical(distinct, entities int) bool {
 // finishCategorical computes the per-code statistics of a categorical
 // basic property from its per-row code lists and applies the
 // distinct-count guards.
-func (a *AlphaDB) finishCategorical(p *BasicProperty) *BasicProperty {
+func (a *Epoch) finishCategorical(p *BasicProperty) *BasicProperty {
 	p.buildCatStats()
 	if !a.keepCategorical(p.numValues, p.numEntities) {
 		return nil
@@ -567,7 +528,7 @@ func (p *BasicProperty) buildCatStats() {
 
 // buildDirectProperty creates a basic property from a direct entity
 // column.
-func (a *AlphaDB) buildDirectProperty(info *EntityInfo, col *relation.Column) *BasicProperty {
+func (a *Epoch) buildDirectProperty(info *EntityInfo, col *relation.Column) *BasicProperty {
 	p := &BasicProperty{
 		Entity:      info.Relation,
 		Attr:        col.Name,
@@ -611,7 +572,7 @@ func (a *AlphaDB) buildDirectProperty(info *EntityInfo, col *relation.Column) *B
 }
 
 // dimValueColumn resolves the display column of a dimension relation.
-func (a *AlphaDB) dimValueColumn(dim *relation.Relation) string {
+func (a *Epoch) dimValueColumn(dim *relation.Relation) string {
 	if c, ok := a.cfg.PropertyValueColumn[dim.Name]; ok {
 		return c
 	}
@@ -625,7 +586,7 @@ func (a *AlphaDB) dimValueColumn(dim *relation.Relation) string {
 
 // buildFKDimProperty creates a basic property reached through the
 // entity's own foreign key into a dimension relation.
-func (a *AlphaDB) buildFKDimProperty(info *EntityInfo, fk relation.ForeignKey) *BasicProperty {
+func (a *Epoch) buildFKDimProperty(info *EntityInfo, fk relation.ForeignKey) *BasicProperty {
 	dim := a.DB.Relation(fk.RefRelation)
 	valCol := a.dimValueColumn(dim)
 	if valCol == "" {
@@ -662,7 +623,7 @@ func (a *AlphaDB) buildFKDimProperty(info *EntityInfo, fk relation.ForeignKey) *
 // buildAttrTableProperty creates a (multi-valued) basic property from an
 // attribute table: a side relation with a single FK to the entity and a
 // value column (research(aid, interest) in Fig 1 of the paper).
-func (a *AlphaDB) buildAttrTableProperty(info *EntityInfo, sideName string, fk relation.ForeignKey, col *relation.Column) *BasicProperty {
+func (a *Epoch) buildAttrTableProperty(info *EntityInfo, sideName string, fk relation.ForeignKey, col *relation.Column) *BasicProperty {
 	side := a.DB.Relation(sideName)
 	fkc := side.Column(fk.Column)
 	p := &BasicProperty{
@@ -692,7 +653,7 @@ func (a *AlphaDB) buildAttrTableProperty(info *EntityInfo, sideName string, fk r
 
 // buildFactDimProperty creates a (multi-valued) basic property reached
 // through a fact table into a dimension relation.
-func (a *AlphaDB) buildFactDimProperty(info *EntityInfo, factName string, fkToMe, fkToDim relation.ForeignKey) *BasicProperty {
+func (a *Epoch) buildFactDimProperty(info *EntityInfo, factName string, fkToMe, fkToDim relation.ForeignKey) *BasicProperty {
 	fact := a.DB.Relation(factName)
 	dim := a.DB.Relation(fkToDim.RefRelation)
 	valCol := a.dimValueColumn(dim)

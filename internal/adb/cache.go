@@ -33,40 +33,42 @@ type SelKey struct {
 // row slices are shared — callers must treat them as immutable,
 // exactly like the αDB posting lists they memoize.
 //
-// Invalidation is per property: every property carries its own
-// generation counter, and an incremental insert bumps only the
-// generations of the properties whose statistics actually shifted
-// (InvalidateProps), discarding just their entries. An insert into
-// relation A therefore leaves the memoized row sets of relation B's
-// properties live — the sustained-ingest workload keeps its warm cache
-// instead of the old stop-the-world wipe.
+// One cache is shared by every epoch of an αDB, and keys carry the
+// property identity — which under copy-on-write epochs IS the epoch
+// pin: an insert that shifts a property's statistics produces a fresh
+// clone with a fresh pointer, so the new epoch's lookups can never hit
+// an entry computed against the retired statistics, and a discovery
+// still pinning the retired epoch keeps hitting exactly the entries
+// that match what it sees. Properties untouched by an insert keep
+// their identity across epochs and their entries stay warm — the
+// sustained-ingest workload never pays a stop-the-world wipe. Because
+// a property's statistics are immutable for the lifetime of its
+// pointer, there is no store/invalidate race to guard against: every
+// computed result is valid forever for its key.
 //
-// Rows is safe against the store/invalidate race: the property
-// generation is captured before compute runs, and the result is
-// dropped (not stored) if an invalidation lands in between, so a
-// compute that started before an insert can never publish a stale row
-// set afterwards.
+// The cache tracks which property identities are live (registered at
+// build/load, swapped at every epoch publish): Rows only stores under
+// a live identity. A reader still pinned to a retired epoch keeps
+// getting correct computed answers for its retired properties — they
+// just aren't memoized anymore — so retired identities can never
+// re-enter the cache after their eviction sweep and linger
+// unreclaimed, while stores for live (untouched) properties are never
+// dropped, no matter how fast writers publish. The live set's size is
+// bounded by the current property count.
 type SelCache struct {
 	mu   sync.RWMutex
 	rows map[SelKey][]int
 	// keys indexes the cached entries by property, so InvalidateProps
 	// deletes exactly one property's entries instead of sweeping the
-	// whole map under the write lock (inserts hold the αDB's exclusive
-	// epoch lock while invalidating — readers are stalled for the
-	// duration). A key may appear more than once after re-stores; the
+	// whole map. A key may appear more than once after re-stores; the
 	// deletes are idempotent.
 	keys map[any][]SelKey
-	// gens holds the per-property invalidation generation, keyed by
-	// property identity (the same identity SelKey.Prop carries).
-	// Properties never invalidated sit at generation 0.
-	gens map[any]uint64
-	// wipes counts whole-cache invalidations; it folds into every
-	// property's effective generation so a full wipe also moves
-	// properties the cache has never seen (protecting their in-flight
-	// computes from storing stale results).
-	wipes uint64
+	// live holds the property identities of the current epoch; only
+	// they may store. Maintained by Register (build/load) and
+	// ReplaceProps (epoch publish).
+	live map[any]struct{}
 	// gen counts invalidation events cache-wide (monitoring surface;
-	// tests assert it moves on insert).
+	// tests assert it moves when an epoch retires properties).
 	gen uint64
 
 	hits   atomic.Uint64
@@ -78,22 +80,31 @@ func NewSelCache() *SelCache {
 	return &SelCache{
 		rows: make(map[SelKey][]int),
 		keys: make(map[any][]SelKey),
-		gens: make(map[any]uint64),
+		live: make(map[any]struct{}),
 	}
+}
+
+// Register marks property identities as live (storable); called once
+// per property at αDB build/load, and by ReplaceProps for clones.
+func (c *SelCache) Register(props ...any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for _, p := range props {
+		c.live[p] = struct{}{}
+	}
+	c.mu.Unlock()
 }
 
 // Rows returns the memoized satisfying-row set for key, computing and
 // storing it on a miss. The returned slice is shared: do not mutate.
-// If the key's property is invalidated while compute runs, the result
-// is returned but not stored — the next caller recomputes against the
-// post-insert statistics.
 func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
 	if c == nil {
 		return compute()
 	}
 	c.mu.RLock()
 	rows, ok := c.rows[key]
-	gen0 := c.propGenLocked(key.Prop)
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -102,7 +113,9 @@ func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
 	c.misses.Add(1)
 	rows = compute()
 	c.mu.Lock()
-	if c.propGenLocked(key.Prop) == gen0 {
+	// Store only under a live identity: a retired property (its epoch
+	// already superseded) must not re-enter the cache after its sweep.
+	if _, isLive := c.live[key.Prop]; isLive {
 		c.rows[key] = rows
 		c.keys[key.Prop] = append(c.keys[key.Prop], key)
 	}
@@ -110,61 +123,52 @@ func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
 	return rows
 }
 
-// propGenLocked returns the effective generation of one property: its
-// own invalidation counter plus the cache-wide wipe counter. Callers
-// hold c.mu in either mode.
-func (c *SelCache) propGenLocked(prop any) uint64 {
-	return c.gens[prop] + c.wipes
+// InvalidateProps retires the given property identities: their cached
+// entries are discarded and they lose the right to store new ones.
+func (c *SelCache) InvalidateProps(props ...any) {
+	c.ReplaceProps(props, nil)
 }
 
-// InvalidateProps bumps the generation of each given property and
-// discards only their cached entries; called by the αDB after an
-// incremental insert with the properties whose statistics shifted.
-func (c *SelCache) InvalidateProps(props ...any) {
-	if c == nil || len(props) == 0 {
+// ReplaceProps is the epoch publish hook: the retired identities'
+// entries are evicted and de-registered (they can never store again),
+// and their clones — carrying the shifted statistics under fresh
+// identities — become live in one critical section.
+func (c *SelCache) ReplaceProps(retired, admitted []any) {
+	if c == nil || (len(retired) == 0 && len(admitted) == 0) {
 		return
 	}
 	c.mu.Lock()
-	for _, p := range props {
-		c.gens[p]++
+	for _, p := range retired {
 		for _, k := range c.keys[p] {
 			delete(c.rows, k)
 		}
 		delete(c.keys, p)
+		delete(c.live, p)
 	}
-	c.gen++
+	for _, p := range admitted {
+		c.live[p] = struct{}{}
+	}
+	if len(retired) > 0 {
+		c.gen++
+	}
 	c.mu.Unlock()
 }
 
-// Invalidate discards every entry and moves every property's effective
-// generation, including properties the cache has never seen; kept for
-// whole-αDB resets where per-property attribution is unavailable.
+// Invalidate discards every entry; kept for whole-αDB resets where
+// per-property attribution is unavailable.
 func (c *SelCache) Invalidate() {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	c.wipes++
 	c.rows = make(map[SelKey][]int)
 	c.keys = make(map[any][]SelKey)
 	c.gen++
 	c.mu.Unlock()
 }
 
-// PropGeneration returns the effective invalidation generation of one
-// property; filters memoize against it to detect staleness of their own
-// property without being disturbed by inserts elsewhere.
-func (c *SelCache) PropGeneration(prop any) uint64 {
-	if c == nil {
-		return 0
-	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.propGenLocked(prop)
-}
-
 // Generation returns the cache-wide invalidation event counter (tests
-// assert it moves on insert).
+// assert it moves when inserts retire properties).
 func (c *SelCache) Generation() uint64 {
 	if c == nil {
 		return 0

@@ -144,25 +144,28 @@ func TestDerivedStrengthCrossCheck(t *testing.T) {
 	}
 }
 
-// TestSelectivityCacheInvalidation checks that memoized row sets are
-// discarded when inserts shift the statistics — the cache must never
-// serve pre-insert answers.
+// TestSelectivityCacheInvalidation checks the copy-on-write cache
+// contract: an insert retires the touched properties' cache entries
+// (the clones carry fresh identities, so the new epoch can never hit a
+// pre-insert answer), while a handle pinned to the retired epoch keeps
+// answering from exactly the pre-insert state.
 func TestSelectivityCacheInvalidation(t *testing.T) {
 	a, err := Build(fixtureDB(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	info := a.Entity("person")
-	age := info.BasicByAttr("age")
+	oldInfo := a.Entity("person")
+	oldAge := oldInfo.BasicByAttr("age")
 	cache := a.SelectivityCache()
 
-	before := age.EntityRowsInRange(45, 65) // populate the cache
+	before := oldAge.EntityRowsInRange(45, 65) // populate the cache
 	if cache.Len() == 0 {
 		t.Fatal("cache not populated by EntityRowsInRange")
 	}
 	gen0 := cache.Generation()
 
-	// Insert a 50-year-old: the cached [45,65] row set is stale.
+	// Insert a 50-year-old: the cached [45,65] row set belongs to the
+	// retired epoch now.
 	err = a.InsertEntity("person",
 		relation.IntVal(7), relation.StringVal("New Actor"),
 		relation.StringVal("Male"), relation.IntVal(50), relation.IntVal(1))
@@ -173,7 +176,12 @@ func TestSelectivityCacheInvalidation(t *testing.T) {
 		t.Error("InsertEntity did not bump the cache generation")
 	}
 	if cache.Len() != 0 {
-		t.Errorf("InsertEntity left %d stale cache entries", cache.Len())
+		t.Errorf("InsertEntity left %d retired cache entries", cache.Len())
+	}
+	info := a.Entity("person")
+	age := info.BasicByAttr("age")
+	if age == oldAge {
+		t.Fatal("insert did not clone the touched property")
 	}
 	after := age.EntityRowsInRange(45, 65)
 	if len(after) != len(before)+1 {
@@ -192,8 +200,14 @@ func TestSelectivityCacheInvalidation(t *testing.T) {
 	if !found {
 		t.Error("post-insert range rows missing the new entity")
 	}
+	// The retired epoch's handle still answers pre-insert (snapshot
+	// isolation), and its re-stored entry is keyed by the retired
+	// identity — the new epoch can never be served from it.
+	if got := oldAge.EntityRowsInRange(45, 65); len(got) != len(before) {
+		t.Errorf("retired epoch's row set changed: %d want %d", len(got), len(before))
+	}
 
-	// Fact inserts must invalidate derived-row memos too.
+	// Fact inserts must retire derived-row memos too.
 	ptg := info.DerivedByAttr("movie:genre")
 	if ptg == nil {
 		t.Fatal("movie:genre derived property missing")
@@ -207,20 +221,28 @@ func TestSelectivityCacheInvalidation(t *testing.T) {
 	if cache.Generation() == gen1 {
 		t.Error("InsertFact did not bump the cache generation")
 	}
-	postRows := ptg.EntityRowsWithStrength("Drama", 1)
+	ptg2 := a.Entity("person").DerivedByAttr("movie:genre")
+	if ptg2 == ptg {
+		t.Fatal("fact insert did not clone the derived property")
+	}
+	postRows := ptg2.EntityRowsWithStrength("Drama", 1)
 	if len(postRows) != len(preRows)+1 {
 		t.Errorf("post-fact Drama rows = %v want one more than %v", postRows, preRows)
 	}
 	if !sort.IntsAreSorted(postRows) {
 		t.Errorf("post-fact rows not sorted: %v", postRows)
 	}
+	if got := ptg.EntityRowsWithStrength("Drama", 1); len(got) != len(preRows) {
+		t.Errorf("retired derived row set changed: %v want %v", got, preRows)
+	}
 	rebuildAndCompare(t, a)
 }
 
 // TestPerPropertyInvalidation is the acceptance check of the
-// per-property generation scheme: an insert touching only relation A
-// leaves cached entries for properties of relation B live, and only the
-// generations of the touched properties move.
+// copy-on-write per-property scheme: an insert touching only relation A
+// leaves cached entries for properties of relation B live (B's
+// properties keep their identities across the epoch publish), while A's
+// properties are republished as clones and their entries evicted.
 func TestPerPropertyInvalidation(t *testing.T) {
 	a, err := Build(fixtureDB(), DefaultConfig())
 	if err != nil {
@@ -240,26 +262,27 @@ func TestPerPropertyInvalidation(t *testing.T) {
 	if cache.Len() != 2 {
 		t.Fatalf("cache primed with %d entries, want 2", cache.Len())
 	}
-	ageGen0, yearGen0 := age.StatsGeneration(), year.StatsGeneration()
 
-	// Insert into person: only person's properties go stale.
+	// Insert into person: only person's properties are republished.
 	err = a.InsertEntity("person",
 		relation.IntVal(7), relation.StringVal("New Actor"),
 		relation.StringVal("Male"), relation.IntVal(50), relation.IntVal(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if age.StatsGeneration() == ageGen0 {
-		t.Error("person insert did not move the person property generation")
+	person2 := a.Entity("person")
+	if person2.BasicByAttr("age") == age {
+		t.Error("person insert did not republish the person property")
 	}
-	if year.StatsGeneration() != yearGen0 {
-		t.Error("person insert moved the movie property generation")
+	year2 := a.Entity("movie").BasicByAttr("year")
+	if year2 != year {
+		t.Error("person insert republished the movie property")
 	}
 	if cache.Len() != 1 {
 		t.Errorf("cache has %d entries after person insert, want only the movie entry", cache.Len())
 	}
 	h0, _ := cache.Metrics()
-	got := year.EntityRowsInRange(2000, 2003)
+	got := year2.EntityRowsInRange(2000, 2003)
 	if h1, _ := cache.Metrics(); h1 != h0+1 {
 		t.Error("movie row set was not served from cache after a person insert")
 	}
@@ -267,30 +290,32 @@ func TestPerPropertyInvalidation(t *testing.T) {
 		t.Errorf("movie row set changed across a person insert: %v vs %v", got, yearRows)
 	}
 
-	// A fact insert shifts only the properties routed through that fact:
-	// the direct age and year properties stay live, the derived
-	// movie:genre property goes stale.
-	_ = age.EntityRowsInRange(45, 65) // re-prime person.age
-	ptg := person.DerivedByAttr("movie:genre")
+	// A fact insert republishes only the properties routed through that
+	// fact: the direct age and year properties keep their identities
+	// (and live cache entries), the derived movie:genre property is
+	// cloned and its entry evicted.
+	age2 := person2.BasicByAttr("age")
+	_ = age2.EntityRowsInRange(45, 65) // prime person.age on the current epoch
+	ptg := person2.DerivedByAttr("movie:genre")
 	if ptg == nil {
 		t.Fatal("movie:genre derived property missing")
 	}
 	_ = ptg.EntityRowsWithStrength("Drama", 1)
-	ageGen1, ptgGen0 := age.StatsGeneration(), ptg.StatsGeneration()
 	if cache.Len() != 3 {
 		t.Fatalf("cache primed with %d entries, want 3", cache.Len())
 	}
 	if err := a.InsertFact("castinfo", relation.IntVal(3), relation.IntVal(13)); err != nil {
 		t.Fatal(err)
 	}
-	if ptg.StatsGeneration() == ptgGen0 {
-		t.Error("fact insert did not move the derived property generation")
+	person3 := a.Entity("person")
+	if person3.DerivedByAttr("movie:genre") == ptg {
+		t.Error("fact insert did not republish the derived property")
 	}
-	if age.StatsGeneration() != ageGen1 {
-		t.Error("fact insert moved the direct age property generation")
+	if person3.BasicByAttr("age") != age2 {
+		t.Error("fact insert republished the direct age property")
 	}
-	if year.StatsGeneration() != yearGen0 {
-		t.Error("fact insert moved the movie.year property generation")
+	if a.Entity("movie").BasicByAttr("year") != year {
+		t.Error("fact insert republished the movie.year property")
 	}
 	if cache.Len() != 2 {
 		t.Errorf("cache has %d entries after fact insert, want age and year live", cache.Len())
@@ -298,45 +323,48 @@ func TestPerPropertyInvalidation(t *testing.T) {
 	rebuildAndCompare(t, a)
 }
 
-// TestStaleComputeNotCached regresses the store/invalidate race: a
-// compute that started before an invalidation must not publish its
-// result afterwards.
-func TestStaleComputeNotCached(t *testing.T) {
+// TestRetiredEntriesNotServed pins the epoch-keyed cache contract: a
+// property clone (fresh identity) can never be served an entry computed
+// for the retired identity, eviction deletes exactly the retired keys,
+// and a retired identity can never re-enter the cache afterwards (the
+// no-leak guarantee for readers still pinned to retired epochs).
+func TestRetiredEntriesNotServed(t *testing.T) {
 	c := NewSelCache()
-	prop := new(int)
-	key := SelKey{Prop: prop, Value: "v"}
+	retired, clone := new(int), new(int)
+	c.Register(retired) // build-time registration
 	computes := 0
-	got := c.Rows(key, func() []int {
-		computes++
-		c.InvalidateProps(prop) // an insert lands while compute is in flight
-		return []int{1, 2}
-	})
-	if !reflect.DeepEqual(got, []int{1, 2}) {
-		t.Fatalf("Rows returned %v, want the computed result", got)
+	pre := c.Rows(SelKey{Prop: retired, Value: "v"}, func() []int { computes++; return []int{1, 2} })
+	if !reflect.DeepEqual(pre, []int{1, 2}) {
+		t.Fatalf("Rows returned %v", pre)
 	}
+	// The publish step retires the old identity and admits the clone.
+	c.ReplaceProps([]any{retired}, []any{clone})
 	if c.Len() != 0 {
-		t.Fatal("stale compute result was cached")
+		t.Fatal("retired entry survived eviction")
 	}
-	got = c.Rows(key, func() []int { computes++; return []int{1, 2, 3} })
-	if computes != 2 {
-		t.Fatalf("computes=%d want 2 (stale entry served?)", computes)
+	// The clone's lookup must recompute, never alias the retired entry.
+	post := c.Rows(SelKey{Prop: clone, Value: "v"}, func() []int { computes++; return []int{1, 2, 3} })
+	if computes != 2 || !reflect.DeepEqual(post, []int{1, 2, 3}) {
+		t.Fatalf("clone served retired state: computes=%d rows=%v", computes, post)
 	}
-	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
-		t.Fatalf("post-insert Rows=%v", got)
+	// A reader still pinned to the retired epoch recomputes correct
+	// answers but can no longer store: the retired identity must not
+	// re-enter the cache (it would never be swept again).
+	re := c.Rows(SelKey{Prop: retired, Value: "v"}, func() []int { computes++; return []int{1, 2} })
+	if computes != 3 || !reflect.DeepEqual(re, []int{1, 2}) {
+		t.Fatalf("retired-epoch recompute wrong: computes=%d rows=%v", computes, re)
 	}
-	if got = c.Rows(key, func() []int { computes++; return nil }); computes != 2 || !reflect.DeepEqual(got, []int{1, 2, 3}) {
-		t.Fatalf("clean store did not stick: computes=%d rows=%v", computes, got)
+	if c.Len() != 1 {
+		t.Fatalf("retired identity re-entered the cache: %d entries want 1", c.Len())
 	}
-
-	// A whole-cache wipe must drop in-flight stores too, even for
-	// properties the cache has never seen before.
-	fresh := new(int)
-	c.Rows(SelKey{Prop: fresh, Value: "w"}, func() []int {
-		c.Invalidate()
-		return []int{9}
-	})
+	// The clone's entry is live and undisturbed.
+	if got := c.Rows(SelKey{Prop: clone, Value: "v"}, func() []int { computes++; return nil }); computes != 3 || !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("clone entry disturbed: computes=%d rows=%v", computes, got)
+	}
+	// Full wipe still works for whole-αDB resets.
+	c.Invalidate()
 	if c.Len() != 0 {
-		t.Fatal("wipe-raced compute result was cached")
+		t.Fatal("wipe left entries")
 	}
 }
 

@@ -19,7 +19,7 @@ import (
 // one fact pair can dominate the offline phase otherwise. Everything
 // built here is task-local; finishEntity registers the derived relations
 // and indexes after the parallel phase.
-func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey) ([]*BasicProperty, []*DerivedProperty, []func() error, error) {
+func (a *Epoch) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey) ([]*BasicProperty, []*DerivedProperty, []func() error, error) {
 	via := a.DB.Relation(fkToVia.RefRelation)
 	if via.PrimaryKey == "" || via.Column(via.PrimaryKey).Type != relation.Int {
 		return nil, nil, nil, nil
@@ -231,7 +231,7 @@ func (a *AlphaDB) buildDerivedProperties(info *EntityInfo, fact1 string, fkToMe,
 
 // entityDisplayColumn resolves the display column of an entity relation
 // for entity-association properties.
-func (a *AlphaDB) entityDisplayColumn(ent *relation.Relation) string {
+func (a *Epoch) entityDisplayColumn(ent *relation.Relation) string {
 	if c, ok := a.cfg.DisplayColumn[ent.Name]; ok {
 		return c
 	}
@@ -245,7 +245,7 @@ func (a *AlphaDB) entityDisplayColumn(ent *relation.Relation) string {
 
 // buildEntityAssocProperty creates the multi-valued basic property
 // holding the display values of the entities associated through fact1.
-func (a *AlphaDB) buildEntityAssocProperty(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey, via *relation.Relation, adjacency [][]int) *BasicProperty {
+func (a *Epoch) buildEntityAssocProperty(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey, via *relation.Relation, adjacency [][]int) *BasicProperty {
 	valCol := a.entityDisplayColumn(via)
 	if valCol == "" {
 		return nil
@@ -284,7 +284,7 @@ func (a *AlphaDB) buildEntityAssocProperty(info *EntityInfo, fact1 string, fkToM
 // newDerived initializes a DerivedProperty shell. The relation name is
 // tentative — finishEntity resolves collisions when it registers the
 // materialized relation into the derived database.
-func (a *AlphaDB) newDerived(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey, target AccessPath, attr string) *DerivedProperty {
+func (a *Epoch) newDerived(info *EntityInfo, fact1 string, fkToMe, fkToVia relation.ForeignKey, target AccessPath, attr string) *DerivedProperty {
 	return &DerivedProperty{
 		Entity:         info.Relation,
 		Via:            fkToVia.RefRelation,
@@ -317,7 +317,7 @@ func sanitizeRelName(attr string) string {
 // in-Go equivalent of the paper's Q6 CREATE TABLE ... GROUP BY). The
 // relation and its entity index stay task-local until finishEntity
 // registers them.
-func (a *AlphaDB) materializeDerived(info *EntityInfo, p *DerivedProperty, adjacency [][]int, counts func(viaRows []int) map[int32]int, decode func(int32) string) error {
+func (a *Epoch) materializeDerived(info *EntityInfo, p *DerivedProperty, adjacency [][]int, counts func(viaRows []int) map[int32]int, decode func(int32) string) error {
 	rel := relation.New(p.RelName,
 		relation.Col("entity_id", relation.Int),
 		relation.Col("value", relation.String),

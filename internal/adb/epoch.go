@@ -1,0 +1,358 @@
+package adb
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squid/internal/index"
+	"squid/internal/relation"
+)
+
+// Epoch is one immutable, atomically published state of the αDB: the
+// base and derived databases, per-entity semantic properties with their
+// statistics, the per-epoch index view, and the per-relation row counts
+// that pin the shared inverted index and dictionaries to this state.
+//
+// Readers (discovery, engine execution, stats, snapshot encode) load
+// the current epoch once with AlphaDB.Snapshot and run wait-free
+// against it: no lock is taken, no writer can stall them, and every
+// answer — selectivity, row sets, query output — reflects exactly the
+// state at publish time (snapshot isolation). Writers never mutate a
+// published epoch; they build the next one copy-on-write (cloning only
+// the relations, per-property statistics, and index shards the batch
+// touches, structurally sharing everything else) and publish it with
+// one pointer swap.
+//
+// Two structures are shared across epochs instead of cloned, because
+// they are append-only with stable identities: the column dictionaries
+// (codes never change meaning; an epoch only references codes that
+// existed at its publish) and the inverted index (postings carry row
+// numbers, and epoch-pinned lookups filter by the epoch's row counts).
+// Both are internally synchronized for the duration of a map insert,
+// never for the duration of a discovery.
+type Epoch struct {
+	DB       *relation.Database
+	Inverted *index.Inverted
+	Entities map[string]*EntityInfo
+
+	// Indexes is this epoch's hash-index view over base and derived
+	// relations: every point lookup of the online phase (dimension
+	// resolution, engine predicate pushdown) is served from here.
+	// Indexes are immutable once visible; cold ones build lazily.
+	Indexes *index.IndexSet
+
+	// DerivedDB holds the materialized derived relations (Fig 18's
+	// "precomputed DB size" reports its footprint).
+	DerivedDB *relation.Database
+	// BuildTime is the offline precomputation wall time.
+	BuildTime time.Duration
+
+	cfg      Config
+	selCache *SelCache
+
+	// seq is the epoch sequence number (0 for a fresh build/load);
+	// publishedAt is when the epoch became current.
+	seq         uint64
+	publishedAt time.Time
+	// rowCounts snapshots every base relation's row count at publish:
+	// the filter that pins shared inverted-index lookups (and snapshot
+	// encodes) to this epoch.
+	rowCounts map[string]int
+
+	combinedOnce sync.Once
+	combined     *relation.Database
+}
+
+// Seq returns the epoch sequence number.
+func (a *Epoch) Seq() uint64 { return a.seq }
+
+// PublishedAt returns when this epoch became the current one.
+func (a *Epoch) PublishedAt() time.Time { return a.publishedAt }
+
+// Entity returns the EntityInfo for a relation name, or nil.
+func (a *Epoch) Entity(name string) *EntityInfo { return a.Entities[name] }
+
+// Config returns the build configuration.
+func (a *Epoch) Config() Config { return a.cfg }
+
+// SelectivityCache exposes the memoized selectivity/row-set cache
+// shared by every epoch of this αDB.
+func (a *Epoch) SelectivityCache() *SelCache { return a.selCache }
+
+// rowLimit bounds shared inverted-index reads to this epoch's rows.
+func (a *Epoch) rowLimit(rel string) int { return a.rowCounts[rel] }
+
+// CommonColumns resolves example values to candidate (relation, column)
+// matches through the shared inverted index, pinned to this epoch: rows
+// appended after the epoch was published are invisible.
+func (a *Epoch) CommonColumns(values []string) []index.ColumnMatch {
+	return a.Inverted.CommonColumns(values, a.rowLimit)
+}
+
+// InvertedLookup returns the epoch-pinned postings of one value.
+func (a *Epoch) InvertedLookup(value string) []index.Posting {
+	return a.Inverted.LookupBelow(value, a.rowLimit)
+}
+
+// snapshotRowCounts records every base relation's current row count.
+func snapshotRowCounts(db *relation.Database) map[string]int {
+	counts := make(map[string]int, db.NumRelations())
+	for _, name := range db.RelationNames() {
+		counts[name] = db.Relation(name).NumRows()
+	}
+	return counts
+}
+
+// AlphaDB is the abduction-ready database handle: it owns the chain of
+// immutable epochs plus the write machinery that advances it.
+//
+// Reads are wait-free: Snapshot returns the current *Epoch via an
+// atomic pointer load, and all read surfaces (Entity, CombinedDB,
+// ComputeStats, Encode, and squid.System's discovery and execution
+// paths) operate on one pinned epoch. Writes (InsertEntity, InsertFact,
+// InsertBatch) coordinate per relation: a writer locks only the write
+// domain of the relations its batch touches — inserts into disjoint
+// relations build their copy-on-write epochs in parallel — and the
+// publish step combines concurrent writers' epochs into one chain
+// (each publish is a single pointer swap; a writer that finds the
+// current epoch moved past its base rebases its disjoint changes onto
+// the newer epoch instead of serializing the whole apply).
+type AlphaDB struct {
+	cur atomic.Pointer[Epoch]
+
+	// publishMu serializes the (cheap) epoch publish step — the
+	// combiner. The expensive copy-on-write apply runs outside it,
+	// guarded only by the per-relation writer locks below.
+	publishMu sync.Mutex
+	// writeMu holds one writer lock per base relation; a write locks
+	// the sorted union of its relations' domains, so writers of
+	// disjoint relations never contend.
+	writeMu map[string]*sync.Mutex
+	// domains maps each writable relation to the relation names its
+	// inserts may read or write (the entity relations a fact
+	// references, second-hop fact tables of derived walks, ...),
+	// sorted. Entity relations map to themselves.
+	domains map[string][]string
+
+	// inverted and selCache are the shared-across-epochs structures;
+	// cfg and BuildTime are build-time constants.
+	inverted *index.Inverted
+	selCache *SelCache
+	cfg      Config
+	// BuildTime is the offline precomputation wall time.
+	BuildTime time.Duration
+
+	publishes atomic.Uint64
+	combines  atomic.Uint64
+}
+
+// newAlphaDB wraps a freshly built or decoded epoch into a handle.
+func newAlphaDB(e *Epoch) *AlphaDB {
+	a := &AlphaDB{
+		inverted:  e.Inverted,
+		selCache:  e.selCache,
+		cfg:       e.cfg,
+		BuildTime: e.BuildTime,
+	}
+	// Register every property identity as live with the shared cache;
+	// the publish step keeps the set current as clones replace them.
+	for _, info := range e.Entities {
+		for _, p := range info.Basic {
+			e.selCache.Register(p)
+		}
+		for _, p := range info.Derived {
+			e.selCache.Register(p)
+		}
+	}
+	if e.rowCounts == nil {
+		e.rowCounts = snapshotRowCounts(e.DB)
+	}
+	e.publishedAt = time.Now()
+	a.cur.Store(e)
+	a.initWriteDomains(e)
+	return a
+}
+
+// Snapshot returns the current epoch: one atomic load, no lock. The
+// returned epoch is immutable — hold it for as long as a consistent
+// view is needed (a discovery, a stats scrape, a snapshot encode);
+// holding it only retains memory, it never blocks writers.
+func (a *AlphaDB) Snapshot() *Epoch { return a.cur.Load() }
+
+// Entity returns the current epoch's EntityInfo for a relation name.
+// The result is pinned to that epoch: it keeps answering from the
+// statistics it was fetched under, even across later inserts.
+func (a *AlphaDB) Entity(name string) *EntityInfo { return a.Snapshot().Entity(name) }
+
+// DB returns the current epoch's base database.
+func (a *AlphaDB) DB() *relation.Database { return a.Snapshot().DB }
+
+// EphemeralEntity is Epoch.EphemeralEntity on the current epoch.
+func (a *AlphaDB) EphemeralEntity(name string) *EntityInfo {
+	return a.Snapshot().EphemeralEntity(name)
+}
+
+// CombinedDB returns the current epoch's combined database.
+func (a *AlphaDB) CombinedDB() *relation.Database { return a.Snapshot().CombinedDB() }
+
+// SelectivityCache exposes the memoized selectivity/row-set cache shared
+// by every epoch of this αDB (monitoring and test surface).
+func (a *AlphaDB) SelectivityCache() *SelCache { return a.selCache }
+
+// Config returns the build configuration.
+func (a *AlphaDB) Config() Config { return a.cfg }
+
+// EpochStats reports the epoch chain's health: the current sequence
+// number, when it was published, and the cumulative publish/combine
+// counters (a combine is a publish that rebased onto an epoch another
+// writer published concurrently).
+type EpochStats struct {
+	Seq         uint64
+	PublishedAt time.Time
+	Publishes   uint64
+	Combines    uint64
+}
+
+// EpochStats returns the current epoch counters.
+func (a *AlphaDB) EpochStats() EpochStats {
+	e := a.Snapshot()
+	return EpochStats{
+		Seq:         e.seq,
+		PublishedAt: e.publishedAt,
+		Publishes:   a.publishes.Load(),
+		Combines:    a.combines.Load(),
+	}
+}
+
+// initWriteDomains precomputes each relation's write domain and writer
+// lock. A fact insert reads and writes beyond its own relation: the
+// referenced entity relations (their property statistics), and — for
+// derived properties whose aggregation walks a second fact table — that
+// second fact table's rows. Everything else it touches (dimension
+// relations, the shared inverted index and dictionaries) is either
+// never written or internally synchronized.
+func (a *AlphaDB) initWriteDomains(e *Epoch) {
+	a.writeMu = make(map[string]*sync.Mutex, e.DB.NumRelations())
+	a.domains = make(map[string][]string, e.DB.NumRelations())
+	for _, name := range e.DB.RelationNames() {
+		a.writeMu[name] = &sync.Mutex{}
+	}
+	for _, name := range e.DB.RelationNames() {
+		if e.DB.Kind(name) != relation.KindUnknown {
+			// Entity relations form their own domain; property
+			// (dimension) relations are never written but get one for
+			// uniformity.
+			a.domains[name] = []string{name}
+			continue
+		}
+		set := map[string]bool{name: true}
+		rel := e.DB.Relation(name)
+		for _, fk := range rel.Foreign {
+			info := e.Entities[fk.RefRelation]
+			if info == nil {
+				continue
+			}
+			set[fk.RefRelation] = true
+			for _, p := range info.Derived {
+				if p.Fact1 == name && p.Target.Type == FactDim {
+					set[p.Target.Fact] = true
+				}
+			}
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		a.domains[name] = keys
+	}
+}
+
+// lockDomains acquires the writer locks covering every given relation's
+// write domain, in global sorted order (deadlock-free), and returns the
+// unlock function. Unknown relation names contribute nothing — their
+// inserts fail before mutating anything.
+func (a *AlphaDB) lockDomains(rels []string) func() {
+	set := make(map[string]bool)
+	for _, rel := range rels {
+		domain, ok := a.domains[rel]
+		if !ok {
+			continue
+		}
+		for _, k := range domain {
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a.writeMu[k].Lock()
+	}
+	return func() {
+		for i := len(keys) - 1; i >= 0; i-- {
+			a.writeMu[keys[i]].Unlock()
+		}
+	}
+}
+
+// publish makes the builder's copy-on-write changes the current epoch.
+// It is the epoch combiner: under publishMu (held only for the cheap
+// merge, never the apply), the builder's per-relation deltas are laid
+// over whatever epoch is current — the base it cloned from on the fast
+// path, or a newer epoch published by a concurrent disjoint writer, in
+// which case the merge combines both writers' changes (their domains
+// cannot overlap, the per-relation locks guarantee it). One atomic
+// store publishes the result; retired epochs stay valid for the
+// readers still pinning them and are garbage collected when the last
+// such reader drops its pointer.
+func (a *AlphaDB) publish(eb *epochBuilder) {
+	if !eb.dirty() {
+		return
+	}
+	eb.finalize()
+	a.publishMu.Lock()
+	defer a.publishMu.Unlock()
+	cur := a.cur.Load()
+	if cur != eb.base {
+		a.combines.Add(1)
+	}
+	entities := make(map[string]*EntityInfo, len(cur.Entities))
+	for name, info := range cur.Entities {
+		entities[name] = info
+	}
+	for name, info := range eb.entities {
+		entities[name] = info
+	}
+	rowCounts := make(map[string]int, len(cur.rowCounts))
+	for name, n := range cur.rowCounts {
+		rowCounts[name] = n
+	}
+	for name, n := range eb.rowCounts {
+		rowCounts[name] = n
+	}
+	next := &Epoch{
+		DB:          cur.DB.CloneWith(eb.baseRels),
+		Inverted:    cur.Inverted,
+		Entities:    entities,
+		Indexes:     eb.idx.MergeInto(cur.Indexes),
+		DerivedDB:   cur.DerivedDB.CloneWith(eb.derivedRels),
+		BuildTime:   cur.BuildTime,
+		cfg:         cur.cfg,
+		selCache:    cur.selCache,
+		seq:         cur.seq + 1,
+		publishedAt: time.Now(),
+		rowCounts:   rowCounts,
+	}
+	// Retire the replaced properties from the shared cache (their
+	// entries evict, and de-registration stops late in-flight computes
+	// from re-inserting them) and admit the clones in the same critical
+	// section.
+	a.selCache.ReplaceProps(eb.oldProps, eb.newProps)
+	a.cur.Store(next)
+	a.publishes.Add(1)
+}

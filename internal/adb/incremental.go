@@ -8,76 +8,285 @@ import (
 	"squid/internal/relation"
 )
 
-// This file implements one of the paper's §9 future directions:
-// efficient αDB maintenance for dynamic datasets. Instead of rebuilding
-// the αDB after data changes, InsertEntity and InsertFact apply the
-// delta to the affected per-property statistics, derived relations, and
-// indexes. Only inserts are supported (append-only maintenance), which
-// covers the common catalog-growth workload; deletions still require a
-// rebuild.
+// This file implements one of the paper's §9 future directions —
+// efficient αDB maintenance for dynamic datasets — as a copy-on-write
+// epoch writer. Instead of rebuilding the αDB (or mutating it under a
+// global lock), an insert batch builds the next epoch: it clones
+// exactly the relations, per-property statistics, and index shards the
+// batch touches, structurally shares everything else with the base
+// epoch, applies the same per-row delta logic as before to the private
+// clones, and publishes the result with one atomic pointer swap
+// (AlphaDB.publish). Readers pinned to older epochs are never stalled
+// and never observe a half-applied batch. Only inserts are supported
+// (append-only maintenance), which covers the common catalog-growth
+// workload; deletions still require a rebuild.
 //
-// Every insert runs under the αDB's exclusive epoch lock (AlphaDB.mu),
-// so it is safe to call concurrently with discovery: readers pin the
-// pre- or post-insert epoch, never a half-applied one. Each insert
-// reports the properties whose statistics it shifted, and only those
-// properties' selectivity-cache entries are invalidated — memoized row
-// sets of untouched relations stay live through sustained ingest.
+// Writers coordinate per relation: each insert locks only the write
+// domain of the relations it touches (AlphaDB.lockDomains), so inserts
+// into disjoint relations build their epochs in parallel and the
+// publish combiner merges them into one chain.
 
-// InsertEntity appends a new row to an entity relation and updates the
-// αDB's statistics for that entity's direct and FK-dimension properties.
-// The row's values must match the relation schema. Safe to call
-// concurrently with discovery (it takes the αDB's write lock).
+// epochBuilder accumulates one writer's copy-on-write changes against
+// a base epoch. Privatization is lazy and per-structure: the first
+// touch of a relation, property, or index shard clones it; later
+// touches in the same batch mutate the private clone in place. Inner
+// row lists are shared with the base and only ever appended past the
+// base's lengths — in-place mutations (derived-count bumps, mid-list
+// insertions) always copy the affected list out first.
+type epochBuilder struct {
+	base *Epoch
+	idx  *index.IndexDelta
+
+	baseRels    map[string]*relation.Relation // privatized base relations
+	derivedRels map[string]*relation.Relation // privatized derived relations
+	entities    map[string]*EntityInfo        // privatized entity infos
+	isPriv      map[any]bool                  // clones created by this builder
+	oldProps    []any                         // replaced property identities
+	newProps    []any                         // their clones, admitted at publish
+	rowCounts   map[string]int                // updated base-relation row counts
+}
+
+func newEpochBuilder(base *Epoch) *epochBuilder {
+	return &epochBuilder{
+		base:        base,
+		idx:         index.NewIndexDelta(base.Indexes),
+		baseRels:    make(map[string]*relation.Relation),
+		derivedRels: make(map[string]*relation.Relation),
+		entities:    make(map[string]*EntityInfo),
+		isPriv:      make(map[any]bool),
+		rowCounts:   make(map[string]int),
+	}
+}
+
+// dirty reports whether the builder changed anything worth publishing.
+func (eb *epochBuilder) dirty() bool {
+	return len(eb.baseRels) > 0 || len(eb.derivedRels) > 0 || len(eb.entities) > 0
+}
+
+// finalize rebuilds the attribute maps of privatized entities (their
+// clones still index the base's property pointers) before publish.
+func (eb *epochBuilder) finalize() {
+	for _, info := range eb.entities {
+		info.buildAttrMaps()
+	}
+}
+
+// baseRel privatizes a base relation for appends.
+func (eb *epochBuilder) baseRel(name string) *relation.Relation {
+	if r := eb.baseRels[name]; r != nil {
+		return r
+	}
+	r := eb.base.DB.Relation(name)
+	if r == nil {
+		return nil
+	}
+	r = r.CloneForWrite()
+	eb.baseRels[name] = r
+	return r
+}
+
+// derivedRel privatizes a derived relation; the count column gets a
+// deep copy because bumps overwrite existing cells in place.
+func (eb *epochBuilder) derivedRel(name string) *relation.Relation {
+	if r := eb.derivedRels[name]; r != nil {
+		return r
+	}
+	r := eb.base.DerivedDB.Relation(name)
+	if r == nil {
+		return nil
+	}
+	r = r.CloneForWrite("count")
+	eb.derivedRels[name] = r
+	return r
+}
+
+// viewRel returns the batch's view of a base relation: the private
+// clone when this writer already touched it, the base's otherwise.
+func (eb *epochBuilder) viewRel(name string) *relation.Relation {
+	if r := eb.baseRels[name]; r != nil {
+		return r
+	}
+	return eb.base.DB.Relation(name)
+}
+
+// entity privatizes an EntityInfo: a shallow clone with its own
+// property slices, so the builder can swap in property clones.
+func (eb *epochBuilder) entity(name string) *EntityInfo {
+	if info := eb.entities[name]; info != nil {
+		return info
+	}
+	old := eb.base.Entities[name]
+	if old == nil {
+		return nil
+	}
+	q := *old
+	q.Basic = append([]*BasicProperty(nil), old.Basic...)
+	q.Derived = append([]*DerivedProperty(nil), old.Derived...)
+	eb.entities[name] = &q
+	return &q
+}
+
+// viewEntity returns the batch's view of an entity (private clone or
+// base), for lookups that must see rows inserted earlier in the batch.
+func (eb *epochBuilder) viewEntity(name string) *EntityInfo {
+	if info := eb.entities[name]; info != nil {
+		return info
+	}
+	return eb.base.Entities[name]
+}
+
+// privBasic privatizes the i-th basic property of a (privatized)
+// entity; idempotent within the batch.
+func (eb *epochBuilder) privBasic(info *EntityInfo, i int) *BasicProperty {
+	p := info.Basic[i]
+	if eb.isPriv[p] {
+		return p
+	}
+	q := p.cloneForWrite()
+	eb.isPriv[q] = true
+	eb.oldProps = append(eb.oldProps, p)
+	eb.newProps = append(eb.newProps, q)
+	info.Basic[i] = q
+	return q
+}
+
+// privDerived privatizes the i-th derived property of a (privatized)
+// entity; idempotent within the batch.
+func (eb *epochBuilder) privDerived(info *EntityInfo, i int) *DerivedProperty {
+	p := info.Derived[i]
+	if eb.isPriv[p] {
+		return p
+	}
+	q := p.cloneForWrite()
+	eb.isPriv[q] = true
+	eb.oldProps = append(eb.oldProps, p)
+	eb.newProps = append(eb.newProps, q)
+	info.Derived[i] = q
+	return q
+}
+
+// InsertEntity appends a row to an entity relation and publishes the
+// next epoch with that entity's statistics maintained (the §9
+// dynamic-dataset extension). Safe to call concurrently with discovery
+// (readers are wait-free on their pinned epochs) and with inserts into
+// other relations (per-relation writer locks).
 func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	touched, err := a.insertEntityLocked(entityRel, vals)
-	a.selCache.InvalidateProps(touched...)
+	unlock := a.lockDomains([]string{entityRel})
+	defer unlock()
+	eb := newEpochBuilder(a.Snapshot())
+	err := eb.insertEntity(entityRel, vals)
+	a.publish(eb)
 	return err
 }
 
-// insertEntityLocked applies one entity-row insert under the held write
-// lock and returns the properties whose statistics shifted — every
-// property of the entity, since the selectivity denominator |R| grew.
-func (a *AlphaDB) insertEntityLocked(entityRel string, vals []relation.Value) ([]any, error) {
-	info := a.Entities[entityRel]
-	if info == nil {
-		return nil, fmt.Errorf("adb: %q is not an entity relation", entityRel)
+// InsertFact appends a row to a fact relation and publishes the next
+// epoch with the affected derived relations and statistics maintained.
+// The fact relation must have been present at Build time. Safe to call
+// concurrently with discovery and with inserts into disjoint relations.
+func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
+	unlock := a.lockDomains([]string{factRel})
+	defer unlock()
+	eb := newEpochBuilder(a.Snapshot())
+	err := eb.insertFact(factRel, vals)
+	a.publish(eb)
+	return err
+}
+
+// InsertOp describes one row of an InsertBatch: the target relation
+// (entity or fact, dispatched automatically) and its values.
+type InsertOp struct {
+	Rel  string
+	Vals []relation.Value
+}
+
+// InsertBatch appends many rows — entity and fact rows may be mixed —
+// into one copy-on-write epoch, amortizing the structure clones and
+// the publish over the whole batch: the touched relations' statistics
+// are cloned once per batch, not once per row, and readers observe the
+// batch atomically (all rows or, before the publish, none). Rows apply
+// in order; on the first failure the batch stops, already-applied rows
+// are still published (append-only maintenance has no rollback), and
+// the error reports the failing row's index.
+func (a *AlphaDB) InsertBatch(ops []InsertOp) error {
+	if len(ops) == 0 {
+		return nil
 	}
-	rel := info.rel
-	pkIdx := rel.ColumnIndex(rel.PrimaryKey)
+	rels := make([]string, len(ops))
+	for i, op := range ops {
+		rels[i] = op.Rel
+	}
+	unlock := a.lockDomains(rels)
+	defer unlock()
+	eb := newEpochBuilder(a.Snapshot())
+	var firstErr error
+	for i, op := range ops {
+		var err error
+		if eb.base.Entities[op.Rel] != nil {
+			err = eb.insertEntity(op.Rel, op.Vals)
+		} else {
+			err = eb.insertFact(op.Rel, op.Vals)
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("adb: batch insert %d into %q: %w", i, op.Rel, err)
+			break
+		}
+	}
+	a.publish(eb)
+	return firstErr
+}
+
+// insertEntity applies one entity-row insert to the builder's clones:
+// every property of the entity shifts (the selectivity denominator |R|
+// grew), so all of them privatize — but only of this entity; other
+// relations' properties keep their identities and their cached row
+// sets.
+func (eb *epochBuilder) insertEntity(entityRel string, vals []relation.Value) error {
+	if eb.base.Entities[entityRel] == nil {
+		return fmt.Errorf("adb: %q is not an entity relation", entityRel)
+	}
+	// Validate against the batch's view BEFORE privatizing anything, so
+	// a rejected row (duplicate or NULL key, arity or type mismatch)
+	// leaves the builder clean: no ragged clone, no data-identical
+	// epoch published for it.
+	view := eb.viewRel(entityRel)
+	pkIdx := view.ColumnIndex(view.PrimaryKey)
 	if pkIdx < 0 || pkIdx >= len(vals) {
-		return nil, fmt.Errorf("adb: insert into %q lacks a primary key value", entityRel)
+		return fmt.Errorf("adb: insert into %q lacks a primary key value", entityRel)
+	}
+	if err := view.ValidateRow(vals); err != nil {
+		return err
 	}
 	pk := vals[pkIdx]
 	if pk.IsNull() {
-		return nil, fmt.Errorf("adb: NULL primary key")
+		return fmt.Errorf("adb: NULL primary key")
 	}
-	if _, dup := info.RowByID(pk.Int()); dup {
-		return nil, fmt.Errorf("adb: duplicate primary key %v in %q", pk, entityRel)
+	if _, dup := eb.viewEntity(entityRel).RowByID(pk.Int()); dup {
+		return fmt.Errorf("adb: duplicate primary key %v in %q", pk, entityRel)
 	}
+	info := eb.entity(entityRel)
+	rel := eb.baseRel(entityRel)
+	info.rel = rel
 	if err := rel.Append(vals...); err != nil {
-		return nil, err
+		return err
 	}
 	row := rel.NumRows() - 1
 	info.NumRows = rel.NumRows()
 	info.rowIDs = append(info.rowIDs, pk.Int())
-	// The shared index pool maintains every materialized index of this
-	// relation (including pkIndex, which lives in the pool) in place.
-	a.Indexes.NoteAppend(rel, row)
+	eb.rowCounts[entityRel] = rel.NumRows()
+	// Privatize and maintain every materialized index of this relation
+	// (including the primary-key index) for the new row.
+	eb.idx.NoteAppend(rel, row)
+	info.pkIndex = eb.idx.ReadIntHash(rel, rel.PrimaryKey)
 
-	// Update basic-property statistics for the new row. The selectivity
-	// denominator |R| grew, so every property of this entity shifted —
-	// but only of this entity: properties of other relations keep their
-	// cached row sets.
-	touched := make([]any, 0, len(info.Basic)+len(info.Derived))
-	for _, p := range info.Basic {
+	// Update basic-property statistics for the new row.
+	for i := range info.Basic {
+		p := eb.privBasic(info, i)
 		p.numEntities = info.NumRows
-		touched = append(touched, p)
 		switch p.Access.Type {
 		case Direct:
-			a.insertDirectValue(p, rel, row)
+			eb.insertDirectValue(p, rel, row)
 		case FKDim:
-			a.insertFKDimValue(p, rel, row)
+			eb.insertFKDimValue(p, rel, row)
 		default:
 			// FactDim/AttrTable properties gain values only via fact
 			// inserts; the new entity simply has none yet.
@@ -86,29 +295,31 @@ func (a *AlphaDB) insertEntityLocked(entityRel string, vals []relation.Value) ([
 			}
 		}
 	}
-	for _, p := range info.Derived {
+	for i := range info.Derived {
+		p := eb.privDerived(info, i)
 		p.numEntities = info.NumRows
-		touched = append(touched, p)
 	}
 
-	// Index the new row's text values for entity lookup.
+	// Index the new row's text values for entity lookup. The posting
+	// becomes visible to epoch-pinned readers only once the publish
+	// raises this relation's row count past it.
 	for _, col := range rel.Columns() {
 		if col.Type != relation.String || col.IsNull(row) {
 			continue
 		}
-		a.Inverted.Insert(col.Str(row), index.Posting{Relation: entityRel, Column: col.Name, Row: row})
+		eb.base.Inverted.Insert(col.Str(row), index.Posting{Relation: entityRel, Column: col.Name, Row: row})
 	}
-	return touched, nil
+	return nil
 }
 
-func (a *AlphaDB) insertDirectValue(p *BasicProperty, rel *relation.Relation, row int) {
+func (eb *epochBuilder) insertDirectValue(p *BasicProperty, rel *relation.Relation, row int) {
 	col := rel.Column(p.Access.Column)
 	if p.Kind == Numeric {
 		p.numByRow = append(p.numByRow, nil)
 		if !col.IsNull(row) {
 			v := col.Float64(row)
 			p.numByRow[row] = &v
-			p.sorted = p.sorted.Insert(v)
+			p.sorted = p.sorted.Insert(v) // private clone: in-place is safe
 			p.numIdx = p.numIdx.Insert(v, row)
 		}
 		return
@@ -121,14 +332,16 @@ func (a *AlphaDB) insertDirectValue(p *BasicProperty, rel *relation.Relation, ro
 	}
 }
 
-func (a *AlphaDB) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row int) {
+func (eb *epochBuilder) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row int) {
 	p.valsByRow = append(p.valsByRow, nil)
 	fkc := rel.Column(p.Access.Column)
 	if fkc.IsNull(row) {
 		return
 	}
-	dim := a.DB.Relation(p.Access.Dim)
-	dimIdx := a.Indexes.IntHash(dim, p.Access.DimPK)
+	// Dimension relations are never written; reading them (and their
+	// lazily built base indexes) needs no privatization.
+	dim := eb.base.DB.Relation(p.Access.Dim)
+	dimIdx := eb.idx.ReadIntHash(dim, p.Access.DimPK)
 	vc := dim.Column(p.Access.DimValueCol)
 	if dimRow, ok := dimIdx.First(fkc.Int64(row)); ok && !vc.IsNull(dimRow) {
 		code := vc.Code(dimRow)
@@ -137,123 +350,80 @@ func (a *AlphaDB) insertFKDimValue(p *BasicProperty, rel *relation.Relation, row
 	}
 }
 
-// InsertFact appends a row to a fact table and incrementally updates the
-// affected fact-dimension basic properties and derived relations of
-// every entity the fact references. The fact relation must have been
-// present at Build time. Safe to call concurrently with discovery (it
-// takes the αDB's write lock).
-func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	touched, err := a.insertFactLocked(factRel, vals)
-	a.selCache.InvalidateProps(touched...)
-	return err
-}
-
-// insertFactLocked applies one fact-row insert under the held write lock
-// and returns the properties whose statistics shifted: only those routed
-// through this fact table for the entities the row references —
-// properties of unrelated relations (and even direct properties of the
-// referenced entities) keep their cached row sets.
-func (a *AlphaDB) insertFactLocked(factRel string, vals []relation.Value) ([]any, error) {
-	fact := a.DB.Relation(factRel)
-	if fact == nil {
-		return nil, fmt.Errorf("adb: unknown fact relation %q", factRel)
+// insertFact applies one fact-row insert to the builder's clones: only
+// the properties routed through this fact table for the entities the
+// row references privatize — properties of unrelated relations (and
+// even direct properties of the referenced entities) keep their
+// identities and cached row sets.
+func (eb *epochBuilder) insertFact(factRel string, vals []relation.Value) error {
+	if eb.base.DB.Relation(factRel) == nil {
+		return fmt.Errorf("adb: unknown fact relation %q", factRel)
 	}
-	if a.DB.Kind(factRel) != relation.KindUnknown {
-		return nil, fmt.Errorf("adb: %q is not a fact relation", factRel)
+	if eb.base.DB.Kind(factRel) != relation.KindUnknown {
+		return fmt.Errorf("adb: %q is not a fact relation", factRel)
 	}
+	// Validate before privatizing: a rejected row must not dirty the
+	// builder (publishing a data-identical epoch) or leave a ragged
+	// clone behind.
+	if err := eb.viewRel(factRel).ValidateRow(vals); err != nil {
+		return err
+	}
+	fact := eb.baseRel(factRel)
 	if err := fact.Append(vals...); err != nil {
-		return nil, err
+		return err
 	}
 	row := fact.NumRows() - 1
-	a.Indexes.NoteAppend(fact, row)
+	eb.rowCounts[factRel] = fact.NumRows()
+	eb.idx.NoteAppend(fact, row)
 
-	var touched []any
 	for _, fk := range fact.Foreign {
-		info := a.Entities[fk.RefRelation]
-		if info == nil {
+		if eb.base.Entities[fk.RefRelation] == nil {
 			continue
 		}
 		fkCol := fact.Column(fk.Column)
 		if fkCol.IsNull(row) {
 			continue
 		}
-		eRow, ok := info.RowByID(fkCol.Int64(row))
+		// Resolve through the batch's view, so a fact can reference an
+		// entity inserted earlier in the same batch.
+		eRow, ok := eb.viewEntity(fk.RefRelation).RowByID(fkCol.Int64(row))
 		if !ok {
 			continue
 		}
+		info := eb.entity(fk.RefRelation)
 		// Fact-dimension basic properties routed through this fact
 		// (including entity-association properties), and attribute-table
 		// properties when the "fact" is a single-FK side table.
-		for _, p := range info.Basic {
+		for i := range info.Basic {
+			p := info.Basic[i]
 			switch {
 			case p.Access.Type == FactDim && p.Access.Fact == factRel && p.Access.FactEntityCol == fk.Column:
-				a.insertFactDimValue(p, fact, row, eRow)
-				touched = append(touched, p)
+				eb.insertFactDimValue(eb.privBasic(info, i), fact, row, eRow)
 			case p.Access.Type == AttrTable && p.Access.Fact == factRel && p.Access.FactEntityCol == fk.Column:
-				a.insertAttrTableValue(p, fact, row, eRow)
-				touched = append(touched, p)
+				eb.insertAttrTableValue(eb.privBasic(info, i), fact, row, eRow)
 			}
 		}
 		// Derived properties whose first hop is this fact.
-		for _, p := range info.Derived {
-			if p.Fact1 != factRel || p.Fact1EntityCol != fk.Column {
+		for i := range info.Derived {
+			if info.Derived[i].Fact1 != factRel || info.Derived[i].Fact1EntityCol != fk.Column {
 				continue
 			}
-			a.insertDerivedDelta(info, p, fact, row, eRow)
-			touched = append(touched, p)
+			p := eb.privDerived(info, i)
+			eb.insertDerivedDelta(info, p, fact, row, eRow)
 		}
 	}
-	return touched, nil
+	return nil
 }
 
-// InsertOp describes one row of an InsertBatch: the target relation
-// (entity or fact, dispatched automatically) and its values.
-type InsertOp struct {
-	Rel  string
-	Vals []relation.Value
-}
-
-// InsertBatch appends many rows inside one critical section, amortizing
-// the αDB's write lock and the cache invalidation over the whole batch:
-// concurrent discoveries wait once per batch instead of once per row,
-// and each touched property's generation moves once. Rows apply in
-// order; on the first failure the batch stops, already-applied rows
-// stay (append-only maintenance has no rollback), their invalidations
-// are published, and the error reports the failing row's index.
-func (a *AlphaDB) InsertBatch(ops []InsertOp) error {
-	if len(ops) == 0 {
-		return nil
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	touched := make(map[any]struct{})
-	var firstErr error
-	for i, op := range ops {
-		var t []any
-		var err error
-		if a.Entities[op.Rel] != nil {
-			t, err = a.insertEntityLocked(op.Rel, op.Vals)
-		} else {
-			t, err = a.insertFactLocked(op.Rel, op.Vals)
-		}
-		for _, p := range t {
-			touched[p] = struct{}{}
-		}
-		if err != nil {
-			firstErr = fmt.Errorf("adb: batch insert %d into %q: %w", i, op.Rel, err)
-			break
-		}
-	}
-	if len(touched) > 0 {
-		props := make([]any, 0, len(touched))
-		for p := range touched {
-			props = append(props, p)
-		}
-		a.selCache.InvalidateProps(props...)
-	}
-	return firstErr
+// setCatValues re-points the per-entity code list of an existing row:
+// the inner list is shared with the base epoch, so extension copies it
+// out instead of appending into shared backing whose tail position may
+// alias another epoch's view of the same row.
+func setCatValues(p *BasicProperty, eRow int, codes []int32, code int32) {
+	next := make([]int32, len(codes)+1)
+	copy(next, codes)
+	next[len(codes)] = code
+	p.valsByRow[eRow] = next
 }
 
 // addCatValueAt records code for the entity at eRow, inserting into the
@@ -267,13 +437,16 @@ func (p *BasicProperty) addCatValueAt(code int32, eRow int) {
 	p.catRows[code] = insertSortedInt(p.catRows[code], eRow)
 }
 
-func (a *AlphaDB) insertFactDimValue(p *BasicProperty, fact *relation.Relation, factRow, eRow int) {
+func (eb *epochBuilder) insertFactDimValue(p *BasicProperty, fact *relation.Relation, factRow, eRow int) {
 	dimFK := fact.Column(p.Access.FactDimCol)
 	if dimFK.IsNull(factRow) {
 		return
 	}
-	dim := a.DB.Relation(p.Access.Dim)
-	dimIdx := a.Indexes.IntHash(dim, p.Access.DimPK)
+	// The "dimension" of an entity-association property is itself an
+	// entity relation, which this batch may have appended to — resolve
+	// through the batch's view.
+	dim := eb.viewRel(p.Access.Dim)
+	dimIdx := eb.idx.ReadIntHash(dim, p.Access.DimPK)
 	vc := dim.Column(p.Access.DimValueCol)
 	dimRow, ok := dimIdx.First(dimFK.Int64(factRow))
 	if !ok || vc.IsNull(dimRow) {
@@ -282,17 +455,17 @@ func (a *AlphaDB) insertFactDimValue(p *BasicProperty, fact *relation.Relation, 
 	code := vc.Code(dimRow)
 	for _, existing := range p.valsByRow[eRow] {
 		if existing == code {
-			p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
+			setCatValues(p, eRow, p.valsByRow[eRow], code)
 			return // value already counted for this entity
 		}
 	}
-	p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
+	setCatValues(p, eRow, p.valsByRow[eRow], code)
 	p.addCatValueAt(code, eRow)
 }
 
 // insertAttrTableValue maintains an attribute-table basic property
 // (research(aid, interest)-style) for one inserted side-table row.
-func (a *AlphaDB) insertAttrTableValue(p *BasicProperty, side *relation.Relation, sideRow, eRow int) {
+func (eb *epochBuilder) insertAttrTableValue(p *BasicProperty, side *relation.Relation, sideRow, eRow int) {
 	col := side.Column(p.Access.Column)
 	if col.IsNull(sideRow) {
 		return
@@ -300,25 +473,27 @@ func (a *AlphaDB) insertAttrTableValue(p *BasicProperty, side *relation.Relation
 	code := col.Code(sideRow)
 	for _, existing := range p.valsByRow[eRow] {
 		if existing == code {
-			p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
+			setCatValues(p, eRow, p.valsByRow[eRow], code)
 			return // value already counted for this entity
 		}
 	}
-	p.valsByRow[eRow] = append(p.valsByRow[eRow], code)
+	setCatValues(p, eRow, p.valsByRow[eRow], code)
 	p.addCatValueAt(code, eRow)
 }
 
 // insertDerivedDelta bumps the derived counts of one entity for the new
 // association. It resolves the associated entity and the aggregated
-// value(s) exactly as the batch builder does, then adjusts the derived
-// relation rows and the per-value selectivity indexes.
-func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact *relation.Relation, factRow, eRow int) {
+// value(s) exactly as the batch builder does — reading via-entity and
+// second-hop fact state through the batch's view, which the write
+// domain locks pin — then adjusts the derived relation rows and the
+// per-value selectivity indexes on private clones.
+func (eb *epochBuilder) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact *relation.Relation, factRow, eRow int) {
 	viaCol := fact.Column(p.Fact1ViaCol)
 	if viaCol.IsNull(factRow) {
 		return
 	}
-	via := a.DB.Relation(p.Via)
-	viaIdx := a.Indexes.IntHash(via, p.ViaPK)
+	via := eb.viewRel(p.Via)
+	viaIdx := eb.idx.ReadIntHash(via, p.ViaPK)
 	vRow, ok := viaIdx.First(viaCol.Int64(factRow))
 	if !ok {
 		return
@@ -335,23 +510,23 @@ func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact 
 	case FKDim:
 		fkc := via.Column(p.Target.Column)
 		if !fkc.IsNull(vRow) {
-			dim := a.DB.Relation(p.Target.Dim)
-			dimIdx := a.Indexes.IntHash(dim, p.Target.DimPK)
+			dim := eb.base.DB.Relation(p.Target.Dim)
+			dimIdx := eb.idx.ReadIntHash(dim, p.Target.DimPK)
 			vc := dim.Column(p.Target.DimValueCol)
 			if dr, ok := dimIdx.First(fkc.Int64(vRow)); ok && !vc.IsNull(dr) {
 				values = []string{vc.Str(dr)}
 			}
 		}
 	case FactDim:
-		fact2 := a.DB.Relation(p.Target.Fact)
-		dim := a.DB.Relation(p.Target.Dim)
-		dimIdx := a.Indexes.IntHash(dim, p.Target.DimPK)
+		fact2 := eb.viewRel(p.Target.Fact)
+		dim := eb.base.DB.Relation(p.Target.Dim)
+		dimIdx := eb.idx.ReadIntHash(dim, p.Target.DimPK)
 		vc := dim.Column(p.Target.DimValueCol)
 		d2 := fact2.Column(p.Target.FactDimCol)
 		viaID := via.Column(p.ViaPK).Int64(vRow)
 		// The second-fact rows of this via-entity come from the hash
 		// index instead of a full fact2 scan.
-		for _, fr := range a.Indexes.IntHash(fact2, p.Target.FactEntityCol).Rows(viaID) {
+		for _, fr := range eb.idx.ReadIntHash(fact2, p.Target.FactEntityCol).Rows(viaID) {
 			if d2.IsNull(fr) {
 				continue
 			}
@@ -362,23 +537,26 @@ func (a *AlphaDB) insertDerivedDelta(info *EntityInfo, p *DerivedProperty, fact 
 	}
 	entityID := info.rowIDs[eRow]
 	for _, v := range values {
-		p.bump(a.Indexes, entityID, eRow, v)
+		eb.bump(p, entityID, eRow, v)
 	}
 }
 
-// bump increments the (entity, value) association strength by one,
-// updating the derived relation, the per-value rows, and the sorted
-// count index. The shared index pool keeps the entity_id hash index
-// consistent (appends) and drops any index over the mutated count
-// column.
-func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v string) {
+// bump increments the (entity, value) association strength by one on
+// the writer's private clones: the derived relation (count column
+// deep-copied), its entity-id index, and the per-value statistics
+// (copied out per code on first touch).
+func (eb *epochBuilder) bump(p *DerivedProperty, entityID int64, eRow int, v string) {
+	rel := eb.derivedRel(p.RelName)
+	p.rel = rel
+	byEnt := eb.idx.PrivateIntHash(rel, "entity_id")
+	p.byEntity = byEnt
 	// Locate the existing derived row by comparing value codes.
-	vcol, ccol := p.rel.Column("value"), p.rel.Column("count")
+	vcol, ccol := rel.Column("value"), rel.Column("count")
 	code, known := vcol.Dict().Lookup(v)
 	old := 0
 	found := -1
 	if known {
-		for _, r := range p.byEntity.Rows(entityID) {
+		for _, r := range byEnt.Rows(entityID) {
 			if vcol.Code(r) == code {
 				found = r
 				old = int(ccol.Int64(r))
@@ -388,16 +566,28 @@ func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v 
 	}
 	if found >= 0 {
 		_ = ccol.Set(found, relation.IntVal(int64(old+1)))
-		idx.Drop(p.rel.Name, "count")
+		eb.idx.Drop(rel.Name, "count")
 	} else {
-		p.rel.MustAppend(relation.IntVal(entityID), relation.StringVal(v), relation.IntVal(1))
-		code = vcol.Code(p.rel.NumRows() - 1)
-		idx.NoteAppend(p.rel, p.rel.NumRows()-1)
+		rel.MustAppend(relation.IntVal(entityID), relation.StringVal(v), relation.IntVal(1))
+		code = vcol.Code(rel.NumRows() - 1)
+		eb.idx.NoteAppend(rel, rel.NumRows()-1)
 	}
 	p.growTo(code)
+	// Copy the per-code statistics out of the shared backing on first
+	// touch; later bumps of the same code in this batch mutate the
+	// private copies in place.
+	if p.privCodes == nil {
+		p.privCodes = make(map[int32]bool)
+	}
+	vcs := p.perValueRows[code]
+	s := p.perValue[code]
+	if !p.privCodes[code] {
+		vcs = append([]valCount(nil), vcs...)
+		s = s.Clone()
+		p.privCodes[code] = true
+	}
 	// Per-value row list: insert in entity-row order (the invariant
 	// behind StrengthOf's binary search and merge intersection).
-	vcs := p.perValueRows[code]
 	at := sort.Search(len(vcs), func(i int) bool { return vcs[i].entityRow >= eRow })
 	if at < len(vcs) && vcs[at].entityRow == eRow {
 		vcs[at].count = old + 1
@@ -405,10 +595,9 @@ func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v 
 		vcs = append(vcs, valCount{})
 		copy(vcs[at+1:], vcs[at:])
 		vcs[at] = valCount{entityRow: eRow, count: old + 1}
-		p.perValueRows[code] = vcs
 	}
+	p.perValueRows[code] = vcs
 	// Sorted selectivity index: replace old count with new.
-	s := p.perValue[code]
 	if s == nil {
 		p.perValue[code] = index.BuildSortedFromValues([]float64{float64(old + 1)})
 		return
@@ -416,16 +605,17 @@ func (p *DerivedProperty) bump(idx *index.IndexSet, entityID int64, eRow int, v 
 	p.perValue[code] = s.Replace(float64(old), float64(old+1), old == 0)
 }
 
+// insertSortedInt returns a new sorted list with v inserted (no-op when
+// already present). It always allocates: the input may be shared with
+// retired epochs, and shifting it in place would corrupt their view.
 func insertSortedInt(xs []int, v int) []int {
-	lo := 0
-	for lo < len(xs) && xs[lo] < v {
-		lo++
-	}
+	lo := sort.SearchInts(xs, v)
 	if lo < len(xs) && xs[lo] == v {
 		return xs
 	}
-	xs = append(xs, 0)
-	copy(xs[lo+1:], xs[lo:])
-	xs[lo] = v
-	return xs
+	out := make([]int, len(xs)+1)
+	copy(out, xs[:lo])
+	out[lo] = v
+	copy(out[lo+1:], xs[lo:])
+	return out
 }

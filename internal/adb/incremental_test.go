@@ -13,11 +13,11 @@ import (
 // every property — the correctness oracle of the maintenance extension.
 func rebuildAndCompare(t *testing.T, a *AlphaDB) {
 	t.Helper()
-	fresh, err := Build(a.DB, a.cfg)
+	fresh, err := Build(a.DB(), a.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, info := range a.Entities {
+	for name, info := range a.Snapshot().Entities {
 		freshInfo := fresh.Entity(name)
 		if freshInfo == nil {
 			t.Fatalf("entity %q vanished", name)
@@ -82,7 +82,7 @@ func TestInsertEntityMaintainsStats(t *testing.T) {
 		t.Errorf("ψ(Male)=%v want 4/7", got)
 	}
 	// The new name is findable via the inverted index.
-	if got := a.Inverted.Lookup("new actor"); len(got) != 1 {
+	if got := a.Snapshot().InvertedLookup("new actor"); len(got) != 1 {
 		t.Errorf("inverted index not updated: %v", got)
 	}
 	rebuildAndCompare(t, a)
@@ -109,17 +109,22 @@ func TestInsertEntityErrors(t *testing.T) {
 
 func TestInsertFactMaintainsDerived(t *testing.T) {
 	a := buildFixture(t)
-	info := a.Entity("person")
-	ptg := info.DerivedByAttr("movie:genre")
-	before := ptg.Counts(3)["Comedy"] // person 3 had 1 comedy (movie 10)
+	oldPtg := a.Entity("person").DerivedByAttr("movie:genre")
+	before := oldPtg.Counts(3)["Comedy"] // person 3 had 1 comedy (movie 10)
 
 	// Person 3 also appears in movie 11 (Comedy).
 	if err := a.InsertFact("castinfo", relation.IntVal(3), relation.IntVal(11)); err != nil {
 		t.Fatal(err)
 	}
-	after := ptg.Counts(3)["Comedy"]
+	// Handles are epoch-pinned: the current epoch sees the new fact,
+	// the pre-insert handle keeps its snapshot.
+	info := a.Entity("person")
+	after := info.DerivedByAttr("movie:genre").Counts(3)["Comedy"]
 	if after != before+1 {
 		t.Errorf("comedy count %d -> %d, want +1", before, after)
+	}
+	if got := oldPtg.Counts(3)["Comedy"]; got != before {
+		t.Errorf("retired epoch's count moved: %d want %d", got, before)
 	}
 	// The entity-association property gained the new title.
 	movieProp := info.BasicByAttr("movie")
@@ -139,12 +144,11 @@ func TestInsertFactMaintainsDerived(t *testing.T) {
 
 func TestInsertFactNewValue(t *testing.T) {
 	a := buildFixture(t)
-	info := a.Entity("person")
-	ptg := info.DerivedByAttr("movie:genre")
 	// Person 1 (only comedies) now appears in drama movie 13.
 	if err := a.InsertFact("castinfo", relation.IntVal(1), relation.IntVal(13)); err != nil {
 		t.Fatal(err)
 	}
+	ptg := a.Entity("person").DerivedByAttr("movie:genre")
 	if got := ptg.Counts(1)["Drama"]; got != 1 {
 		t.Errorf("new drama association=%d want 1", got)
 	}

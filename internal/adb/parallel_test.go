@@ -15,7 +15,7 @@ import (
 // worker count.
 func alphaFingerprint(a *AlphaDB) string {
 	out := ""
-	for _, name := range a.DB.EntityRelations() {
+	for _, name := range a.DB().EntityRelations() {
 		info := a.Entity(name)
 		out += fmt.Sprintf("entity %s rows=%d\n", name, info.NumRows)
 		for _, p := range info.Basic {
@@ -32,8 +32,8 @@ func alphaFingerprint(a *AlphaDB) string {
 			}
 		}
 	}
-	for _, name := range a.DerivedDB.RelationNames() {
-		rel := a.DerivedDB.Relation(name)
+	for _, name := range a.Snapshot().DerivedDB.RelationNames() {
+		rel := a.Snapshot().DerivedDB.Relation(name)
 		out += fmt.Sprintf("derivedrel %s rows=%d\n", name, rel.NumRows())
 		for i := 0; i < rel.NumRows(); i++ {
 			out += fmt.Sprintf("  %v\n", rel.Row(i))
@@ -79,14 +79,14 @@ func TestParallelBuildInvertedIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, probe := range []string{"Tom Cruise", "Comedy", "USA", "MovieA", "male"} {
-		s := serial.Inverted.Lookup(probe)
-		p := parallel.Inverted.Lookup(probe)
+		s := serial.Snapshot().InvertedLookup(probe)
+		p := parallel.Snapshot().InvertedLookup(probe)
 		if !reflect.DeepEqual(s, p) {
 			t.Errorf("postings for %q diverged: serial %v parallel %v", probe, s, p)
 		}
 	}
-	if serial.Inverted.NumKeys() != parallel.Inverted.NumKeys() {
-		t.Errorf("key counts diverged: %d vs %d", serial.Inverted.NumKeys(), parallel.Inverted.NumKeys())
+	if serial.Snapshot().Inverted.NumKeys() != parallel.Snapshot().Inverted.NumKeys() {
+		t.Errorf("key counts diverged: %d vs %d", serial.Snapshot().Inverted.NumKeys(), parallel.Snapshot().Inverted.NumKeys())
 	}
 }
 

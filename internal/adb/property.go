@@ -125,12 +125,23 @@ type BasicProperty struct {
 // NumEntities returns |R|, the selectivity denominator.
 func (p *BasicProperty) NumEntities() int { return p.numEntities }
 
-// StatsGeneration returns the statistics generation this property
-// answers from; it moves only on incremental inserts that shift this
-// property's own statistics (per-property invalidation), letting
-// callers holding memoized answers detect staleness without being
-// disturbed by inserts into unrelated relations.
-func (p *BasicProperty) StatsGeneration() uint64 { return p.cache.PropGeneration(p) }
+// cloneForWrite returns a copy-on-write clone for one epoch's writer:
+// the scalar statistics and the outer containers are copied (so the
+// writer can grow and re-point them freely), the inner row lists are
+// shared (appends past a retired epoch's lengths are invisible to its
+// readers; in-place mutations always copy out first), and the sorted
+// indexes are deep-copied because incremental inserts shift their
+// elements in place.
+func (p *BasicProperty) cloneForWrite() *BasicProperty {
+	q := *p
+	q.catCounts = append([]int(nil), p.catCounts...)
+	q.catRows = append([][]int(nil), p.catRows...)
+	q.valsByRow = append([][]int32(nil), p.valsByRow...)
+	q.numByRow = append([]*float64(nil), p.numByRow...)
+	q.sorted = p.sorted.Clone()
+	q.numIdx = p.numIdx.Clone()
+	return &q
+}
 
 // Dict returns the value dictionary the property's codes index into.
 func (p *BasicProperty) Dict() *relation.Dict { return p.dict }
@@ -419,14 +430,28 @@ type DerivedProperty struct {
 	perValueRows [][]valCount
 	numEntities  int
 	cache        *SelCache
+
+	// privCodes marks the value codes whose inner statistics the
+	// current epoch writer already copied out of the shared backing;
+	// only that writer touches it, and clones reset it.
+	privCodes map[int32]bool
 }
 
 // NumEntities returns |R| for the owning entity relation.
 func (p *DerivedProperty) NumEntities() int { return p.numEntities }
 
-// StatsGeneration returns the statistics generation this property
-// answers from (see BasicProperty.StatsGeneration).
-func (p *DerivedProperty) StatsGeneration() uint64 { return p.cache.PropGeneration(p) }
+// cloneForWrite returns a copy-on-write clone for one epoch's writer
+// (see BasicProperty.cloneForWrite): outer containers copied, per-code
+// inner statistics shared until first mutation (privCodes tracks the
+// copy-outs), relation and entity index re-pointed by the writer when
+// it privatizes them.
+func (p *DerivedProperty) cloneForWrite() *DerivedProperty {
+	q := *p
+	q.perValue = append([]*index.Sorted(nil), p.perValue...)
+	q.perValueRows = append([][]valCount(nil), p.perValueRows...)
+	q.privCodes = nil
+	return &q
+}
 
 // Relation returns the materialized derived relation.
 func (p *DerivedProperty) Relation() *relation.Relation { return p.rel }

@@ -19,13 +19,19 @@ import (
 // memo), and restored systems support incremental inserts exactly like
 // freshly built ones.
 
-// Encode writes the αDB to a snapshot stream (the caller owns the
-// header; see squid.System.Save). It reads under the shared epoch
-// lock, so the snapshot captures one consistent statistics epoch even
-// with inserts in flight.
-func (a *AlphaDB) Encode(w *snapshot.Writer) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+// Encode writes the current epoch to a snapshot stream (the caller
+// owns the header; see squid.System.Save). The epoch is pinned at call
+// time, so the snapshot captures every write acknowledged before the
+// call — a drain that publishes its final batch and then encodes loses
+// nothing — while inserts landing mid-encode are cleanly absent.
+func (a *AlphaDB) Encode(w *snapshot.Writer) { a.Snapshot().Encode(w) }
+
+// Encode writes this epoch to a snapshot stream: one immutable state,
+// wait-free with respect to concurrent writers. Shared append-only
+// structures (dictionaries, the inverted index) are filtered to the
+// epoch's row counts so the snapshot never references rows absent from
+// the encoded relations.
+func (a *Epoch) Encode(w *snapshot.Writer) {
 	writeConfig(w, a.cfg)
 	w.Varint(int64(a.BuildTime))
 	snapshot.WriteDatabase(w, a.DB)
@@ -44,8 +50,10 @@ func (a *AlphaDB) Encode(w *snapshot.Writer) {
 }
 
 // Decode restores an αDB from a snapshot stream positioned after the
-// header. The returned αDB shares nothing with the stream; hash indexes
-// (primary keys, derived entity ids) are rebuilt into a fresh IndexSet.
+// header. The restored state shares nothing with the stream; hash
+// indexes (primary keys, derived entity ids) are rebuilt into a fresh
+// IndexSet, and the result is published as epoch 0 of the returned
+// handle.
 func Decode(r *snapshot.Reader) (*AlphaDB, error) {
 	cfg := readConfig(r)
 	buildTime := time.Duration(r.Varint())
@@ -54,7 +62,7 @@ func Decode(r *snapshot.Reader) (*AlphaDB, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	a := &AlphaDB{
+	a := &Epoch{
 		DB:        db,
 		Entities:  make(map[string]*EntityInfo),
 		Indexes:   index.NewIndexSet(),
@@ -75,7 +83,8 @@ func Decode(r *snapshot.Reader) (*AlphaDB, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	return a, nil
+	a.rowCounts = snapshotRowCounts(db)
+	return newAlphaDB(a), nil
 }
 
 func writeConfig(w *snapshot.Writer, cfg Config) {
@@ -155,7 +164,7 @@ func sortedKeys[V any](m map[string]V) []string {
 // encodeInverted writes the inverted index as sorted keys with postings
 // referencing base relations/columns by table index, so the on-disk form
 // is compact and deterministic.
-func (a *AlphaDB) encodeInverted(w *snapshot.Writer) {
+func (a *Epoch) encodeInverted(w *snapshot.Writer) {
 	relNames := a.DB.RelationNames()
 	relIdx := make(map[string]int, len(relNames))
 	colIdx := make(map[string]map[string]int, len(relNames))
@@ -168,7 +177,7 @@ func (a *AlphaDB) encodeInverted(w *snapshot.Writer) {
 		}
 		colIdx[name] = m
 	}
-	postings := a.Inverted.RawPostings()
+	postings := a.Inverted.PostingsBelow(a.rowLimit)
 	keys := sortedKeys(postings)
 	w.Uvarint(uint64(len(keys)))
 	total := 0
@@ -198,7 +207,7 @@ func (a *AlphaDB) encodeInverted(w *snapshot.Writer) {
 	w.Ints(rows)
 }
 
-func (a *AlphaDB) decodeInverted(r *snapshot.Reader) {
+func (a *Epoch) decodeInverted(r *snapshot.Reader) {
 	relNames := a.DB.RelationNames()
 	colNames := make([][]string, len(relNames))
 	for i, name := range relNames {
@@ -287,7 +296,7 @@ func writeEntity(w *snapshot.Writer, info *EntityInfo) {
 	}
 }
 
-func readEntity(r *snapshot.Reader, a *AlphaDB) *EntityInfo {
+func readEntity(r *snapshot.Reader, a *Epoch) *EntityInfo {
 	info := &EntityInfo{
 		Relation: r.String(),
 		PK:       r.String(),
@@ -371,7 +380,7 @@ func writeBasic(w *snapshot.Writer, p *BasicProperty) {
 
 // sourceColumn resolves the column whose dictionary keys a categorical
 // property's statistics, from its access path.
-func (a *AlphaDB) sourceColumn(entityRel *relation.Relation, access AccessPath) *relation.Column {
+func (a *Epoch) sourceColumn(entityRel *relation.Relation, access AccessPath) *relation.Column {
 	switch access.Type {
 	case Direct:
 		return entityRel.Column(access.Column)
@@ -387,7 +396,7 @@ func (a *AlphaDB) sourceColumn(entityRel *relation.Relation, access AccessPath) 
 	return nil
 }
 
-func readBasic(r *snapshot.Reader, a *AlphaDB, info *EntityInfo) *BasicProperty {
+func readBasic(r *snapshot.Reader, a *Epoch, info *EntityInfo) *BasicProperty {
 	p := &BasicProperty{
 		Entity: info.Relation,
 		Attr:   r.String(),
@@ -517,7 +526,7 @@ func writeDerived(w *snapshot.Writer, p *DerivedProperty) {
 	w.Floats(svals)
 }
 
-func readDerived(r *snapshot.Reader, a *AlphaDB, info *EntityInfo) *DerivedProperty {
+func readDerived(r *snapshot.Reader, a *Epoch, info *EntityInfo) *DerivedProperty {
 	p := &DerivedProperty{
 		Entity:         info.Relation,
 		Attr:           r.String(),

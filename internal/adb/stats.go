@@ -28,6 +28,14 @@ type Stats struct {
 	SelCacheEntries int
 	SelCacheHits    uint64
 	SelCacheMisses  uint64
+
+	// Epoch-chain health: the pinned epoch's sequence number and age,
+	// plus the cumulative publish/combine counters (a combine is a
+	// publish that merged a concurrent disjoint writer's epoch).
+	EpochSeq       uint64
+	EpochAgeSec    float64
+	EpochPublishes uint64
+	EpochCombines  uint64
 }
 
 // RelCard pairs a relation name with its row count.
@@ -36,11 +44,21 @@ type RelCard struct {
 	Rows     int
 }
 
-// ComputeStats gathers the Fig 18 statistics for the αDB. It reads
-// under the shared epoch lock, so it is safe concurrently with inserts.
+// ComputeStats gathers the Fig 18 statistics from one pinned epoch: a
+// single atomic snapshot, no lock, every field from the same state —
+// safe and wait-free concurrently with inserts.
 func (a *AlphaDB) ComputeStats() Stats {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	ep := a.Snapshot()
+	s := ep.ComputeStats()
+	s.EpochPublishes = a.publishes.Load()
+	s.EpochCombines = a.combines.Load()
+	return s
+}
+
+// ComputeStats gathers the Fig 18 statistics of this epoch. The
+// publish/combine counters live on the handle (AlphaDB.ComputeStats
+// fills them); here they stay zero.
+func (a *Epoch) ComputeStats() Stats {
 	s := Stats{
 		Name:            a.DB.Name,
 		DBBytes:         a.DB.ByteSize(),
@@ -48,6 +66,8 @@ func (a *AlphaDB) ComputeStats() Stats {
 		PrecomputedSize: a.DerivedDB.ByteSize(),
 		BuildTime:       a.BuildTime,
 		NumDerivedRels:  a.DerivedDB.NumRelations(),
+		EpochSeq:        a.seq,
+		EpochAgeSec:     time.Since(a.publishedAt).Seconds(),
 	}
 	for _, n := range a.DerivedDB.RelationNames() {
 		s.DerivedRows += a.DerivedDB.Relation(n).NumRows()

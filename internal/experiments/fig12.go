@@ -120,7 +120,7 @@ func sampleWithAmbiguous(rng *rand.Rand, pool, ambiguous []string, n int) []stri
 // runSQuIDWithResolver is runSQuID with an explicit resolver (nil =
 // first-match, the "w/o DA" configuration).
 func runSQuIDWithResolver(alpha *alphaDB, examples []string, params abductionParams, r abduction.Resolver) Discovery {
-	results, err := abduction.Discover(alpha, examples, params, r)
+	results, err := abduction.Discover(alpha.Snapshot(), examples, params, r)
 	if err != nil {
 		return Discovery{Err: err}
 	}

@@ -126,7 +126,7 @@ type Discovery struct {
 // measures its wall time — the "query discovery time" of §7.1.
 func runSQuID(alpha *adb.AlphaDB, examples []string, params abduction.Params) Discovery {
 	start := time.Now()
-	results, err := abduction.Discover(alpha, examples, params, disambig.Resolve)
+	results, err := abduction.Discover(alpha.Snapshot(), examples, params, disambig.Resolve)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Discovery{Err: err, Time: elapsed}

@@ -72,6 +72,18 @@ func (h *IntHash) Insert(v int64, row int) {
 	h.rows[v] = append(h.rows[v], row)
 }
 
+// Clone returns a copy-on-write clone for epoch maintenance: the bucket
+// map is copied (O(keys)), the posting lists are shared. Appends on the
+// clone write only past the original lists' lengths, so readers of the
+// original never observe them.
+func (h *IntHash) Clone() *IntHash {
+	q := &IntHash{rows: make(map[int64][]int, len(h.rows))}
+	for k, v := range h.rows {
+		q.rows[k] = v
+	}
+	return q
+}
+
 // StrHash is a hash index from a string column's (normalized) values to
 // row numbers.
 type StrHash struct {
@@ -120,4 +132,13 @@ func (h *StrHash) NumKeys() int { return len(h.rows) }
 func (h *StrHash) Insert(v string, row int) {
 	key := Normalize(v)
 	h.rows[key] = append(h.rows[key], row)
+}
+
+// Clone returns a copy-on-write clone (see IntHash.Clone).
+func (h *StrHash) Clone() *StrHash {
+	q := &StrHash{rows: make(map[string][]int, len(h.rows))}
+	for k, v := range h.rows {
+		q.rows[k] = v
+	}
+	return q
 }

@@ -54,7 +54,7 @@ func TestInvertedLookup(t *testing.T) {
 func TestCommonColumns(t *testing.T) {
 	inv := BuildInverted(testDB())
 	// Both names only co-occur in person.name.
-	matches := inv.CommonColumns([]string{"Tom Cruise", "Clint Eastwood"})
+	matches := inv.CommonColumns([]string{"Tom Cruise", "Clint Eastwood"}, nil)
 	if len(matches) != 1 {
 		t.Fatalf("matches=%v", matches)
 	}
@@ -68,7 +68,7 @@ func TestCommonColumns(t *testing.T) {
 
 func TestCommonColumnsAmbiguity(t *testing.T) {
 	inv := BuildInverted(testDB())
-	matches := inv.CommonColumns([]string{"Titanic", "Pulp Fiction"})
+	matches := inv.CommonColumns([]string{"Titanic", "Pulp Fiction"}, nil)
 	if len(matches) != 1 || matches[0].Key != (ColumnKey{"movie", "title"}) {
 		t.Fatalf("matches=%v", matches)
 	}
@@ -82,13 +82,13 @@ func TestCommonColumnsAmbiguity(t *testing.T) {
 
 func TestCommonColumnsNoMatch(t *testing.T) {
 	inv := BuildInverted(testDB())
-	if got := inv.CommonColumns([]string{"Tom Cruise", "Pulp Fiction"}); got != nil {
+	if got := inv.CommonColumns([]string{"Tom Cruise", "Pulp Fiction"}, nil); got != nil {
 		t.Errorf("expected no common column, got %v", got)
 	}
-	if got := inv.CommonColumns(nil); got != nil {
+	if got := inv.CommonColumns(nil, nil); got != nil {
 		t.Error("empty input must give nil")
 	}
-	if got := inv.CommonColumns([]string{"unknown value"}); got != nil {
+	if got := inv.CommonColumns([]string{"unknown value"}, nil); got != nil {
 		t.Errorf("unknown value must give nil, got %v", got)
 	}
 }

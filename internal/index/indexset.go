@@ -7,16 +7,21 @@ import (
 	"squid/internal/relation"
 )
 
-// IndexSet is a concurrency-safe registry of hash indexes keyed by
-// (relation, column). It is the per-αDB index pool of the online
-// pipeline: every point lookup that used to rebuild an ad-hoc hash map
-// (dimension resolution during incremental maintenance, point-predicate
-// pushdown in the engine) instead asks the set, which builds each index
-// at most once and serves all later lookups from the shared copy.
+// IndexSet is a registry of hash indexes keyed by (relation, column).
+// It is the per-epoch index view of the online pipeline: every point
+// lookup that used to rebuild an ad-hoc hash map (dimension resolution
+// during incremental maintenance, point-predicate pushdown in the
+// engine) instead asks the set, which builds each index at most once
+// and serves all later lookups from the shared copy.
 //
-// Reads are lock-free after the first build of an index; builds use
-// double-checked locking so concurrent readers of a cold index block
-// only each other, never readers of warm indexes.
+// Epoch semantics: each published αDB epoch owns one IndexSet view.
+// The indexes themselves are immutable once visible to readers; a
+// copy-on-write writer never calls NoteAppend on a live view — it
+// accumulates privatized shard clones in an IndexDelta and the publish
+// step merges them into the next epoch's view (MergeInto), structurally
+// sharing every untouched index. The internal lock only serializes the
+// lazy first build of a cold index (double-checked locking), so readers
+// of warm indexes never block.
 type IndexSet struct {
 	mu   sync.RWMutex
 	ints map[ColumnKey]*IntHash
@@ -101,9 +106,18 @@ func (s *IndexSet) AdoptIntHash(relName, col string, h *IntHash) {
 	s.mu.Unlock()
 }
 
+// peek returns the materialized indexes at key without building.
+func (s *IndexSet) peek(key ColumnKey) (*IntHash, *StrHash, *NumericRows) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ints[key], s.strs[key], s.nums[key]
+}
+
 // NoteAppend maintains every materialized index of rel for the row that
-// was just appended, keeping the set consistent with incremental inserts
-// without rebuilding (the αDB calls this from InsertEntity/InsertFact).
+// was just appended. It mutates the receiver's indexes in place, so it
+// is only for sets private to a single writer (tests, worker-local
+// builds); epoch writers use IndexDelta.NoteAppend instead, which
+// clones the touched shards copy-on-write.
 func (s *IndexSet) NoteAppend(rel *relation.Relation, row int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -144,6 +158,185 @@ func (s *IndexSet) NumIndexes() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.ints) + len(s.strs)
+}
+
+// IndexDelta accumulates one copy-on-write writer's index changes
+// against a base epoch's IndexSet: the first touch of a shard clones it
+// (map copy for hash indexes, array copy for numeric indexes), later
+// touches mutate the private clone in place, and MergeInto folds the
+// clones into the next epoch's view. Reads during the apply see the
+// private clone when one exists and the immutable base otherwise, so a
+// batch observes its own earlier rows.
+type IndexDelta struct {
+	base    *IndexSet
+	ints    map[ColumnKey]*IntHash
+	strs    map[ColumnKey]*StrHash
+	nums    map[ColumnKey]*NumericRows
+	dropped map[ColumnKey]bool
+	touched map[string]bool // relations whose rows this writer changed
+}
+
+// NewIndexDelta starts an empty delta over the base epoch's view.
+func NewIndexDelta(base *IndexSet) *IndexDelta {
+	return &IndexDelta{
+		base:    base,
+		ints:    make(map[ColumnKey]*IntHash),
+		strs:    make(map[ColumnKey]*StrHash),
+		nums:    make(map[ColumnKey]*NumericRows),
+		dropped: make(map[ColumnKey]bool),
+		touched: make(map[string]bool),
+	}
+}
+
+// ReadIntHash serves a point-lookup during the apply: the private
+// clone when the writer already touched the shard; the base view for
+// an untouched relation (lazily building there is safe — rel aliases
+// the base's own relation then). For a relation this writer already
+// appended to, a missing shard is built privately from the writer's
+// relation instead: building into the base view from the private clone
+// would leak post-batch rows into the retired epoch, and a base-built
+// index would miss the batch's own rows.
+func (d *IndexDelta) ReadIntHash(rel *relation.Relation, col string) *IntHash {
+	key := ColumnKey{rel.Name, col}
+	if h := d.ints[key]; h != nil {
+		return h
+	}
+	if !d.touched[rel.Name] && !d.dropped[key] {
+		return d.base.IntHash(rel, col)
+	}
+	h := BuildIntHash(rel, col)
+	d.ints[key] = h
+	return h
+}
+
+// PrivateIntHash returns the writer's private clone of the (rel, col)
+// hash index, cloning the base's prebuilt one on first touch — or
+// building fresh from the writer's relation when the base never
+// materialized it (never lazily building into the base view, see
+// ReadIntHash).
+func (d *IndexDelta) PrivateIntHash(rel *relation.Relation, col string) *IntHash {
+	key := ColumnKey{rel.Name, col}
+	if h := d.ints[key]; h != nil {
+		return h
+	}
+	// A base-built index is only a valid clone source before this
+	// writer's first append to the relation; afterwards it may miss
+	// batch rows (a reader could have built it from the base relation
+	// concurrently), so rebuild from the writer's relation instead.
+	wasTouched := d.touched[rel.Name]
+	d.touched[rel.Name] = true
+	var h *IntHash
+	if bi, _, _ := d.base.peek(key); bi != nil && !d.dropped[key] && !wasTouched {
+		h = bi.Clone()
+	} else {
+		h = BuildIntHash(rel, col)
+	}
+	d.ints[key] = h
+	return h
+}
+
+// NoteAppend maintains every index of rel materialized in the base view
+// (or already privatized here) for the row that was just appended,
+// cloning each touched shard copy-on-write on first touch. A base
+// index may only be adopted on the writer's FIRST append to the
+// relation: one that appears later was lazily built by a concurrent
+// base-epoch reader and misses this batch's earlier rows — it is left
+// uncovered, so the publish merge drops it and the next epoch rebuilds
+// it lazily from the post-batch relation.
+func (d *IndexDelta) NoteAppend(rel *relation.Relation, row int) {
+	wasTouched := d.touched[rel.Name]
+	d.touched[rel.Name] = true
+	for _, col := range rel.Columns() {
+		key := ColumnKey{rel.Name, col.Name}
+		if d.dropped[key] {
+			// A dropped index stays dropped: cloning the base's copy
+			// now would resurrect the pre-mutation state.
+			continue
+		}
+		bi, bs, bn := d.base.peek(key)
+		switch col.Type {
+		case relation.Int:
+			h := d.ints[key]
+			if h == nil && bi != nil && !wasTouched {
+				h = bi.Clone()
+				d.ints[key] = h
+			}
+			if h != nil && !col.IsNull(row) {
+				h.Insert(col.Int64(row), row)
+			}
+		case relation.String:
+			h := d.strs[key]
+			if h == nil && bs != nil && !wasTouched {
+				h = bs.Clone()
+				d.strs[key] = h
+			}
+			if h != nil && !col.IsNull(row) {
+				h.Insert(col.Str(row), row)
+			}
+		}
+		if col.Type != relation.String {
+			n := d.nums[key]
+			if n == nil && bn != nil && !wasTouched {
+				n = bn.Clone()
+				d.nums[key] = n
+			}
+			if n != nil && !col.IsNull(row) {
+				d.nums[key] = n.Insert(col.Float64(row), row)
+			}
+		}
+	}
+}
+
+// Drop discards the indexes of one column in the next epoch (a cell of
+// that column was mutated in place on the writer's private relation).
+func (d *IndexDelta) Drop(relName, col string) {
+	key := ColumnKey{relName, col}
+	d.touched[relName] = true
+	d.dropped[key] = true
+	delete(d.ints, key)
+	delete(d.strs, key)
+	delete(d.nums, key)
+}
+
+// MergeInto builds the next epoch's IndexSet from the current one plus
+// this delta: privatized shards replace their base entries, dropped
+// keys vanish, and — crucially — any index of a touched relation that
+// the delta does not cover is omitted rather than inherited, because a
+// reader may have lazily built it from the pre-append rows concurrently
+// (it rebuilds lazily from the new relation on first use). Everything
+// else is shared structurally.
+func (d *IndexDelta) MergeInto(cur *IndexSet) *IndexSet {
+	keep := func(key ColumnKey) bool {
+		return !d.dropped[key] && !d.touched[key.Relation]
+	}
+	next := NewIndexSet()
+	cur.mu.RLock()
+	for key, h := range cur.ints {
+		if keep(key) {
+			next.ints[key] = h
+		}
+	}
+	for key, h := range cur.strs {
+		if keep(key) {
+			next.strs[key] = h
+		}
+	}
+	for key, n := range cur.nums {
+		if keep(key) {
+			next.nums[key] = n
+		}
+	}
+	cur.mu.RUnlock()
+	for key, h := range d.ints {
+		next.ints[key] = h
+	}
+	for key, h := range d.strs {
+		next.strs[key] = h
+	}
+	for key, n := range d.nums {
+		next.nums[key] = n
+	}
+	return next
 }
 
 // NumericRows is a sorted (value, row) index over a numeric column: it
@@ -262,6 +455,19 @@ func (n *NumericRows) CountRange(lo, hi float64) int {
 		return 0
 	}
 	return searchFloatAfter(n.vals, hi) - searchFloat(n.vals, lo)
+}
+
+// Clone returns a deep copy for copy-on-write maintenance: Insert
+// shifts elements in place, so the writer's private copy cannot share
+// arrays with readers of the original.
+func (n *NumericRows) Clone() *NumericRows {
+	if n == nil {
+		return nil
+	}
+	return &NumericRows{
+		vals: append([]float64(nil), n.vals...),
+		rows: append([]int(nil), n.rows...),
+	}
 }
 
 // Insert adds one (value, row) pair, keeping the value order (αDB

@@ -20,11 +20,27 @@ type Posting struct {
 	Row      int
 }
 
+// RowLimit bounds an epoch-pinned inverted-index read: postings with
+// Row ≥ limit(Relation) belong to rows appended after the reader's
+// epoch was published and are filtered out, so a discovery never
+// resolves examples to rows it cannot otherwise see.
+type RowLimit func(relName string) int
+
 // Inverted is the global inverted column index: it maps every distinct
 // text value (case-folded) appearing in any indexed column to its
 // postings. SQuID consults it to map user-provided example strings to
 // candidate entities.
+//
+// Concurrency: the index is append-only and internally synchronized,
+// and — like the column dictionaries — it is shared across copy-on-write
+// epochs instead of cloned (cloning the whole posting map per insert
+// batch would dwarf the batch itself). Epoch isolation is restored at
+// read time: postings carry monotonically growing row numbers, so a
+// reader pinned to an epoch filters with the epoch's per-relation row
+// counts (RowLimit) and observes exactly the postings that existed when
+// its epoch was published.
 type Inverted struct {
+	mu       sync.RWMutex
 	postings map[string][]Posting
 }
 
@@ -111,23 +127,81 @@ func Normalize(s string) string {
 	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
 }
 
-// Lookup returns all postings of the (normalized) value.
+// Lookup returns all postings of the (normalized) value, with no epoch
+// filtering; single-writer offline consumers (tests, the αDB build) use
+// it. Online readers go through LookupBelow.
 func (inv *Inverted) Lookup(value string) []Posting {
-	return inv.postings[Normalize(value)]
+	inv.mu.RLock()
+	ps := inv.postings[Normalize(value)]
+	inv.mu.RUnlock()
+	return ps
+}
+
+// LookupBelow returns the postings of the value whose rows existed in
+// the caller's epoch (Row < limit(Relation)). Posting lists are
+// append-only, so the prefix below the limit is immutable and the
+// result needs no copy unless filtering actually drops entries.
+func (inv *Inverted) LookupBelow(value string, limit RowLimit) []Posting {
+	return filterPostings(inv.Lookup(value), limit)
+}
+
+func filterPostings(ps []Posting, limit RowLimit) []Posting {
+	if limit == nil {
+		return ps
+	}
+	for i, p := range ps {
+		if p.Row >= limit(p.Relation) {
+			// First filtered posting: copy the surviving prefix and
+			// sieve the rest (appends from different relations may
+			// interleave, so later postings can still qualify).
+			out := append([]Posting(nil), ps[:i]...)
+			for _, q := range ps[i+1:] {
+				if q.Row < limit(q.Relation) {
+					out = append(out, q)
+				}
+			}
+			return out
+		}
+	}
+	return ps
 }
 
 // Insert adds one posting incrementally (αDB maintenance on inserts).
+// Concurrent writers of disjoint relations serialize here briefly; the
+// posting becomes visible to epoch-pinned readers only once an epoch
+// whose row count covers it is published.
 func (inv *Inverted) Insert(value string, p Posting) {
 	key := Normalize(value)
+	inv.mu.Lock()
 	inv.postings[key] = append(inv.postings[key], p)
+	inv.mu.Unlock()
 }
 
 // NumKeys returns the number of distinct indexed values.
-func (inv *Inverted) NumKeys() int { return len(inv.postings) }
+func (inv *Inverted) NumKeys() int {
+	inv.mu.RLock()
+	n := len(inv.postings)
+	inv.mu.RUnlock()
+	return n
+}
 
-// RawPostings exposes the posting map for snapshot serialization; do not
-// mutate.
-func (inv *Inverted) RawPostings() map[string][]Posting { return inv.postings }
+// PostingsBelow materializes the epoch-filtered posting map for snapshot
+// serialization: only postings whose rows exist in the caller's epoch
+// are included, and keys whose postings all filter away are dropped, so
+// an encode racing a writer never references rows absent from the
+// encoded relations.
+func (inv *Inverted) PostingsBelow(limit RowLimit) map[string][]Posting {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	out := make(map[string][]Posting, len(inv.postings))
+	for key, ps := range inv.postings {
+		kept := filterPostings(ps, limit)
+		if len(kept) > 0 {
+			out[key] = kept
+		}
+	}
+	return out
+}
 
 // RestoreInverted adopts a posting map rebuilt from a snapshot.
 func RestoreInverted(postings map[string][]Posting) *Inverted {
@@ -143,8 +217,9 @@ type ColumnKey struct {
 // CommonColumns returns the (relation, column) pairs that contain ALL of
 // the given values, i.e. the candidate projection attributes for a set of
 // example tuples, sorted deterministically. For each pair it also reports
-// per-value row candidates (for disambiguation).
-func (inv *Inverted) CommonColumns(values []string) []ColumnMatch {
+// per-value row candidates (for disambiguation). A non-nil limit pins the
+// lookup to an epoch: rows appended after it are invisible.
+func (inv *Inverted) CommonColumns(values []string, limit RowLimit) []ColumnMatch {
 	if len(values) == 0 {
 		return nil
 	}
@@ -153,7 +228,7 @@ func (inv *Inverted) CommonColumns(values []string) []ColumnMatch {
 	perValue := make([]colRows, len(values))
 	for i, v := range values {
 		m := make(colRows)
-		for _, p := range inv.Lookup(v) {
+		for _, p := range inv.LookupBelow(v, limit) {
 			k := ColumnKey{p.Relation, p.Column}
 			m[k] = append(m[k], p.Row)
 		}

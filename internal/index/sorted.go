@@ -94,6 +94,16 @@ func (s *Sorted) CountRange(lo, hi float64) int {
 	return s.CountLE(hi) - s.CountLT(lo)
 }
 
+// Clone returns a deep copy for copy-on-write maintenance: the writer
+// mutates the clone in place (Insert/Replace shift elements), so the
+// value array cannot be shared with readers of the original.
+func (s *Sorted) Clone() *Sorted {
+	if s == nil {
+		return nil
+	}
+	return &Sorted{vals: append([]float64(nil), s.vals...), min: s.min, max: s.max}
+}
+
 // Insert adds one value in place, keeping the order (incremental αDB
 // maintenance). It returns the receiver for chaining; a nil receiver
 // allocates a fresh index.

@@ -83,6 +83,30 @@ func (c *Column) Append(v Value) error {
 	return nil
 }
 
+// checkStorable reports whether v could be stored in this column,
+// using exactly Append's type rules and error messages; it mutates
+// nothing, so whole-row validation can run before any cell is written.
+func (c *Column) checkStorable(v Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch c.Type {
+	case Int:
+		if v.kind != kindInt {
+			return fmt.Errorf("relation: column %q is INTEGER, got %s", c.Name, v.kindName())
+		}
+	case Float:
+		if v.kind != kindFloat && v.kind != kindInt {
+			return fmt.Errorf("relation: column %q is DOUBLE, got %s", c.Name, v.kindName())
+		}
+	case String:
+		if v.kind != kindString {
+			return fmt.Errorf("relation: column %q is TEXT, got %s", c.Name, v.kindName())
+		}
+	}
+	return nil
+}
+
 // ensureNulls materializes the null bitmap lazily, backfilling false.
 func (c *Column) ensureNulls() {
 	if c.nulls == nil {
@@ -195,6 +219,34 @@ func (c *Column) ByteSize() int64 {
 		n += int64(len(c.nulls))
 	}
 	return n
+}
+
+// CloneForAppend returns a copy-on-write clone for append-only epoch
+// maintenance: the clone shares the cell storage and the dictionary with
+// the receiver, so it is O(1). Appends on the clone write only at
+// indices ≥ the receiver's length (into shared spare capacity or a
+// reallocated array), so readers of the original — which never index
+// past their own length — are unaffected. Only the single in-flight
+// writer of the owning relation may append; epochs form a linear chain,
+// so each storage index is written at most once.
+func (c *Column) CloneForAppend() *Column {
+	q := *c
+	return &q
+}
+
+// CloneForUpdate is CloneForAppend plus a deep copy of the cell storage
+// and null bitmap, for columns a copy-on-write writer mutates in place
+// (the derived relations' count column). Readers of the original never
+// observe the updates.
+func (c *Column) CloneForUpdate() *Column {
+	q := *c
+	q.ints = append([]int64(nil), c.ints...)
+	q.flts = append([]float64(nil), c.flts...)
+	q.codes = append([]int32(nil), c.codes...)
+	if c.nulls != nil {
+		q.nulls = append([]bool(nil), c.nulls...)
+	}
+	return &q
 }
 
 // Raw accessors for snapshot serialization. The returned slices alias

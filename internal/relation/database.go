@@ -112,6 +112,29 @@ func (d *Database) byKind(k EntityKind) []string {
 	return out
 }
 
+// CloneWith returns a shallow clone of the database whose relation map
+// replaces the given entries: the copy-on-write epoch publish step uses
+// it to swap in a writer's privatized relations while structurally
+// sharing every untouched one. Relation order, kind metadata, and the
+// name are shared — epochs never add or remove relations.
+func (d *Database) CloneWith(replace map[string]*Relation) *Database {
+	q := &Database{
+		Name:      d.Name,
+		relations: make(map[string]*Relation, len(d.relations)),
+		order:     d.order,
+		kinds:     d.kinds,
+	}
+	for name, r := range d.relations {
+		q.relations[name] = r
+	}
+	for name, r := range replace {
+		if _, known := q.relations[name]; known {
+			q.relations[name] = r
+		}
+	}
+	return q
+}
+
 // ByteSize estimates the total footprint of all relations (Fig 18).
 func (d *Database) ByteSize() int64 {
 	var n int64

@@ -1,5 +1,7 @@
 package relation
 
+import "sync"
+
 // Dict is a per-column string dictionary: every distinct value of a TEXT
 // column is interned once and referenced by a dense int32 code. Columns
 // store codes instead of Go strings, which cuts the per-row footprint to
@@ -9,10 +11,18 @@ package relation
 //
 // Codes are assigned in first-appearance order and are never reused, so a
 // snapshot that serializes the dictionary in code order restores the exact
-// same encoding. A Dict is owned by one column; readers may call Value and
-// Lookup concurrently, but interning must be serialized with reads exactly
-// like appends to the owning column.
+// same encoding.
+//
+// Concurrency: a Dict is append-only and internally synchronized, and it
+// is deliberately shared across copy-on-write epochs instead of cloned.
+// Codes are stable forever — an epoch that was published when the
+// dictionary held n values only ever stores codes < n in its columns and
+// statistics, so readers of a retired epoch decode exactly the values
+// they saw at publish time even while a writer interns new ones. Interning
+// itself is serialized by the owning relation's writer lock; the internal
+// lock only protects readers from the map/slice growth.
 type Dict struct {
+	mu   sync.RWMutex
 	vals []string
 	ids  map[string]int32
 }
@@ -27,12 +37,21 @@ func NewDict() *Dict {
 }
 
 // Intern returns the code of v, assigning the next dense code on first
-// appearance.
+// appearance. Callers must serialize Intern with other Interns of the
+// same dictionary (the αDB's per-relation writer locks do).
 func (d *Dict) Intern(v string) int32 {
-	if id, ok := d.ids[v]; ok {
+	d.mu.RLock()
+	id, ok := d.ids[v]
+	d.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := int32(len(d.vals))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.ids[v]; ok {
+		return id
+	}
+	id = int32(len(d.vals))
 	d.vals = append(d.vals, v)
 	d.ids[v] = id
 	return id
@@ -40,22 +59,42 @@ func (d *Dict) Intern(v string) int32 {
 
 // Lookup returns the code of v without interning, and whether v is known.
 func (d *Dict) Lookup(v string) (int32, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[v]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // Value decodes a code back to its string.
-func (d *Dict) Value(code int32) string { return d.vals[code] }
+func (d *Dict) Value(code int32) string {
+	d.mu.RLock()
+	v := d.vals[code]
+	d.mu.RUnlock()
+	return v
+}
 
 // Len returns the number of distinct interned values.
-func (d *Dict) Len() int { return len(d.vals) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.vals)
+	d.mu.RUnlock()
+	return n
+}
 
-// Values returns the interned values in code order. The slice is
-// dictionary-internal: do not mutate.
-func (d *Dict) Values() []string { return d.vals }
+// Values returns the interned values in code order as a point-in-time
+// view: entries [0, len) are immutable, so the returned slice stays
+// valid while writers keep interning. Do not mutate.
+func (d *Dict) Values() []string {
+	d.mu.RLock()
+	v := d.vals[:len(d.vals):len(d.vals)]
+	d.mu.RUnlock()
+	return v
+}
 
 // ByteSize estimates the dictionary's in-memory footprint.
 func (d *Dict) ByteSize() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	// 16 bytes of string header per entry, roughly doubled for the
 	// reverse map entry, plus the payload bytes stored once.
 	n := int64(len(d.vals)) * 40

@@ -75,6 +75,29 @@ func Restore(name, primaryKey string, fks []ForeignKey, cols []*Column, numRows 
 	return r
 }
 
+// CloneForWrite returns a copy-on-write clone of the relation for one
+// epoch's writer: column headers are copied (appends on the clone never
+// disturb readers of the original — see Column.CloneForAppend), the
+// column-name index and key metadata are shared, and the columns named
+// in updateCols get a deep storage copy because the writer will mutate
+// their existing cells in place (Set), not just append.
+func (r *Relation) CloneForWrite(updateCols ...string) *Relation {
+	deep := make(map[string]bool, len(updateCols))
+	for _, c := range updateCols {
+		deep[c] = true
+	}
+	q := *r
+	q.cols = make([]*Column, len(r.cols))
+	for i, c := range r.cols {
+		if deep[c.Name] {
+			q.cols[i] = c.CloneForUpdate()
+		} else {
+			q.cols[i] = c.CloneForAppend()
+		}
+	}
+	return &q
+}
+
 // NumRows returns the number of rows.
 func (r *Relation) NumRows() int { return r.numRows }
 
@@ -115,10 +138,28 @@ func (r *Relation) HasColumn(name string) bool {
 	return ok
 }
 
-// Append adds a row. The number of values must match the column count.
-func (r *Relation) Append(vals ...Value) error {
+// ValidateRow checks that vals could be appended as one row: the arity
+// matches and every value is storable in its column. Writers that must
+// not mutate on failure (the αDB's copy-on-write insert paths) call it
+// before touching any state.
+func (r *Relation) ValidateRow(vals []Value) error {
 	if len(vals) != len(r.cols) {
 		return fmt.Errorf("relation %q: Append got %d values, want %d", r.Name, len(vals), len(r.cols))
+	}
+	for i, v := range vals {
+		if err := r.cols[i].checkStorable(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append adds a row. The row is validated up front (ValidateRow), so a
+// rejected row never leaves ragged columns behind: either every column
+// gains a cell or none does.
+func (r *Relation) Append(vals ...Value) error {
+	if err := r.ValidateRow(vals); err != nil {
+		return err
 	}
 	for i, v := range vals {
 		if err := r.cols[i].Append(v); err != nil {

@@ -63,6 +63,10 @@ type liveGauges struct {
 	cacheHits        uint64
 	cacheMisses      uint64
 	cacheEntries     int
+	epochSeq         uint64
+	epochAgeSec      float64
+	epochPublishes   uint64
+	epochCombines    uint64
 }
 
 func newMetrics() *metrics {
@@ -151,6 +155,19 @@ func (m *metrics) render(w *strings.Builder, live liveGauges) {
 		fmt.Fprintf(w, "# TYPE squid_selcache_hit_ratio gauge\n")
 		fmt.Fprintf(w, "squid_selcache_hit_ratio %g\n", float64(live.cacheHits)/float64(total))
 	}
+
+	fmt.Fprintf(w, "# HELP squid_epoch_seq Sequence number of the current αDB epoch.\n")
+	fmt.Fprintf(w, "# TYPE squid_epoch_seq gauge\n")
+	fmt.Fprintf(w, "squid_epoch_seq %d\n", live.epochSeq)
+	fmt.Fprintf(w, "# HELP squid_epoch_age_seconds Age of the current αDB epoch (time since the last copy-on-write publish).\n")
+	fmt.Fprintf(w, "# TYPE squid_epoch_age_seconds gauge\n")
+	fmt.Fprintf(w, "squid_epoch_age_seconds %g\n", live.epochAgeSec)
+	fmt.Fprintf(w, "# HELP squid_epoch_publishes_total Copy-on-write epoch publishes since boot (one per insert batch).\n")
+	fmt.Fprintf(w, "# TYPE squid_epoch_publishes_total counter\n")
+	fmt.Fprintf(w, "squid_epoch_publishes_total %d\n", live.epochPublishes)
+	fmt.Fprintf(w, "# HELP squid_epoch_combines_total Publishes that merged a concurrent disjoint writer's epoch at the combiner.\n")
+	fmt.Fprintf(w, "# TYPE squid_epoch_combines_total counter\n")
+	fmt.Fprintf(w, "squid_epoch_combines_total %d\n", live.epochCombines)
 
 	fmt.Fprintf(w, "# HELP squid_request_duration_seconds Request latency by route.\n")
 	fmt.Fprintf(w, "# TYPE squid_request_duration_seconds histogram\n")

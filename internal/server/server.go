@@ -50,12 +50,7 @@ type Config struct {
 // BeginDrain before http.Server.Shutdown and Finalize after (see
 // cmd/squid-server for the canonical wiring).
 type Server struct {
-	sys *squid.System
-	// db is the combined (base + derived) database, resolved once: the
-	// relations are shared by reference and maintained in place by
-	// inserts, so the handle stays valid for the server's lifetime and
-	// the write path doesn't reassemble it per request.
-	db    *squid.Database
+	sys   *squid.System
 	cfg   Config
 	mux   *http.ServeMux
 	adm   *admission
@@ -92,7 +87,6 @@ func New(sys *squid.System, cfg Config) *Server {
 	}
 	s := &Server{
 		sys:      sys,
-		db:       sys.ExecutableDB(),
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		adm:      newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
@@ -254,6 +248,10 @@ type StatsResponse struct {
 	SelCacheEntries  int       `json:"selcache_entries"`
 	SelCacheHits     uint64    `json:"selcache_hits"`
 	SelCacheMisses   uint64    `json:"selcache_misses"`
+	EpochSeq         uint64    `json:"epoch_seq"`
+	EpochAgeSec      float64   `json:"epoch_age_sec"`
+	EpochPublishes   uint64    `json:"epoch_publishes"`
+	EpochCombines    uint64    `json:"epoch_combines"`
 	RelationCards    []RelCard `json:"relation_cards"`
 }
 
@@ -375,13 +373,17 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 	s.applyInserts(w, req.Ops)
 }
 
-// maxBatchOps caps the rows of one insert request: the whole batch
-// applies under one exclusive αDB write lock, so the cap bounds how
-// long a single request can stall every discovery behind that lock.
+// maxBatchOps caps the rows of one insert request: a batch builds one
+// copy-on-write epoch, so the cap bounds the clone footprint and the
+// publish latency of a single request (discoveries are never stalled
+// either way — readers are wait-free on their pinned epochs).
 const maxBatchOps = 4096
 
 // applyInserts converts the wire rows against the live schema and
-// applies them through System.InsertBatch (one lock, one invalidation).
+// applies them through System.InsertBatch (one copy-on-write epoch per
+// batch). Schema validation reads the current epoch's combined
+// database — memoized per epoch, so resolving it per request is one
+// atomic load.
 func (s *Server) applyInserts(w http.ResponseWriter, rows []InsertRequest) {
 	if len(rows) > maxBatchOps {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{
@@ -390,9 +392,10 @@ func (s *Server) applyInserts(w http.ResponseWriter, rows []InsertRequest) {
 			Code: "batch_too_large"})
 		return
 	}
+	db := s.sys.ExecutableDB()
 	ops := make([]squid.InsertOp, 0, len(rows))
 	for i, row := range rows {
-		rel := s.db.Relation(row.Rel)
+		rel := db.Relation(row.Rel)
 		if rel == nil {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{
 				Error: fmt.Sprintf("row %d: unknown relation %q", i, row.Rel), Code: "bad_insert"})
@@ -441,6 +444,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Path: s.cfg.SnapshotPath, Bytes: n, WallMS: msOf(time.Since(start))})
 }
 
+// handleStats renders the introspection surface from one pinned αDB
+// epoch: System.Stats snapshots the epoch once and derives every field
+// from that single consistent state, wait-free with respect to
+// writers.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
 	resp := StatsResponse{
@@ -458,6 +465,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SelCacheEntries:  st.SelCacheEntries,
 		SelCacheHits:     st.SelCacheHits,
 		SelCacheMisses:   st.SelCacheMisses,
+		EpochSeq:         st.EpochSeq,
+		EpochAgeSec:      st.EpochAgeSec,
+		EpochPublishes:   st.EpochPublishes,
+		EpochCombines:    st.EpochCombines,
 	}
 	for _, rc := range st.RelationCards {
 		resp.RelationCards = append(resp.RelationCards, RelCard{Relation: rc.Relation, Rows: rc.Rows})
@@ -477,10 +488,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// CacheMetrics reads only the selectivity-cache counters: a scrape
-	// must not pay for (or hold the epoch lock across) the full Stats
-	// computation.
+	// The scrape reads only cheap counters: the selectivity-cache
+	// numbers and the epoch chain's health (one atomic load each) —
+	// never the full Stats computation.
 	hits, misses, entries := s.sys.CacheMetrics()
+	epochSeq, epochAge, publishes, combines := s.sys.EpochMetrics()
 	var b strings.Builder
 	s.met.render(&b, liveGauges{
 		discoverInFlight: s.adm.inFlight(),
@@ -488,6 +500,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cacheHits:        hits,
 		cacheMisses:      misses,
 		cacheEntries:     entries,
+		epochSeq:         epochSeq,
+		epochAgeSec:      epochAge.Seconds(),
+		epochPublishes:   publishes,
+		epochCombines:    combines,
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
@@ -582,8 +598,10 @@ func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // SaveSnapshot persists the system to the configured path with a
 // write-then-rename, so an interrupted save never leaves a truncated
 // snapshot poisoning later warm boots. Concurrent saves serialize; the
-// save itself reads under the αDB's shared epoch lock, so it captures
-// one consistent state while discoveries keep running.
+// save itself pins the αDB epoch current at encode time, so it
+// captures every previously acknowledged write (an insert only
+// returns after its epoch is published) while discoveries and further
+// inserts keep running untouched.
 func (s *Server) SaveSnapshot() (int64, error) {
 	if s.cfg.SnapshotPath == "" {
 		return 0, errors.New("server: no snapshot path configured")
@@ -658,7 +676,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Finalize stops the periodic snapshot loop and writes the final
 // snapshot (when a path is configured). Call it after
 // http.Server.Shutdown has returned, so the final snapshot includes
-// every insert that was in flight. Idempotent.
+// every insert that was in flight: the save pins the epoch current at
+// Finalize time — the final published epoch — never a stale one held
+// from before the drain. Idempotent.
 func (s *Server) Finalize() error {
 	s.finalOnce.Do(func() {
 		close(s.stopSnap)

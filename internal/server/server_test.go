@@ -516,3 +516,62 @@ func TestServerGracefulDrain(t *testing.T) {
 		t.Errorf("stale snapshot temp file: %v", err)
 	}
 }
+
+// TestDrainSnapshotCapturesFinalEpoch regresses the drain/snapshot
+// ordering contract: the final Finalize snapshot must encode the αDB
+// epoch current at encode time — including writes acknowledged after
+// BeginDrain (inserts bypass admission and keep landing until the
+// listener stops) — never an epoch pinned earlier. A warm boot from
+// the snapshot must answer with every acknowledged row.
+func TestDrainSnapshotCapturesFinalEpoch(t *testing.T) {
+	sys := newTestSystem(t)
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "final.sqas")
+	srv := New(sys, Config{SnapshotPath: snap})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// An insert acknowledged before the drain...
+	code := postJSON(t, client, ts.URL+"/v1/insert", InsertRequest{
+		Rel: "academics", Values: []any{float64(200), "Pre Drain"}}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("pre-drain insert status %d", code)
+	}
+	srv.BeginDrain()
+	// ...and one acknowledged after BeginDrain but before Finalize
+	// (inserts bypass admission; the listener is still accepting).
+	code = postJSON(t, client, ts.URL+"/v1/insert", InsertRequest{
+		Rel: "research", Values: []any{float64(200), "data management"}}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("post-drain insert status %d", code)
+	}
+	if err := srv.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := squid.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both acknowledged writes must be answerable from the warm boot:
+	// the new scholar resolves and carries the post-drain interest.
+	disc, err := restored.Discover([]string{"Dan Suciu", "Sam Madden", "Pre Drain"})
+	if err != nil {
+		t.Fatalf("restored discovery: %v", err)
+	}
+	found := false
+	for _, v := range disc.Output {
+		if v == "Pre Drain" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("final snapshot lost acknowledged writes; output = %v", disc.Output)
+	}
+}

@@ -102,7 +102,7 @@ func abduceComedians(t *testing.T, alpha *adb.AlphaDB) *abduction.Result {
 	t.Helper()
 	params := abduction.DefaultParams()
 	params.TauA = 4
-	results, err := abduction.Discover(alpha, []string{"Eddie Murphy", "Jim Carrey", "Robin Williams"}, params, nil)
+	results, err := abduction.Discover(alpha.Snapshot(), []string{"Eddie Murphy", "Jim Carrey", "Robin Williams"}, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,9 +44,13 @@
 //   - DiscoverBatch fans independent example sets across a bounded
 //     worker pool over the shared αDB. Writes (InsertEntity,
 //     InsertFact, InsertBatch) are safe to run concurrently with
-//     discovery: each discovery pins a consistent statistics epoch
-//     under an internal read/write lock, and inserts serialize behind
-//     it — no external coordination required.
+//     discovery and are wait-free for readers: the αDB is a chain of
+//     immutable, atomically published epochs — a discovery pins the
+//     current epoch with one pointer load and can never be stalled by
+//     a writer, while writers build the next epoch copy-on-write and
+//     publish it with one pointer swap. Writers into disjoint
+//     relations proceed in parallel (per-relation write locks); no
+//     external coordination is required anywhere.
 //
 // Benchmarks: `go test -bench=.` runs the experiment harness at reduced
 // scale; `go run ./cmd/squid-bench -exp all` regenerates the paper's
@@ -71,6 +75,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"squid/internal/abduction"
 	"squid/internal/adb"
@@ -161,29 +166,42 @@ type CSVColumn = relation.CSVColumn
 
 // System is an abduction-ready SQuID instance over one database.
 //
-// Discovery and ingest are safe for concurrent use. Discovery
-// (Discover, DiscoverContext, DiscoverAll, DiscoverBatch, Execute,
-// Stats, Save) reads
-// under a shared epoch lock, so concurrent discoveries proceed in
-// parallel and each observes one consistent statistics state; writes
-// (InsertEntity, InsertFact, InsertBatch) take the lock exclusively
-// and may interleave freely with discovery — a discovery in flight
-// when an insert lands answers from the pre-insert epoch, the next one
-// sees the new rows. Two surfaces stay outside the lock: the
-// configuration setters (SetParams, SetBatchWorkers), which must be
-// called before the System is shared across goroutines, and
-// introspecting a returned Discovery's Filters against live statistics
-// (Filter.Selectivity, Filter.EntityRows) after later inserts, which
-// must be ordered externally if writes are still arriving.
+// Discovery and ingest are safe for concurrent use, and readers are
+// wait-free. The αDB behind a System is a chain of immutable epochs
+// published through an atomic pointer: every read surface (Discover,
+// DiscoverContext, DiscoverAll, DiscoverBatch, Execute, Stats, Save)
+// pins the current epoch with one pointer load and runs to completion
+// against that consistent state — no lock, so a writer can never stall
+// a discovery mid-flight and a long discovery never stalls a writer.
+// Writes (InsertEntity, InsertFact, InsertBatch) build the next epoch
+// copy-on-write: they clone only the relations, property statistics,
+// and index shards the batch touches, share everything else
+// structurally with the previous epoch, and publish with one pointer
+// swap. Writers coordinate per relation — inserts into disjoint
+// relations proceed in parallel, and concurrent publishes are combined
+// into one chain — so a discovery in flight when an insert lands
+// answers from the pre-insert epoch (snapshot isolation) and the next
+// one sees the new rows.
+//
+// Epoch lifecycle and memory: a retired epoch stays reachable only
+// through the readers still pinning it (and through whatever its
+// successor shares structurally); when the last such reader finishes,
+// the epoch's private clones are garbage collected. The steady-state
+// overhead of sustained ingest is therefore bounded by the number of
+// discoveries in flight, not by write volume.
+//
+// One surface stays outside the epoch protocol: the configuration
+// setters (SetParams, SetBatchWorkers) must be called before the
+// System is shared across goroutines. A returned Discovery (and its
+// Filters) is permanently pinned to the epoch it ran against —
+// introspecting it after later inserts keeps answering from its own
+// epoch's statistics.
 type System struct {
 	alpha  *adb.AlphaDB
 	params Params
 
 	// batchWorkers bounds DiscoverBatch's worker pool (0 = GOMAXPROCS).
 	batchWorkers int
-
-	execOnce sync.Once
-	exec     *engine.Executor
 }
 
 // Build runs the offline phase: it constructs the abduction-ready
@@ -279,12 +297,20 @@ func (s *System) Stats() Stats { return s.alpha.ComputeStats() }
 
 // CacheMetrics returns the selectivity-cache health counters (hits,
 // misses, live entries) without computing the full Stats block: no
-// epoch lock and no byte-size scans, so a high-frequency metrics
-// scrape never delays writers queued behind the lock.
+// byte-size scans, so a high-frequency metrics scrape stays cheap.
 func (s *System) CacheMetrics() (hits, misses uint64, entries int) {
 	c := s.alpha.SelectivityCache()
 	hits, misses = c.Metrics()
 	return hits, misses, c.Len()
+}
+
+// EpochMetrics reports the αDB epoch chain's health for monitoring:
+// the current epoch's sequence number, its age (time since the last
+// publish), and the cumulative publish/combine counters. One atomic
+// load; safe at any scrape frequency.
+func (s *System) EpochMetrics() (seq uint64, age time.Duration, publishes, combines uint64) {
+	es := s.alpha.EpochStats()
+	return es.Seq, time.Since(es.PublishedAt), es.Publishes, es.Combines
 }
 
 // Discovery is the result of query intent discovery: the selected
@@ -323,8 +349,8 @@ func (s *System) Discover(examples []string) (*Discovery, error) {
 // queries and between candidate-filter evaluations — so canceling the
 // context (or hitting its deadline) makes even one long discovery return
 // promptly. The returned error wraps ctx's error and matches it with
-// errors.Is; a canceled discovery holds the αDB read lock only until the
-// next check, so writers are not blocked behind abandoned work.
+// errors.Is. Writers are never blocked behind abandoned work — readers
+// hold no lock at all.
 func (s *System) DiscoverContext(ctx context.Context, examples []string) (*Discovery, error) {
 	return s.discoverCtx(ctx, examples, disambig.Resolve)
 }
@@ -333,11 +359,9 @@ func (s *System) DiscoverContext(ctx context.Context, examples []string) (*Disco
 // examples structurally match), ranked by posterior score. The first
 // element equals Discover's result.
 func (s *System) DiscoverAll(examples []string) ([]*Discovery, error) {
-	// Pin one statistics epoch across discovery and result
-	// materialization; inserts wait, concurrent discoveries share.
-	s.alpha.RLock()
-	defer s.alpha.RUnlock()
-	results, err := abduction.Discover(s.alpha, examples, s.params, disambig.Resolve)
+	// Pin one epoch across discovery and result materialization:
+	// writers publish past it without ever stalling this reader.
+	results, err := abduction.Discover(s.alpha.Snapshot(), examples, s.params, disambig.Resolve)
 	if err != nil {
 		return nil, fmt.Errorf("squid: %w", err)
 	}
@@ -348,18 +372,22 @@ func (s *System) DiscoverAll(examples []string) ([]*Discovery, error) {
 	return out, nil
 }
 
-// InsertEntity appends a row to an entity relation and incrementally
-// maintains the αDB (the §9 dynamic-dataset extension). Safe to call
-// concurrently with discovery; only the cached statistics of the
-// inserted entity's own properties are invalidated.
+// InsertEntity appends a row to an entity relation and publishes the
+// next αDB epoch with that entity incrementally maintained (the §9
+// dynamic-dataset extension). Safe to call concurrently with discovery
+// (readers are wait-free on their pinned epochs) and with inserts into
+// other relations; only the inserted entity's own properties are
+// cloned and cache-invalidated.
 func (s *System) InsertEntity(rel string, vals ...Value) error {
 	return s.alpha.InsertEntity(rel, vals...)
 }
 
-// InsertFact appends a row to a fact relation and incrementally
-// maintains the affected derived relations and statistics. Safe to
-// call concurrently with discovery; only the properties routed through
-// that fact table for the referenced entities are invalidated.
+// InsertFact appends a row to a fact relation and publishes the next
+// αDB epoch with the affected derived relations and statistics
+// maintained. Safe to call concurrently with discovery and with
+// inserts into disjoint relations; only the properties routed through
+// that fact table for the referenced entities are cloned and
+// invalidated.
 func (s *System) InsertFact(rel string, vals ...Value) error {
 	return s.alpha.InsertFact(rel, vals...)
 }
@@ -369,11 +397,12 @@ func (s *System) InsertFact(rel string, vals ...Value) error {
 type InsertOp = adb.InsertOp
 
 // InsertBatch appends many rows — entity and fact rows may be mixed —
-// inside one critical section, amortizing the write lock and the cache
-// invalidation over the whole batch: concurrent discoveries wait once
-// per batch instead of once per row. Rows apply in order; on the first
-// failure the batch stops, already-applied rows stay, and the error
-// reports the failing row's index.
+// into one copy-on-write epoch, amortizing the structure clones and
+// the publish over the whole batch; concurrent discoveries are never
+// blocked and observe the batch atomically. Batches into disjoint
+// relations proceed in parallel. Rows apply in order; on the first
+// failure the batch stops, already-applied rows stay (and publish),
+// and the error reports the failing row's index.
 func (s *System) InsertBatch(ops []InsertOp) error {
 	return s.alpha.InsertBatch(ops)
 }
@@ -387,8 +416,8 @@ func (s *System) SetBatchWorkers(n int) { s.batchWorkers = n }
 // concurrently over the shared αDB: example sets fan out across a
 // bounded worker pool (SetBatchWorkers; default GOMAXPROCS), and
 // similar intents reuse each other's memoized selectivity row sets.
-// Inserts may run concurrently; each set answers from a consistent
-// statistics epoch (sets dispatched after an insert see its rows).
+// Inserts may run concurrently; each set pins the epoch current at its
+// dispatch (sets dispatched after an insert publishes see its rows).
 //
 // The returned slice is parallel to exampleSets; entries whose
 // discovery failed are nil, and the error is the join of the per-set
@@ -475,12 +504,11 @@ func (s *System) DiscoverWithoutDisambiguation(examples []string) (*Discovery, e
 }
 
 func (s *System) discoverCtx(ctx context.Context, examples []string, resolver abduction.Resolver) (*Discovery, error) {
-	// Pin one statistics epoch across discovery and result
-	// materialization (wrap reads relation columns for OutputValues and
-	// SQL rendering); inserts wait, concurrent discoveries share.
-	s.alpha.RLock()
-	defer s.alpha.RUnlock()
-	results, err := abduction.DiscoverCtx(ctx, s.alpha, examples, s.params, resolver)
+	// Pin one epoch across discovery and result materialization (wrap
+	// reads relation columns for OutputValues and SQL rendering): the
+	// whole read path — example resolution, statistics, output rows —
+	// answers from this immutable state, wait-free.
+	results, err := abduction.DiscoverCtx(ctx, s.alpha.Snapshot(), examples, s.params, resolver)
 	if err != nil {
 		return nil, fmt.Errorf("squid: %w", err)
 	}
@@ -549,13 +577,12 @@ func (d *Discovery) Result() *abduction.Result { return d.result }
 // against which Plan() queries run.
 func (s *System) ExecutableDB() *Database { return s.alpha.CombinedDB() }
 
-// Execute runs a logical query plan against the combined database. The
-// executor is built once and shares the αDB's hash-index pool, so point
-// predicates push down to index lookups and repeated executions skip
-// re-planning setup; it remains valid across incremental inserts
-// (relations are shared by reference and the pool is maintained in
-// place). Execution reads under the shared epoch lock, so it is safe
-// concurrently with inserts.
+// Execute runs a logical query plan against the combined database of
+// the current epoch. Point and range predicates push down into the
+// epoch's index view, which structurally shares warm indexes across
+// epochs, so repeated executions skip re-planning setup. Execution is
+// wait-free with respect to inserts: it pins one epoch and can never
+// be stalled by (or stall) a writer.
 func (s *System) Execute(q *Query) (*ExecResult, error) {
 	return s.ExecuteContext(context.Background(), q)
 }
@@ -563,14 +590,11 @@ func (s *System) Execute(q *Query) (*ExecResult, error) {
 // ExecuteContext is Execute with cooperative cancellation: the engine
 // consults ctx between pipeline stages and every few thousand tuples
 // inside joins, so a canceled or deadline-expired context aborts even a
-// pathological query and releases the shared epoch lock promptly
-// instead of blocking writers behind runaway work. The returned error
-// wraps ctx's error; match it with errors.Is.
+// pathological query instead of pinning an admission slot behind
+// runaway work. The returned error wraps ctx's error; match it with
+// errors.Is.
 func (s *System) ExecuteContext(ctx context.Context, q *Query) (*ExecResult, error) {
-	s.execOnce.Do(func() {
-		s.exec = engine.NewExecutorWithIndexes(s.alpha.CombinedDB(), s.alpha.Indexes)
-	})
-	s.alpha.RLock()
-	defer s.alpha.RUnlock()
-	return s.exec.ExecuteCtx(ctx, q)
+	ep := s.alpha.Snapshot()
+	exec := engine.NewExecutorWithIndexes(ep.CombinedDB(), ep.Indexes)
+	return exec.ExecuteCtx(ctx, q)
 }

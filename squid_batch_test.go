@@ -149,24 +149,30 @@ func TestDiscoverBatchCancellationSemantics(t *testing.T) {
 	})
 }
 
-// TestFilterStatsRefreshAfterInsert regresses the filter-level memo: a
-// Filter held from a prior discovery must answer from post-insert
-// statistics, not from rows memoized before the insert.
-func TestFilterStatsRefreshAfterInsert(t *testing.T) {
+// TestFilterStatsPinnedAcrossInsert pins the epoch contract of returned
+// discoveries: a Filter held from a prior discovery stays pinned to the
+// epoch it ran against — introspecting it after an insert keeps
+// answering from that epoch's statistics (snapshot isolation), while a
+// fresh discovery's filter sees the post-insert state.
+func TestFilterStatsPinnedAcrossInsert(t *testing.T) {
 	sys, err := Build(academicsDB(), DefaultBuildConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	disc, err := sys.Discover([]string{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"})
+	examples := []string{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"}
+	interestFilter := func(d *Discovery) *Filter {
+		for _, dec := range d.Decisions {
+			if dec.Filter.Value() == "data management" {
+				return dec.Filter
+			}
+		}
+		return nil
+	}
+	disc, err := sys.Discover(examples)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var f *Filter
-	for _, d := range disc.Decisions {
-		if d.Filter.Value() == "data management" {
-			f = d.Filter
-		}
-	}
+	f := interestFilter(disc)
 	if f == nil {
 		t.Fatal("interest filter not among candidates")
 	}
@@ -177,12 +183,27 @@ func TestFilterStatsRefreshAfterInsert(t *testing.T) {
 	if err := sys.InsertFact("research", IntVal(100), StringVal("data management")); err != nil {
 		t.Fatal(err)
 	}
-	after := f.EntityRows()
-	if len(after) != before+1 {
-		t.Errorf("post-insert EntityRows = %d want %d (stale memo?)", len(after), before+1)
+	if got := f.EntityRows(); len(got) != before {
+		t.Errorf("pinned filter's EntityRows moved to %d, want the epoch's %d", len(got), before)
 	}
-	if f.Selectivity() <= psiBefore {
-		t.Errorf("post-insert selectivity %v did not grow from %v", f.Selectivity(), psiBefore)
+	if f.Selectivity() != psiBefore {
+		t.Errorf("pinned filter's selectivity moved to %v from %v", f.Selectivity(), psiBefore)
+	}
+
+	// A fresh discovery pins the post-insert epoch and sees the new row.
+	disc2, err := sys.Discover(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := interestFilter(disc2)
+	if f2 == nil {
+		t.Fatal("interest filter missing from fresh discovery")
+	}
+	if got := f2.EntityRows(); len(got) != before+1 {
+		t.Errorf("fresh filter's EntityRows = %d want %d", len(got), before+1)
+	}
+	if f2.Selectivity() <= psiBefore {
+		t.Errorf("fresh filter's selectivity %v did not grow from %v", f2.Selectivity(), psiBefore)
 	}
 }
 
