@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"squid"
+	"squid/internal/datagen"
+	"squid/internal/experiments"
+)
+
+// DiscoverArm is one worker-count arm of the single-discovery latency
+// experiment.
+type DiscoverArm struct {
+	Workers int     `json:"workers"`
+	P50MS   float64 `json:"p50_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// DiscoverResult is the single-discovery latency measurement: cold-cache
+// Discover latency per worker count, the serial-vs-max-parallel summary
+// the CI baseline comparison tracks, and the byte-identity verdict
+// (parallel output must equal serial output exactly — the tentpole's
+// correctness contract).
+type DiscoverResult struct {
+	Dataset            string        `json:"dataset"`
+	Sets               int           `json:"sets"`
+	RunsPerArm         int           `json:"runs_per_arm"`
+	SerialP50MS        float64       `json:"serial_p50_ms"`
+	SerialP99MS        float64       `json:"serial_p99_ms"`
+	ParallelWorkers    int           `json:"parallel_workers"`
+	ParallelP50MS      float64       `json:"parallel_p50_ms"`
+	ParallelP99MS      float64       `json:"parallel_p99_ms"`
+	ParallelSpeedupP50 float64       `json:"parallel_speedup_p50"`
+	OutputIdentical    bool          `json:"output_identical"`
+	Arms               []DiscoverArm `json:"arms"`
+}
+
+// discoverWorkerArms returns the worker counts to measure: 1, 2, 4, and
+// GOMAXPROCS, deduplicated and ascending (on a single-core machine this
+// collapses to [1]).
+func discoverWorkerArms() []int {
+	seen := map[int]bool{}
+	var arms []int
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			arms = append(arms, w)
+		}
+	}
+	sort.Ints(arms)
+	return arms
+}
+
+// setDiscoverWorkers points Params.Workers at w (the bench driver is
+// single-goroutine, so the unsynchronized setter is safe here).
+func setDiscoverWorkers(sys *squid.System, w int) {
+	p := sys.Params()
+	p.Workers = w
+	sys.SetParams(p)
+}
+
+// discoverFingerprint renders one discovery to the deterministic byte
+// form the identity check compares across worker counts: the full
+// Explain block (base query, both SQL forms, every Algorithm 1 decision)
+// plus the projected output values. Resolution failures fingerprint as
+// their error text, so an arm that starts failing differently is caught
+// too.
+func discoverFingerprint(sys *squid.System, examples []string) string {
+	d, err := sys.Discover(examples)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	fp := d.Explain()
+	for _, v := range d.Output {
+		fp += v + "\n"
+	}
+	return fp
+}
+
+// runDiscoverExperiment measures single-discovery latency serial vs
+// parallel: for each worker count (1/2/4/GOMAXPROCS) it runs every IMDb
+// example set with a cold selectivity cache — the novel-intent case a
+// waiting user actually experiences; warm-cache repeats are map reads
+// regardless of workers — and reports p50/p99 per arm plus the
+// serial-vs-parallel speedup. Before timing, it verifies that every
+// worker count produces byte-identical output to the serial path and
+// fails loudly otherwise.
+func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
+	report := Report{
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		GOMAXPROC: runtime.GOMAXPROCS(0),
+		UnixTime:  time.Now().Unix(),
+	}
+	g := datagen.GenerateIMDb(sc.IMDb)
+	sys, err := squid.Build(g.DB, squid.DefaultBuildConfig())
+	if err != nil {
+		return err
+	}
+	sets, err := imdbExampleSets(g, sys)
+	if err != nil {
+		return err
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("discover: no example sets")
+	}
+	arms := discoverWorkerArms()
+	runs := 3
+	if scale == "test" {
+		runs = 2
+	}
+	cache := sys.AlphaDB().SelectivityCache()
+
+	// Byte-identity check first: every arm must reproduce the serial
+	// fingerprint of every set exactly.
+	identical := true
+	reference := make([]string, len(sets))
+	setDiscoverWorkers(sys, 1)
+	for i, ex := range sets {
+		reference[i] = discoverFingerprint(sys, ex)
+	}
+	for _, w := range arms[1:] {
+		setDiscoverWorkers(sys, w)
+		for i, ex := range sets {
+			if fp := discoverFingerprint(sys, ex); fp != reference[i] {
+				identical = false
+				fmt.Printf("OUTPUT MISMATCH: set %d with %d workers diverges from serial\n", i, w)
+			}
+		}
+	}
+	if !identical {
+		// Keep going so the report records the failure, but make the
+		// run's exit status reflect it.
+		err = fmt.Errorf("discover: parallel output not byte-identical to serial")
+	}
+
+	res := DiscoverResult{
+		Dataset:         "imdb",
+		Sets:            len(sets),
+		RunsPerArm:      runs,
+		OutputIdentical: identical,
+	}
+	for _, w := range arms {
+		setDiscoverWorkers(sys, w)
+		var lats []time.Duration
+		var total time.Duration
+		for run := 0; run < runs; run++ {
+			for _, ex := range sets {
+				// Cold cache per discovery: the measurement is the
+				// latency of a novel intent, the case parallelism is for.
+				cache.Invalidate()
+				t0 := time.Now()
+				_, _ = sys.Discover(ex)
+				d := time.Since(t0)
+				lats = append(lats, d)
+				total += d
+			}
+		}
+		arm := DiscoverArm{
+			Workers: w,
+			P50MS:   percentileMS(lats, 0.50),
+			P99MS:   percentileMS(lats, 0.99),
+			MeanMS:  msOf(total) / float64(len(lats)),
+		}
+		res.Arms = append(res.Arms, arm)
+	}
+	serial, parallel := res.Arms[0], res.Arms[len(res.Arms)-1]
+	res.SerialP50MS = serial.P50MS
+	res.SerialP99MS = serial.P99MS
+	res.ParallelWorkers = parallel.Workers
+	res.ParallelP50MS = parallel.P50MS
+	res.ParallelP99MS = parallel.P99MS
+	if parallel.P50MS > 0 {
+		res.ParallelSpeedupP50 = serial.P50MS / parallel.P50MS
+	}
+	report.Discover = append(report.Discover, res)
+	report.PeakRSSKB = peakRSSKB()
+
+	fmt.Printf("single-discovery latency (cold cache), %s scale, %d sets x %d runs per arm\n",
+		scale, res.Sets, res.RunsPerArm)
+	for _, a := range res.Arms {
+		fmt.Printf("  workers %2d  p50 %8.2fms  p99 %8.2fms  mean %8.2fms\n",
+			a.Workers, a.P50MS, a.P99MS, a.MeanMS)
+	}
+	fmt.Printf("  parallel speedup (p50, %d workers vs serial): %.2fx; output identical: %v\n",
+		res.ParallelWorkers, res.ParallelSpeedupP50, res.OutputIdentical)
+	if werr := writeReport(report, jsonPath); werr != nil {
+		return werr
+	}
+	return err
+}

@@ -31,6 +31,18 @@
 // -duration, reporting sustained throughput and client-observed
 // p50/p95/p99 latency per operation class, then drains the server
 // gracefully.
+//
+// The discover experiment (-exp discover) measures single-discovery
+// latency with a cold selectivity cache across worker counts
+// (1/2/4/GOMAXPROCS via Params.Workers), reports p50/p99 per arm and
+// the serial-vs-parallel speedup, and verifies the parallel output is
+// byte-identical to serial. Its JSON report is the committed
+// BENCH_discover.json baseline CI compares against.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the CPU
+// profile covers the whole process; the heap profile is taken post-GC
+// at exit), so hot-path regressions are diagnosable without editing
+// code.
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -116,29 +129,81 @@ type MixedResult struct {
 
 // Report is the machine-readable benchmark output.
 type Report struct {
-	Scale     string        `json:"scale"`
-	GoVersion string        `json:"go_version"`
-	GOMAXPROC int           `json:"gomaxprocs"`
-	UnixTime  int64         `json:"unix_time"`
-	Phases    []Phase       `json:"phases,omitempty"`
-	Build     []BuildResult `json:"build,omitempty"`
-	Mixed     []MixedResult `json:"mixed,omitempty"`
-	Serve     []ServeResult `json:"serve,omitempty"`
-	PeakRSSKB int64         `json:"peak_rss_kb,omitempty"`
+	Scale     string           `json:"scale"`
+	GoVersion string           `json:"go_version"`
+	GOMAXPROC int              `json:"gomaxprocs"`
+	UnixTime  int64            `json:"unix_time"`
+	Phases    []Phase          `json:"phases,omitempty"`
+	Build     []BuildResult    `json:"build,omitempty"`
+	Mixed     []MixedResult    `json:"mixed,omitempty"`
+	Serve     []ServeResult    `json:"serve,omitempty"`
+	Discover  []DiscoverResult `json:"discover,omitempty"`
+	PeakRSSKB int64            `json:"peak_rss_kb,omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id to run (see -list), or \"all\"")
-		scale    = flag.String("scale", "full", "dataset scale: full or test")
-		list     = flag.Bool("list", false, "list available experiments")
-		jsonPath = flag.String("json", "", "write a machine-readable timing report to this path (\"-\" = stdout)")
-		conc     = flag.Int("conc", 0, "serve experiment: concurrent HTTP clients (0 = 2x GOMAXPROCS)")
-		duration = flag.Duration("duration", 0, "serve experiment: load duration (0 = 5s full scale, 1.5s test scale)")
+		exp        = flag.String("exp", "", "experiment id to run (see -list), or \"all\"")
+		scale      = flag.String("scale", "full", "dataset scale: full or test")
+		list       = flag.Bool("list", false, "list available experiments")
+		jsonPath   = flag.String("json", "", "write a machine-readable timing report to this path (\"-\" = stdout)")
+		conc       = flag.Int("conc", 0, "serve experiment: concurrent HTTP clients (0 = 2x GOMAXPROCS)")
+		duration   = flag.Duration("duration", 0, "serve experiment: load duration (0 = 5s full scale, 1.5s test scale)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a post-GC heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	// Profiles must be closed out on every exit path, so the experiment
+	// dispatch lives in run() and returns an exit code instead of
+	// calling os.Exit under an armed profiler.
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "squid-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "squid-bench:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	code := run(*exp, *scale, *list, *jsonPath, *conc, *duration)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "squid-bench:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// writeHeapProfile forces a GC and writes the live-heap profile, so the
+// numbers reflect retained memory (the αDB footprint), not garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// run dispatches the selected experiment and returns the process exit
+// code (0 ok, 1 failure, 2 usage).
+func run(exp, scale string, list bool, jsonPath string, conc int, duration time.Duration) int {
+	if list || exp == "" {
 		fmt.Println("available experiments:")
 		for _, r := range experiments.Registry() {
 			fmt.Printf("  %-8s %s\n", r.ID, r.Description)
@@ -146,67 +211,59 @@ func main() {
 		fmt.Println("  build    offline phase: serial vs parallel build, snapshot save/load, heap, peak RSS")
 		fmt.Println("  mixed    online phase: batch discovery concurrent with incremental ingest")
 		fmt.Println("  serve    serving layer: mixed HTTP workload against a live internal/server instance")
-		fmt.Println("  all      run every paper experiment above (build/mixed/serve run by name)")
-		if *exp == "" && !*list {
-			os.Exit(2)
+		fmt.Println("  discover single-discovery latency: serial vs parallel workers, cold cache")
+		fmt.Println("  all      run every paper experiment above (build/mixed/serve/discover run by name)")
+		if exp == "" && !list {
+			return 2
 		}
-		return
+		return 0
 	}
 
 	var sc experiments.Scale
-	switch *scale {
+	switch scale {
 	case "full":
 		sc = experiments.FullScale()
 	case "test":
 		sc = experiments.TestScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or test)\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or test)\n", scale)
+		return 2
 	}
 	suite := experiments.NewSuite(sc)
 
-	if *exp == "build" || *exp == "build-vs-load" {
-		if err := runBuildExperiment(sc, *scale, *jsonPath); err != nil {
+	fail := func(err error) int {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "squid-bench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
+	}
+	switch exp {
+	case "build", "build-vs-load":
+		return fail(runBuildExperiment(sc, scale, jsonPath))
+	case "mixed":
+		return fail(runMixedExperiment(sc, scale, jsonPath))
+	case "serve":
+		return fail(runServeExperiment(sc, scale, jsonPath, conc, duration))
+	case "discover":
+		return fail(runDiscoverExperiment(sc, scale, jsonPath))
 	}
 
-	if *exp == "mixed" {
-		if err := runMixedExperiment(sc, *scale, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "squid-bench:", err)
-			os.Exit(1)
-		}
-		return
+	if jsonPath != "" {
+		return fail(runJSON(suite, scale, exp, jsonPath))
 	}
 
-	if *exp == "serve" {
-		if err := runServeExperiment(sc, *scale, *jsonPath, *conc, *duration); err != nil {
-			fmt.Fprintln(os.Stderr, "squid-bench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if *jsonPath != "" {
-		if err := runJSON(suite, *scale, *exp, *jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "squid-bench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if *exp == "all" {
+	if exp == "all" {
 		experiments.RunAll(suite, os.Stdout)
-		return
+		return 0
 	}
-	runner, ok := experiments.Lookup(*exp)
+	runner, ok := experiments.Lookup(exp)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", exp)
+		return 2
 	}
 	runner.Run(suite, os.Stdout)
+	return 0
 }
 
 // runJSON measures the pipeline phases plus the selected experiments and

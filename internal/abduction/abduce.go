@@ -69,19 +69,24 @@ func (r *Result) OutputValues() []string {
 
 // AbduceForEntity runs the full online pipeline for examples already
 // resolved to rows of one entity relation: context discovery, Algorithm 1,
-// and output computation.
+// and output computation. Params.Workers bounds its parallelism.
 func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) *Result {
-	res, _ := abduceForEntityCtx(context.Background(), info, base, exampleRows, params)
+	res, _ := abduceForEntityCtx(context.Background(), newWorkPool(params.Workers), info, base, exampleRows, params)
 	return res
 }
 
-// abduceForEntityCtx is AbduceForEntity with cooperative cancellation:
-// ctx is consulted between candidate-filter evaluations and before the
-// output-row intersection, so a canceled context aborts a long abduction
-// mid-flight instead of after the fact.
-func abduceForEntityCtx(ctx context.Context, info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) (*Result, error) {
-	contexts := DiscoverContexts(info, exampleRows, params)
-	decisions, selected, err := abduceCtx(ctx, contexts, params)
+// abduceForEntityCtx is AbduceForEntity with cooperative cancellation
+// and a shared worker pool: ctx is consulted between candidate-filter
+// evaluations and before the output-row intersection, so a canceled
+// context aborts a long abduction mid-flight instead of after the fact;
+// the pool fans the per-property context walks and the selectivity
+// prefetch out without oversubscribing the discovery-wide budget.
+func abduceForEntityCtx(ctx context.Context, pool *workPool, info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) (*Result, error) {
+	contexts, err := discoverContextsCtx(ctx, pool, info, exampleRows, params)
+	if err != nil {
+		return nil, err
+	}
+	decisions, selected, err := abduceCtx(ctx, pool, contexts, params)
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +95,11 @@ func abduceForEntityCtx(ctx context.Context, info *adb.EntityInfo, base BaseQuer
 		chosen[f] = true
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Prefetch the selected filters' row bitsets in parallel; the
+	// intersection cascade itself is word ops and stays serial.
+	if err := pool.forEach(ctx, len(selected), func(i int) { selected[i].RowSet() }); err != nil {
 		return nil, err
 	}
 	return &Result{
@@ -127,26 +137,44 @@ func Discover(a *adb.Epoch, examples []string, params Params, resolver Resolver)
 // between candidate-filter evaluations, so canceling the context makes
 // even a single long discovery return promptly with ctx's error (wrapped;
 // match it with errors.Is).
+//
+// Params.Workers > 1 (or 0 on a multi-core machine) fans the candidate
+// base queries — and, inside each, the per-property context walks and
+// selectivity computations — over a bounded worker pool. Candidates
+// land in enumeration-order slots and the per-filter math is untouched,
+// so the results are byte-identical to the serial path at every worker
+// count; only the wall-clock changes.
 func DiscoverCtx(ctx context.Context, a *adb.Epoch, examples []string, params Params, resolver Resolver) ([]*Result, error) {
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("abduction: %w", ErrNoExamples)
 	}
 	matches := a.CommonColumns(examples)
-	var results []*Result
-	for _, m := range matches {
+	pool := newWorkPool(params.Workers)
+	slots := make([]*Result, len(matches))
+	errs := make([]error, len(matches))
+	ferr := pool.forEach(ctx, len(matches), func(i int) {
+		m := matches[i]
 		info := a.Entity(m.Key.Relation)
 		if info == nil {
-			continue // match in a non-entity relation (e.g. dimension)
+			return // match in a non-entity relation (e.g. dimension)
 		}
 		rows := resolveRows(info, m, resolver, params)
 		if rows == nil {
-			continue
+			return
 		}
-		res, err := abduceForEntityCtx(ctx, info, BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column}, rows, params)
-		if err != nil {
-			return nil, fmt.Errorf("abduction: %w", err)
+		slots[i], errs[i] = abduceForEntityCtx(ctx, pool, info, BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column}, rows, params)
+	})
+	if ferr != nil {
+		return nil, fmt.Errorf("abduction: %w", ferr)
+	}
+	var results []*Result
+	for i, res := range slots {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("abduction: %w", errs[i])
 		}
-		results = append(results, res)
+		if res != nil {
+			results = append(results, res)
+		}
 	}
 	if len(results) == 0 {
 		// Dimension fallback (IQ7-style intents): the examples match a

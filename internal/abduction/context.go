@@ -1,7 +1,9 @@
 package abduction
 
 import (
+	"context"
 	"sort"
+	"sync"
 
 	"squid/internal/adb"
 )
@@ -30,26 +32,48 @@ type Context struct {
 // whose examples take 2..k distinct values yield a disjunctive IN filter
 // (the paper's optional footnote-7 extension).
 func DiscoverContexts(info *adb.EntityInfo, exampleRows []int, params Params) []Context {
+	out, _ := discoverContextsCtx(context.Background(), nil, info, exampleRows, params)
+	return out
+}
+
+// discoverContextsCtx is DiscoverContexts with cooperative cancellation
+// and a worker pool: every basic and derived property is an independent
+// unit of work, fanned over the pool, and each unit's contexts land in
+// an enumeration-order slot — the concatenation is exactly the serial
+// walk's output, property by property, so parallelism never reorders
+// the candidate filter set. Each property's own context list is sorted
+// internally (by value), so output bytes are identical at any worker
+// count.
+func discoverContextsCtx(ctx context.Context, pool *workPool, info *adb.EntityInfo, exampleRows []int, params Params) ([]Context, error) {
 	if len(exampleRows) == 0 {
-		return nil
+		return nil, nil
 	}
 	st := newExampleState(info, exampleRows, params)
-	var out []Context
-
-	for _, prop := range info.Basic {
-		switch prop.Kind {
-		case adb.Categorical:
-			out = append(out, categoricalContexts(prop, exampleRows, params)...)
-		case adb.Numeric:
-			if f, ok := numericContext(prop, exampleRows); ok {
-				out = append(out, Context{Filter: f, NumExamples: len(exampleRows)})
+	nb := len(info.Basic)
+	perProp := make([][]Context, nb+len(info.Derived))
+	err := pool.forEach(ctx, len(perProp), func(i int) {
+		if i < nb {
+			prop := info.Basic[i]
+			switch prop.Kind {
+			case adb.Categorical:
+				perProp[i] = categoricalContexts(prop, exampleRows, params)
+			case adb.Numeric:
+				if f, ok := numericContext(prop, exampleRows); ok {
+					perProp[i] = []Context{{Filter: f, NumExamples: len(exampleRows)}}
+				}
 			}
+		} else {
+			perProp[i] = derivedContexts(st, info.Derived[i-nb], params)
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, prop := range info.Derived {
-		out = append(out, derivedContexts(st, prop, params)...)
+	var out []Context
+	for _, cs := range perProp {
+		out = append(out, cs...)
 	}
-	return out
+	return out, nil
 }
 
 // exampleState is the shared per-example lookup state of one context
@@ -61,6 +85,9 @@ type exampleState struct {
 	info *adb.EntityInfo
 	rows []int
 	ids  []int64
+	// mu guards degrees: derived-property units run concurrently under
+	// the discovery pool and share the memo.
+	mu sync.Mutex
 	// degrees memoizes, per degree property, the per-example total
 	// association counts.
 	degrees map[*adb.DerivedProperty][]float64
@@ -84,6 +111,8 @@ func (st *exampleState) degreesFor(degree *adb.DerivedProperty) []float64 {
 	if degree == nil {
 		return nil
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if d, ok := st.degrees[degree]; ok {
 		return d
 	}

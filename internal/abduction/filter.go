@@ -45,11 +45,15 @@ type Filter struct {
 	// pointer (copy-on-write inserts publish clones under fresh
 	// identities), so the memos can never go stale — the generation
 	// re-pinning machinery the locked αDB needed is gone. A Filter
-	// belongs to one discovery running on one goroutine, so these need
-	// no locking; cross-discovery reuse happens one layer down in the
-	// αDB's selectivity cache.
+	// belongs to one discovery; the intra-discovery worker pool touches
+	// each filter from at most one goroutine per phase, with a
+	// WaitGroup barrier before the next phase reads the memos, so they
+	// need no locking. Cross-discovery reuse happens one layer down in
+	// the αDB's selectivity cache.
 	selVal  float64
 	selOK   bool
+	rowSet  *index.RowSet
+	setOK   bool
 	rowsVal []int
 	rowsOK  bool
 }
@@ -100,14 +104,15 @@ func (f *Filter) Selectivity() float64 {
 		} else {
 			// Disjunction: count entities holding any value. For
 			// multi-valued attributes the per-value sets can overlap,
-			// so count the union exactly.
-			f.selVal = float64(len(f.EntityRows())) / float64(max(1, f.Basic.NumEntities()))
+			// so count the union exactly — a popcount over the cached
+			// bitset.
+			f.selVal = float64(f.RowSet().Count()) / float64(max(1, f.Basic.NumEntities()))
 		}
 	case BasicNumeric:
 		f.selVal = f.Basic.RangeSelectivity(f.Lo, f.Hi)
 	default:
 		if f.NormUse {
-			f.selVal = float64(len(f.EntityRows())) / float64(max(1, f.Derivd.NumEntities()))
+			f.selVal = float64(f.RowSet().Count()) / float64(max(1, f.Derivd.NumEntities()))
 		} else {
 			f.selVal = f.Derivd.Selectivity(f.Value(), f.Theta)
 		}
@@ -131,26 +136,38 @@ func (f *Filter) DomainCoverage() float64 {
 	}
 }
 
+// RowSet returns the satisfying-entity rows as a dense bitset, straight
+// from the αDB's indexes and memoized row-set cache — no column
+// rescans. The returned set aliases αDB-cache storage; callers must not
+// mutate it (Clone first).
+func (f *Filter) RowSet() *index.RowSet {
+	if f.setOK {
+		return f.rowSet
+	}
+	switch f.Kind {
+	case BasicCategorical:
+		f.rowSet = f.Basic.EntityRowSetWithAnyValue(f.Values)
+	case BasicNumeric:
+		f.rowSet = f.Basic.EntityRowSetInRange(f.Lo, f.Hi)
+	default:
+		if f.NormUse {
+			f.rowSet = f.Derivd.EntityRowSetWithNormStrength(f.Value(), f.ThetaN, f.degree)
+		} else {
+			f.rowSet = f.Derivd.EntityRowSetWithStrength(f.Value(), f.Theta)
+		}
+	}
+	f.setOK = true
+	return f.rowSet
+}
+
 // EntityRows returns the sorted (ascending) rows of the entity relation
-// satisfying the filter, straight from the αDB's indexes and memoized
-// row-set cache — no column rescans. The returned slice aliases
-// αDB-cache storage; callers must not mutate it.
+// satisfying the filter — the []int decoding of RowSet, memoized per
+// filter. Callers must not mutate the returned slice.
 func (f *Filter) EntityRows() []int {
 	if f.rowsOK {
 		return f.rowsVal
 	}
-	switch f.Kind {
-	case BasicCategorical:
-		f.rowsVal = f.Basic.EntityRowsWithAnyValue(f.Values)
-	case BasicNumeric:
-		f.rowsVal = f.Basic.EntityRowsInRange(f.Lo, f.Hi)
-	default:
-		if f.NormUse {
-			f.rowsVal = f.Derivd.EntityRowsWithNormStrength(f.Value(), f.ThetaN, f.degree)
-		} else {
-			f.rowsVal = f.Derivd.EntityRowsWithStrength(f.Value(), f.Theta)
-		}
-	}
+	f.rowsVal = f.RowSet().ToSorted()
 	f.rowsOK = true
 	return f.rowsVal
 }
@@ -201,10 +218,10 @@ func (f *Filter) degreeOf(row int) float64 {
 // IntersectRows intersects the satisfying-row sets of all filters,
 // starting from the full entity relation; it returns the output rows of
 // the abduced query Qϕ (used to measure precision/recall without a full
-// engine round trip). Each filter's row set comes sorted from the αDB
-// indexes, so the intersection is a cascade of posting-list merges
-// seeded by the most selective filter — shared intersection state that
-// never re-probes entities per filter.
+// engine round trip). Each filter's row set is a dense bitset from the
+// αDB cache, so the intersection is a cascade of word-parallel ANDs —
+// O(n/64) per filter over n entity rows — seeded by the most selective
+// filter and aborted the moment the accumulator empties.
 func IntersectRows(info *adb.EntityInfo, filters []*Filter) []int {
 	if len(filters) == 0 {
 		all := make([]int, info.NumRows)
@@ -217,25 +234,13 @@ func IntersectRows(info *adb.EntityInfo, filters []*Filter) []int {
 	// fast.
 	fs := append([]*Filter(nil), filters...)
 	sort.Slice(fs, func(i, j int) bool { return fs[i].Selectivity() < fs[j].Selectivity() })
-	current := fs[0].EntityRows()
+	acc := fs[0].RowSet().Clone() // detach from the shared αDB cache
 	for _, f := range fs[1:] {
-		if len(current) == 0 {
+		if !acc.AndWith(f.RowSet()) {
 			return nil
 		}
-		current = index.IntersectSorted(current, f.EntityRows())
 	}
-	if len(fs) == 1 {
-		// Detach from the shared αDB cache before handing out.
-		current = append([]int(nil), current...)
-	}
-	return current
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return acc.ToSorted()
 }
 
 // effectiveStrength returns the filter's association strength on the

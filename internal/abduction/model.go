@@ -147,7 +147,7 @@ func alphaImpact(f *Filter, params Params) float64 {
 // (Equation 5), returning the decisions and the selected filter set.
 // Ties drop the filter (Occam's razor, Appendix C).
 func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
-	decisions, selected, _ := abduceCtx(context.Background(), contexts, params)
+	decisions, selected, _ := abduceCtx(context.Background(), nil, contexts, params)
 	return decisions, selected
 }
 
@@ -155,12 +155,25 @@ func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
 // evaluations: each iteration computes the filter's selectivity (the
 // expensive step of Algorithm 1), so consulting ctx here is what makes a
 // single long discovery abort promptly instead of only between requests.
-func abduceCtx(ctx context.Context, contexts []Context, params Params) ([]FilterDecision, []*Filter, error) {
+//
+// The selectivities are prefetched over the worker pool first — each
+// filter is touched by exactly one unit, and the pool's barrier
+// publishes the per-filter memos to this goroutine — so the decision
+// loop that follows consults them at memo-read cost. The loop itself
+// stays serial: the per-filter decisions are Theorem 1's independent
+// maximization steps, pure float math after the prefetch, and keeping
+// them on one goroutine keeps the decision order (and the cancellation
+// checkpoints the tests count) identical to the serial path.
+func abduceCtx(ctx context.Context, pool *workPool, contexts []Context, params Params) ([]FilterDecision, []*Filter, error) {
 	filters := make([]*Filter, len(contexts))
 	for i, c := range contexts {
 		filters[i] = c.Filter
 	}
 	lambdas := lambdaImpacts(filters, params)
+
+	if err := pool.forEach(ctx, len(filters), func(i int) { filters[i].Selectivity() }); err != nil {
+		return nil, nil, err
+	}
 
 	decisions := make([]FilterDecision, 0, len(contexts))
 	var selected []*Filter

@@ -46,6 +46,15 @@ type Params struct {
 	// (attribute IN (v1..vk)) up to k values; 0 disables them
 	// (footnote 7 of the paper: optional disjunction support).
 	MaxDisjunction int
+	// Workers bounds the intra-discovery parallelism: candidate base
+	// queries, per-property context walks, and candidate-filter
+	// selectivity computations fan out over up to this many goroutines
+	// within a single Discover call. 0 (the default) means GOMAXPROCS;
+	// 1 forces the serial path. Results are byte-identical to serial at
+	// every setting — the knob trades latency for CPU, never output.
+	// Workers is a runtime knob, not part of the abduction model, so
+	// snapshots do not persist it.
+	Workers int
 }
 
 // DefaultParams returns the paper's default configuration (Fig 21).

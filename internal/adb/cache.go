@@ -3,6 +3,8 @@ package adb
 import (
 	"sync"
 	"sync/atomic"
+
+	"squid/internal/index"
 )
 
 // SelKey identifies one selectivity / satisfying-row-set question about
@@ -29,9 +31,11 @@ type SelKey struct {
 // back every selectivity question that is not already a precomputed
 // O(1)/O(log n) statistic (disjunctions, numeric ranges, normalized
 // derived thresholds), so concurrent batches of similar intents cost
-// one map read instead of a posting walk per repeated filter. Cached
-// row slices are shared — callers must treat them as immutable,
-// exactly like the αDB posting lists they memoize.
+// one map read instead of a posting walk per repeated filter. Row sets
+// are stored as dense index.RowSet bitsets — one bit per entity row,
+// word-parallel intersection downstream. Cached sets are shared —
+// callers must treat them as immutable, exactly like the αDB posting
+// lists they memoize, and Clone before mutating.
 //
 // One cache is shared by every epoch of an αDB, and keys carry the
 // property identity — which under copy-on-write epochs IS the epoch
@@ -57,7 +61,7 @@ type SelKey struct {
 // bounded by the current property count.
 type SelCache struct {
 	mu   sync.RWMutex
-	rows map[SelKey][]int
+	rows map[SelKey]*index.RowSet
 	// keys indexes the cached entries by property, so InvalidateProps
 	// deletes exactly one property's entries instead of sweeping the
 	// whole map. A key may appear more than once after re-stores; the
@@ -78,7 +82,7 @@ type SelCache struct {
 // NewSelCache creates an empty cache.
 func NewSelCache() *SelCache {
 	return &SelCache{
-		rows: make(map[SelKey][]int),
+		rows: make(map[SelKey]*index.RowSet),
 		keys: make(map[any][]SelKey),
 		live: make(map[any]struct{}),
 	}
@@ -97,30 +101,45 @@ func (c *SelCache) Register(props ...any) {
 	c.mu.Unlock()
 }
 
-// Rows returns the memoized satisfying-row set for key, computing and
-// storing it on a miss. The returned slice is shared: do not mutate.
-func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
+// RowSet returns the memoized satisfying-row bitset for key, computing
+// and storing it on a miss. The returned set is shared: do not mutate
+// (Clone first).
+func (c *SelCache) RowSet(key SelKey, compute func() *index.RowSet) *index.RowSet {
 	if c == nil {
 		return compute()
 	}
 	c.mu.RLock()
-	rows, ok := c.rows[key]
+	set, ok := c.rows[key]
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
-		return rows
+		return set
 	}
 	c.misses.Add(1)
-	rows = compute()
+	set = compute()
 	c.mu.Lock()
 	// Store only under a live identity: a retired property (its epoch
 	// already superseded) must not re-enter the cache after its sweep.
 	if _, isLive := c.live[key.Prop]; isLive {
-		c.rows[key] = rows
+		c.rows[key] = set
 		c.keys[key.Prop] = append(c.keys[key.Prop], key)
 	}
 	c.mu.Unlock()
-	return rows
+	return set
+}
+
+// Rows is the sorted-[]int view of RowSet, kept for callers that speak
+// the posting-list format: on a miss, compute's result is converted to
+// a bitset for storage; hits decode the cached bitset and never invoke
+// compute. The returned slice is freshly decoded and owned by the
+// caller.
+func (c *SelCache) Rows(key SelKey, compute func() []int) []int {
+	if c == nil {
+		return compute()
+	}
+	return c.RowSet(key, func() *index.RowSet {
+		return index.RowSetFromSorted(compute())
+	}).ToSorted()
 }
 
 // InvalidateProps retires the given property identities: their cached
@@ -161,7 +180,7 @@ func (c *SelCache) Invalidate() {
 		return
 	}
 	c.mu.Lock()
-	c.rows = make(map[SelKey][]int)
+	c.rows = make(map[SelKey]*index.RowSet)
 	c.keys = make(map[any][]SelKey)
 	c.gen++
 	c.mu.Unlock()

@@ -1,0 +1,63 @@
+package adb
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"squid/internal/index"
+)
+
+// TestSelCacheRowsBitsetParity drives the []int compatibility view of
+// the bitset-backed cache against randomized row sets — including the
+// empty, singleton, and all-rows shapes — asserting the decoded result
+// equals the computed reference on both the miss and the hit path, and
+// that hits never invoke compute.
+func TestSelCacheRowsBitsetParity(t *testing.T) {
+	c := NewSelCache()
+	prop := new(int)
+	c.Register(prop)
+	rng := rand.New(rand.NewSource(42))
+
+	cases := [][]int{nil, {0}, {63}, {64}, {511}}
+	all := make([]int, 700)
+	for i := range all {
+		all[i] = i
+	}
+	cases = append(cases, all)
+	for i := 0; i < 40; i++ {
+		universe := 1 + rng.Intn(600)
+		set := map[int]bool{}
+		for j := 0; j < rng.Intn(universe); j++ {
+			set[rng.Intn(universe)] = true
+		}
+		rows := make([]int, 0, len(set))
+		for r := range set {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+		if len(rows) == 0 {
+			rows = nil
+		}
+		cases = append(cases, rows)
+	}
+
+	for i, rows := range cases {
+		key := SelKey{Prop: prop, Theta: i}
+		computes := 0
+		miss := c.Rows(key, func() []int { computes++; return rows })
+		if computes != 1 || !reflect.DeepEqual(miss, rows) {
+			t.Fatalf("case %d: miss path computes=%d rows=%v want %v", i, computes, miss, rows)
+		}
+		hit := c.Rows(key, func() []int { computes++; return nil })
+		if computes != 1 || !reflect.DeepEqual(hit, rows) {
+			t.Fatalf("case %d: hit path computes=%d rows=%v want %v", i, computes, hit, rows)
+		}
+		// The bitset view agrees with the []int view.
+		set := c.RowSet(key, func() *index.RowSet { computes++; return nil })
+		if computes != 1 || set.Count() != len(rows) || !reflect.DeepEqual(set.ToSorted(), rows) {
+			t.Fatalf("case %d: RowSet view diverged: computes=%d count=%d", i, computes, set.Count())
+		}
+	}
+}

@@ -308,13 +308,25 @@ func (p *BasicProperty) EntityRowsWithAnyValue(values []string) []int {
 	if len(values) == 1 {
 		return p.EntityRowsWithValue(values[0])
 	}
+	return p.EntityRowSetWithAnyValue(values).ToSorted()
+}
+
+// EntityRowSetWithAnyValue is the bitset form of EntityRowsWithAnyValue:
+// the union of the per-value posting lists as a dense RowSet, memoized
+// in the αDB selectivity cache under the same canonical disjunction key
+// (a single value is a one-element disjunction). The returned set is
+// shared: do not mutate.
+func (p *BasicProperty) EntityRowSetWithAnyValue(values []string) *index.RowSet {
+	if len(values) == 0 {
+		return index.NewRowSet(0)
+	}
 	key := SelKey{Prop: p, Value: disjunctionKey(values)}
-	return p.cache.Rows(key, func() []int {
-		var out []int
+	return p.cache.RowSet(key, func() *index.RowSet {
+		s := index.NewRowSet(p.numEntities)
 		for _, v := range values {
-			out = index.UnionSorted(out, p.EntityRowsWithValue(v))
+			s.AddAll(p.EntityRowsWithValue(v))
 		}
-		return out
+		return s
 	})
 }
 
@@ -345,19 +357,30 @@ func (p *BasicProperty) EntityRowsInRange(lo, hi float64) []int {
 	if p.Kind != Numeric || p.sorted == nil {
 		return nil
 	}
+	return p.EntityRowSetInRange(lo, hi).ToSorted()
+}
+
+// EntityRowSetInRange is the bitset form of EntityRowsInRange. Both the
+// index path and the dense scan insert straight into the RowSet, so
+// neither needs the row-order re-sort the []int index path paid.
+// Memoized; do not mutate the returned set.
+func (p *BasicProperty) EntityRowSetInRange(lo, hi float64) *index.RowSet {
+	if p.Kind != Numeric || p.sorted == nil {
+		return index.NewRowSet(0)
+	}
 	key := SelKey{Prop: p, Lo: lo, Hi: hi}
-	return p.cache.Rows(key, func() []int {
-		k := p.sorted.CountRange(lo, hi)
-		if p.numIdx != nil && k*4 < p.numEntities {
-			return p.numIdx.RowsInRange(lo, hi)
+	return p.cache.RowSet(key, func() *index.RowSet {
+		s := index.NewRowSet(p.numEntities)
+		if k := p.sorted.CountRange(lo, hi); p.numIdx != nil && k*4 < p.numEntities {
+			p.numIdx.AddRangeToSet(lo, hi, s)
+			return s
 		}
-		out := make([]int, 0, k)
 		for row, v := range p.numByRow {
 			if v != nil && *v >= lo && *v <= hi {
-				out = append(out, row)
+				s.Add(row)
 			}
 		}
-		return out
+		return s
 	})
 }
 
@@ -566,19 +589,25 @@ func (p *DerivedProperty) SelectivityOfCode(code int32, theta int) float64 {
 // at strength ≥ θ, sorted ascending. Results are memoized in the αDB
 // selectivity cache; do not mutate the returned slice.
 func (p *DerivedProperty) EntityRowsWithStrength(v string, theta int) []int {
+	return p.EntityRowSetWithStrength(v, theta).ToSorted()
+}
+
+// EntityRowSetWithStrength is the bitset form of EntityRowsWithStrength.
+// Memoized; do not mutate the returned set.
+func (p *DerivedProperty) EntityRowSetWithStrength(v string, theta int) *index.RowSet {
 	key := SelKey{Prop: p, Value: v, Theta: theta}
-	return p.cache.Rows(key, func() []int {
+	return p.cache.RowSet(key, func() *index.RowSet {
+		s := index.NewRowSet(p.numEntities)
 		code, ok := p.LookupCode(v)
 		if !ok {
-			return nil
+			return s
 		}
-		var out []int
 		for _, vc := range p.pairsOf(code) {
 			if vc.count >= theta {
-				out = append(out, vc.entityRow)
+				s.Add(vc.entityRow)
 			}
 		}
-		return out
+		return s
 	})
 }
 
@@ -587,22 +616,29 @@ func (p *DerivedProperty) EntityRowsWithStrength(v string, theta int) []int {
 // divided by its degree (total association count) from the companion
 // degree property. Sorted ascending; memoized; do not mutate.
 func (p *DerivedProperty) EntityRowsWithNormStrength(v string, thetaN float64, degree *DerivedProperty) []int {
+	return p.EntityRowSetWithNormStrength(v, thetaN, degree).ToSorted()
+}
+
+// EntityRowSetWithNormStrength is the bitset form of
+// EntityRowsWithNormStrength. Memoized; do not mutate the returned set.
+func (p *DerivedProperty) EntityRowSetWithNormStrength(v string, thetaN float64, degree *DerivedProperty) *index.RowSet {
 	if degree == nil {
-		return nil // no denominator: nothing satisfies a normalized threshold
+		// No denominator: nothing satisfies a normalized threshold.
+		return index.NewRowSet(0)
 	}
 	key := SelKey{Prop: p, Value: v, Lo: thetaN, Theta: -1}
-	return p.cache.Rows(key, func() []int {
+	return p.cache.RowSet(key, func() *index.RowSet {
+		s := index.NewRowSet(p.numEntities)
 		code, ok := p.LookupCode(v)
 		if !ok {
-			return nil
+			return s
 		}
-		var out []int
 		for _, vc := range p.pairsOf(code) {
 			if d := float64(degree.StrengthOf(vc.entityRow, degree.Via)); d > 0 && float64(vc.count)/d >= thetaN {
-				out = append(out, vc.entityRow)
+				s.Add(vc.entityRow)
 			}
 		}
-		return out
+		return s
 	})
 }
 

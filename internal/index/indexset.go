@@ -449,6 +449,21 @@ func (n *NumericRows) RowsInRange(lo, hi float64) []int {
 	return out
 }
 
+// AddRangeToSet adds every row whose value lies in [lo, hi] to the set.
+// Unlike RowsInRange it needs no output sort: bitset insertion order is
+// irrelevant, so the index path stays O(log n + k) with no O(k log k)
+// tail.
+func (n *NumericRows) AddRangeToSet(lo, hi float64, s *RowSet) {
+	if hi < lo || len(n.vals) == 0 {
+		return
+	}
+	from := searchFloat(n.vals, lo)
+	to := searchFloatAfter(n.vals, hi)
+	for _, row := range n.rows[from:to] {
+		s.Add(row)
+	}
+}
+
 // CountRange returns |{rows : lo ≤ value ≤ hi}| in O(log n).
 func (n *NumericRows) CountRange(lo, hi float64) int {
 	if hi < lo {

@@ -1,0 +1,169 @@
+package index
+
+import "math/bits"
+
+// RowSet is a dense bitset over entity rows: bit r set means row r is in
+// the set. It replaces sorted-[]int posting merges on the abduction hot
+// path with word-parallel algebra — an intersection of two sets over n
+// rows costs O(n/64) word ANDs instead of an O(n·k) merge cascade, and a
+// cached set costs one bit per entity row instead of one machine word
+// per member (~8x smaller at realistic selectivities).
+//
+// The zero value is an empty set. A RowSet is NOT safe for concurrent
+// mutation; the αDB selectivity cache hands out sets that are immutable
+// once stored (exactly like the posting lists they memoize), so readers
+// must treat cached sets as frozen and Clone before mutating.
+type RowSet struct {
+	words []uint64
+}
+
+// NewRowSet returns an empty set pre-sized for rows in [0, universe).
+// Add still grows the set past the universe if needed.
+func NewRowSet(universe int) *RowSet {
+	if universe < 0 {
+		universe = 0
+	}
+	return &RowSet{words: make([]uint64, (universe+63)/64)}
+}
+
+// RowSetFromSorted builds a set from an ascending row list (the αDB
+// posting-list format). Unsorted or duplicate input still produces the
+// correct set; only the pre-sizing assumes ascending order.
+func RowSetFromSorted(rows []int) *RowSet {
+	s := &RowSet{}
+	if n := len(rows); n > 0 && rows[n-1] >= 0 {
+		s.words = make([]uint64, rows[n-1]>>6+1)
+	}
+	for _, r := range rows {
+		s.Add(r)
+	}
+	return s
+}
+
+// grow extends the word storage to cover word index w.
+func (s *RowSet) grow(w int) {
+	if w >= len(s.words) {
+		s.words = append(s.words, make([]uint64, w+1-len(s.words))...)
+	}
+}
+
+// Add inserts one row.
+func (s *RowSet) Add(row int) {
+	if row < 0 {
+		return
+	}
+	w := row >> 6
+	s.grow(w)
+	s.words[w] |= 1 << uint(row&63)
+}
+
+// AddAll inserts every row of the list.
+func (s *RowSet) AddAll(rows []int) {
+	for _, r := range rows {
+		s.Add(r)
+	}
+}
+
+// Contains reports membership.
+func (s *RowSet) Contains(row int) bool {
+	if s == nil || row < 0 {
+		return false
+	}
+	w := row >> 6
+	return w < len(s.words) && s.words[w]&(1<<uint(row&63)) != 0
+}
+
+// Count returns the cardinality (population count over the words).
+func (s *RowSet) Count() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy; mutating the clone never touches
+// the original (the detach step before intersecting cached sets).
+func (s *RowSet) Clone() *RowSet {
+	if s == nil {
+		return &RowSet{}
+	}
+	return &RowSet{words: append([]uint64(nil), s.words...)}
+}
+
+// AndWith intersects in place (s ∩= t) and reports whether any rows
+// remain — the early-exit signal of the intersection cascade. A nil or
+// shorter t contributes zero words past its length.
+func (s *RowSet) AndWith(t *RowSet) bool {
+	var tw []uint64
+	if t != nil {
+		tw = t.words
+	}
+	any := false
+	for i := range s.words {
+		if i < len(tw) {
+			s.words[i] &= tw[i]
+		} else {
+			s.words[i] = 0
+		}
+		if s.words[i] != 0 {
+			any = true
+		}
+	}
+	return any
+}
+
+// OrWith unions in place (s ∪= t), growing s as needed.
+func (s *RowSet) OrWith(t *RowSet) {
+	if t == nil || len(t.words) == 0 {
+		return
+	}
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// AndNotWith subtracts in place (s −= t).
+func (s *RowSet) AndNotWith(t *RowSet) {
+	if t == nil {
+		return
+	}
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Iterate calls fn on every member in ascending order until fn returns
+// false.
+func (s *RowSet) Iterate(fn func(row int) bool) {
+	if s == nil {
+		return
+	}
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi<<6 | b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ToSorted converts back to the ascending []int posting-list format the
+// rest of the system speaks; an empty set yields nil, matching the nil
+// conventions of the posting-list producers it replaces.
+func (s *RowSet) ToSorted() []int {
+	n := s.Count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	s.Iterate(func(row int) bool { out = append(out, row); return true })
+	return out
+}

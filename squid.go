@@ -253,6 +253,10 @@ func Load(r io.Reader) (*System, error) {
 	return &System{alpha: alpha, params: params}, nil
 }
 
+// writeParams persists the abduction-model parameters. Params.Workers
+// is deliberately omitted: it is a runtime knob of the serving machine,
+// not part of the model, so a loaded system starts at the default
+// (GOMAXPROCS) and the snapshot format stays unchanged.
 func writeParams(w *snapshot.Writer, p Params) {
 	w.Float(p.Rho)
 	w.Float(p.Gamma)
