@@ -14,6 +14,13 @@
 // /v1/snapshot re-saves it on demand, and the graceful drain writes a
 // final snapshot so no acknowledged insert is lost across restarts.
 //
+// With -wal, every insert's epoch delta is additionally appended to a
+// write-ahead log before (under -wal-fsync=always, fsynced before) the
+// insert is acknowledged; boot replays the log tail on top of the
+// snapshot, so acknowledged writes survive a crash between snapshots,
+// not just a graceful drain. Each snapshot doubles as a log checkpoint
+// and truncates the log.
+//
 // The server sheds load beyond -max-inflight running discoveries plus
 // -queue-depth waiters (429 + Retry-After), bounds every request by
 // -timeout (wired into context cancellation inside the abduction), and
@@ -42,6 +49,7 @@ import (
 	"squid"
 	"squid/internal/datagen"
 	"squid/internal/server"
+	"squid/internal/wal"
 )
 
 func main() {
@@ -57,12 +65,31 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		qre          = flag.Bool("qre", false, "use the optimistic QRE parameter preset (§7.5)")
+		walPath      = flag.String("wal", "", "write-ahead log file: every insert's epoch delta is logged and replayed at boot, so acknowledged writes survive crashes between snapshots")
+		walFsync     = flag.String("wal-fsync", "always", "WAL durability policy: always (fsync before ack), interval (background fsync), never (OS decides)")
+		walFsyncIvl  = flag.Duration("wal-fsync-interval", 100*time.Millisecond, "background fsync cadence under -wal-fsync=interval")
 	)
 	flag.Parse()
 
 	sys, coldBuilt, err := bootSystem(*dataset, *snapPath)
 	if err != nil {
 		log.Fatalf("boot: %v", err)
+	}
+	if *walPath != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("-wal-fsync: %v", err)
+		}
+		start := time.Now()
+		info, err := sys.RecoverWAL(*walPath, wal.Options{Policy: policy, Interval: *walFsyncIvl})
+		if err != nil {
+			// Refusing to serve beats silently losing acknowledged writes:
+			// a gap in the log or an unreplayable record needs an operator.
+			log.Fatalf("wal recovery: %v", err)
+		}
+		log.Printf("wal %s recovered in %v: %d records replayed, %d torn bytes truncated, epoch seq %d (fsync=%s)",
+			*walPath, time.Since(start).Round(time.Millisecond),
+			info.Replayed, info.TruncatedBytes, info.LastSeq, policy)
 	}
 	if *qre {
 		sys.SetParams(squid.QREParams())

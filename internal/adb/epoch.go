@@ -1,6 +1,7 @@
 package adb
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -146,6 +147,27 @@ type AlphaDB struct {
 
 	publishes atomic.Uint64
 	combines  atomic.Uint64
+
+	// retired / retainedBytes gauge the epoch chain's garbage: epochs
+	// replaced by a publish but not yet collected (readers may still pin
+	// them), and an upper-bound estimate of the private bytes they
+	// retain. A publish raises both; a finalizer on the retired epoch
+	// lowers them when the collector proves no reader holds it.
+	retired       atomic.Int64
+	retainedBytes atomic.Int64
+
+	// publishHook, when set, observes every publish under publishMu —
+	// after the epoch became current, in publish (= sequence) order —
+	// with the rows the publish applied. It is the write-ahead log's
+	// append point. Set it once, before the handle is shared.
+	publishHook func(seq uint64, rows []AppliedRow)
+}
+
+// SetPublishHook installs the publish observer (the WAL append). Must
+// be called before the handle is shared across goroutines — recovery
+// attaches it between replay and serving.
+func (a *AlphaDB) SetPublishHook(hook func(seq uint64, rows []AppliedRow)) {
+	a.publishHook = hook
 }
 
 // newAlphaDB wraps a freshly built or decoded epoch into a handle.
@@ -213,16 +235,25 @@ type EpochStats struct {
 	PublishedAt time.Time
 	Publishes   uint64
 	Combines    uint64
+	// Retired counts epochs replaced by a publish but not yet garbage
+	// collected (readers may still pin them); RetainedBytes is an
+	// upper-bound estimate of the private bytes those epochs retain
+	// (the replaced relations' sizes — structural sharing means the
+	// true figure is at most this).
+	Retired       int64
+	RetainedBytes int64
 }
 
 // EpochStats returns the current epoch counters.
 func (a *AlphaDB) EpochStats() EpochStats {
 	e := a.Snapshot()
 	return EpochStats{
-		Seq:         e.seq,
-		PublishedAt: e.publishedAt,
-		Publishes:   a.publishes.Load(),
-		Combines:    a.combines.Load(),
+		Seq:           e.seq,
+		PublishedAt:   e.publishedAt,
+		Publishes:     a.publishes.Load(),
+		Combines:      a.combines.Load(),
+		Retired:       a.retired.Load(),
+		RetainedBytes: a.retainedBytes.Load(),
 	}
 }
 
@@ -355,4 +386,33 @@ func (a *AlphaDB) publish(eb *epochBuilder) {
 	a.selCache.ReplaceProps(eb.oldProps, eb.newProps)
 	a.cur.Store(next)
 	a.publishes.Add(1)
+
+	// GC telemetry: cur just retired. Charge it the bytes of the
+	// relations this publish replaced (everything else it shares with
+	// next structurally), and let a finalizer credit them back once no
+	// reader pins it — the gap between publishes and finalizations is
+	// exactly the chain's uncollected garbage.
+	var est int64
+	for name := range eb.baseRels {
+		if r := cur.DB.Relation(name); r != nil {
+			est += r.ByteSize()
+		}
+	}
+	for name := range eb.derivedRels {
+		if r := cur.DerivedDB.Relation(name); r != nil {
+			est += r.ByteSize()
+		}
+	}
+	a.retired.Add(1)
+	a.retainedBytes.Add(est)
+	runtime.SetFinalizer(cur, func(*Epoch) {
+		a.retired.Add(-1)
+		a.retainedBytes.Add(-est)
+	})
+
+	if a.publishHook != nil {
+		// Under publishMu: hook (WAL append) order equals publish order,
+		// so the log IS the epoch chain's history.
+		a.publishHook(next.seq, eb.applied)
+	}
 }

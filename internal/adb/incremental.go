@@ -44,6 +44,34 @@ type epochBuilder struct {
 	oldProps    []any                         // replaced property identities
 	newProps    []any                         // their clones, admitted at publish
 	rowCounts   map[string]int                // updated base-relation row counts
+
+	// logRows, when set (a publish hook is attached), makes the builder
+	// record every successfully applied row in apply order — the epoch
+	// delta a write-ahead log record carries. Apply order matters:
+	// replaying the rows through the same insert path reproduces the
+	// epoch byte-identically, including a fact row that referenced an
+	// entity inserted later in the batch.
+	logRows bool
+	applied []AppliedRow
+}
+
+// AppliedRow is one row a publish applied: the target relation and the
+// exact values appended (the unit of the WAL's epoch-delta records).
+type AppliedRow struct {
+	Rel  string
+	Vals []relation.Value
+}
+
+// noteApplied records a successfully applied row for the publish hook.
+// Values are copied: the caller's slice may be reused.
+func (eb *epochBuilder) noteApplied(rel string, vals []relation.Value) {
+	if !eb.logRows {
+		return
+	}
+	eb.applied = append(eb.applied, AppliedRow{
+		Rel:  rel,
+		Vals: append([]relation.Value(nil), vals...),
+	})
 }
 
 func newEpochBuilder(base *Epoch) *epochBuilder {
@@ -174,6 +202,7 @@ func (a *AlphaDB) InsertEntity(entityRel string, vals ...relation.Value) error {
 	unlock := a.lockDomains([]string{entityRel})
 	defer unlock()
 	eb := newEpochBuilder(a.Snapshot())
+	eb.logRows = a.publishHook != nil
 	err := eb.insertEntity(entityRel, vals)
 	a.publish(eb)
 	return err
@@ -187,6 +216,7 @@ func (a *AlphaDB) InsertFact(factRel string, vals ...relation.Value) error {
 	unlock := a.lockDomains([]string{factRel})
 	defer unlock()
 	eb := newEpochBuilder(a.Snapshot())
+	eb.logRows = a.publishHook != nil
 	err := eb.insertFact(factRel, vals)
 	a.publish(eb)
 	return err
@@ -218,6 +248,7 @@ func (a *AlphaDB) InsertBatch(ops []InsertOp) error {
 	unlock := a.lockDomains(rels)
 	defer unlock()
 	eb := newEpochBuilder(a.Snapshot())
+	eb.logRows = a.publishHook != nil
 	var firstErr error
 	for i, op := range ops {
 		var err error
@@ -309,6 +340,7 @@ func (eb *epochBuilder) insertEntity(entityRel string, vals []relation.Value) er
 		}
 		eb.base.Inverted.Insert(col.Str(row), index.Posting{Relation: entityRel, Column: col.Name, Row: row})
 	}
+	eb.noteApplied(entityRel, vals)
 	return nil
 }
 
@@ -412,6 +444,7 @@ func (eb *epochBuilder) insertFact(factRel string, vals []relation.Value) error 
 			eb.insertDerivedDelta(info, p, fact, row, eRow)
 		}
 	}
+	eb.noteApplied(factRel, vals)
 	return nil
 }
 

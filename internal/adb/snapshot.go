@@ -32,6 +32,11 @@ func (a *AlphaDB) Encode(w *snapshot.Writer) { a.Snapshot().Encode(w) }
 // epoch's row counts so the snapshot never references rows absent from
 // the encoded relations.
 func (a *Epoch) Encode(w *snapshot.Writer) {
+	// The epoch sequence anchors write-ahead-log replay: a booting
+	// system skips log records the snapshot already covers (seq ≤ this)
+	// and applies the rest, continuing the chain at the exact sequence
+	// the log ends on.
+	w.Uvarint(a.seq)
 	writeConfig(w, a.cfg)
 	w.Varint(int64(a.BuildTime))
 	snapshot.WriteDatabase(w, a.DB)
@@ -52,9 +57,10 @@ func (a *Epoch) Encode(w *snapshot.Writer) {
 // Decode restores an αDB from a snapshot stream positioned after the
 // header. The restored state shares nothing with the stream; hash
 // indexes (primary keys, derived entity ids) are rebuilt into a fresh
-// IndexSet, and the result is published as epoch 0 of the returned
-// handle.
+// IndexSet, and the result is published under the sequence number the
+// snapshot recorded, so the epoch chain continues where it left off.
 func Decode(r *snapshot.Reader) (*AlphaDB, error) {
+	seq := r.Uvarint()
 	cfg := readConfig(r)
 	buildTime := time.Duration(r.Varint())
 	db := snapshot.ReadDatabase(r)
@@ -70,6 +76,7 @@ func Decode(r *snapshot.Reader) (*AlphaDB, error) {
 		BuildTime: buildTime,
 		cfg:       cfg,
 		selCache:  NewSelCache(),
+		seq:       seq,
 	}
 	a.decodeInverted(r)
 	n := r.Len()

@@ -36,6 +36,11 @@ type Stats struct {
 	EpochAgeSec    float64
 	EpochPublishes uint64
 	EpochCombines  uint64
+
+	// Epoch-chain GC telemetry: retired epochs not yet collected and
+	// the estimated bytes of replaced relation versions they pin.
+	EpochRetired       int64
+	EpochRetainedBytes int64
 }
 
 // RelCard pairs a relation name with its row count.
@@ -52,6 +57,8 @@ func (a *AlphaDB) ComputeStats() Stats {
 	s := ep.ComputeStats()
 	s.EpochPublishes = a.publishes.Load()
 	s.EpochCombines = a.combines.Load()
+	s.EpochRetired = a.retired.Load()
+	s.EpochRetainedBytes = a.retainedBytes.Load()
 	return s
 }
 

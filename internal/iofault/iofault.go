@@ -1,0 +1,413 @@
+// Package iofault is the injectable filesystem seam under the
+// write-ahead log (internal/wal): the WAL performs every file
+// operation through the FS/File interfaces so tests can substitute an
+// in-memory filesystem that injects the failures durability code must
+// survive — short writes, fsync errors, and a crash (power loss) at
+// every write boundary.
+//
+// Two views model the two failure classes:
+//
+//   - Process crash (kill -9): the OS page cache survives, so the
+//     on-disk state is everything written so far — MemFS.Clone.
+//   - Power loss: only explicitly fsynced content survives —
+//     MemFS.CloneDurable returns each file's content as of its last
+//     successful Sync.
+//
+// The model is deliberately conservative: an unsynced write is assumed
+// wholly lost on power loss (real disks may persist part of it; the
+// WAL's prefix-sweep recovery tests cover those intermediate states
+// separately), and Rename/Remove are modeled atomic and immediately
+// durable (single-directory WAL rotation does not depend on directory
+// fsync ordering).
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the handle surface the WAL needs: sequential reads, writes,
+// truncation, seeking, fsync, close.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+}
+
+// FS is the filesystem surface the WAL writes through. OSFS passes
+// through to the os package; MemFS is the fault-injecting in-memory
+// implementation.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	Exists(name string) (bool, error)
+}
+
+// OSFS is the production FS: a pass-through to the os package.
+type OSFS struct{}
+
+// OpenFile opens a real file.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames a real file.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove deletes a real file.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Exists reports whether a real file exists.
+func (OSFS) Exists(name string) (bool, error) {
+	_, err := os.Stat(name)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, os.ErrNotExist):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// ErrCrashed reports that the simulated machine lost power: every
+// operation after the crash point fails with it.
+var ErrCrashed = errors.New("iofault: simulated crash")
+
+// ErrInjectedSync is the error an injected fsync failure returns.
+var ErrInjectedSync = errors.New("iofault: injected fsync failure")
+
+// ErrInjectedShortWrite is the error an injected short write returns
+// (after writing a strict prefix of the requested bytes).
+var ErrInjectedShortWrite = errors.New("iofault: injected short write")
+
+// memFile is one file's two views: data is what the process (and the
+// page cache) sees; durable is what survives power loss, captured at
+// the last successful Sync.
+type memFile struct {
+	data    []byte
+	durable []byte
+}
+
+// MemFS is the in-memory fault-injecting filesystem. All methods are
+// safe for concurrent use. The zero value is not usable; create with
+// NewMemFS.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	// crashBudget: bytes that may still be written before the simulated
+	// power loss; -1 = no crash armed. The write crossing the boundary
+	// lands partially (the torn write of a dying machine).
+	crashBudget int64
+	crashed     bool
+	failSyncs   int  // next N Syncs fail without advancing durability
+	shortWrite  bool // next Write lands a strict prefix and errors
+
+	written int64 // total bytes successfully written (crash-point enumeration)
+}
+
+// NewMemFS returns an empty in-memory filesystem with no faults armed.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), crashBudget: -1}
+}
+
+// CrashAfterBytes arms a power loss after n more bytes are written:
+// the write crossing the boundary persists only its first bytes, and
+// every later operation fails with ErrCrashed.
+func (m *MemFS) CrashAfterBytes(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashBudget = n
+}
+
+// FailSyncs makes the next n Sync calls fail with ErrInjectedSync
+// without advancing any file's durable view.
+func (m *MemFS) FailSyncs(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failSyncs = n
+}
+
+// ShortWriteOnce makes the next Write land only half its bytes and
+// return ErrInjectedShortWrite.
+func (m *MemFS) ShortWriteOnce() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shortWrite = true
+}
+
+// TotalWritten reports the total bytes successfully written through
+// this FS, for enumerating crash points.
+func (m *MemFS) TotalWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// Crashed reports whether the armed crash has fired.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Bytes returns a copy of a file's current (page-cache) content and
+// whether the file exists.
+func (m *MemFS) Bytes(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// SetFile installs a file with the given content as both its current
+// and durable view (building corrupted-log fixtures).
+func (m *MemFS) SetFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{
+		data:    append([]byte(nil), data...),
+		durable: append([]byte(nil), data...),
+	}
+}
+
+// Clone returns the process-crash (kill -9) view: a fresh fault-free
+// MemFS holding every file's current content — the page cache survives
+// a process death.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		out.files[name] = &memFile{
+			data:    append([]byte(nil), f.data...),
+			durable: append([]byte(nil), f.data...),
+		}
+	}
+	return out
+}
+
+// CloneDurable returns the power-loss view: a fresh fault-free MemFS
+// holding every file's content as of its last successful Sync.
+func (m *MemFS) CloneDurable() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		out.files[name] = &memFile{
+			data:    append([]byte(nil), f.durable...),
+			durable: append([]byte(nil), f.durable...),
+		}
+	}
+	return out
+}
+
+// OpenFile opens or creates an in-memory file. Supported flags:
+// O_RDONLY, O_RDWR, O_WRONLY, combined with O_CREATE, O_TRUNC,
+// O_APPEND.
+func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = &memFile{}
+		m.files[name] = f
+	} else if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memHandle{fs: m, f: f, name: name, flag: flag}, nil
+}
+
+// Rename renames a file (atomic and immediately durable in this model).
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	return nil
+}
+
+// Remove deletes a file (immediately durable in this model).
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Exists reports whether a file exists.
+func (m *MemFS) Exists(name string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return false, ErrCrashed
+	}
+	_, ok := m.files[name]
+	return ok, nil
+}
+
+// memHandle is one open handle over a memFile, with its own position.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	name   string
+	flag   int
+	pos    int64
+	closed bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.pos >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.flag&(os.O_WRONLY|os.O_RDWR) == 0 {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: os.ErrPermission}
+	}
+	want := p
+	var injected error
+	if h.fs.shortWrite {
+		h.fs.shortWrite = false
+		want = p[:len(p)/2]
+		injected = ErrInjectedShortWrite
+	}
+	if h.fs.crashBudget >= 0 && int64(len(want)) > h.fs.crashBudget {
+		// The dying write lands a prefix; everything after fails.
+		want = want[:h.fs.crashBudget]
+		h.fs.crashed = true
+		injected = ErrCrashed
+	}
+	at := h.pos
+	if h.flag&os.O_APPEND != 0 {
+		at = int64(len(h.f.data))
+	}
+	if grow := at + int64(len(want)) - int64(len(h.f.data)); grow > 0 {
+		h.f.data = append(h.f.data, make([]byte, grow)...)
+	}
+	copy(h.f.data[at:], want)
+	h.pos = at + int64(len(want))
+	h.fs.written += int64(len(want))
+	if h.fs.crashBudget >= 0 {
+		h.fs.crashBudget -= int64(len(want))
+	}
+	if injected != nil {
+		return len(want), fmt.Errorf("iofault: wrote %d of %d bytes: %w", len(want), len(p), injected)
+	}
+	return len(want), nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("iofault: bad whence %d", whence)
+	}
+	if h.pos < 0 {
+		return 0, fmt.Errorf("iofault: negative seek position")
+	}
+	return h.pos, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fmt.Errorf("iofault: truncate %q to %d outside [0,%d]", h.name, size, len(h.f.data))
+	}
+	h.f.data = h.f.data[:size]
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	if h.fs.failSyncs > 0 {
+		h.fs.failSyncs--
+		return ErrInjectedSync
+	}
+	h.f.durable = append(h.f.durable[:0], h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}

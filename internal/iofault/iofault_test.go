@@ -1,0 +1,188 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func write(t *testing.T, fs *MemFS, name string, data []byte) {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	write(t, fs, "f", []byte("hello"))
+	f, err := fs.OpenFile("f", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Error("write through O_RDONLY handle accepted")
+	}
+	if ok, _ := fs.Exists("f"); !ok {
+		t.Error("Exists(f) = false")
+	}
+	if ok, _ := fs.Exists("g"); ok {
+		t.Error("Exists(g) = true")
+	}
+	if _, err := fs.OpenFile("g", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file open = %v, want ErrNotExist", err)
+	}
+}
+
+func TestAppendAndSeek(t *testing.T) {
+	fs := NewMemFS()
+	write(t, fs, "f", []byte("abc"))
+	f, err := fs.OpenFile("f", os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	f, _ = fs.OpenFile("f", os.O_RDWR, 0)
+	if _, err := f.Seek(1, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("X")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, _ := fs.Bytes("f"); string(got) != "aXcd" {
+		t.Errorf("content = %q, want aXcd", got)
+	}
+}
+
+func TestDurableViewTracksSync(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.OpenFile("f", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("synced"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" unsynced"))
+
+	if got, _ := fs.Clone().Bytes("f"); string(got) != "synced unsynced" {
+		t.Errorf("process-crash view = %q", got)
+	}
+	if got, _ := fs.CloneDurable().Bytes("f"); string(got) != "synced" {
+		t.Errorf("power-loss view = %q", got)
+	}
+}
+
+func TestFailSyncs(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.OpenFile("f", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Write([]byte("data"))
+	fs.FailSyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("Sync = %v, want injected failure", err)
+	}
+	// The failed sync must not have advanced durability.
+	if got, _ := fs.CloneDurable().Bytes("f"); len(got) != 0 {
+		t.Errorf("durable view after failed sync = %q", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after fault passed: %v", err)
+	}
+	if got, _ := fs.CloneDurable().Bytes("f"); string(got) != "data" {
+		t.Errorf("durable view = %q", got)
+	}
+}
+
+func TestShortWriteOnce(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.OpenFile("f", os.O_WRONLY|os.O_CREATE, 0o644)
+	fs.ShortWriteOnce()
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjectedShortWrite) || n != 3 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if got, _ := fs.Bytes("f"); string(got) != "abc" {
+		t.Errorf("content after short write = %q", got)
+	}
+	if _, err := f.Write([]byte("gh")); err != nil {
+		t.Errorf("write after short-write fault: %v", err)
+	}
+}
+
+func TestCrashAfterBytes(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.OpenFile("f", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Write([]byte("1234")) // 4 bytes
+	fs.CrashAfterBytes(2)   // the next write tears after 2 more bytes
+	if _, err := f.Write([]byte("5678")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after the boundary")
+	}
+	// Everything after the crash fails.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash sync = %v", err)
+	}
+	if _, err := fs.OpenFile("g", os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash open = %v", err)
+	}
+	// The dying write landed its prefix: the page-cache view holds it,
+	// the durable view (nothing was synced) holds nothing.
+	if got, _ := fs.Clone().Bytes("f"); string(got) != "123456" {
+		t.Errorf("torn content = %q, want 123456", got)
+	}
+	if got, ok := fs.CloneDurable().Bytes("f"); ok && len(got) != 0 {
+		t.Errorf("durable view = %q, want empty", got)
+	}
+	if fs.TotalWritten() != 6 {
+		t.Errorf("TotalWritten = %d want 6", fs.TotalWritten())
+	}
+}
+
+func TestRenameRemove(t *testing.T) {
+	fs := NewMemFS()
+	write(t, fs, "a", []byte("x"))
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := fs.Exists("a"); ok {
+		t.Error("source survives rename")
+	}
+	if got, _ := fs.Bytes("b"); string(got) != "x" {
+		t.Errorf("target = %q", got)
+	}
+	if err := fs.Rename("missing", "c"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("rename missing = %v", err)
+	}
+	if err := fs.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("b"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("double remove = %v", err)
+	}
+}

@@ -3,7 +3,9 @@ package server
 import (
 	"context"
 	"errors"
+	"math"
 	"sync/atomic"
+	"time"
 )
 
 // ErrOverloaded reports that a discovery request was shed because the
@@ -20,6 +22,11 @@ type admission struct {
 	tokens chan struct{} // capacity = max in-flight
 	queued atomic.Int64
 	queue  int64
+
+	// ewmaBits is the exponentially weighted moving average of observed
+	// service time in seconds, stored as math.Float64bits so the update
+	// is a lock-free compare-and-swap. Zero means "no observation yet".
+	ewmaBits atomic.Uint64
 }
 
 func newAdmission(maxInFlight, queueDepth int) *admission {
@@ -54,6 +61,52 @@ func (a *admission) acquire(ctx context.Context) error {
 
 // release returns a slot claimed by acquire.
 func (a *admission) release() { <-a.tokens }
+
+// releaseAndObserve returns a slot and feeds the request's service time
+// (measured from admission, not from arrival) into the moving average
+// behind retryAfterSeconds.
+func (a *admission) releaseAndObserve(admitted time.Time) {
+	a.observe(time.Since(admitted))
+	a.release()
+}
+
+// observe folds one service-time sample into the EWMA (α = 0.2: a few
+// dozen requests dominate the estimate, so the hint tracks load shifts
+// without jittering on one slow outlier).
+func (a *admission) observe(d time.Duration) {
+	s := d.Seconds()
+	for {
+		old := a.ewmaBits.Load()
+		next := s
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*s
+		}
+		if a.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a shed request would next find queue
+// room: the work ahead of it (running plus queued requests) divided by
+// the service rate (slots per average service time), rounded up and
+// clamped to [1, 60]. Before any request has completed the estimate
+// falls back to 1 second.
+func (a *admission) retryAfterSeconds() int {
+	avg := math.Float64frombits(a.ewmaBits.Load())
+	if avg <= 0 {
+		return 1
+	}
+	ahead := float64(len(a.tokens)) + float64(a.queued.Load())
+	secs := math.Ceil(ahead * avg / float64(cap(a.tokens)))
+	switch {
+	case secs < 1:
+		return 1
+	case secs > 60:
+		return 60
+	}
+	return int(secs)
+}
 
 // inFlight reports the number of currently claimed slots.
 func (a *admission) inFlight() int { return len(a.tokens) }

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"squid/internal/wal"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, chosen to
@@ -53,6 +55,7 @@ type metrics struct {
 	snapshotTotal  atomic.Uint64
 	snapshotFailed atomic.Uint64
 	snapshotUnix   atomic.Int64
+	panicsTotal    atomic.Uint64 // handler panics contained by route()
 }
 
 // liveGauges are point-in-time readings sampled at scrape time from the
@@ -67,6 +70,13 @@ type liveGauges struct {
 	epochAgeSec      float64
 	epochPublishes   uint64
 	epochCombines    uint64
+
+	// Epoch-chain GC health (always rendered).
+	epochRetired       int64
+	epochRetainedBytes int64
+
+	// Write-ahead-log health; nil when the system runs without a WAL.
+	wal *wal.Metrics
 }
 
 func newMetrics() *metrics {
@@ -168,6 +178,50 @@ func (m *metrics) render(w *strings.Builder, live liveGauges) {
 	fmt.Fprintf(w, "# HELP squid_epoch_combines_total Publishes that merged a concurrent disjoint writer's epoch at the combiner.\n")
 	fmt.Fprintf(w, "# TYPE squid_epoch_combines_total counter\n")
 	fmt.Fprintf(w, "squid_epoch_combines_total %d\n", live.epochCombines)
+	fmt.Fprintf(w, "# HELP squid_epoch_retired Retired epochs not yet garbage-collected (readers or leaked discoveries pin them).\n")
+	fmt.Fprintf(w, "# TYPE squid_epoch_retired gauge\n")
+	fmt.Fprintf(w, "squid_epoch_retired %d\n", live.epochRetired)
+	fmt.Fprintf(w, "# HELP squid_epoch_retained_bytes Estimated bytes of replaced relation versions pinned by retired epochs.\n")
+	fmt.Fprintf(w, "# TYPE squid_epoch_retained_bytes gauge\n")
+	fmt.Fprintf(w, "squid_epoch_retained_bytes %d\n", live.epochRetainedBytes)
+
+	fmt.Fprintf(w, "# HELP squid_panics_total Handler panics contained by the serving layer.\n")
+	fmt.Fprintf(w, "# TYPE squid_panics_total counter\n")
+	fmt.Fprintf(w, "squid_panics_total %d\n", m.panicsTotal.Load())
+
+	if wm := live.wal; wm != nil {
+		fmt.Fprintf(w, "# HELP squid_wal_records_total Records appended to the write-ahead log since boot.\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_records_total counter\n")
+		fmt.Fprintf(w, "squid_wal_records_total %d\n", wm.Records)
+		fmt.Fprintf(w, "# HELP squid_wal_bytes_total Bytes appended to the write-ahead log since boot.\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_bytes_total counter\n")
+		fmt.Fprintf(w, "squid_wal_bytes_total %d\n", wm.Bytes)
+		fmt.Fprintf(w, "# HELP squid_wal_syncs_total fsync calls issued by the write-ahead log.\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_syncs_total counter\n")
+		fmt.Fprintf(w, "squid_wal_syncs_total %d\n", wm.Syncs)
+		fmt.Fprintf(w, "# HELP squid_wal_sync_failures_total fsync calls that failed (each poisons the log until reboot).\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_sync_failures_total counter\n")
+		fmt.Fprintf(w, "squid_wal_sync_failures_total %d\n", wm.SyncFailures)
+		fmt.Fprintf(w, "# HELP squid_wal_rotations_total Log rotations (one per completed snapshot checkpoint).\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_rotations_total counter\n")
+		fmt.Fprintf(w, "squid_wal_rotations_total %d\n", wm.Rotations)
+		fmt.Fprintf(w, "# HELP squid_wal_replayed_records Records replayed from the log at boot.\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_replayed_records gauge\n")
+		fmt.Fprintf(w, "squid_wal_replayed_records %d\n", wm.ReplayedRecs)
+		fmt.Fprintf(w, "# HELP squid_wal_truncated_bytes Torn-tail bytes discarded from the log at boot.\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_truncated_bytes gauge\n")
+		fmt.Fprintf(w, "squid_wal_truncated_bytes %d\n", wm.TruncatedBytes)
+		fmt.Fprintf(w, "# HELP squid_wal_last_seq Highest epoch sequence number appended to the log.\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_last_seq gauge\n")
+		fmt.Fprintf(w, "squid_wal_last_seq %d\n", wm.LastSeq)
+		failed := 0
+		if wm.Failed {
+			failed = 1
+		}
+		fmt.Fprintf(w, "# HELP squid_wal_failed 1 when the log is poisoned by a write or fsync failure and refuses appends.\n")
+		fmt.Fprintf(w, "# TYPE squid_wal_failed gauge\n")
+		fmt.Fprintf(w, "squid_wal_failed %d\n", failed)
+	}
 
 	fmt.Fprintf(w, "# HELP squid_request_duration_seconds Request latency by route.\n")
 	fmt.Fprintf(w, "# TYPE squid_request_duration_seconds histogram\n")

@@ -9,12 +9,15 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"squid"
+	"squid/internal/wal"
 )
 
 // Config tunes the serving layer. The zero value gets sensible defaults
@@ -116,6 +119,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // route mounts an instrumented handler: every request is counted by
 // route and status code and its latency lands in the route's histogram.
+// A handler panic is contained here — logged with its stack, counted
+// (squid_panics_total), answered with 500 when nothing was written yet —
+// so one poisoned request can never take the process down. The
+// handler's own defers (admission release, context cancel) run during
+// the unwind before the recovery, so no slot leaks.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	_, path, _ := strings.Cut(pattern, " ")
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -123,20 +131,43 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		defer s.met.httpInFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panicsTotal.Add(1)
+				log.Printf("squid-server: panic serving %s: %v\n%s", path, rec, debug.Stack())
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError, ErrorResponse{
+						Error: "internal server error", Code: "internal_error"})
+				} else {
+					// Too late to change the client's answer; at least
+					// record the truth in the metrics.
+					sw.code = http.StatusInternalServerError
+				}
+			}
+			s.met.record(path, sw.code, time.Since(start).Seconds())
+		}()
 		h(sw, r)
-		s.met.record(path, sw.code, time.Since(start).Seconds())
 	})
 }
 
-// statusWriter captures the response status code for metrics.
+// statusWriter captures the response status code for metrics and
+// whether anything was written (the panic recovery must not write a 500
+// over a partially sent response).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // requestCtx derives the per-request context: the client's cancellation
@@ -273,8 +304,8 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(ctx, w) {
 		return
 	}
-	defer s.adm.release()
 	start := time.Now()
+	defer s.adm.releaseAndObserve(start)
 	disc, err := s.sys.DiscoverContext(ctx, req.Examples)
 	if err != nil {
 		s.writeError(w, err)
@@ -293,8 +324,8 @@ func (s *Server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(ctx, w) {
 		return
 	}
-	defer s.adm.release()
 	start := time.Now()
+	defer s.adm.releaseAndObserve(start)
 	results, errs := s.sys.DiscoverBatchDetailed(ctx, req.Sets)
 	wall := time.Since(start)
 	resp := BatchDiscoverResponse{
@@ -327,8 +358,8 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(ctx, w) {
 		return
 	}
-	defer s.adm.release()
 	start := time.Now()
+	defer s.adm.releaseAndObserve(start)
 	res, err := s.sys.ExecuteContext(ctx, q)
 	if err != nil {
 		switch {
@@ -422,6 +453,13 @@ func (s *Server) applyInserts(w http.ResponseWriter, rows []InsertRequest) {
 	}
 	start := time.Now()
 	if err := s.sys.InsertBatch(ops); err != nil {
+		if errors.Is(err, squid.ErrWALSync) {
+			// The rows are in memory but not durable, and the log refuses
+			// further writes: a server error, not the client's fault.
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+				Error: err.Error(), Code: "wal_sync_failed"})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: "bad_insert"})
 		return
 	}
@@ -493,17 +531,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// never the full Stats computation.
 	hits, misses, entries := s.sys.CacheMetrics()
 	epochSeq, epochAge, publishes, combines := s.sys.EpochMetrics()
+	retired, retainedBytes := s.sys.EpochGCMetrics()
+	var walMetrics *wal.Metrics
+	if l := s.sys.WAL(); l != nil {
+		wm := l.Metrics()
+		walMetrics = &wm
+	}
 	var b strings.Builder
 	s.met.render(&b, liveGauges{
-		discoverInFlight: s.adm.inFlight(),
-		queueDepth:       s.adm.queued.Load(),
-		cacheHits:        hits,
-		cacheMisses:      misses,
-		cacheEntries:     entries,
-		epochSeq:         epochSeq,
-		epochAgeSec:      epochAge.Seconds(),
-		epochPublishes:   publishes,
-		epochCombines:    combines,
+		discoverInFlight:   s.adm.inFlight(),
+		queueDepth:         s.adm.queued.Load(),
+		cacheHits:          hits,
+		cacheMisses:        misses,
+		cacheEntries:       entries,
+		epochSeq:           epochSeq,
+		epochAgeSec:        epochAge.Seconds(),
+		epochPublishes:     publishes,
+		epochCombines:      combines,
+		epochRetired:       retired,
+		epochRetainedBytes: retainedBytes,
+		wal:                walMetrics,
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
@@ -520,7 +567,9 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
 		return true
 	case errors.Is(err, ErrOverloaded):
 		s.met.shedTotal.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// Hint when a retry would plausibly find queue room: work ahead
+		// over observed service rate, not a constant.
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error: err.Error(), Code: "overloaded"})
 	case errors.Is(err, context.DeadlineExceeded):
@@ -602,12 +651,25 @@ func msOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // captures every previously acknowledged write (an insert only
 // returns after its epoch is published) while discoveries and further
 // inserts keep running untouched.
+//
+// With a write-ahead log attached, a save is also a log checkpoint:
+// the log rotates before the encode (the retired segment is fully
+// synced and every record in it has a sequence the snapshot will
+// cover) and discards it only after the rename lands. A crash at any
+// point in between leaves both the retired segment and the old
+// snapshot in place, so no acknowledged write is ever lost to a
+// half-finished checkpoint.
 func (s *Server) SaveSnapshot() (int64, error) {
 	if s.cfg.SnapshotPath == "" {
 		return 0, errors.New("server: no snapshot path configured")
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	if l := s.sys.WAL(); l != nil {
+		if err := l.BeginCheckpoint(); err != nil {
+			return 0, fmt.Errorf("server: snapshot: wal checkpoint: %w", err)
+		}
+	}
 	tmp := s.cfg.SnapshotPath + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -634,6 +696,14 @@ func (s *Server) SaveSnapshot() (int64, error) {
 	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+	if l := s.sys.WAL(); l != nil {
+		// The snapshot durably covers everything in the retired segment;
+		// only now is it safe to discard. Failure is non-fatal: the
+		// segment is re-discarded by the next successful checkpoint.
+		if err := l.EndCheckpoint(); err != nil {
+			log.Printf("squid-server: wal checkpoint cleanup: %v", err)
+		}
 	}
 	s.met.snapshotTotal.Add(1)
 	s.met.snapshotUnix.Store(time.Now().Unix())
@@ -673,18 +743,24 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Finalize stops the periodic snapshot loop and writes the final
-// snapshot (when a path is configured). Call it after
-// http.Server.Shutdown has returned, so the final snapshot includes
-// every insert that was in flight: the save pins the epoch current at
-// Finalize time — the final published epoch — never a stale one held
-// from before the drain. Idempotent.
+// Finalize stops the periodic snapshot loop, writes the final
+// snapshot (when a path is configured), and closes the write-ahead log
+// (final fsync, so even under the interval policy a graceful shutdown
+// loses nothing). Call it after http.Server.Shutdown has returned, so
+// the final snapshot includes every insert that was in flight: the
+// save pins the epoch current at Finalize time — the final published
+// epoch — never a stale one held from before the drain. Idempotent.
 func (s *Server) Finalize() error {
 	s.finalOnce.Do(func() {
 		close(s.stopSnap)
 		s.snapWG.Wait()
 		if s.cfg.SnapshotPath != "" {
 			_, s.finalErr = s.SaveSnapshot()
+		}
+		if l := s.sys.WAL(); l != nil {
+			if err := l.Close(); err != nil && s.finalErr == nil {
+				s.finalErr = fmt.Errorf("server: close wal: %w", err)
+			}
 		}
 	})
 	return s.finalErr

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +16,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +24,8 @@ import (
 	"time"
 
 	"squid"
+	"squid/internal/iofault"
+	"squid/internal/wal"
 )
 
 // academicsDB builds the Fig 1 database through the public API (the
@@ -573,5 +578,269 @@ func TestDrainSnapshotCapturesFinalEpoch(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("final snapshot lost acknowledged writes; output = %v", disc.Output)
+	}
+}
+
+// TestServerPanicRecovery proves one poisoned request cannot take the
+// process down or leak its admission slot: a handler that panics
+// mid-discovery (after admission, like a real discovery would) is
+// answered with 500 internal_error, counted in squid_panics_total, and
+// the slot it held is back in service for the next request.
+func TestServerPanicRecovery(t *testing.T) {
+	// The recovery path logs the stack; keep the test output clean.
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	sys := newTestSystem(t)
+	srv := New(sys, Config{MaxInFlight: 1, QueueDepth: -1})
+	// Mount an instrumented route shaped exactly like handleDiscover —
+	// admission claim, deferred release — that dies where the abduction
+	// would run. The deferred release runs during the unwind, so the
+	// recovery in route() must find the slot already returned.
+	srv.route("POST /v1/boom", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := srv.requestCtx(r)
+		defer cancel()
+		if !srv.admit(ctx, w) {
+			return
+		}
+		start := time.Now()
+		defer srv.adm.releaseAndObserve(start)
+		panic("abduction exploded mid-discovery")
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var errResp ErrorResponse
+	code := postJSON(t, ts.Client(), ts.URL+"/v1/boom", struct{}{}, &errResp)
+	if code != http.StatusInternalServerError || errResp.Code != "internal_error" {
+		t.Fatalf("panicking handler: status %d body %+v, want 500/internal_error", code, errResp)
+	}
+	if n := srv.adm.inFlight(); n != 0 {
+		t.Fatalf("admission slots leaked across the panic: inFlight = %d", n)
+	}
+
+	// With a single slot and no queue, a leaked slot would shed this
+	// request; a 200 proves the slot survived the panic.
+	var disc DiscoverResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/discover", DiscoverRequest{Examples: exampleSet}, &disc); code != http.StatusOK {
+		t.Fatalf("discovery after panic: status %d", code)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, needle := range []string{
+		"squid_panics_total 1",
+		`squid_http_requests_total{route="/v1/boom",code="500"}`,
+	} {
+		if !strings.Contains(string(body), needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
+	}
+}
+
+// TestRetryAfterComputed exercises the Retry-After estimator directly:
+// work ahead over observed service rate, EWMA-smoothed, clamped to
+// [1, 60], with a 1-second floor before any observation.
+func TestRetryAfterComputed(t *testing.T) {
+	a := newAdmission(2, 4)
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Errorf("no observations: hint = %d, want the 1s floor", got)
+	}
+
+	a.observe(3 * time.Second)
+	for i := 0; i < 2; i++ { // occupy both slots
+		if err := a.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two running requests at 3s average over two slots → 3s.
+	if got := a.retryAfterSeconds(); got != 3 {
+		t.Errorf("2 running @ 3s avg: hint = %d, want 3", got)
+	}
+	// Queued waiters count as work ahead: 4 requests ahead → 6s.
+	a.queued.Add(2)
+	if got := a.retryAfterSeconds(); got != 6 {
+		t.Errorf("2 running + 2 queued: hint = %d, want 6", got)
+	}
+	a.queued.Add(-2)
+
+	// The EWMA folds new samples in at α=0.2: 0.8·3s + 0.2·1s = 2.6s,
+	// so one freed slot leaves 1 running · 2.6 / 2 → ceil = 2.
+	a.observe(1 * time.Second)
+	a.release()
+	if got := a.retryAfterSeconds(); got != 2 {
+		t.Errorf("1 running @ 2.6s avg: hint = %d, want 2", got)
+	}
+
+	// Clamps: a pathological average saturates at 60, a tiny one floors at 1.
+	a.ewmaBits.Store(math.Float64bits(1000))
+	if got := a.retryAfterSeconds(); got != 60 {
+		t.Errorf("huge avg: hint = %d, want the 60s clamp", got)
+	}
+	a.ewmaBits.Store(math.Float64bits(0.0001))
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Errorf("tiny avg: hint = %d, want the 1s floor", got)
+	}
+	a.release()
+}
+
+// TestServerRetryAfterHTTP proves the 429 Retry-After header carries the
+// computed estimate, not a constant: with a slow observed service time
+// and the only slot held, the shed response hints ≥ 2 seconds.
+func TestServerRetryAfterHTTP(t *testing.T) {
+	sys := newTestSystem(t)
+	srv := New(sys, Config{MaxInFlight: 1, QueueDepth: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// One completed discovery seeds the EWMA; a synthetic slow sample
+	// pushes the average where a constant hint could not follow.
+	var disc DiscoverResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/discover", DiscoverRequest{Examples: exampleSet}, &disc); code != http.StatusOK {
+		t.Fatalf("seed discovery: status %d", code)
+	}
+	srv.adm.observe(10 * time.Second)
+
+	if err := srv.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.adm.release()
+	raw, _ := json.Marshal(DiscoverRequest{Examples: exampleSet})
+	resp, err := ts.Client().Post(ts.URL+"/v1/discover", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if secs < 2 || secs > 60 {
+		t.Errorf("Retry-After = %d, want a computed value in [2, 60] (avg ≈ 2s, 1 slot, 1 ahead)", secs)
+	}
+}
+
+// TestServerWALSyncFailure drives the durability contract over HTTP:
+// when the log cannot reach stable storage, the insert is answered 500
+// wal_sync_failed instead of a lying 200, and the poisoned log keeps
+// refusing acknowledgements until an operator intervenes.
+func TestServerWALSyncFailure(t *testing.T) {
+	fs := iofault.NewMemFS()
+	sys := newTestSystem(t)
+	if _, err := sys.RecoverWAL("wal.log", wal.Options{Policy: wal.PolicyAlways, FS: fs}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	fs.FailSyncs(1)
+	var errResp ErrorResponse
+	code := postJSON(t, ts.Client(), ts.URL+"/v1/insert", InsertRequest{
+		Rel: "academics", Values: []any{float64(200), "Unacked Scholar"}}, &errResp)
+	if code != http.StatusInternalServerError || errResp.Code != "wal_sync_failed" {
+		t.Fatalf("insert over failed fsync: status %d body %+v, want 500/wal_sync_failed", code, errResp)
+	}
+	// The failure is sticky: the log never acknowledges again.
+	code = postJSON(t, ts.Client(), ts.URL+"/v1/insert", InsertRequest{
+		Rel: "academics", Values: []any{float64(201), "Also Unacked"}}, &errResp)
+	if code != http.StatusInternalServerError || errResp.Code != "wal_sync_failed" {
+		t.Fatalf("insert after poisoning: status %d body %+v", code, errResp)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, needle := range []string{
+		"squid_wal_failed 1",
+		"squid_wal_sync_failures_total 1",
+	} {
+		if !strings.Contains(string(body), needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
+	}
+}
+
+// TestServerSnapshotCheckpointsWAL proves POST /v1/snapshot doubles as a
+// log checkpoint: the log rotates (and the retired segment is discarded
+// once the snapshot lands), and a reboot replays only the records after
+// the checkpoint on top of the snapshot.
+func TestServerSnapshotCheckpointsWAL(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	snapPath := filepath.Join(dir, "snap.sqas")
+
+	sys := newTestSystem(t)
+	if _, err := sys.RecoverWAL(walPath, wal.Options{Policy: wal.PolicyAlways}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys, Config{SnapshotPath: snapPath})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code := postJSON(t, ts.Client(), ts.URL+"/v1/insert", InsertRequest{
+		Rel: "academics", Values: []any{float64(200), "Before Checkpoint"}}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("pre-checkpoint insert: status %d", code)
+	}
+	var snap SnapshotResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/snapshot", struct{}{}, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if m := sys.WAL().Metrics(); m.Rotations != 1 {
+		t.Errorf("rotations after snapshot = %d, want 1", m.Rotations)
+	}
+	if _, err := os.Stat(walPath + ".prev"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("retired segment survives a completed checkpoint: stat = %v", err)
+	}
+	code = postJSON(t, ts.Client(), ts.URL+"/v1/insert", InsertRequest{
+		Rel: "research", Values: []any{float64(200), "data management"}}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("post-checkpoint insert: status %d", code)
+	}
+
+	// Crash-reboot (no Finalize, no Close — PolicyAlways already made
+	// every acknowledged record durable): load the snapshot, replay the
+	// tail. Only the post-checkpoint insert should need replaying.
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := squid.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sys2.RecoverWAL(walPath, wal.Options{Policy: wal.PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Replayed != 1 {
+		t.Errorf("replayed %d records, want 1 (the snapshot covers the rest)", info.Replayed)
+	}
+
+	// The rebooted system answers identically to the live one.
+	want, err := sys.Discover(exampleSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys2.Discover(exampleSet)
+	if err != nil {
+		t.Fatalf("discovery after reboot: %v", err)
+	}
+	if got.Explain() != want.Explain() {
+		t.Errorf("recovered discovery diverges from the live system:\nlive:\n%s\nrecovered:\n%s",
+			want.Explain(), got.Explain())
 	}
 }

@@ -34,7 +34,9 @@ const Magic = "SQAS"
 
 // Version is the current snapshot format version. Bump on ANY layout
 // change (see the package comment for the compatibility policy).
-const Version = 1
+// History: v2 added the αDB epoch sequence number (the write-ahead
+// log's replay anchor).
+const Version = 2
 
 // ErrVersion reports a snapshot whose format version does not match
 // this build's Version.

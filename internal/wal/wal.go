@@ -1,0 +1,816 @@
+// Package wal implements the crash-safe epoch-delta write-ahead log of
+// the αDB: every copy-on-write epoch publish appends one CRC32-framed,
+// length-prefixed record carrying exactly the rows the publish applied
+// (entity and fact rows, string values coded through a per-segment
+// dictionary). Boot replays snapshot + log tail through the normal
+// insert path; the snapshot's epoch sequence number anchors the replay,
+// so records the snapshot already covers are skipped and the recovered
+// epoch chain continues at the exact sequence the log ends on.
+//
+// # Framing and torn tails
+//
+// A segment starts with an 8-byte header (magic "SQWL" + version) and
+// holds records framed as
+//
+//	u32 payloadLen | u32 CRC32-IEEE(payload) | payload
+//
+// Replay truncates the segment at the first bad frame — short frame,
+// zero or implausible length, CRC mismatch, undecodable payload, or a
+// duplicate/regressing sequence number — because every such shape is
+// what an interrupted append leaves behind. A sequence number that
+// jumps FORWARD, or any valid record appearing after a torn region, is
+// different: records are appended strictly in publish order, so a gap
+// means an acknowledged record vanished from the middle of the log, and
+// recovery fails loudly instead of silently dropping writes.
+//
+// # Durability policies
+//
+// PolicyAlways fsyncs before Barrier returns (group commit: concurrent
+// writers coalesce onto one fsync), so an acknowledged write survives
+// power loss. PolicyInterval fsyncs on a timer: an acknowledged write
+// survives process death (the OS page cache holds it) but the last
+// interval may be lost to power loss. PolicyNever leaves flushing
+// entirely to the OS. All policies fsync at rotation and Close, and any
+// append or fsync failure poisons the log (sticky error): later writes
+// are refused rather than acknowledged without a trustworthy log.
+//
+// # Checkpointing
+//
+// A snapshot compacts the log in a two-file handshake: BeginCheckpoint
+// fsyncs and rotates the live segment to <path>.prev and starts a fresh
+// segment (skipped when a .prev already exists — a previous checkpoint
+// died mid-way); the caller then writes the snapshot; EndCheckpoint
+// deletes .prev. A crash anywhere in the window is safe: replay reads
+// .prev before the live segment, and the snapshot's sequence anchor
+// filters out whatever the snapshot already covers.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"squid/internal/iofault"
+	"squid/internal/relation"
+)
+
+// Magic identifies a SQuID WAL segment.
+const Magic = "SQWL"
+
+// Version is the segment format version; bump on any layout change.
+const Version = 1
+
+// headerLen is the fixed segment header size: 4 magic + 4 LE version.
+const headerLen = 8
+
+// frameHeaderLen is the fixed per-record frame prefix: 4 LE payload
+// length + 4 LE CRC32-IEEE of the payload.
+const frameHeaderLen = 8
+
+// maxPayload caps a record's payload length on read, bounding
+// allocations when a corrupt length prefix is parsed (matches the
+// snapshot codec's cap).
+const maxPayload = 1 << 28
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy string
+
+const (
+	// PolicyAlways fsyncs before every Barrier returns: acknowledged
+	// writes survive power loss.
+	PolicyAlways SyncPolicy = "always"
+	// PolicyInterval fsyncs on a timer: acknowledged writes survive
+	// process death; up to one interval may be lost to power loss.
+	PolicyInterval SyncPolicy = "interval"
+	// PolicyNever never fsyncs on the write path (rotation and Close
+	// still do): acknowledged writes survive process death only.
+	PolicyNever SyncPolicy = "never"
+)
+
+// ParsePolicy converts a flag string to a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case PolicyAlways, PolicyInterval, PolicyNever:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Options configure Open.
+type Options struct {
+	// Policy is the fsync policy (default PolicyAlways).
+	Policy SyncPolicy
+	// Interval is the PolicyInterval flush period (default 100ms).
+	Interval time.Duration
+	// FS is the filesystem seam (default the real filesystem); tests
+	// inject iofault.MemFS here.
+	FS iofault.FS
+}
+
+// Row is one applied row of a record: the target relation and the
+// exact values the publish appended.
+type Row struct {
+	Rel  string
+	Vals []relation.Value
+}
+
+// Record is one epoch publish: its sequence number and the rows it
+// applied, in apply order.
+type Record struct {
+	Seq  uint64
+	Rows []Row
+}
+
+// OpenResult reports what Open found in the log.
+type OpenResult struct {
+	// Records are the valid records of .prev + live segment, in order.
+	Records []Record
+	// TruncatedBytes counts torn-tail bytes dropped from the live
+	// segment (0 on a clean boot).
+	TruncatedBytes int64
+}
+
+// Metrics is a point-in-time snapshot of the log's counters.
+type Metrics struct {
+	Records        uint64 // records appended since Open
+	Bytes          uint64 // bytes appended since Open
+	Syncs          uint64 // fsyncs issued (group commit coalesces)
+	SyncFailures   uint64 // fsyncs that failed (each poisons the log)
+	Rotations      uint64 // checkpoint rotations completed
+	ReplayedRecs   uint64 // valid records found at Open
+	TruncatedBytes uint64 // torn-tail bytes dropped at Open
+	LastSeq        uint64 // sequence of the newest record (appended or replayed)
+	Failed         bool   // sticky failure: the log refuses further writes
+}
+
+// Log is an open write-ahead log. Append is serialized by the caller
+// (the αDB publish hook runs under the publish lock); Barrier,
+// checkpointing, and Metrics are safe for concurrent use alongside it.
+type Log struct {
+	fs       iofault.FS
+	path     string
+	policy   SyncPolicy
+	interval time.Duration
+
+	// mu guards the file handle, the sticky error, the encoder state,
+	// and the append counters. syncMu serializes fsync (the group-commit
+	// leader) and rotation; lock order is syncMu before mu.
+	mu  sync.Mutex
+	f   iofault.File
+	err error
+
+	dict     map[string]uint64 // per-segment string → id
+	scratch  []byte
+	appended uint64 // records written to the segment chain
+	lastSeq  uint64
+
+	syncMu   sync.Mutex
+	syncedTo uint64 // records covered by the last successful fsync (under syncMu)
+
+	records      atomic.Uint64
+	bytes        atomic.Uint64
+	syncs        atomic.Uint64
+	syncFailures atomic.Uint64
+	rotations    atomic.Uint64
+	replayed     uint64
+	truncated    uint64
+
+	stopFlush chan struct{}
+	flushWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// prevPath is the rotated segment awaiting checkpoint completion.
+func prevPath(path string) string { return path + ".prev" }
+
+// Open opens (creating if absent) the log at path, replays the rotated
+// and live segments, truncates the live segment's torn tail, and
+// returns the log ready for appends plus everything it recovered. The
+// caller replays result.Records through the normal insert path before
+// appending anything new.
+func Open(path string, opts Options) (*Log, *OpenResult, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = iofault.OSFS{}
+	}
+	if opts.Policy == "" {
+		opts.Policy = PolicyAlways
+	}
+	if _, err := ParsePolicy(string(opts.Policy)); err != nil {
+		return nil, nil, err
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+
+	res := &OpenResult{}
+	var lastSeq uint64
+	seen := false
+
+	// The rotated segment first: its records precede the live segment's.
+	// BeginCheckpoint fsyncs before rotating, so a rotated segment is
+	// fully durable; a torn tail here is corruption, truncated like any
+	// other, and the cross-segment sequence walk below fails loudly if
+	// live-segment records prove the torn region held acknowledged data.
+	if ok, err := fs.Exists(prevPath(path)); err != nil {
+		return nil, nil, fmt.Errorf("wal: checking %s: %w", prevPath(path), err)
+	} else if ok {
+		recs, _, torn, err := readSegment(fs, prevPath(path))
+		if err != nil {
+			return nil, nil, err
+		}
+		if seen, lastSeq, err = walkSeqs(recs, seen, lastSeq, prevPath(path)); err != nil {
+			return nil, nil, err
+		}
+		res.Records = append(res.Records, recs...)
+		res.TruncatedBytes += torn
+	}
+
+	recs, validLen, torn, err := readSegment(fs, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if seen, lastSeq, err = walkSeqs(recs, seen, lastSeq, path); err != nil {
+		return nil, nil, err
+	}
+	res.Records = append(res.Records, recs...)
+	res.TruncatedBytes += torn
+
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	fail := func(e error) (*Log, *OpenResult, error) {
+		f.Close()
+		return nil, nil, e
+	}
+	if validLen < headerLen {
+		// Empty or header-torn segment: start it fresh.
+		if err := f.Truncate(0); err != nil {
+			return fail(fmt.Errorf("wal: resetting %s: %w", path, err))
+		}
+		var hdr [headerLen]byte
+		copy(hdr[:4], Magic)
+		binary.LittleEndian.PutUint32(hdr[4:], Version)
+		if _, err := f.Write(hdr[:]); err != nil {
+			return fail(fmt.Errorf("wal: writing %s header: %w", path, err))
+		}
+	} else {
+		if err := f.Truncate(validLen); err != nil {
+			return fail(fmt.Errorf("wal: truncating %s torn tail: %w", path, err))
+		}
+		if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+			return fail(fmt.Errorf("wal: seeking %s: %w", path, err))
+		}
+	}
+	// Stabilize the replayed base (and the truncation) before anything
+	// new is appended after it.
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: syncing %s after recovery: %w", path, err))
+	}
+
+	l := &Log{
+		fs:       fs,
+		path:     path,
+		policy:   opts.Policy,
+		interval: opts.Interval,
+		f:        f,
+		lastSeq:  lastSeq,
+		replayed: uint64(len(res.Records)),
+		truncated: func() uint64 {
+			if res.TruncatedBytes < 0 {
+				return 0
+			}
+			return uint64(res.TruncatedBytes)
+		}(),
+		stopFlush: make(chan struct{}),
+	}
+	// The live segment keeps its dictionary across reboots: re-read its
+	// surviving records to rebuild the writer-side string table, so new
+	// appends keep coding against ids the segment already defines.
+	l.dict = make(map[string]uint64)
+	rebuildDict(l.dict, recs)
+	if opts.Policy == PolicyInterval {
+		l.flushWG.Add(1)
+		go l.flushLoop()
+	}
+	return l, res, nil
+}
+
+// rebuildDict replays the segment's dictionary assignments: ids were
+// handed out in first-use order, which re-walking rows reproduces.
+func rebuildDict(dict map[string]uint64, recs []Record) {
+	add := func(s string) {
+		if _, ok := dict[s]; !ok {
+			dict[s] = uint64(len(dict))
+		}
+	}
+	for _, rec := range recs {
+		for _, row := range rec.Rows {
+			add(row.Rel)
+			for _, v := range row.Vals {
+				if v.IsString() {
+					add(v.Str())
+				}
+			}
+		}
+	}
+}
+
+// walkSeqs enforces the cross-segment sequence discipline: the first
+// record anchors, every later one must follow by exactly one. A jump
+// forward is lost acknowledged data (hard error); duplicates and
+// regressions never reach here — readSegment truncates at them.
+func walkSeqs(recs []Record, seen bool, last uint64, segment string) (bool, uint64, error) {
+	for _, rec := range recs {
+		if seen && rec.Seq != last+1 {
+			return seen, last, fmt.Errorf(
+				"wal: %s jumps from seq %d to %d — acknowledged records are missing",
+				segment, last, rec.Seq)
+		}
+		last = rec.Seq
+		seen = true
+	}
+	return seen, last, nil
+}
+
+// readSegment parses one segment: its valid records, the byte length
+// of the valid prefix, and how many torn-tail bytes follow it. A
+// missing file is an empty segment. Structural damage below the first
+// record (bad magic, wrong version) is a hard error — that file was
+// never a WAL segment of this build.
+func readSegment(fs iofault.FS, path string) (recs []Record, validLen, tornBytes int64, err error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	if len(data) < headerLen {
+		// Nothing or a torn header: the segment holds no records.
+		return nil, 0, int64(len(data)), nil
+	}
+	if string(data[:4]) != Magic {
+		return nil, 0, 0, fmt.Errorf("wal: %s: bad magic %q (not a SQuID WAL segment)", path, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return nil, 0, 0, fmt.Errorf("wal: %s: segment version %d, this build reads %d", path, v, Version)
+	}
+
+	off := int64(headerLen)
+	var lastSeq uint64
+	seen := false
+	var dict []string // the segment's string table, extended per record
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off, 0, nil // clean end
+		}
+		if len(rest) < frameHeaderLen {
+			return recs, off, int64(len(rest)), nil // torn frame header
+		}
+		plen := binary.LittleEndian.Uint32(rest[:4])
+		if plen == 0 || plen > maxPayload {
+			return recs, off, int64(len(rest)), nil // zero/implausible length: torn
+		}
+		if int64(len(rest)) < frameHeaderLen+int64(plen) {
+			return recs, off, int64(len(rest)), nil // torn payload
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int64(plen)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return recs, off, int64(len(rest)), nil // CRC mismatch: torn
+		}
+		rec, newDict, ok := decodeRecord(payload, dict)
+		if !ok {
+			return recs, off, int64(len(rest)), nil // undecodable payload: torn
+		}
+		if seen && rec.Seq <= lastSeq {
+			// Duplicate or regressing sequence: a re-surfaced stale tail.
+			return recs, off, int64(len(rest)), nil
+		}
+		dict = newDict
+		lastSeq, seen = rec.Seq, true
+		recs = append(recs, rec)
+		off += frameHeaderLen + int64(plen)
+	}
+}
+
+// decodeRecord parses one payload against the segment's string table
+// built so far, returning the table extended with the strings this
+// record introduces. On failure the caller truncates here, so the
+// partially extended table is never reused.
+func decodeRecord(payload []byte, dict []string) (Record, []string, bool) {
+	d := &decoder{buf: payload}
+	var rec Record
+	rec.Seq = d.uvarint()
+	nStr := d.uvarint()
+	if d.bad || nStr > uint64(len(payload)) {
+		return rec, dict, false
+	}
+	for i := uint64(0); i < nStr; i++ {
+		s := d.string()
+		if d.bad {
+			return rec, dict, false
+		}
+		dict = append(dict, s)
+	}
+	nRows := d.uvarint()
+	if d.bad || nRows == 0 || nRows > uint64(len(payload)) {
+		return rec, dict, false
+	}
+	rec.Rows = make([]Row, 0, nRows)
+	str := func(id uint64) (string, bool) {
+		if id >= uint64(len(dict)) {
+			return "", false
+		}
+		return dict[id], true
+	}
+	for i := uint64(0); i < nRows; i++ {
+		relID := d.uvarint()
+		nVals := d.uvarint()
+		if d.bad || nVals > uint64(len(payload)) {
+			return rec, dict, false
+		}
+		relName, ok := str(relID)
+		if !ok {
+			return rec, dict, false
+		}
+		row := Row{Rel: relName, Vals: make([]relation.Value, 0, nVals)}
+		for j := uint64(0); j < nVals; j++ {
+			tag := d.byte()
+			if d.bad {
+				return rec, dict, false
+			}
+			switch tag {
+			case tagNull:
+				row.Vals = append(row.Vals, relation.Null)
+			case tagInt:
+				row.Vals = append(row.Vals, relation.IntVal(d.varint()))
+			case tagFloat:
+				row.Vals = append(row.Vals, relation.FloatVal(d.float()))
+			case tagString:
+				s, ok := str(d.uvarint())
+				if !ok || d.bad {
+					return rec, dict, false
+				}
+				row.Vals = append(row.Vals, relation.StringVal(s))
+			default:
+				return rec, dict, false
+			}
+			if d.bad {
+				return rec, dict, false
+			}
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
+	if len(d.buf) != 0 {
+		return rec, dict, false // trailing garbage inside a checksummed frame
+	}
+	return rec, dict, true
+}
+
+// Value tags of the record payload encoding.
+const (
+	tagNull   = 0
+	tagInt    = 1 // zigzag varint
+	tagFloat  = 2 // 8-byte LE IEEE-754
+	tagString = 3 // uvarint dictionary id
+)
+
+type decoder struct {
+	buf []byte
+	bad bool
+}
+
+func (d *decoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if len(d.buf) < 1 {
+		d.bad = true
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) float() float64 {
+	if len(d.buf) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.bad || n > uint64(len(d.buf)) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+// Append writes one record — seq must exceed the previous record's.
+// The write lands in the OS page cache; durability is Barrier's job.
+// Any failure poisons the log: the torn frame stays on disk for
+// recovery to truncate, and every later Append/Barrier refuses.
+//
+// Appends must arrive in publish order; the αDB publish hook runs
+// under the publish lock, which guarantees it.
+func (l *Log) Append(seq uint64, rows []Row) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if seq <= l.lastSeq {
+		l.err = fmt.Errorf("wal: append seq %d does not advance past %d", seq, l.lastSeq)
+		return l.err
+	}
+	if len(rows) == 0 {
+		l.err = fmt.Errorf("wal: append of empty record at seq %d", seq)
+		return l.err
+	}
+
+	// Payload: seq, the strings this record introduces (in first-use
+	// order), then the rows against the extended dictionary.
+	var newStrings []string
+	intern := func(s string) uint64 {
+		if id, ok := l.dict[s]; ok {
+			return id
+		}
+		id := uint64(len(l.dict))
+		l.dict[s] = id
+		newStrings = append(newStrings, s)
+		return id
+	}
+	body := l.scratch[:0]
+	for _, row := range rows {
+		body = binary.AppendUvarint(body, intern(row.Rel))
+		body = binary.AppendUvarint(body, uint64(len(row.Vals)))
+		for _, v := range row.Vals {
+			switch {
+			case v.IsNull():
+				body = append(body, tagNull)
+			case v.IsInt():
+				body = append(body, tagInt)
+				body = binary.AppendVarint(body, v.Int())
+			case v.IsString():
+				body = append(body, tagString)
+				body = binary.AppendUvarint(body, intern(v.Str()))
+			default:
+				body = append(body, tagFloat)
+				body = binary.LittleEndian.AppendUint64(body, math.Float64bits(v.Float()))
+			}
+		}
+	}
+	payload := make([]byte, 0, len(body)+64)
+	payload = binary.AppendUvarint(payload, seq)
+	payload = binary.AppendUvarint(payload, uint64(len(newStrings)))
+	for _, s := range newStrings {
+		payload = binary.AppendUvarint(payload, uint64(len(s)))
+		payload = append(payload, s...)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(rows)))
+	payload = append(payload, body...)
+	l.scratch = body[:0]
+
+	frame := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := l.f.Write(frame); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return l.err
+	}
+	l.appended++
+	l.lastSeq = seq
+	l.records.Add(1)
+	l.bytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// Barrier makes every record appended so far durable to the policy's
+// standard and reports the log's health. Under PolicyAlways it fsyncs
+// (group commit: a concurrent Barrier that finds its records already
+// covered returns without a syscall); under the other policies it only
+// surfaces the sticky error. An insert is acknowledged only after its
+// Barrier returns nil.
+func (l *Log) Barrier() error {
+	if l.policy != PolicyAlways {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.err
+	}
+	return l.syncNow()
+}
+
+// syncNow is the group-commit leader: one fsync covers every record
+// appended before it was issued.
+func (l *Log) syncNow() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.err != nil {
+		l.mu.Unlock()
+		return l.err
+	}
+	target := l.appended
+	f := l.f
+	l.mu.Unlock()
+	if l.syncedTo >= target {
+		return nil
+	}
+	err := f.Sync()
+	l.syncs.Add(1)
+	if err != nil {
+		l.syncFailures.Add(1)
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = fmt.Errorf("wal: fsync: %w", err)
+		}
+		err = l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.syncedTo = target
+	return nil
+}
+
+// flushLoop is the PolicyInterval background flusher.
+func (l *Log) flushLoop() {
+	defer l.flushWG.Done()
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.syncNow() // failure is sticky; the next Barrier surfaces it
+		case <-l.stopFlush:
+			return
+		}
+	}
+}
+
+// BeginCheckpoint prepares the log for a snapshot: it fsyncs the live
+// segment (whatever the policy — the rotated segment must be fully
+// durable, or a later power loss could tear records out of the middle
+// of the chain) and rotates it aside to <path>.prev, starting a fresh
+// segment with a fresh dictionary. When a .prev already exists, a
+// previous checkpoint died before EndCheckpoint: rotation is skipped
+// and the snapshot proceeds — it covers those records too, and
+// EndCheckpoint cleans both up.
+func (l *Log) BeginCheckpoint() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.syncs.Add(1)
+		l.syncFailures.Add(1)
+		l.err = fmt.Errorf("wal: checkpoint fsync: %w", err)
+		return l.err
+	}
+	l.syncs.Add(1)
+	l.syncedTo = l.appended
+	if ok, err := l.fs.Exists(prevPath(l.path)); err != nil {
+		l.err = fmt.Errorf("wal: checkpoint: %w", err)
+		return l.err
+	} else if ok {
+		return nil // prior checkpoint incomplete: keep appending in place
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = fmt.Errorf("wal: checkpoint close: %w", err)
+		return l.err
+	}
+	if err := l.fs.Rename(l.path, prevPath(l.path)); err != nil {
+		l.err = fmt.Errorf("wal: checkpoint rotate: %w", err)
+		return l.err
+	}
+	f, err := l.fs.OpenFile(l.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		l.err = fmt.Errorf("wal: checkpoint new segment: %w", err)
+		return l.err
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		l.err = fmt.Errorf("wal: checkpoint new segment header: %w", err)
+		return l.err
+	}
+	l.f = f
+	l.dict = make(map[string]uint64) // segments are self-contained
+	l.rotations.Add(1)
+	return nil
+}
+
+// EndCheckpoint completes a checkpoint after the snapshot has landed
+// durably at its final path: the rotated segment's records are covered
+// by the snapshot, so it is deleted. Safe to call when no .prev exists
+// (rotation was skipped or already cleaned).
+func (l *Log) EndCheckpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ok, err := l.fs.Exists(prevPath(l.path))
+	if err != nil {
+		return fmt.Errorf("wal: end checkpoint: %w", err)
+	}
+	if !ok {
+		return nil
+	}
+	if err := l.fs.Remove(prevPath(l.path)); err != nil {
+		return fmt.Errorf("wal: end checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LastSeq returns the newest record's sequence number.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Policy returns the configured fsync policy.
+func (l *Log) Policy() SyncPolicy { return l.policy }
+
+// Metrics returns the counters for the /metrics surface.
+func (l *Log) Metrics() Metrics {
+	l.mu.Lock()
+	failed := l.err != nil
+	lastSeq := l.lastSeq
+	l.mu.Unlock()
+	return Metrics{
+		Records:        l.records.Load(),
+		Bytes:          l.bytes.Load(),
+		Syncs:          l.syncs.Load(),
+		SyncFailures:   l.syncFailures.Load(),
+		Rotations:      l.rotations.Load(),
+		ReplayedRecs:   l.replayed,
+		TruncatedBytes: l.truncated,
+		LastSeq:        lastSeq,
+		Failed:         failed,
+	}
+}
+
+// Close stops the background flusher, fsyncs whatever is buffered
+// (graceful shutdown loses nothing under any policy), and closes the
+// segment. Idempotent.
+func (l *Log) Close() error {
+	var err error
+	l.closeOnce.Do(func() {
+		close(l.stopFlush)
+		l.flushWG.Wait()
+		err = l.syncNow()
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if cerr := l.f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if l.err == nil {
+			l.err = errors.New("wal: closed")
+		}
+	})
+	return err
+}

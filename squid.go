@@ -84,6 +84,7 @@ import (
 	"squid/internal/relation"
 	"squid/internal/snapshot"
 	"squid/internal/sqlgen"
+	"squid/internal/wal"
 )
 
 // Typed sentinel errors of the online phase, matched with errors.Is.
@@ -93,6 +94,13 @@ var (
 	// ErrNoEntities reports that no entity attribute contains every
 	// example value, so no query intent can be abduced.
 	ErrNoEntities = abduction.ErrNoEntities
+	// ErrWALSync reports that an insert was applied in memory but its
+	// write-ahead-log durability barrier failed (fsync or append error).
+	// The in-memory state is consistent and readable, but the rows are
+	// NOT guaranteed durable, and the log refuses all further appends
+	// until the system is rebooted — callers must treat the write as
+	// unacknowledged and the system as read-only.
+	ErrWALSync = errors.New("squid: wal durability barrier failed")
 )
 
 // Re-exported schema-building types: a Database is a set of Relations
@@ -202,6 +210,12 @@ type System struct {
 
 	// batchWorkers bounds DiscoverBatch's worker pool (0 = GOMAXPROCS).
 	batchWorkers int
+
+	// wal, when attached, receives every published epoch's row deltas
+	// (appended under the publish lock, so log order is publish order)
+	// and provides the durability barrier the insert paths wait on.
+	// Set via AttachWAL/RecoverWAL before the System is shared.
+	wal *wal.Log
 }
 
 // Build runs the offline phase: it constructs the abduction-ready
@@ -317,6 +331,119 @@ func (s *System) EpochMetrics() (seq uint64, age time.Duration, publishes, combi
 	return es.Seq, time.Since(es.PublishedAt), es.Publishes, es.Combines
 }
 
+// EpochGCMetrics reports the epoch chain's garbage-collection health:
+// how many retired epochs the runtime has not yet collected, and the
+// estimated bytes of replaced relation versions they pin. A steadily
+// growing retired count under sustained ingest means readers (or leaked
+// Discovery values) are pinning old epochs. Two atomic loads; safe at
+// any scrape frequency.
+func (s *System) EpochGCMetrics() (retired, retainedBytes int64) {
+	es := s.alpha.EpochStats()
+	return es.Retired, es.RetainedBytes
+}
+
+// AttachWAL connects a write-ahead log to the system: from now on every
+// published epoch's row deltas are appended to l (in publish order),
+// and the insert paths run l's durability barrier before acknowledging.
+// Call before the System is shared across goroutines; for a system with
+// prior log history use RecoverWAL instead, which replays first and
+// then attaches.
+//
+// Append errors are deliberately not surfaced here: the log records
+// them stickily and the next durability barrier (or any later append)
+// reports them, so an insert is never acknowledged past a failed
+// append.
+func (s *System) AttachWAL(l *wal.Log) {
+	s.wal = l
+	s.alpha.SetPublishHook(func(seq uint64, rows []adb.AppliedRow) {
+		if len(rows) == 0 {
+			return
+		}
+		wrows := make([]wal.Row, len(rows))
+		for i, r := range rows {
+			wrows[i] = wal.Row{Rel: r.Rel, Vals: r.Vals}
+		}
+		_ = l.Append(seq, wrows) // sticky: surfaces at the next barrier
+	})
+}
+
+// WAL returns the attached write-ahead log, or nil if the system runs
+// without one.
+func (s *System) WAL() *wal.Log { return s.wal }
+
+// WALRecovery summarizes what RecoverWAL did.
+type WALRecovery struct {
+	// Replayed is the number of log records applied (records at or
+	// below the snapshot's epoch sequence are skipped, not counted).
+	Replayed int
+	// TruncatedBytes is the size of the torn tail discarded from the
+	// live segment, 0 for a clean shutdown.
+	TruncatedBytes int64
+	// LastSeq is the epoch sequence after replay.
+	LastSeq uint64
+}
+
+// RecoverWAL opens (or creates) the write-ahead log at path, replays
+// every record newer than the system's current epoch onto it, and
+// attaches the log so subsequent inserts are logged and fenced by its
+// durability barrier. It is the boot-time counterpart of AttachWAL:
+//
+//	sys, _ := squid.Load(f)                  // snapshot at epoch N
+//	info, err := sys.RecoverWAL(path, opts)  // replays records N+1..M
+//
+// A torn tail (crash mid-append) is truncated at the first bad frame
+// and reported in TruncatedBytes. A gap in the record sequence — the
+// log starts past the snapshot, or skips a sequence number — means
+// acknowledged writes are missing and is a hard error: recovery
+// refuses to silently lose data.
+func (s *System) RecoverWAL(path string, opts wal.Options) (WALRecovery, error) {
+	l, res, err := wal.Open(path, opts)
+	if err != nil {
+		return WALRecovery{}, fmt.Errorf("squid: open wal: %w", err)
+	}
+	base := s.alpha.EpochStats().Seq
+	info := WALRecovery{TruncatedBytes: res.TruncatedBytes, LastSeq: base}
+	for _, rec := range res.Records {
+		if rec.Seq <= base {
+			continue
+		}
+		cur := s.alpha.EpochStats().Seq
+		if rec.Seq != cur+1 {
+			l.Close()
+			return info, fmt.Errorf("squid: wal replay: log continues at seq %d but state is at seq %d: acknowledged records are missing", rec.Seq, cur)
+		}
+		ops := make([]InsertOp, len(rec.Rows))
+		for i, r := range rec.Rows {
+			ops[i] = InsertOp{Rel: r.Rel, Vals: r.Vals}
+		}
+		// One InsertBatch publishes exactly one epoch, so the replayed
+		// chain reproduces the logged sequence numbers exactly.
+		if err := s.alpha.InsertBatch(ops); err != nil {
+			l.Close()
+			return info, fmt.Errorf("squid: wal replay: record seq %d: %w", rec.Seq, err)
+		}
+		info.Replayed++
+		info.LastSeq = rec.Seq
+	}
+	// Attach only after replay: replayed publishes must not re-append
+	// the records they came from.
+	s.AttachWAL(l)
+	return info, nil
+}
+
+// walBarrier fences an acknowledged insert on the log's durability
+// policy. Only reached after the insert succeeded: the epoch (and its
+// log append) exist; the barrier decides whether to wait for fsync.
+func (s *System) walBarrier() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Barrier(); err != nil {
+		return fmt.Errorf("%w: %v", ErrWALSync, err)
+	}
+	return nil
+}
+
 // Discovery is the result of query intent discovery: the selected
 // filters, both SQL renderings, and the query output.
 type Discovery struct {
@@ -383,7 +510,10 @@ func (s *System) DiscoverAll(examples []string) ([]*Discovery, error) {
 // other relations; only the inserted entity's own properties are
 // cloned and cache-invalidated.
 func (s *System) InsertEntity(rel string, vals ...Value) error {
-	return s.alpha.InsertEntity(rel, vals...)
+	if err := s.alpha.InsertEntity(rel, vals...); err != nil {
+		return err
+	}
+	return s.walBarrier()
 }
 
 // InsertFact appends a row to a fact relation and publishes the next
@@ -393,7 +523,10 @@ func (s *System) InsertEntity(rel string, vals ...Value) error {
 // that fact table for the referenced entities are cloned and
 // invalidated.
 func (s *System) InsertFact(rel string, vals ...Value) error {
-	return s.alpha.InsertFact(rel, vals...)
+	if err := s.alpha.InsertFact(rel, vals...); err != nil {
+		return err
+	}
+	return s.walBarrier()
 }
 
 // InsertOp describes one row of an InsertBatch: the target relation
@@ -406,9 +539,15 @@ type InsertOp = adb.InsertOp
 // blocked and observe the batch atomically. Batches into disjoint
 // relations proceed in parallel. Rows apply in order; on the first
 // failure the batch stops, already-applied rows stay (and publish),
-// and the error reports the failing row's index.
+// and the error reports the failing row's index. A partially applied
+// batch skips the WAL durability barrier (the caller was told the
+// batch failed); its surviving rows are logged and ride along with the
+// next acknowledged write's barrier or the background flush.
 func (s *System) InsertBatch(ops []InsertOp) error {
-	return s.alpha.InsertBatch(ops)
+	if err := s.alpha.InsertBatch(ops); err != nil {
+		return err
+	}
+	return s.walBarrier()
 }
 
 // SetBatchWorkers bounds the DiscoverBatch worker pool; n ≤ 0 restores
