@@ -1,0 +1,146 @@
+// Command squid-lint runs squid's project-invariant analyzer suite
+// over the module: the epoch immutability, RowSet aliasing, context
+// threading, sync-before-rename, and lock-ordering contracts, plus the
+// mutex-copy and unused-export hygiene passes. It exits non-zero on
+// any diagnostic — CI runs it as a required step.
+//
+// Usage:
+//
+//	squid-lint [-list] [-run analyzer[,analyzer]] [packages]
+//
+// Package patterns are directory-based: "./..." (the default) analyzes
+// every package of the module, "./internal/..." a subtree, "./internal/adb"
+// one package. The whole module is always loaded (cross-package
+// analyses need it); patterns select which packages' findings are
+// reported.
+//
+// Intentional exceptions are suppressed in the source, visibly:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// A suppression without a reason is itself a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"squid/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("squid-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and their contracts, then exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runNames != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*runNames, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(stderr, "squid-lint: unknown analyzer %q (see -list)\n", n)
+			return 2
+		}
+		analyzers = kept
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "squid-lint:", err)
+		return 2
+	}
+	prog, err := lint.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "squid-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	keep, err := packageFilter(prog, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "squid-lint:", err)
+		return 2
+	}
+
+	diags := lint.RunAnalyzers(prog, analyzers, keep)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "squid-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// packageFilter turns directory patterns into a package predicate.
+func packageFilter(prog *lint.Program, cwd string, patterns []string) (func(*lint.Package) bool, error) {
+	type rule struct {
+		dir     string
+		subtree bool
+	}
+	var rules []rule
+	for _, pat := range patterns {
+		subtree := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			subtree = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern %q: %w", pat, err)
+		}
+		rules = append(rules, rule{dir: abs, subtree: subtree})
+	}
+	return func(p *lint.Package) bool {
+		for _, r := range rules {
+			if p.Dir == r.dir {
+				return true
+			}
+			if r.subtree && strings.HasPrefix(p.Dir+string(filepath.Separator), r.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

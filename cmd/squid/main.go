@@ -167,7 +167,15 @@ func bootSystem(dataset, snapPath string) *squid.System {
 			fmt.Fprintln(os.Stderr, "cannot create snapshot:", err)
 			os.Exit(1)
 		}
-		if err := sys.Save(f); err == nil {
+		// Flush to stable storage before the rename makes the file
+		// visible at the final path (the squid-lint syncrename rule): a
+		// crash right after the rename must not leave a torn snapshot
+		// where the next boot expects a valid one.
+		err = sys.Save(f)
+		if err == nil {
+			err = f.Sync()
+		}
+		if err == nil {
 			err = f.Close()
 		} else {
 			f.Close()

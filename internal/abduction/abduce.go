@@ -71,6 +71,7 @@ func (r *Result) OutputValues() []string {
 // resolved to rows of one entity relation: context discovery, Algorithm 1,
 // and output computation. Params.Workers bounds its parallelism.
 func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) *Result {
+	//lint:ignore ctxpoll non-cancellable convenience wrapper over abduceForEntityCtx
 	res, _ := abduceForEntityCtx(context.Background(), newWorkPool(params.Workers), info, base, exampleRows, params)
 	return res
 }
@@ -129,6 +130,7 @@ func abduceForEntityCtx(ctx context.Context, pool *workPool, info *adb.EntityInf
 // every lookup — example resolution, selectivity, row sets — answers
 // from exactly the state the epoch was published with.
 func Discover(a *adb.Epoch, examples []string, params Params, resolver Resolver) ([]*Result, error) {
+	//lint:ignore ctxpoll non-cancellable convenience wrapper; DiscoverCtx is the ctx-threading entry point
 	return DiscoverCtx(context.Background(), a, examples, params, resolver)
 }
 

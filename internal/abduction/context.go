@@ -32,6 +32,7 @@ type Context struct {
 // whose examples take 2..k distinct values yield a disjunctive IN filter
 // (the paper's optional footnote-7 extension).
 func DiscoverContexts(info *adb.EntityInfo, exampleRows []int, params Params) []Context {
+	//lint:ignore ctxpoll non-cancellable convenience wrapper over discoverContextsCtx
 	out, _ := discoverContextsCtx(context.Background(), nil, info, exampleRows, params)
 	return out
 }

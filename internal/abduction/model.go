@@ -147,6 +147,7 @@ func alphaImpact(f *Filter, params Params) float64 {
 // (Equation 5), returning the decisions and the selected filter set.
 // Ties drop the filter (Occam's razor, Appendix C).
 func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
+	//lint:ignore ctxpoll non-cancellable convenience wrapper over abduceCtx
 	decisions, selected, _ := abduceCtx(context.Background(), nil, contexts, params)
 	return decisions, selected
 }

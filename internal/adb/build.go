@@ -285,6 +285,7 @@ func (a *Epoch) CombinedDB() *relation.Database {
 		for _, n := range a.DerivedDB.RelationNames() {
 			combined.AddRelation(a.DerivedDB.Relation(n))
 		}
+		//lint:ignore epochmutate single-assignment memoization under combinedOnce; every reader observes the same value
 		a.combined = combined
 	})
 	return a.combined

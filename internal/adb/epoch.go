@@ -189,8 +189,10 @@ func newAlphaDB(e *Epoch) *AlphaDB {
 		}
 	}
 	if e.rowCounts == nil {
+		//lint:ignore epochmutate pre-publication initialization: the epoch is not yet shared (published by cur.Store below)
 		e.rowCounts = snapshotRowCounts(e.DB)
 	}
+	//lint:ignore epochmutate pre-publication initialization: the epoch is not yet shared (published by cur.Store below)
 	e.publishedAt = time.Now()
 	a.cur.Store(e)
 	a.initWriteDomains(e)

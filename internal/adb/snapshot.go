@@ -261,6 +261,7 @@ func (a *Epoch) decodeInverted(r *snapshot.Reader) {
 		postings[key] = seg
 		off += np
 	}
+	//lint:ignore epochmutate decode-time restore: the epoch under construction is private until newAlphaDB publishes it
 	a.Inverted = index.RestoreInverted(postings)
 }
 

@@ -22,15 +22,6 @@ func DefaultIMDbConfig() IMDbConfig {
 	return IMDbConfig{Seed: 20190625, NumPersons: 8000, NumMovies: 2500, NumCompany: 120}
 }
 
-// SmallIMDbConfig is the sm-IMDb variant (~10% of base, Appendix D.1).
-func SmallIMDbConfig() IMDbConfig {
-	c := DefaultIMDbConfig()
-	c.NumPersons /= 10
-	c.NumMovies /= 10
-	c.NumCompany /= 4
-	return c
-}
-
 // IMDb bundles the generated database with the planted ground-truth
 // structures the benchmark queries and case studies reference.
 type IMDb struct {

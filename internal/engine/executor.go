@@ -39,6 +39,7 @@ func NewExecutorWithIndexes(db *relation.Database, idx *index.IndexSet) *Executo
 // Execute runs the query and returns its projected tuples. DISTINCT and
 // intersection are applied after projection.
 func (e *Executor) Execute(q *Query) (*Result, error) {
+	//lint:ignore ctxpoll non-cancellable convenience wrapper; ExecuteCtx is the ctx-threading entry point
 	return e.ExecuteCtx(context.Background(), q)
 }
 

@@ -143,8 +143,8 @@ func (s *Suite) Ablations() []AblationRow {
 	return rows
 }
 
-// PrintAblations renders the ablation results.
-func PrintAblations(w io.Writer, rows []AblationRow) {
+// printAblations renders the ablation results.
+func printAblations(w io.Writer, rows []AblationRow) {
 	fmt.Fprintln(w, "Ablations: design-choice studies (DESIGN.md §5)")
 	fmt.Fprintln(w, "ablation               setting    query         f-score")
 	for _, r := range rows {

@@ -117,8 +117,8 @@ func (s *Suite) Fig9b() []Fig9bRow {
 	return rows
 }
 
-// PrintFig9b renders the Fig 9(b) series.
-func PrintFig9b(w io.Writer, rows []Fig9bRow) {
+// printFig9b renders the Fig 9(b) series.
+func printFig9b(w io.Writer, rows []Fig9bRow) {
 	fmt.Fprintln(w, "Fig 9(b): abduction time vs dataset size (IMDb variants)")
 	fmt.Fprintln(w, "variant   db_rows   #examples  mean_time")
 	for _, r := range rows {

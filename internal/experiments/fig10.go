@@ -58,8 +58,8 @@ func (s *Suite) accuracyCurves(dataset string, alpha *alphaDB, bts []benchTruth)
 	return rows
 }
 
-// PrintFig10 renders the Fig 10 series.
-func PrintFig10(w io.Writer, rows []Fig10Row) {
+// printFig10 renders the Fig 10 series.
+func printFig10(w io.Writer, rows []Fig10Row) {
 	fmt.Fprintln(w, "Fig 10: precision/recall/f-score vs #examples")
 	fmt.Fprintln(w, "dataset  query  #examples  precision  recall  f-score")
 	for _, r := range rows {

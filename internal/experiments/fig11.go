@@ -84,8 +84,8 @@ func timeQuery(exec *engine.Executor, q *engine.Query) time.Duration {
 	return best
 }
 
-// PrintFig11 renders the Fig 11 comparison.
-func PrintFig11(w io.Writer, rows []Fig11Row) {
+// printFig11 renders the Fig 11 comparison.
+func printFig11(w io.Writer, rows []Fig11Row) {
 	fmt.Fprintln(w, "Fig 11: intended vs abduced query runtime")
 	fmt.Fprintln(w, "dataset  query  actual      abduced")
 	for _, r := range rows {

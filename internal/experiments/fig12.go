@@ -127,8 +127,8 @@ func runSQuIDWithResolver(alpha *alphaDB, examples []string, params abductionPar
 	return Discovery{Result: results[0]}
 }
 
-// PrintFig12 renders the Fig 12 comparison.
-func PrintFig12(w io.Writer, rows []Fig12Row) {
+// printFig12 renders the Fig 12 comparison.
+func printFig12(w io.Writer, rows []Fig12Row) {
 	fmt.Fprintln(w, "Fig 12: effect of entity disambiguation (f-score)")
 	fmt.Fprintln(w, "intent        #examples  w/ DA   w/o DA")
 	for _, r := range rows {

@@ -66,8 +66,8 @@ func (s *Suite) Fig13() []Fig13Row {
 	return rows
 }
 
-// PrintFig13 renders the Fig 13 series.
-func PrintFig13(w io.Writer, rows []Fig13Row) {
+// printFig13 renders the Fig 13 series.
+func printFig13(w io.Writer, rows []Fig13Row) {
 	fmt.Fprintln(w, "Fig 13: case studies (scored against simulated public lists)")
 	fmt.Fprintln(w, "study                     #examples  precision  recall  f-score")
 	for _, r := range rows {

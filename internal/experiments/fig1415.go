@@ -98,8 +98,8 @@ func (s *Suite) qreRows(dataset string, db *relationDatabase, alpha *adb.AlphaDB
 	return rows
 }
 
-// PrintQRE renders a Figs 14/15-style comparison table.
-func PrintQRE(w io.Writer, title string, rows []QRERow) {
+// printQRE renders a Figs 14/15-style comparison table.
+func printQRE(w io.Writer, title string, rows []QRERow) {
 	fmt.Fprintln(w, title)
 	fmt.Fprintln(w, "query  card   #preds(actual/SQuID/TALOS)   time(SQuID/TALOS)        f-score(SQuID/TALOS)")
 	for _, r := range rows {

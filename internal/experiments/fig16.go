@@ -97,8 +97,8 @@ func rowsOfValues(n int, valueOf func(int) string, truth []string) []int {
 	return out
 }
 
-// PrintFig16a renders the accuracy comparison.
-func PrintFig16a(w io.Writer, rows []Fig16aRow) {
+// printFig16a renders the accuracy comparison.
+func printFig16a(w io.Writer, rows []Fig16aRow) {
 	fmt.Fprintln(w, "Fig 16(a): SQuID vs PU-learning vs labeled fraction (Adult)")
 	fmt.Fprintln(w, "fraction  SQuID(P/R/F)          PU-DT(P/R/F)          PU-RF(P/R/F)")
 	for _, r := range rows {
@@ -175,8 +175,8 @@ func (s *Suite) Fig16b() []Fig16bRow {
 	return rows
 }
 
-// PrintFig16b renders the scalability comparison.
-func PrintFig16b(w io.Writer, rows []Fig16bRow) {
+// printFig16b renders the scalability comparison.
+func printFig16b(w io.Writer, rows []Fig16bRow) {
 	fmt.Fprintln(w, "Fig 16(b): scalability vs Adult scale factor")
 	fmt.Fprintln(w, "scale  rows     SQuID       PU(train+predict)")
 	for _, r := range rows {

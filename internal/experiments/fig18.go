@@ -36,8 +36,8 @@ func (s *Suite) Fig18() []adb.Stats {
 	return out
 }
 
-// PrintFig18 renders the dataset statistics.
-func PrintFig18(w io.Writer, stats []adb.Stats) {
+// printFig18 renders the dataset statistics.
+func printFig18(w io.Writer, stats []adb.Stats) {
 	fmt.Fprintln(w, "Fig 18: dataset and αDB statistics")
 	for _, st := range stats {
 		fmt.Fprintln(w, st.String())

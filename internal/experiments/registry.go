@@ -17,25 +17,25 @@ type Runner struct {
 func Registry() []Runner {
 	return []Runner{
 		{"fig9a", "abduction time vs #examples (IMDb, DBLP)", func(s *Suite, w io.Writer) { PrintFig9a(w, s.Fig9a()) }},
-		{"fig9b", "abduction time vs dataset size (IMDb variants)", func(s *Suite, w io.Writer) { PrintFig9b(w, s.Fig9b()) }},
-		{"fig10", "accuracy vs #examples for all benchmarks", func(s *Suite, w io.Writer) { PrintFig10(w, s.Fig10()) }},
-		{"fig11", "intended vs abduced query runtime", func(s *Suite, w io.Writer) { PrintFig11(w, s.Fig11()) }},
-		{"fig12", "effect of entity disambiguation", func(s *Suite, w io.Writer) { PrintFig12(w, s.Fig12()) }},
-		{"fig13", "case studies", func(s *Suite, w io.Writer) { PrintFig13(w, s.Fig13()) }},
-		{"fig14", "Adult QRE: SQuID vs TALOS", func(s *Suite, w io.Writer) { PrintQRE(w, "Fig 14: Adult QRE comparison", s.Fig14()) }},
-		{"fig15a", "IMDb QRE: SQuID vs TALOS", func(s *Suite, w io.Writer) { PrintQRE(w, "Fig 15(a): IMDb QRE comparison", s.Fig15a()) }},
-		{"fig15b", "DBLP QRE: SQuID vs TALOS", func(s *Suite, w io.Writer) { PrintQRE(w, "Fig 15(b): DBLP QRE comparison", s.Fig15b()) }},
-		{"fig16a", "SQuID vs PU-learning accuracy", func(s *Suite, w io.Writer) { PrintFig16a(w, s.Fig16a()) }},
-		{"fig16b", "SQuID vs PU-learning scalability", func(s *Suite, w io.Writer) { PrintFig16b(w, s.Fig16b()) }},
-		{"fig18", "dataset and αDB statistics", func(s *Suite, w io.Writer) { PrintFig18(w, s.Fig18()) }},
+		{"fig9b", "abduction time vs dataset size (IMDb variants)", func(s *Suite, w io.Writer) { printFig9b(w, s.Fig9b()) }},
+		{"fig10", "accuracy vs #examples for all benchmarks", func(s *Suite, w io.Writer) { printFig10(w, s.Fig10()) }},
+		{"fig11", "intended vs abduced query runtime", func(s *Suite, w io.Writer) { printFig11(w, s.Fig11()) }},
+		{"fig12", "effect of entity disambiguation", func(s *Suite, w io.Writer) { printFig12(w, s.Fig12()) }},
+		{"fig13", "case studies", func(s *Suite, w io.Writer) { printFig13(w, s.Fig13()) }},
+		{"fig14", "Adult QRE: SQuID vs TALOS", func(s *Suite, w io.Writer) { printQRE(w, "Fig 14: Adult QRE comparison", s.Fig14()) }},
+		{"fig15a", "IMDb QRE: SQuID vs TALOS", func(s *Suite, w io.Writer) { printQRE(w, "Fig 15(a): IMDb QRE comparison", s.Fig15a()) }},
+		{"fig15b", "DBLP QRE: SQuID vs TALOS", func(s *Suite, w io.Writer) { printQRE(w, "Fig 15(b): DBLP QRE comparison", s.Fig15b()) }},
+		{"fig16a", "SQuID vs PU-learning accuracy", func(s *Suite, w io.Writer) { printFig16a(w, s.Fig16a()) }},
+		{"fig16b", "SQuID vs PU-learning scalability", func(s *Suite, w io.Writer) { printFig16b(w, s.Fig16b()) }},
+		{"fig18", "dataset and αDB statistics", func(s *Suite, w io.Writer) { printFig18(w, s.Fig18()) }},
 		{"fig19", "IMDb benchmark inventory", func(s *Suite, w io.Writer) { PrintBenchmarkTable(w, s.Fig19()) }},
 		{"fig20", "DBLP benchmark inventory", func(s *Suite, w io.Writer) { PrintBenchmarkTable(w, s.Fig20()) }},
 		{"fig22", "Adult benchmark inventory", func(s *Suite, w io.Writer) { PrintBenchmarkTable(w, s.Fig22()) }},
-		{"fig23", "base prior rho sweep", func(s *Suite, w io.Writer) { PrintSweep(w, "Fig 23: rho sweep", s.Fig23()) }},
-		{"fig24", "domain-coverage gamma sweep", func(s *Suite, w io.Writer) { PrintSweep(w, "Fig 24: gamma sweep", s.Fig24()) }},
-		{"fig25", "association threshold tauA sweep", func(s *Suite, w io.Writer) { PrintSweep(w, "Fig 25: tauA sweep", s.Fig25()) }},
-		{"fig26", "skewness threshold tauS sweep", func(s *Suite, w io.Writer) { PrintSweep(w, "Fig 26: tauS sweep", s.Fig26()) }},
-		{"ablations", "design-choice ablation studies", func(s *Suite, w io.Writer) { PrintAblations(w, s.Ablations()) }},
+		{"fig23", "base prior rho sweep", func(s *Suite, w io.Writer) { printSweep(w, "Fig 23: rho sweep", s.Fig23()) }},
+		{"fig24", "domain-coverage gamma sweep", func(s *Suite, w io.Writer) { printSweep(w, "Fig 24: gamma sweep", s.Fig24()) }},
+		{"fig25", "association threshold tauA sweep", func(s *Suite, w io.Writer) { printSweep(w, "Fig 25: tauA sweep", s.Fig25()) }},
+		{"fig26", "skewness threshold tauS sweep", func(s *Suite, w io.Writer) { printSweep(w, "Fig 26: tauS sweep", s.Fig26()) }},
+		{"ablations", "design-choice ablation studies", func(s *Suite, w io.Writer) { printAblations(w, s.Ablations()) }},
 	}
 }
 

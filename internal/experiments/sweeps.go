@@ -130,8 +130,8 @@ func (s *Suite) Fig26() []SweepRow {
 	return rows
 }
 
-// PrintSweep renders a Figs 23–26-style sweep.
-func PrintSweep(w io.Writer, title string, rows []SweepRow) {
+// printSweep renders a Figs 23–26-style sweep.
+func printSweep(w io.Writer, title string, rows []SweepRow) {
 	fmt.Fprintln(w, title)
 	fmt.Fprintln(w, "param  setting  query  #examples  f-score")
 	for _, r := range rows {

@@ -111,18 +111,18 @@ func BuildStrHash(rel *relation.Relation, col string) *StrHash {
 	return h
 }
 
-// normalizedDict precomputes Normalize for every dictionary code.
+// normalizedDict precomputes normalize for every dictionary code.
 func normalizedDict(d *relation.Dict) []string {
 	vals := d.Values()
 	norm := make([]string, len(vals))
 	for i, v := range vals {
-		norm[i] = Normalize(v)
+		norm[i] = normalize(v)
 	}
 	return norm
 }
 
 // Rows returns the rows holding the (normalized) value.
-func (h *StrHash) Rows(v string) []int { return h.rows[Normalize(v)] }
+func (h *StrHash) Rows(v string) []int { return h.rows[normalize(v)] }
 
 // NumKeys returns the number of distinct indexed values.
 func (h *StrHash) NumKeys() int { return len(h.rows) }
@@ -130,7 +130,7 @@ func (h *StrHash) NumKeys() int { return len(h.rows) }
 // Insert adds one (value, row) posting incrementally; rows must be
 // appended in ascending order so posting lists stay sorted.
 func (h *StrHash) Insert(v string, row int) {
-	key := Normalize(v)
+	key := normalize(v)
 	h.rows[key] = append(h.rows[key], row)
 }
 

@@ -90,7 +90,7 @@ func (s *IndexSet) Numeric(rel *relation.Relation, col string) *NumericRows {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n = s.nums[key]; n == nil {
-		n = BuildNumericRowsFromColumn(rel.Column(col))
+		n = buildNumericRowsFromColumn(rel.Column(col))
 		s.nums[key] = n
 	}
 	return n
@@ -348,9 +348,9 @@ type NumericRows struct {
 	rows []int
 }
 
-// BuildNumericRowsFromColumn indexes the non-NULL cells of a numeric
+// buildNumericRowsFromColumn indexes the non-NULL cells of a numeric
 // column (Int cells are widened to float64).
-func BuildNumericRowsFromColumn(c *relation.Column) *NumericRows {
+func buildNumericRowsFromColumn(c *relation.Column) *NumericRows {
 	n := &NumericRows{}
 	if c == nil || c.Type == relation.String {
 		return n

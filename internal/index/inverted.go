@@ -121,9 +121,9 @@ func RunBounded(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// Normalize canonicalizes a lookup string: lower-case, trimmed,
+// normalize canonicalizes a lookup string: lower-case, trimmed,
 // inner whitespace collapsed.
-func Normalize(s string) string {
+func normalize(s string) string {
 	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
 }
 
@@ -132,7 +132,7 @@ func Normalize(s string) string {
 // it. Online readers go through LookupBelow.
 func (inv *Inverted) Lookup(value string) []Posting {
 	inv.mu.RLock()
-	ps := inv.postings[Normalize(value)]
+	ps := inv.postings[normalize(value)]
 	inv.mu.RUnlock()
 	return ps
 }
@@ -171,7 +171,7 @@ func filterPostings(ps []Posting, limit RowLimit) []Posting {
 // posting becomes visible to epoch-pinned readers only once an epoch
 // whose row count covers it is published.
 func (inv *Inverted) Insert(value string, p Posting) {
-	key := Normalize(value)
+	key := normalize(value)
 	inv.mu.Lock()
 	inv.postings[key] = append(inv.postings[key], p)
 	inv.mu.Unlock()

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerCtxPoll enforces the cancellation contract: exported entry
+// points that accept a context.Context must actually thread it (a dead
+// ctx parameter silently breaks per-request timeouts and DiscoverBatch
+// cancellation), and ambient contexts — context.Background() /
+// context.TODO() — are forbidden outside main packages (cmd/,
+// examples/) and _test.go files, where a fresh root context is
+// legitimate. Library code must take its context from the caller.
+func analyzerCtxPoll() *Analyzer {
+	return &Analyzer{
+		Name: "ctxpoll",
+		Doc:  "exported ctx-taking entry points must use their context; context.Background()/TODO() only in main packages and tests",
+		Run:  runCtxPoll,
+	}
+}
+
+func isContextType(t types.Type) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+func runCtxPoll(prog *Program, pkg *Package, report func(ast.Node, string)) {
+	isMain := pkg.Types != nil && pkg.Types.Name() == "main"
+	inCmd := strings.Contains(pkg.Path, "/cmd/") || strings.HasPrefix(pkg.Path, "cmd/")
+
+	for _, f := range pkg.Files {
+		if !isMain && !inCmd {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, fn := range []string{"Background", "TODO"} {
+					if pkg.calleePkgFunc(call, "context", fn) {
+						report(call, fmt.Sprintf("context.%s() in library code: accept a context.Context from the caller instead", fn))
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, fd := range pkg.funcDecls() {
+		if fd.Body == nil || !fd.Name.IsExported() || fd.Type.Params == nil {
+			continue
+		}
+		for _, field := range fd.Type.Params.List {
+			if !isContextType(pkg.typeOf(field.Type)) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if !identUsed(pkg, fd.Body, obj) {
+					report(name, fmt.Sprintf("exported %s ignores its context parameter %q — thread it to callees so cancellation propagates", fd.Name.Name, name.Name))
+				}
+			}
+		}
+	}
+}
+
+// identUsed reports whether obj is referenced anywhere in body.
+func identUsed(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

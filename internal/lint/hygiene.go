@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerMutexCopy flags copies of values whose type (transitively)
+// contains a sync.Mutex, sync.RWMutex, sync.Once, sync.WaitGroup,
+// sync.Cond, or any sync/atomic type — the classic epoch-struct
+// foot-gun: a copied AlphaDB shares dictionary state but forks its
+// atomic.Pointer epoch chain and lock table, which go vet's copylocks
+// misses for the atomic fields (they have no Lock method). Flagged
+// shapes: by-value parameters and receivers, and assignments that copy
+// an existing value (x := *p, x := y, x := s.field).
+func analyzerMutexCopy() *Analyzer {
+	return &Analyzer{
+		Name: "mutexcopy",
+		Doc:  "no struct-copy of a type containing a sync.Mutex / sync.Once / atomic.* field (pass a pointer)",
+		Run:  runMutexCopy,
+	}
+}
+
+// lockPath returns a dotted path to a lock-bearing field inside t, or
+// "" when t carries no lock state. seen guards recursive types.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n := namedFrom(t); n != nil && n.Obj() != nil && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() {
+		case "sync":
+			switch n.Obj().Name() {
+			case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond", "Map", "Pool":
+				return n.Obj().Name()
+			}
+		case "sync/atomic":
+			return "atomic." + n.Obj().Name()
+		}
+	}
+	// Only by-value containment propagates the hazard.
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPath(f.Type(), seen); p != "" {
+				return f.Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(u.Elem(), seen); p != "" {
+			return "[i]." + p
+		}
+	}
+	return ""
+}
+
+// copiesValue reports whether the expression reads an existing value
+// (so assigning it copies): identifiers, field selections, index
+// expressions, and pointer dereferences. Composite literals and call
+// results are fresh values, not copies.
+func copiesValue(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func runMutexCopy(prog *Program, pkg *Package, report func(ast.Node, string)) {
+	check := func(n ast.Node, t types.Type, what string) {
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if p := lockPath(t, map[types.Type]bool{}); p != "" {
+			report(n, fmt.Sprintf("%s copies lock state (%s via %s): pass a pointer", what, t.String(), p))
+		}
+	}
+
+	for _, fd := range pkg.funcDecls() {
+		if fd.Recv != nil {
+			for _, field := range fd.Recv.List {
+				check(field.Type, pkg.typeOf(field.Type), fmt.Sprintf("value receiver of %s", fd.Name.Name))
+			}
+		}
+		if fd.Type.Params != nil {
+			for _, field := range fd.Type.Params.List {
+				check(field.Type, pkg.typeOf(field.Type), fmt.Sprintf("by-value parameter of %s", fd.Name.Name))
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if !copiesValue(rhs) {
+						continue
+					}
+					if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					check(rhs, pkg.typeOf(rhs), "assignment")
+				}
+			case *ast.ValueSpec:
+				for _, v := range st.Values {
+					if copiesValue(v) {
+						check(v, pkg.typeOf(v), "assignment")
+					}
+				}
+			case *ast.RangeStmt:
+				if st.Value == nil {
+					return true
+				}
+				// A := range clause defines its value ident, so its type
+				// lives in Defs, not Types.
+				t := pkg.typeOf(st.Value)
+				if t == nil {
+					if id, ok := ast.Unparen(st.Value).(*ast.Ident); ok {
+						if obj := pkg.objOf(id); obj != nil {
+							t = obj.Type()
+						}
+					}
+				}
+				check(st.Value, t, "range value")
+			}
+			return true
+		})
+	}
+}
+
+// analyzerUnusedExport flags exported package-level identifiers in
+// internal/ packages that no other package of the module references
+// and no _test.go file mentions: dead public surface that widens the
+// contract the other analyzers must police. Methods and struct fields
+// are exempt (interface satisfaction and encoding make their use
+// invisible to name resolution).
+func analyzerUnusedExport() *Analyzer {
+	return &Analyzer{
+		Name: "unusedexport",
+		Doc:  "exported identifiers in internal/ must be used by another package or a test — otherwise unexport or remove them",
+		Run:  runUnusedExport,
+	}
+}
+
+func runUnusedExport(prog *Program, pkg *Package, report func(ast.Node, string)) {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return
+	}
+	used := prog.crossPackageUses()
+	reachable := reachableFromAPI(pkg, used, prog.TestIdents)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if obj == nil || !obj.Exported() {
+			continue
+		}
+		if used[obj] || prog.TestIdents[name] || reachable[obj] {
+			continue
+		}
+		// Anchor the report at the defining identifier.
+		var at ast.Node
+		for id, def := range pkg.Info.Defs {
+			if def == obj {
+				at = id
+				break
+			}
+		}
+		if at == nil {
+			continue
+		}
+		report(at, fmt.Sprintf("exported identifier %s is used by no other package and no test: unexport or remove it", name))
+	}
+}
+
+// reachableFromAPI returns the package-level objects of pkg whose
+// types are structurally reachable from its consumed API surface: a
+// result type of a cross-used function, a field type of a cross-used
+// struct, and so on, transitively. Such a type is part of the contract
+// even when no other package ever names it (p.SelectivityCache()
+// returning *SelCache uses SelCache without naming it).
+func reachableFromAPI(pkg *Package, crossUsed map[types.Object]bool, testIdents map[string]bool) map[types.Object]bool {
+	reach := map[types.Object]bool{}
+	seen := map[types.Type]bool{}
+
+	var visitType func(t types.Type)
+	visitType = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		if n, ok := t.(*types.Named); ok {
+			obj := n.Obj()
+			if obj != nil && obj.Pkg() == pkg.Types {
+				if reach[obj] {
+					return
+				}
+				reach[obj] = true
+			}
+			for i := 0; i < n.NumMethods(); i++ {
+				visitType(n.Method(i).Type())
+			}
+			if ta := n.TypeArgs(); ta != nil {
+				for i := 0; i < ta.Len(); i++ {
+					visitType(ta.At(i))
+				}
+			}
+			visitType(n.Underlying())
+			return
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			visitType(u.Elem())
+		case *types.Slice:
+			visitType(u.Elem())
+		case *types.Array:
+			visitType(u.Elem())
+		case *types.Chan:
+			visitType(u.Elem())
+		case *types.Map:
+			visitType(u.Key())
+			visitType(u.Elem())
+		case *types.Signature:
+			if u.Recv() != nil {
+				visitType(u.Recv().Type())
+			}
+			visitType(u.Params())
+			visitType(u.Results())
+		case *types.Tuple:
+			for i := 0; i < u.Len(); i++ {
+				visitType(u.At(i).Type())
+			}
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				visitType(u.Field(i).Type())
+			}
+		case *types.Interface:
+			for i := 0; i < u.NumMethods(); i++ {
+				visitType(u.Method(i).Type())
+			}
+		}
+	}
+
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if obj == nil || !obj.Exported() {
+			continue
+		}
+		if crossUsed[obj] || testIdents[name] {
+			visitType(obj.Type())
+		}
+	}
+	return reach
+}
+
+// crossPackageUses returns the set of objects referenced from a
+// package other than their own (memoized per program).
+func (p *Program) crossPackageUses() map[types.Object]bool {
+	if p.crossUses != nil {
+		return p.crossUses
+	}
+	used := map[types.Object]bool{}
+	for _, pkg := range p.Pkgs {
+		for _, obj := range pkg.Info.Uses {
+			if obj.Pkg() != nil && pkg.Types != nil && obj.Pkg() != pkg.Types {
+				used[obj] = true
+			}
+		}
+	}
+	p.crossUses = used
+	return used
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// analyzerLockOrder enforces the writer-lock ordering contract of the
+// epoch write path: per-relation writer locks (a map[string]*sync.Mutex
+// keyed by relation name) must be acquired in the canonical sorted-name
+// order established by initWriteDomains — it is what makes concurrent
+// disjoint writers deadlock-free. Three acquisition shapes violate it:
+//
+//  1. locking while ranging over the mutex map itself (map iteration
+//     order is random),
+//  2. locking a sequence of literal keys out of sorted order,
+//  3. locking inside a loop over a key slice that was not sorted
+//     (sort.Strings / slices.Sort) earlier in the same function.
+func analyzerLockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "writer locks in a map[string]*sync.Mutex must be acquired in sorted key order (the initWriteDomains canon)",
+		Run:  runLockOrder,
+	}
+}
+
+// isMutexMap reports whether t is a map from strings to (pointers to)
+// sync.Mutex/sync.RWMutex.
+func isMutexMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	if b, ok := m.Key().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+		return false
+	}
+	elem := m.Elem()
+	return isNamedType(elem, "sync", "Mutex") || isNamedType(elem, "sync", "RWMutex")
+}
+
+func runLockOrder(prog *Program, pkg *Package, report func(ast.Node, string)) {
+	for _, fd := range pkg.funcDecls() {
+		if fd.Body == nil {
+			continue
+		}
+		checkLockOrderFunc(pkg, fd, report)
+	}
+}
+
+func checkLockOrderFunc(pkg *Package, fd *ast.FuncDecl, report func(ast.Node, string)) {
+	// sortedAt records positions of sort calls per key-slice object:
+	// sort.Strings(keys), sort.Sort(...), slices.Sort(keys).
+	sortedAt := map[types.Object][]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg.calleePkgFunc(call, "sort", "Strings") || pkg.calleePkgFunc(call, "sort", "Sort") ||
+			pkg.calleePkgFunc(call, "slices", "Sort") || pkg.calleePkgFunc(call, "sort", "Slice") {
+			if len(call.Args) > 0 {
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := pkg.objOf(id); obj != nil {
+						sortedAt[obj] = append(sortedAt[obj], call.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// lockCallOnMap matches expr.Lock()/expr.RLock() where expr indexes
+	// a mutex map, returning the map expression and index expression.
+	lockOnMutexMap := func(call *ast.CallExpr) (mapExpr, keyExpr ast.Expr, ok bool) {
+		sel := methodCall(call)
+		if sel == nil || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return nil, nil, false
+		}
+		ix, isIx := ast.Unparen(sel.X).(*ast.IndexExpr)
+		if !isIx || !isMutexMap(pkg.typeOf(ix.X)) {
+			return nil, nil, false
+		}
+		return ix.X, ix.Index, true
+	}
+
+	// Shape 1 + 3: Lock calls inside range statements.
+	var walkRanges func(n ast.Node)
+	walkRanges = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			rs, ok := m.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			overMutexMap := isMutexMap(pkg.typeOf(rs.X))
+			var keyObj types.Object
+			if id, ok := rs.X.(*ast.Ident); ok {
+				keyObj = pkg.objOf(id)
+			}
+			ast.Inspect(rs.Body, func(b ast.Node) bool {
+				call, ok := b.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, _, isLock := lockOnMutexMap(call); !isLock {
+					// Also: ranging over the mutex map and locking the
+					// range value directly (for _, mu := range m { mu.Lock() }).
+					if sel := methodCall(call); overMutexMap && sel != nil &&
+						(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+						if vid, ok := rs.Value.(*ast.Ident); ok {
+							if rid, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pkg.objOf(rid) == pkg.objOf(vid) {
+								report(call, "lock acquired while ranging over the mutex map: map iteration order is random, not the canonical sorted order")
+							}
+						}
+					}
+					return true
+				}
+				if overMutexMap {
+					report(call, "lock acquired while ranging over the mutex map: map iteration order is random, not the canonical sorted order")
+					return true
+				}
+				// Shape 3: range over a key slice — require a sort of
+				// that slice earlier in this function.
+				if keyObj != nil {
+					for _, p := range sortedAt[keyObj] {
+						if p < rs.Pos() {
+							return true // sorted before the loop: canonical
+						}
+					}
+				}
+				report(call, "locks acquired in unverified key order: sort the keys first (sort.Strings) to match the canonical sorted-name order")
+				return true
+			})
+			return true
+		})
+	}
+	walkRanges(fd.Body)
+
+	// Shape 2: straight-line literal-key sequences out of order.
+	type litLock struct {
+		key  string
+		call *ast.CallExpr
+	}
+	var seq []litLock
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			return false // handled above
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, keyExpr, isLock := lockOnMutexMap(call)
+		if !isLock {
+			return true
+		}
+		tv, ok := pkg.Info.Types[keyExpr]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true
+		}
+		seq = append(seq, litLock{constant.StringVal(tv.Value), call})
+		return true
+	})
+	for i := 1; i < len(seq); i++ {
+		if seq[i].key < seq[i-1].key {
+			report(seq[i].call, fmt.Sprintf("writer locks acquired out of sorted order (%q after %q): the canonical order is sorted relation names", seq[i].key, seq[i-1].key))
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Fixture for the ctxpoll analyzer: library code must thread contexts
+// from the caller — ambient roots and dead ctx parameters are
+// violations.
+package ctxpoll
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// --- positive cases ---
+
+func ambientBackground() error {
+	return work(context.Background()) // want "context.Background\\(\\) in library code"
+}
+
+func ambientTODO() error {
+	return work(context.TODO()) // want "context.TODO\\(\\) in library code"
+}
+
+// DeadContext accepts a ctx and then ignores it: cancellation cannot
+// propagate through this entry point.
+func DeadContext(ctx context.Context, n int) int { // want "exported DeadContext ignores its context parameter"
+	return n * 2
+}
+
+// --- negative cases ---
+
+// Threading the context is the contract.
+func Threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Unexported helpers may hold a ctx they do not use (wrappers threading
+// other state); only exported entry points are checked.
+func quietHelper(ctx context.Context) int { return 0 }

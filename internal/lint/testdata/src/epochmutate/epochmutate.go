@@ -1,0 +1,54 @@
+// Fixture for the epochmutate analyzer: mutations of a published
+// *adb.Epoch (and state reachable from one) are violations; freshly
+// constructed epochs and Clone*-detached state are not.
+package epochmutate
+
+import (
+	"squid/internal/adb"
+	"squid/internal/relation"
+)
+
+// --- positive cases: published-epoch mutation ---
+
+func assignField(e *adb.Epoch) {
+	e.DerivedDB = nil // want "assignment to field DerivedDB of a published"
+}
+
+func assignMapEntry(e *adb.Epoch) {
+	e.Entities["movie"] = nil // want "mutation of Entities reachable from a published"
+}
+
+func mutateReachableChained(e *adb.Epoch) {
+	e.DB.Relation("movie").MustAppend() // want "MustAppend mutates state reachable from a published"
+}
+
+func mutateReachableViaLocal(e *adb.Epoch) {
+	r := e.DB.Relation("movie")
+	r.SetPrimaryKey("id") // want "SetPrimaryKey mutates state reachable from a published"
+}
+
+func assignIndexes(e *adb.Epoch) {
+	e.Indexes = nil // want "assignment to field Indexes of a published"
+}
+
+// --- negative cases ---
+
+// A freshly constructed epoch is private until published; initializing
+// its fields is the normal build path.
+func freshConstruction() *adb.Epoch {
+	e := &adb.Epoch{}
+	e.DB = relation.NewDatabase("d")
+	e.Entities = map[string]*adb.EntityInfo{}
+	return e
+}
+
+// CloneForWrite is the sanctioned escape hatch: the clone is private.
+func cloneThenMutate(e *adb.Epoch) {
+	r := e.DB.Relation("movie").CloneForWrite()
+	r.MustAppend()
+}
+
+// Reads never trip the analyzer.
+func readOnly(e *adb.Epoch) int {
+	return e.DB.Relation("movie").NumRows() + len(e.Entities)
+}

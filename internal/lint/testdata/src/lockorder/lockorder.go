@@ -1,0 +1,57 @@
+// Fixture for the lockorder analyzer: writer locks in a
+// map[string]*sync.Mutex must be acquired in sorted key order.
+package lockorder
+
+import (
+	"sort"
+	"sync"
+)
+
+// --- positive cases ---
+
+func lockWhileRangingMap(m map[string]*sync.Mutex) {
+	for _, mu := range m {
+		mu.Lock() // want "ranging over the mutex map"
+	}
+}
+
+func lockIndexWhileRangingMap(m map[string]*sync.Mutex) {
+	for k := range m {
+		m[k].Lock() // want "ranging over the mutex map"
+	}
+}
+
+func literalKeysOutOfOrder(m map[string]*sync.Mutex) {
+	m["person"].Lock()
+	m["movie"].Lock() // want "out of sorted order"
+	m["movie"].Unlock()
+	m["person"].Unlock()
+}
+
+func unsortedKeySlice(m map[string]*sync.Mutex, keys []string) {
+	for _, k := range keys {
+		m[k].Lock() // want "unverified key order"
+	}
+}
+
+// --- negative cases ---
+
+func literalKeysSorted(m map[string]*sync.Mutex) {
+	m["movie"].Lock()
+	m["person"].Lock()
+	m["person"].Unlock()
+	m["movie"].Unlock()
+}
+
+// The lockDomains shape: sort the union of domains, then acquire.
+func sortedKeySlice(m map[string]*sync.Mutex, keys []string) func() {
+	sort.Strings(keys)
+	for _, k := range keys {
+		m[k].Lock()
+	}
+	return func() {
+		for i := len(keys) - 1; i >= 0; i-- {
+			m[keys[i]].Unlock()
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Fixture for the mutexcopy analyzer: copying a value whose type
+// contains lock state (sync.Mutex, sync.Once, atomic.*) forks the
+// lock, not the protection.
+package mutexcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type chain struct {
+	cur  atomic.Pointer[guarded]
+	once sync.Once
+}
+
+type clean struct{ n int }
+
+// --- positive cases ---
+
+func byValueParam(g guarded) int { // want "by-value parameter"
+	return g.n
+}
+
+func (g guarded) valueReceiver() int { // want "value receiver"
+	return g.n
+}
+
+func derefCopy(p *guarded) int {
+	c := *p // want "assignment copies lock state"
+	return c.n
+}
+
+// atomic fields have no Lock method, so go vet's copylocks misses
+// them; the epoch-chain foot-gun is exactly this shape.
+func atomicByValue(c chain) {} // want "by-value parameter"
+
+func rangeCopies(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies lock state"
+		total += g.n
+	}
+	return total
+}
+
+// --- negative cases ---
+
+func pointerParam(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func freshLiteral() {
+	g := guarded{n: 1}
+	_ = g.n
+}
+
+func lockFreeCopy(c clean) clean {
+	d := c
+	return d
+}

@@ -1,0 +1,58 @@
+// Fixture for the rowsetalias analyzer: a RowSet obtained from the
+// selectivity cache, a Filter, or an EntityRowSet* property method is
+// shared storage — mutating it without Clone() is a violation.
+package rowsetalias
+
+import (
+	"squid/internal/abduction"
+	"squid/internal/adb"
+	"squid/internal/index"
+)
+
+func mk() *index.RowSet { return index.NewRowSet(8) }
+
+// --- positive cases: mutating a cache-aliasing set ---
+
+func chainedMutation(c *adb.SelCache, k adb.SelKey) {
+	c.RowSet(k, mk).AndWith(nil) // want "AndWith mutates a RowSet aliasing shared"
+}
+
+func filterAlias(f *abduction.Filter) {
+	s := f.RowSet()
+	s.Add(1) // want "Add mutates a RowSet aliasing shared"
+}
+
+func propertyAlias(p *adb.BasicProperty) {
+	s := p.EntityRowSetInRange(0, 10)
+	s.OrWith(nil) // want "OrWith mutates a RowSet aliasing shared"
+}
+
+func aliasCopied(f *abduction.Filter) {
+	s := f.RowSet()
+	t := s
+	t.AndNotWith(nil) // want "AndNotWith mutates a RowSet aliasing shared"
+}
+
+// --- negative cases ---
+
+// Clone() detaches from cache storage; the copy is private.
+func cloneDetaches(f *abduction.Filter) {
+	s := f.RowSet().Clone()
+	s.AndWith(nil)
+}
+
+// Read-only methods never trip the analyzer.
+func readsAreFine(f *abduction.Filter) int {
+	s := f.RowSet()
+	if s.Contains(3) {
+		return s.Count()
+	}
+	return len(s.ToSorted())
+}
+
+// A set built locally is owned by the caller.
+func freshSetIsPrivate() {
+	s := index.NewRowSet(64)
+	s.Add(3)
+	s.AndWith(nil)
+}

@@ -1,0 +1,31 @@
+// Fixture for the unusedexport analyzer. The harness loads this
+// package under a synthetic "fixtures/internal/unusedexport" import
+// path so the internal/-only gate applies. Nothing here is imported
+// by the real module, so an exported identifier survives only by
+// appearing in a _test.go file of the module (TestIdents) or by being
+// structurally reachable from such an identifier's type signature.
+package unusedexport
+
+// --- positive cases: dead exported surface ---
+
+func QzDead() int { return 1 } // want "exported identifier QzDead is used by no other package"
+
+type QzOrphan struct{ N int } // want "exported identifier QzOrphan is used by no other package"
+
+const QzDeadConst = 42 // want "exported identifier QzDeadConst is used by no other package"
+
+var QzDeadVar = "unused" // want "exported identifier QzDeadVar is used by no other package"
+
+// --- negative cases ---
+
+// "Discover" appears throughout the module's test files, so the
+// TestIdents signal keeps it; QzReachable is exempt because it is
+// structurally reachable from Discover's result type.
+func Discover() *QzReachable { return nil }
+
+type QzReachable struct{ Hits int }
+
+// Unexported identifiers are never the analyzer's business.
+func qzHelper() int { return 0 }
+
+var _ = qzHelper

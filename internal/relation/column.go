@@ -22,7 +22,7 @@ type Column struct {
 func NewColumn(name string, t ColType) *Column {
 	c := &Column{Name: name, Type: t}
 	if t == String {
-		c.dict = NewDict()
+		c.dict = newDict()
 	}
 	return c
 }

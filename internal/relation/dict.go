@@ -31,8 +31,8 @@ type Dict struct {
 // dictionary entry.
 const NoCode int32 = -1
 
-// NewDict creates an empty dictionary.
-func NewDict() *Dict {
+// newDict creates an empty dictionary.
+func newDict() *Dict {
 	return &Dict{ids: make(map[string]int32)}
 }
 

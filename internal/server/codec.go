@@ -213,6 +213,8 @@ func (q *QueryJSON) ToEngineQuery() (*engine.Query, error) {
 // FromEngineQuery converts a logical query to its wire form; clients
 // (the load generator, tooling) use it to execute a plan returned by
 // discovery over the network.
+//
+//lint:ignore unusedexport public wire-codec API, the documented inverse of ToEngineQuery (README serving section)
 func FromEngineQuery(q *squid.Query) QueryJSON {
 	out := QueryJSON{
 		From:          append([]string(nil), q.From...),

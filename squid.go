@@ -472,6 +472,7 @@ type Discovery struct {
 // entity disambiguation enabled (§6.1.1). It returns the highest-scoring
 // discovery across candidate base queries.
 func (s *System) Discover(examples []string) (*Discovery, error) {
+	//lint:ignore ctxpoll non-cancellable convenience wrapper; DiscoverContext is the ctx-threading entry point
 	return s.discoverCtx(context.Background(), examples, disambig.Resolve)
 }
 
@@ -643,6 +644,7 @@ dispatch:
 // DiscoverWithoutDisambiguation runs discovery with ambiguity resolved
 // arbitrarily (first match); used by the Fig 12 ablation.
 func (s *System) DiscoverWithoutDisambiguation(examples []string) (*Discovery, error) {
+	//lint:ignore ctxpoll non-cancellable ablation wrapper; discoverCtx threads the real context
 	return s.discoverCtx(context.Background(), examples, nil)
 }
 
@@ -727,6 +729,7 @@ func (s *System) ExecutableDB() *Database { return s.alpha.CombinedDB() }
 // wait-free with respect to inserts: it pins one epoch and can never
 // be stalled by (or stall) a writer.
 func (s *System) Execute(q *Query) (*ExecResult, error) {
+	//lint:ignore ctxpoll non-cancellable convenience wrapper; ExecuteContext is the ctx-threading entry point
 	return s.ExecuteContext(context.Background(), q)
 }
 
