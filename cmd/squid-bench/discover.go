@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -9,6 +12,7 @@ import (
 	"squid"
 	"squid/internal/datagen"
 	"squid/internal/experiments"
+	"squid/internal/trace"
 )
 
 // DiscoverArm is one worker-count arm of the single-discovery latency
@@ -37,6 +41,13 @@ type DiscoverResult struct {
 	ParallelSpeedupP50 float64       `json:"parallel_speedup_p50"`
 	OutputIdentical    bool          `json:"output_identical"`
 	Arms               []DiscoverArm `json:"arms"`
+	// SerialPhaseP50MS is the per-phase breakdown of the exact serial run
+	// percentileMS picked as p50 (leaf spans of its trace), so the
+	// breakdown and SerialP50MS describe the same discovery and the
+	// phases' sum is bounded by it — the invariant CI asserts.
+	SerialPhaseP50MS map[string]float64 `json:"serial_phase_p50_ms"`
+	// SerialPhaseP50SumMS is the sum of SerialPhaseP50MS.
+	SerialPhaseP50SumMS float64 `json:"serial_phase_p50_sum_ms"`
 }
 
 // discoverWorkerArms returns the worker counts to measure: 1, 2, 4, and
@@ -144,6 +155,12 @@ func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
 		RunsPerArm:      runs,
 		OutputIdentical: identical,
 	}
+	// The serial arm is traced: each run carries a span recorder, so the
+	// report can pair the p50 latency with that exact run's per-phase
+	// breakdown (on the serial path the leaf phases partition the
+	// request, so their sum is bounded by the run's wall time).
+	var serialLats []time.Duration
+	var serialTraces []*trace.Trace
 	for _, w := range arms {
 		setDiscoverWorkers(sys, w)
 		var lats []time.Duration
@@ -153,12 +170,27 @@ func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
 				// Cold cache per discovery: the measurement is the
 				// latency of a novel intent, the case parallelism is for.
 				cache.Invalidate()
-				t0 := time.Now()
-				_, _ = sys.Discover(ex)
-				d := time.Since(t0)
+				var d time.Duration
+				if w == 1 {
+					rec := trace.NewRecorder(0)
+					root := rec.Root(trace.PhaseDiscover, "")
+					ctx := trace.NewContext(context.Background(), root)
+					t0 := time.Now()
+					_, _ = sys.DiscoverContext(ctx, ex)
+					d = time.Since(t0)
+					root.End()
+					serialTraces = append(serialTraces, rec.Finish("discover", ""))
+				} else {
+					t0 := time.Now()
+					_, _ = sys.Discover(ex)
+					d = time.Since(t0)
+				}
 				lats = append(lats, d)
 				total += d
 			}
+		}
+		if w == 1 {
+			serialLats = lats
 		}
 		arm := DiscoverArm{
 			Workers: w,
@@ -177,6 +209,25 @@ func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
 	if parallel.P50MS > 0 {
 		res.ParallelSpeedupP50 = serial.P50MS / parallel.P50MS
 	}
+
+	// Recover the exact serial run percentileMS reported as p50 and
+	// attach its phase breakdown; the same trace becomes the sample
+	// artifact CI uploads.
+	var p50Trace *trace.Trace
+	if len(serialTraces) > 0 {
+		order := make([]int, len(serialLats))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return serialLats[order[a]] < serialLats[order[b]] })
+		p50Trace = serialTraces[order[percentileRank(len(order), 0.50)]]
+		res.SerialPhaseP50MS = make(map[string]float64)
+		for phase, d := range p50Trace.PhaseTotals() {
+			ms := msOf(d)
+			res.SerialPhaseP50MS[phase] = ms
+			res.SerialPhaseP50SumMS += ms
+		}
+	}
 	report.Discover = append(report.Discover, res)
 	report.PeakRSSKB = peakRSSKB()
 
@@ -188,8 +239,38 @@ func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
 	}
 	fmt.Printf("  parallel speedup (p50, %d workers vs serial): %.2fx; output identical: %v\n",
 		res.ParallelWorkers, res.ParallelSpeedupP50, res.OutputIdentical)
+	if len(res.SerialPhaseP50MS) > 0 {
+		phases := make([]string, 0, len(res.SerialPhaseP50MS))
+		for p := range res.SerialPhaseP50MS {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		fmt.Printf("  serial p50 phases (sum %.2fms of %.2fms):", res.SerialPhaseP50SumMS, res.SerialP50MS)
+		for _, p := range phases {
+			fmt.Printf(" %s=%.2fms", p, res.SerialPhaseP50MS[p])
+		}
+		fmt.Println()
+	}
 	if werr := writeReport(report, jsonPath); werr != nil {
 		return werr
 	}
+	if werr := writeSampleTrace(p50Trace, jsonPath); werr != nil {
+		return werr
+	}
 	return err
+}
+
+// writeSampleTrace writes the serial p50 run's full span tree next to
+// the -json report (<report>.trace.json), the sample trace CI uploads
+// as an artifact. Skipped for stdout reports and untraced runs.
+func writeSampleTrace(t *trace.Trace, jsonPath string) error {
+	if t == nil || jsonPath == "" || jsonPath == "-" {
+		return nil
+	}
+	out, err := json.MarshalIndent(t.JSON(), "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(jsonPath+".trace.json", out, 0o644)
 }

@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"squid"
+	"squid/internal/buildinfo"
 	"squid/internal/datagen"
 	"squid/internal/experiments"
 )
@@ -153,6 +154,11 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a post-GC heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// Build identity on stderr, so the report a run produced is always
+	// attributable to a binary (stdout stays machine-readable for
+	// -json -).
+	fmt.Fprintln(os.Stderr, "squid-bench:", buildinfo.Get().String())
 
 	// Profiles must be closed out on every exit path, so the experiment
 	// dispatch lives in run() and returns an exit code instead of

@@ -277,12 +277,19 @@ func meanMS(lats []time.Duration) float64 {
 func percentileMS(lats []time.Duration, q float64) float64 {
 	sorted := append([]time.Duration(nil), lats...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	return msOf(sorted[percentileRank(len(sorted), q)])
+}
+
+// percentileRank is percentileMS's nearest-rank pick as a sorted-order
+// index, so callers can recover which sample the quantile reports (the
+// discover experiment pairs the p50 latency with that run's trace).
+func percentileRank(n int, q float64) int {
+	rank := int(math.Ceil(q*float64(n))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank >= n {
+		rank = n - 1
 	}
-	return msOf(sorted[rank])
+	return rank
 }

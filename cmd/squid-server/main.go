@@ -7,6 +7,7 @@
 //	squid-server -addr :8080 -dataset imdb
 //	squid-server -dataset dblp -snapshot /var/lib/squid/dblp.sqas -snapshot-interval 5m
 //	squid-server -max-inflight 8 -queue-depth 32 -timeout 10s
+//	squid-server -log-format json -debug-addr 127.0.0.1:6060 -slow-query-threshold 250ms
 //
 // With -snapshot, boot is warm when the file exists (squid.Load instead
 // of a cold build; the αDB is saved there after a cold build otherwise),
@@ -27,19 +28,33 @@
 // drains cleanly on SIGINT/SIGTERM: /healthz flips to 503, in-flight
 // requests finish, then the final snapshot lands.
 //
-// Endpoints: POST /v1/discover, /v1/discover/batch, /v1/execute,
-// /v1/insert, /v1/insert/batch, /v1/snapshot; GET /v1/stats, /healthz,
-// /metrics (Prometheus text).
+// Logs are structured (log/slog); -log-format picks text or JSON lines.
+// Every request carries a request id (minted unless the client sent
+// X-Request-Id, always echoed back in the X-Request-Id header) that ties
+// the access path to traces and slow-query lines. Requests slower than
+// -slow-query-threshold log one warn line with their per-phase breakdown
+// and surface under /debug/traces?slow=1.
+//
+// -debug-addr starts a second listener with the pprof and expvar
+// handlers; it is kept off the serving address so profiling endpoints
+// are never exposed where the API is.
+//
+// Endpoints: POST /v1/discover (?trace=1 embeds the span tree),
+// /v1/discover/batch, /v1/execute, /v1/insert, /v1/insert/batch,
+// /v1/snapshot; GET /v1/stats, /healthz, /metrics (Prometheus text),
+// /debug/traces (recent request traces; ?slow=1 filters).
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -47,6 +62,7 @@ import (
 	"time"
 
 	"squid"
+	"squid/internal/buildinfo"
 	"squid/internal/datagen"
 	"squid/internal/server"
 	"squid/internal/wal"
@@ -68,28 +84,53 @@ func main() {
 		walPath      = flag.String("wal", "", "write-ahead log file: every insert's epoch delta is logged and replayed at boot, so acknowledged writes survive crashes between snapshots")
 		walFsync     = flag.String("wal-fsync", "always", "WAL durability policy: always (fsync before ack), interval (background fsync), never (OS decides)")
 		walFsyncIvl  = flag.Duration("wal-fsync-interval", 100*time.Millisecond, "background fsync cadence under -wal-fsync=interval")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		debugAddr    = flag.String("debug-addr", "", "debug listener for pprof and expvar (empty = off); keep it off the serving address")
+		slowQuery    = flag.Duration("slow-query-threshold", time.Second, "requests at or above this wall time log a slow-query line and surface under /debug/traces?slow=1 (0 = disabled)")
 	)
 	flag.Parse()
 
-	sys, coldBuilt, err := bootSystem(*dataset, *snapPath)
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "squid-server: -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	bi := buildinfo.Get()
+	logger.Info("squid-server starting", "build", bi.String(),
+		"go_version", bi.GoVersion, "version", bi.Version, "revision", bi.Revision)
+
+	sys, coldBuilt, err := bootSystem(logger, *dataset, *snapPath)
 	if err != nil {
-		log.Fatalf("boot: %v", err)
+		fatal("boot failed", "err", err)
 	}
 	if *walPath != "" {
 		policy, err := wal.ParsePolicy(*walFsync)
 		if err != nil {
-			log.Fatalf("-wal-fsync: %v", err)
+			fatal("bad -wal-fsync", "err", err)
 		}
 		start := time.Now()
 		info, err := sys.RecoverWAL(*walPath, wal.Options{Policy: policy, Interval: *walFsyncIvl})
 		if err != nil {
 			// Refusing to serve beats silently losing acknowledged writes:
 			// a gap in the log or an unreplayable record needs an operator.
-			log.Fatalf("wal recovery: %v", err)
+			fatal("wal recovery failed", "path", *walPath, "err", err)
 		}
-		log.Printf("wal %s recovered in %v: %d records replayed, %d torn bytes truncated, epoch seq %d (fsync=%s)",
-			*walPath, time.Since(start).Round(time.Millisecond),
-			info.Replayed, info.TruncatedBytes, info.LastSeq, policy)
+		logger.Info("wal recovered", "path", *walPath,
+			"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			"replayed", info.Replayed, "truncated_bytes", info.TruncatedBytes,
+			"epoch_seq", info.LastSeq, "fsync", string(policy))
 	}
 	if *qre {
 		sys.SetParams(squid.QREParams())
@@ -111,25 +152,52 @@ func main() {
 	if reqTimeout == 0 {
 		reqTimeout = -1 // Config: negative disables the deadline
 	}
+	slowThreshold := *slowQuery
+	if slowThreshold == 0 {
+		slowThreshold = -1 // Config: negative disables slow-query marking
+	}
 	srv := server.New(sys, server.Config{
-		MaxInFlight:      *maxInFlight,
-		QueueDepth:       *queueDepth,
-		RequestTimeout:   reqTimeout,
-		SnapshotPath:     *snapPath,
-		SnapshotInterval: *snapInterval,
+		MaxInFlight:        *maxInFlight,
+		QueueDepth:         *queueDepth,
+		RequestTimeout:     reqTimeout,
+		SnapshotPath:       *snapPath,
+		SnapshotInterval:   *snapInterval,
+		Logger:             logger,
+		SlowQueryThreshold: slowThreshold,
 	})
 	if coldBuilt && *snapPath != "" {
 		// Save the cold build through the server's atomic
 		// write-then-rename path, so the next boot is warm.
 		if _, err := srv.SaveSnapshot(); err != nil {
-			log.Fatalf("saving snapshot: %v", err)
+			fatal("saving snapshot failed", "err", err)
 		}
-		log.Printf("snapshot saved to %s (next boot is warm)", *snapPath)
+		logger.Info("snapshot saved, next boot is warm", "path", *snapPath)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug listener carries the profiling surfaces — pprof and
+	// expvar — on its own mux and address, so they are mounted explicitly
+	// (never via net/http/pprof's DefaultServeMux side effects) and never
+	// reachable through the serving listener.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", httppprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener up (pprof, expvar)", "addr", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
 	}
 
 	// Graceful drain on SIGINT/SIGTERM: stop accepting, flip /healthz
@@ -141,24 +209,24 @@ func main() {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		log.Printf("signal received, draining (timeout %v)", *drainWait)
+		logger.Info("signal received, draining", "timeout", drainWait.String())
 		srv.BeginDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("shutdown: %v (some requests may have been cut off)", err)
+			logger.Warn("shutdown incomplete, some requests may have been cut off", "err", err)
 		}
 		if err := srv.Finalize(); err != nil {
-			log.Printf("final snapshot: %v", err)
+			logger.Error("final snapshot failed", "err", err)
 		} else if *snapPath != "" {
-			log.Printf("final snapshot saved to %s", *snapPath)
+			logger.Info("final snapshot saved", "path", *snapPath)
 		}
 	}()
 
-	log.Printf("serving %s on %s (max-inflight %d, queue %d, timeout %v)",
-		*dataset, *addr, *maxInFlight, *queueDepth, *timeout)
+	logger.Info("serving", "dataset", *dataset, "addr", *addr,
+		"max_inflight", *maxInFlight, "queue_depth", *queueDepth, "timeout", timeout.String())
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("listen: %v", err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	<-done
 }
@@ -167,7 +235,7 @@ func main() {
 // snapshot file when one exists, otherwise a cold build of the selected
 // dataset (coldBuilt reports which; the caller persists cold builds
 // through the server's snapshot path).
-func bootSystem(dataset, snapPath string) (sys *squid.System, coldBuilt bool, err error) {
+func bootSystem(logger *slog.Logger, dataset, snapPath string) (sys *squid.System, coldBuilt bool, err error) {
 	if snapPath != "" {
 		f, err := os.Open(snapPath)
 		switch {
@@ -181,7 +249,8 @@ func bootSystem(dataset, snapPath string) (sys *squid.System, coldBuilt bool, er
 			if got := sys.AlphaDB().DB().Name; got != dataset && !strings.HasPrefix(got, dataset+"_") {
 				return nil, false, fmt.Errorf("snapshot %s holds dataset %q, not %q", snapPath, got, dataset)
 			}
-			log.Printf("αDB loaded from %s in %v (warm boot)", snapPath, time.Since(start).Round(time.Millisecond))
+			logger.Info("αDB loaded (warm boot)", "path", snapPath,
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
 			return sys, false, nil
 		case !errors.Is(err, fs.ErrNotExist):
 			// Anything but "no snapshot yet" must not fall through to a
@@ -202,12 +271,12 @@ func bootSystem(dataset, snapPath string) (sys *squid.System, coldBuilt bool, er
 	default:
 		return nil, false, fmt.Errorf("unknown dataset %q (want imdb, dblp, or adult)", dataset)
 	}
-	log.Printf("building abduction-ready database for %s ...", dataset)
+	logger.Info("building abduction-ready database (cold boot)", "dataset", dataset)
 	start := time.Now()
 	sys, err = squid.Build(db, squid.DefaultBuildConfig())
 	if err != nil {
 		return nil, false, fmt.Errorf("offline phase: %w", err)
 	}
-	log.Printf("αDB ready in %v", time.Since(start).Round(time.Millisecond))
+	logger.Info("αDB ready", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	return sys, true, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"squid/internal/adb"
 	"squid/internal/index"
+	"squid/internal/trace"
 )
 
 // Typed sentinel errors of the online phase; callers match them with
@@ -72,7 +73,7 @@ func (r *Result) OutputValues() []string {
 // and output computation. Params.Workers bounds its parallelism.
 func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) *Result {
 	//lint:ignore ctxpoll non-cancellable convenience wrapper over abduceForEntityCtx
-	res, _ := abduceForEntityCtx(context.Background(), newWorkPool(params.Workers), info, base, exampleRows, params)
+	res, _ := abduceForEntityCtx(context.Background(), newWorkPool(params.Workers), info, base, exampleRows, params, trace.Span{})
 	return res
 }
 
@@ -82,12 +83,22 @@ func AbduceForEntity(info *adb.EntityInfo, base BaseQuery, exampleRows []int, pa
 // context aborts a long abduction mid-flight instead of after the fact;
 // the pool fans the per-property context walks and the selectivity
 // prefetch out without oversubscribing the discovery-wide budget.
-func abduceForEntityCtx(ctx context.Context, pool *workPool, info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params) (*Result, error) {
+//
+// sp is the candidate's trace span (or the zero Span): each pipeline
+// phase — context discovery, selectivity prefetch, Algorithm 1, row-set
+// prefetch, intersection — nests one child span under it, so a traced
+// discovery attributes its time phase by phase. Span structure depends
+// only on the candidate's data, never on worker scheduling.
+func abduceForEntityCtx(ctx context.Context, pool *workPool, info *adb.EntityInfo, base BaseQuery, exampleRows []int, params Params, sp trace.Span) (*Result, error) {
+	cs := sp.Child(trace.PhaseContexts, "")
 	contexts, err := discoverContextsCtx(ctx, pool, info, exampleRows, params)
+	cs.Add(trace.CounterProperties, int64(len(info.Basic)+len(info.Derived)))
+	cs.Add(trace.CounterContexts, int64(len(contexts)))
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
-	decisions, selected, err := abduceCtx(ctx, pool, contexts, params)
+	decisions, selected, err := abduceCtx(ctx, pool, contexts, params, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -99,16 +110,36 @@ func abduceForEntityCtx(ctx context.Context, pool *workPool, info *adb.EntityInf
 		return nil, err
 	}
 	// Prefetch the selected filters' row bitsets in parallel; the
-	// intersection cascade itself is word ops and stays serial.
-	if err := pool.forEach(ctx, len(selected), func(i int) { selected[i].RowSet() }); err != nil {
+	// intersection cascade itself is word ops and stays serial. Each
+	// selected filter gets its own rowset span (labeled with the filter),
+	// so cache behavior is attributed per property.
+	rs := sp.Child(trace.PhaseRows, "")
+	err = pool.forEach(ctx, len(selected), func(i int) {
+		fsp := trace.Span{}
+		if rs.Active() {
+			fsp = rs.Child(trace.PhaseRowSet, selected[i].String())
+		}
+		set := selected[i].rowSetT(fsp)
+		if fsp.Active() {
+			fsp.Add(trace.CounterRows, int64(set.Count()))
+		}
+		fsp.End()
+	})
+	rs.End()
+	if err != nil {
 		return nil, err
 	}
+	is := sp.Child(trace.PhaseIntersect, "")
+	output := IntersectRows(info, selected)
+	is.Add(trace.CounterSelected, int64(len(selected)))
+	is.Add(trace.CounterRows, int64(len(output)))
+	is.End()
 	return &Result{
 		Base:        base,
 		ExampleRows: exampleRows,
 		Decisions:   decisions,
 		Filters:     selected,
-		OutputRows:  IntersectRows(info, selected),
+		OutputRows:  output,
 		Score:       LogPosteriorScore(decisions, chosen),
 		info:        info,
 	}, nil
@@ -150,7 +181,11 @@ func DiscoverCtx(ctx context.Context, a *adb.Epoch, examples []string, params Pa
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("abduction: %w", ErrNoExamples)
 	}
+	sp := trace.SpanFrom(ctx)
+	res := sp.Child(trace.PhaseResolve, "")
 	matches := a.CommonColumns(examples)
+	res.Add(trace.CounterCandidates, int64(len(matches)))
+	res.End()
 	pool := newWorkPool(params.Workers)
 	slots := make([]*Result, len(matches))
 	errs := make([]error, len(matches))
@@ -164,7 +199,12 @@ func DiscoverCtx(ctx context.Context, a *adb.Epoch, examples []string, params Pa
 		if rows == nil {
 			return
 		}
-		slots[i], errs[i] = abduceForEntityCtx(ctx, pool, info, BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column}, rows, params)
+		cand := trace.Span{}
+		if sp.Active() {
+			cand = sp.Child(trace.PhaseCandidate, m.Key.Relation+"."+m.Key.Column)
+		}
+		slots[i], errs[i] = abduceForEntityCtx(ctx, pool, info, BaseQuery{Entity: m.Key.Relation, Attr: m.Key.Column}, rows, params, cand)
+		cand.End()
 	})
 	if ferr != nil {
 		return nil, fmt.Errorf("abduction: %w", ferr)

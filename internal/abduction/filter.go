@@ -7,6 +7,7 @@ import (
 
 	"squid/internal/adb"
 	"squid/internal/index"
+	"squid/internal/trace"
 )
 
 // FilterKind classifies semantic property filters (§3.1).
@@ -94,6 +95,12 @@ func (f *Filter) String() string {
 // is memoized per filter, so callers (Algorithm 1, the intersection
 // planner's sort) can ask repeatedly at map-read cost.
 func (f *Filter) Selectivity() float64 {
+	return f.selectivityT(trace.Span{})
+}
+
+// selectivityT is Selectivity with cache events attributed to sp (the
+// branches that materialize a row set route through the αDB cache).
+func (f *Filter) selectivityT(sp trace.Span) float64 {
 	if f.selOK {
 		return f.selVal
 	}
@@ -106,13 +113,13 @@ func (f *Filter) Selectivity() float64 {
 			// multi-valued attributes the per-value sets can overlap,
 			// so count the union exactly — a popcount over the cached
 			// bitset.
-			f.selVal = float64(f.RowSet().Count()) / float64(max(1, f.Basic.NumEntities()))
+			f.selVal = float64(f.rowSetT(sp).Count()) / float64(max(1, f.Basic.NumEntities()))
 		}
 	case BasicNumeric:
 		f.selVal = f.Basic.RangeSelectivity(f.Lo, f.Hi)
 	default:
 		if f.NormUse {
-			f.selVal = float64(f.RowSet().Count()) / float64(max(1, f.Derivd.NumEntities()))
+			f.selVal = float64(f.rowSetT(sp).Count()) / float64(max(1, f.Derivd.NumEntities()))
 		} else {
 			f.selVal = f.Derivd.Selectivity(f.Value(), f.Theta)
 		}
@@ -141,19 +148,24 @@ func (f *Filter) DomainCoverage() float64 {
 // rescans. The returned set aliases αDB-cache storage; callers must not
 // mutate it (Clone first).
 func (f *Filter) RowSet() *index.RowSet {
+	return f.rowSetT(trace.Span{})
+}
+
+// rowSetT is RowSet with cache events attributed to sp.
+func (f *Filter) rowSetT(sp trace.Span) *index.RowSet {
 	if f.setOK {
 		return f.rowSet
 	}
 	switch f.Kind {
 	case BasicCategorical:
-		f.rowSet = f.Basic.EntityRowSetWithAnyValue(f.Values)
+		f.rowSet = f.Basic.EntityRowSetWithAnyValueT(f.Values, sp)
 	case BasicNumeric:
-		f.rowSet = f.Basic.EntityRowSetInRange(f.Lo, f.Hi)
+		f.rowSet = f.Basic.EntityRowSetInRangeT(f.Lo, f.Hi, sp)
 	default:
 		if f.NormUse {
-			f.rowSet = f.Derivd.EntityRowSetWithNormStrength(f.Value(), f.ThetaN, f.degree)
+			f.rowSet = f.Derivd.EntityRowSetWithNormStrengthT(f.Value(), f.ThetaN, f.degree, sp)
 		} else {
-			f.rowSet = f.Derivd.EntityRowSetWithStrength(f.Value(), f.Theta)
+			f.rowSet = f.Derivd.EntityRowSetWithStrengthT(f.Value(), f.Theta, sp)
 		}
 	}
 	f.setOK = true

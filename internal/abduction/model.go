@@ -3,6 +3,8 @@ package abduction
 import (
 	"context"
 	"math"
+
+	"squid/internal/trace"
 )
 
 // FilterDecision records the per-filter posterior computation of
@@ -148,7 +150,7 @@ func alphaImpact(f *Filter, params Params) float64 {
 // Ties drop the filter (Occam's razor, Appendix C).
 func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
 	//lint:ignore ctxpoll non-cancellable convenience wrapper over abduceCtx
-	decisions, selected, _ := abduceCtx(context.Background(), nil, contexts, params)
+	decisions, selected, _ := abduceCtx(context.Background(), nil, contexts, params, trace.Span{})
 	return decisions, selected
 }
 
@@ -165,17 +167,25 @@ func Abduce(contexts []Context, params Params) ([]FilterDecision, []*Filter) {
 // maximization steps, pure float math after the prefetch, and keeping
 // them on one goroutine keeps the decision order (and the cancellation
 // checkpoints the tests count) identical to the serial path.
-func abduceCtx(ctx context.Context, pool *workPool, contexts []Context, params Params) ([]FilterDecision, []*Filter, error) {
+func abduceCtx(ctx context.Context, pool *workPool, contexts []Context, params Params, sp trace.Span) ([]FilterDecision, []*Filter, error) {
 	filters := make([]*Filter, len(contexts))
 	for i, c := range contexts {
 		filters[i] = c.Filter
 	}
 	lambdas := lambdaImpacts(filters, params)
 
-	if err := pool.forEach(ctx, len(filters), func(i int) { filters[i].Selectivity() }); err != nil {
+	// The selectivity prefetch is the candidate's cache-heavy phase; its
+	// span collects the hit/miss/store counters the worker units bump.
+	ss := sp.Child(trace.PhaseSelectivity, "")
+	err := pool.forEach(ctx, len(filters), func(i int) { filters[i].selectivityT(ss) })
+	ss.End()
+	if err != nil {
 		return nil, nil, err
 	}
 
+	as := sp.Child(trace.PhaseAbduce, "")
+	defer as.End()
+	as.Add(trace.CounterContexts, int64(len(contexts)))
 	decisions := make([]FilterDecision, 0, len(contexts))
 	var selected []*Filter
 	for _, c := range contexts {
@@ -214,6 +224,7 @@ func abduceCtx(ctx context.Context, pool *workPool, contexts []Context, params P
 		}
 		decisions = append(decisions, d)
 	}
+	as.Add(trace.CounterSelected, int64(len(selected)))
 	return decisions, selected, nil
 }
 

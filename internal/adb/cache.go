@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"squid/internal/index"
+	"squid/internal/trace"
 )
 
 // SelKey identifies one selectivity / satisfying-row-set question about
@@ -105,6 +106,14 @@ func (c *SelCache) Register(props ...any) {
 // and storing it on a miss. The returned set is shared: do not mutate
 // (Clone first).
 func (c *SelCache) RowSet(key SelKey, compute func() *index.RowSet) *index.RowSet {
+	return c.RowSetT(key, trace.Span{}, compute)
+}
+
+// RowSetT is RowSet with per-request attribution: every cache event —
+// hit, miss, store — bumps the corresponding counter on sp in addition
+// to the cache-wide totals, so a trace can say which phase paid for
+// which cache behavior. The zero Span makes it exactly RowSet.
+func (c *SelCache) RowSetT(key SelKey, sp trace.Span, compute func() *index.RowSet) *index.RowSet {
 	if c == nil {
 		return compute()
 	}
@@ -113,9 +122,11 @@ func (c *SelCache) RowSet(key SelKey, compute func() *index.RowSet) *index.RowSe
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		sp.Add(trace.CounterCacheHits, 1)
 		return set
 	}
 	c.misses.Add(1)
+	sp.Add(trace.CounterCacheMisses, 1)
 	set = compute()
 	c.mu.Lock()
 	// Store only under a live identity: a retired property (its epoch
@@ -123,6 +134,7 @@ func (c *SelCache) RowSet(key SelKey, compute func() *index.RowSet) *index.RowSe
 	if _, isLive := c.live[key.Prop]; isLive {
 		c.rows[key] = set
 		c.keys[key.Prop] = append(c.keys[key.Prop], key)
+		sp.Add(trace.CounterCacheStores, 1)
 	}
 	c.mu.Unlock()
 	return set

@@ -9,6 +9,7 @@ import (
 
 	"squid/internal/index"
 	"squid/internal/relation"
+	"squid/internal/trace"
 )
 
 // Epoch is one immutable, atomically published state of the αDB: the
@@ -344,9 +345,19 @@ func (a *AlphaDB) lockDomains(rels []string) func() {
 // readers still pinning them and are garbage collected when the last
 // such reader drops its pointer.
 func (a *AlphaDB) publish(eb *epochBuilder) {
+	a.publishT(eb, trace.Span{})
+}
+
+// publishT is publish with trace attribution: the whole combiner step
+// is one publish span (carrying the new epoch's sequence number), and
+// the WAL append — the publish's only I/O — is a nested wal_append
+// span counting the rows it logged.
+func (a *AlphaDB) publishT(eb *epochBuilder, sp trace.Span) {
 	if !eb.dirty() {
 		return
 	}
+	ps := sp.Child(trace.PhasePublish, "")
+	defer ps.End()
 	eb.finalize()
 	a.publishMu.Lock()
 	defer a.publishMu.Unlock()
@@ -388,6 +399,7 @@ func (a *AlphaDB) publish(eb *epochBuilder) {
 	a.selCache.ReplaceProps(eb.oldProps, eb.newProps)
 	a.cur.Store(next)
 	a.publishes.Add(1)
+	ps.Add(trace.CounterEpochSeq, int64(next.seq))
 
 	// GC telemetry: cur just retired. Charge it the bytes of the
 	// relations this publish replaced (everything else it shares with
@@ -413,8 +425,11 @@ func (a *AlphaDB) publish(eb *epochBuilder) {
 	})
 
 	if a.publishHook != nil {
+		ws := ps.Child(trace.PhaseWALAppend, "")
 		// Under publishMu: hook (WAL append) order equals publish order,
 		// so the log IS the epoch chain's history.
 		a.publishHook(next.seq, eb.applied)
+		ws.Add(trace.CounterRows, int64(len(eb.applied)))
+		ws.End()
 	}
 }

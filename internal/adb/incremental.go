@@ -6,6 +6,7 @@ import (
 
 	"squid/internal/index"
 	"squid/internal/relation"
+	"squid/internal/trace"
 )
 
 // This file implements one of the paper's §9 future directions —
@@ -238,6 +239,16 @@ type InsertOp struct {
 // are still published (append-only maintenance has no rollback), and
 // the error reports the failing row's index.
 func (a *AlphaDB) InsertBatch(ops []InsertOp) error {
+	return a.InsertBatchT(ops, trace.Span{})
+}
+
+// InsertBatchT is InsertBatch with trace attribution: the per-relation
+// writer-lock acquisition is a publish_wait span (the time this batch
+// spent blocked behind other writers of its domains), the copy-on-write
+// apply loop is an apply span counting its rows, and the publish step
+// (with its WAL append) nests under publishT. The zero Span makes it
+// exactly InsertBatch.
+func (a *AlphaDB) InsertBatchT(ops []InsertOp, sp trace.Span) error {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -245,10 +256,13 @@ func (a *AlphaDB) InsertBatch(ops []InsertOp) error {
 	for i, op := range ops {
 		rels[i] = op.Rel
 	}
+	ws := sp.Child(trace.PhasePublishWait, "")
 	unlock := a.lockDomains(rels)
+	ws.End()
 	defer unlock()
 	eb := newEpochBuilder(a.Snapshot())
 	eb.logRows = a.publishHook != nil
+	as := sp.Child(trace.PhaseApply, "")
 	var firstErr error
 	for i, op := range ops {
 		var err error
@@ -261,8 +275,10 @@ func (a *AlphaDB) InsertBatch(ops []InsertOp) error {
 			firstErr = fmt.Errorf("adb: batch insert %d into %q: %w", i, op.Rel, err)
 			break
 		}
+		as.Add(trace.CounterRows, 1)
 	}
-	a.publish(eb)
+	as.End()
+	a.publishT(eb, sp)
 	return firstErr
 }
 

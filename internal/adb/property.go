@@ -21,6 +21,7 @@ import (
 
 	"squid/internal/index"
 	"squid/internal/relation"
+	"squid/internal/trace"
 )
 
 // PropKind distinguishes categorical from numeric semantic properties.
@@ -317,11 +318,17 @@ func (p *BasicProperty) EntityRowsWithAnyValue(values []string) []int {
 // (a single value is a one-element disjunction). The returned set is
 // shared: do not mutate.
 func (p *BasicProperty) EntityRowSetWithAnyValue(values []string) *index.RowSet {
+	return p.EntityRowSetWithAnyValueT(values, trace.Span{})
+}
+
+// EntityRowSetWithAnyValueT is EntityRowSetWithAnyValue with cache
+// events attributed to sp.
+func (p *BasicProperty) EntityRowSetWithAnyValueT(values []string, sp trace.Span) *index.RowSet {
 	if len(values) == 0 {
 		return index.NewRowSet(0)
 	}
 	key := SelKey{Prop: p, Value: disjunctionKey(values)}
-	return p.cache.RowSet(key, func() *index.RowSet {
+	return p.cache.RowSetT(key, sp, func() *index.RowSet {
 		s := index.NewRowSet(p.numEntities)
 		for _, v := range values {
 			s.AddAll(p.EntityRowsWithValue(v))
@@ -365,11 +372,17 @@ func (p *BasicProperty) EntityRowsInRange(lo, hi float64) []int {
 // neither needs the row-order re-sort the []int index path paid.
 // Memoized; do not mutate the returned set.
 func (p *BasicProperty) EntityRowSetInRange(lo, hi float64) *index.RowSet {
+	return p.EntityRowSetInRangeT(lo, hi, trace.Span{})
+}
+
+// EntityRowSetInRangeT is EntityRowSetInRange with cache events
+// attributed to sp.
+func (p *BasicProperty) EntityRowSetInRangeT(lo, hi float64, sp trace.Span) *index.RowSet {
 	if p.Kind != Numeric || p.sorted == nil {
 		return index.NewRowSet(0)
 	}
 	key := SelKey{Prop: p, Lo: lo, Hi: hi}
-	return p.cache.RowSet(key, func() *index.RowSet {
+	return p.cache.RowSetT(key, sp, func() *index.RowSet {
 		s := index.NewRowSet(p.numEntities)
 		if k := p.sorted.CountRange(lo, hi); p.numIdx != nil && k*4 < p.numEntities {
 			p.numIdx.AddRangeToSet(lo, hi, s)
@@ -595,8 +608,14 @@ func (p *DerivedProperty) EntityRowsWithStrength(v string, theta int) []int {
 // EntityRowSetWithStrength is the bitset form of EntityRowsWithStrength.
 // Memoized; do not mutate the returned set.
 func (p *DerivedProperty) EntityRowSetWithStrength(v string, theta int) *index.RowSet {
+	return p.EntityRowSetWithStrengthT(v, theta, trace.Span{})
+}
+
+// EntityRowSetWithStrengthT is EntityRowSetWithStrength with cache
+// events attributed to sp.
+func (p *DerivedProperty) EntityRowSetWithStrengthT(v string, theta int, sp trace.Span) *index.RowSet {
 	key := SelKey{Prop: p, Value: v, Theta: theta}
-	return p.cache.RowSet(key, func() *index.RowSet {
+	return p.cache.RowSetT(key, sp, func() *index.RowSet {
 		s := index.NewRowSet(p.numEntities)
 		code, ok := p.LookupCode(v)
 		if !ok {
@@ -622,12 +641,18 @@ func (p *DerivedProperty) EntityRowsWithNormStrength(v string, thetaN float64, d
 // EntityRowSetWithNormStrength is the bitset form of
 // EntityRowsWithNormStrength. Memoized; do not mutate the returned set.
 func (p *DerivedProperty) EntityRowSetWithNormStrength(v string, thetaN float64, degree *DerivedProperty) *index.RowSet {
+	return p.EntityRowSetWithNormStrengthT(v, thetaN, degree, trace.Span{})
+}
+
+// EntityRowSetWithNormStrengthT is EntityRowSetWithNormStrength with
+// cache events attributed to sp.
+func (p *DerivedProperty) EntityRowSetWithNormStrengthT(v string, thetaN float64, degree *DerivedProperty, sp trace.Span) *index.RowSet {
 	if degree == nil {
 		// No denominator: nothing satisfies a normalized threshold.
 		return index.NewRowSet(0)
 	}
 	key := SelKey{Prop: p, Value: v, Lo: thetaN, Theta: -1}
-	return p.cache.RowSet(key, func() *index.RowSet {
+	return p.cache.RowSetT(key, sp, func() *index.RowSet {
 		s := index.NewRowSet(p.numEntities)
 		code, ok := p.LookupCode(v)
 		if !ok {

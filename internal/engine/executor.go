@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"squid/internal/index"
 	"squid/internal/relation"
+	"squid/internal/trace"
 )
 
 // Executor runs logical queries against a database using hash joins with
@@ -60,8 +62,16 @@ func (e *Executor) ExecuteCtx(ctx context.Context, q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, sub := range q.Intersect {
-		subRes, err := e.ExecuteCtx(ctx, sub)
+	sp := trace.SpanFrom(ctx)
+	for i, sub := range q.Intersect {
+		// Each intersect branch executes under its own stage span, so its
+		// scan/join stages nest there instead of mixing with the parent's.
+		isp := trace.Span{}
+		if sp.Active() {
+			isp = sp.Child(trace.PhaseStage, "intersect:"+strconv.Itoa(i))
+		}
+		subRes, err := e.ExecuteCtx(trace.NewContext(ctx, isp), sub)
+		isp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +117,12 @@ func (e *Executor) executeNoIntersect(ctx context.Context, q *Query) (*Result, e
 	// Seed the intermediate result with the anchor relation's surviving rows.
 	// Intermediate tuples are row indexes, one per joined relation
 	// (position matches q.From order; -1 = not joined yet).
+	sp := trace.SpanFrom(ctx)
 	anchor := q.From[0]
+	ss := trace.Span{}
+	if sp.Active() {
+		ss = sp.Child(trace.PhaseStage, "scan:"+anchor)
+	}
 	var tuples [][]int
 	for _, row := range e.filterRows(rels[0], predsByRel[anchor]) {
 		t := make([]int, len(q.From))
@@ -117,6 +132,8 @@ func (e *Executor) executeNoIntersect(ctx context.Context, q *Query) (*Result, e
 		t[0] = row
 		tuples = append(tuples, t)
 	}
+	ss.Add(trace.CounterRows, int64(len(tuples)))
+	ss.End()
 	joined := map[string]bool{anchor: true}
 	pendingJoins := append([]Join(nil), q.Joins...)
 
@@ -142,8 +159,15 @@ func (e *Executor) executeNoIntersect(ctx context.Context, q *Query) (*Result, e
 				return nil, fmt.Errorf("engine: join references %q which is not in FROM", newRel)
 			}
 			opos := relPos[oldRel]
+			js := trace.Span{}
+			if sp.Active() {
+				// FROM relations are unique, so join labels are too.
+				js = sp.Child(trace.PhaseStage, "join:"+newRel)
+			}
 			var err error
 			tuples, err = e.hashJoin(ctx, tuples, opos, rels[opos], oldCol, npos, rels[npos], newCol, predsByRel[newRel])
+			js.Add(trace.CounterRows, int64(len(tuples)))
+			js.End()
 			if err != nil {
 				return nil, err
 			}
@@ -159,42 +183,55 @@ func (e *Executor) executeNoIntersect(ctx context.Context, q *Query) (*Result, e
 
 	// Apply any join conditions between already-joined relations
 	// (cycles in the join graph).
-	for _, j := range pendingJoins {
-		lpos, ok := relPos[j.LeftRel]
-		if !ok {
-			return nil, fmt.Errorf("engine: join references %q which is not in FROM", j.LeftRel)
-		}
-		rpos, ok := relPos[j.RightRel]
-		if !ok {
-			return nil, fmt.Errorf("engine: join references %q which is not in FROM", j.RightRel)
-		}
-		lcol, rcol := rels[lpos].Column(j.LeftCol), rels[rpos].Column(j.RightCol)
-		if lcol == nil || rcol == nil {
-			return nil, fmt.Errorf("engine: join on unknown column %s", j)
-		}
-		out := tuples[:0]
-		for i, t := range tuples {
-			if i%ctxCheckRows == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, fmt.Errorf("engine: %w", err)
+	if len(pendingJoins) > 0 {
+		cs := sp.Child(trace.PhaseStage, "cycle-join")
+		for _, j := range pendingJoins {
+			lpos, ok := relPos[j.LeftRel]
+			if !ok {
+				cs.End()
+				return nil, fmt.Errorf("engine: join references %q which is not in FROM", j.LeftRel)
+			}
+			rpos, ok := relPos[j.RightRel]
+			if !ok {
+				cs.End()
+				return nil, fmt.Errorf("engine: join references %q which is not in FROM", j.RightRel)
+			}
+			lcol, rcol := rels[lpos].Column(j.LeftCol), rels[rpos].Column(j.RightCol)
+			if lcol == nil || rcol == nil {
+				cs.End()
+				return nil, fmt.Errorf("engine: join on unknown column %s", j)
+			}
+			out := tuples[:0]
+			for i, t := range tuples {
+				if i%ctxCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						cs.End()
+						return nil, fmt.Errorf("engine: %w", err)
+					}
+				}
+				if lcol.Get(t[lpos]).Equal(rcol.Get(t[rpos])) {
+					out = append(out, t)
 				}
 			}
-			if lcol.Get(t[lpos]).Equal(rcol.Get(t[rpos])) {
-				out = append(out, t)
-			}
+			tuples = out
 		}
-		tuples = out
+		cs.Add(trace.CounterRows, int64(len(tuples)))
+		cs.End()
 	}
 
 	if q.HasAggregation() {
+		gs := sp.Child(trace.PhaseStage, "aggregate")
 		var err error
 		tuples, err = e.aggregate(ctx, q, relPos, rels, tuples)
+		gs.Add(trace.CounterRows, int64(len(tuples)))
+		gs.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	// Project.
+	ps := sp.Child(trace.PhaseStage, "project")
 	res := &Result{}
 	type proj struct {
 		pos int
@@ -204,10 +241,12 @@ func (e *Executor) executeNoIntersect(ctx context.Context, q *Query) (*Result, e
 	for i, s := range q.Select {
 		pos, ok := relPos[s.Rel]
 		if !ok {
+			ps.End()
 			return nil, fmt.Errorf("engine: SELECT references %q which is not in FROM", s.Rel)
 		}
 		col := rels[pos].Column(s.Col)
 		if col == nil {
+			ps.End()
 			return nil, fmt.Errorf("engine: SELECT on unknown column %s", s)
 		}
 		projs[i] = proj{pos, col}
@@ -224,6 +263,8 @@ func (e *Executor) executeNoIntersect(ctx context.Context, q *Query) (*Result, e
 	if q.Distinct {
 		res.distinct()
 	}
+	ps.Add(trace.CounterRows, int64(len(res.Rows)))
+	ps.End()
 	return res, nil
 }
 

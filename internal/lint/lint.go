@@ -15,6 +15,7 @@
 //     visible (syncrename),
 //   - per-relation writer locks are acquired in sorted-name order
 //     (lockorder),
+//   - a span begun with Root/Child is End()ed or handed off (spanend),
 //
 // plus two hygiene passes: struct-copies of lock-bearing types
 // (mutexcopy — the classic epoch-struct foot-gun, including
@@ -73,6 +74,7 @@ func Analyzers() []*Analyzer {
 		analyzerLockOrder(),
 		analyzerMutexCopy(),
 		analyzerUnusedExport(),
+		analyzerSpanEnd(),
 	}
 }
 

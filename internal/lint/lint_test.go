@@ -173,6 +173,10 @@ func TestMutexCopyFixture(t *testing.T) {
 	checkFixture(t, "mutexcopy", "fixtures/mutexcopy", []string{"mutexcopy"})
 }
 
+func TestSpanEndFixture(t *testing.T) {
+	checkFixture(t, "spanend", "fixtures/spanend", []string{"spanend"})
+}
+
 // The unusedexport fixture must live under a synthetic internal/ path:
 // the analyzer only polices internal/ packages.
 func TestUnusedExportFixture(t *testing.T) {
@@ -201,7 +205,7 @@ func TestModuleClean(t *testing.T) {
 // comma-separated names; the README table lists them in this order).
 func TestAnalyzerNamesStable(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	const want = "epochmutate,rowsetalias,ctxpoll,syncrename,lockorder,mutexcopy,unusedexport"
+	const want = "epochmutate,rowsetalias,ctxpoll,syncrename,lockorder,mutexcopy,unusedexport,spanend"
 	if got != want {
 		t.Fatalf("AnalyzerNames() = %s, want %s", got, want)
 	}

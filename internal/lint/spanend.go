@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// tracePkgPath is the module path of the span recorder the spanend
+// analyzer polices.
+const tracePkgPath = "squid/internal/trace"
+
+// analyzerSpanEnd enforces the tracing contract's bookkeeping half: a
+// span begun with Recorder.Root or Span.Child must be End()ed in the
+// function that began it, or handed off (passed to a call, returned,
+// stored) so another owner can end it. A begun-and-dropped span leaves
+// its slot open in the recorder forever: the trace renders with a zero
+// duration and the phase histograms silently under-count that phase.
+func analyzerSpanEnd() *Analyzer {
+	return &Analyzer{
+		Name: "spanend",
+		Doc:  "a span begun with Root/Child must be End()ed in its function or handed off to a new owner",
+		Run:  runSpanEnd,
+	}
+}
+
+// spanBegin is one `x := ....Root(...)` / `x := ....Child(...)` site.
+type spanBegin struct {
+	name   *ast.Ident
+	method string
+}
+
+func runSpanEnd(prog *Program, pkg *Package, report func(ast.Node, string)) {
+	for _, fd := range pkg.funcDecls() {
+		if fd.Body == nil {
+			continue
+		}
+
+		// Collect the spans this function begins: short variable
+		// declarations whose single RHS is a Root/Child call yielding
+		// trace.Span. (Spans landing in pre-declared variables or struct
+		// fields already have an owner outside this function's scope.)
+		var begins []spanBegin
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel := methodCall(call)
+			if sel == nil || (sel.Sel.Name != "Root" && sel.Sel.Name != "Child") {
+				return true
+			}
+			if !isNamedType(pkg.typeOf(call), tracePkgPath, "Span") {
+				return true
+			}
+			name, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || name.Name == "_" {
+				return true
+			}
+			if pkg.Info.Defs[name] != nil {
+				begins = append(begins, spanBegin{name: name, method: sel.Sel.Name})
+			}
+			return true
+		})
+
+		for _, b := range begins {
+			obj := pkg.Info.Defs[b.name]
+
+			// Classify every use of the span variable. A use as the
+			// receiver of a method call (x.End(), x.Add(...), x.Child(...))
+			// keeps ownership here; any other use — call argument,
+			// return value, right-hand side of an assignment, composite
+			// literal element, channel send — hands the span off.
+			ended := false
+			escaped := false
+			receiverUses := map[*ast.Ident]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel := methodCall(call)
+				if sel == nil {
+					return true
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok || pkg.Info.Uses[id] != obj {
+					return true
+				}
+				receiverUses[id] = true
+				if sel.Sel.Name == "End" {
+					ended = true
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || pkg.Info.Uses[id] != obj {
+					return true
+				}
+				if !receiverUses[id] {
+					escaped = true
+				}
+				return true
+			})
+
+			if !ended && !escaped {
+				report(b.name, fmt.Sprintf("span %q begun with %s is never End()ed and never handed off — its recorder slot stays open and the trace under-counts this phase", b.name.Name, b.method))
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Fixture for the spanend analyzer: a span begun with Root/Child must
+// be End()ed in the function that began it, or handed off to a new
+// owner; beginning a span and dropping it leaves its recorder slot
+// open forever.
+package spanend
+
+import (
+	"context"
+
+	"squid/internal/trace"
+)
+
+// --- positive cases ---
+
+func droppedRoot(rec *trace.Recorder) {
+	root := rec.Root(trace.PhaseDiscover, "") // want "span \"root\" begun with Root is never End\\(\\)ed"
+	root.Add(trace.CounterRows, 1)
+}
+
+func droppedChild(parent trace.Span) {
+	sub := parent.Child(trace.PhaseResolve, "x") // want "span \"sub\" begun with Child is never End\\(\\)ed"
+	_ = sub.Active()
+}
+
+// --- negative cases ---
+
+func endedDirect(rec *trace.Recorder) {
+	root := rec.Root(trace.PhaseDiscover, "")
+	root.End()
+}
+
+func endedDeferred(parent trace.Span) {
+	sub := parent.Child(trace.PhaseResolve, "")
+	defer sub.End()
+	sub.Add(trace.CounterRows, 1)
+}
+
+// Handing the span to a callee transfers the End obligation.
+func escapesAsArgument(ctx context.Context, parent trace.Span) context.Context {
+	sub := parent.Child(trace.PhaseAbduce, "")
+	return trace.NewContext(ctx, sub)
+}
+
+// Returning the span makes the caller the owner.
+func escapesAsReturn(parent trace.Span) trace.Span {
+	sub := parent.Child(trace.PhaseRows, "")
+	return sub
+}
+
+// Storing the span gives it an owner beyond this frame.
+type spanHolder struct{ sp trace.Span }
+
+func escapesIntoStruct(parent trace.Span) *spanHolder {
+	sub := parent.Child(trace.PhaseExecute, "")
+	return &spanHolder{sp: sub}
+}
+
+// The blank identifier is an explicit discard, not a leak site.
+func discarded(parent trace.Span) {
+	_ = parent.Child(trace.PhaseResolve, "")
+}
+
+// Spans landing in pre-declared variables already have owners outside
+// the begin statement; only := definitions are tracked.
+func preDeclared(parent trace.Span) {
+	var sub trace.Span
+	sub = parent.Child(trace.PhaseResolve, "")
+	_ = sub
+}
+
+// A declared-then-suppressed exception keeps the diff honest.
+func knownException(rec *trace.Recorder) {
+	//lint:ignore spanend fixture exercises a declared exception
+	orphan := rec.Root(trace.PhaseDiscover, "")
+	orphan.Add(trace.CounterRows, 1)
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"squid/internal/buildinfo"
 	"squid/internal/wal"
 )
 
@@ -50,6 +51,9 @@ type metrics struct {
 	requests map[string]uint64            // "route\x00code" → count
 	latency  map[string]*latencyHistogram // route → histogram
 
+	phaseMu sync.Mutex
+	phase   map[string]*latencyHistogram // discovery phase → histogram
+
 	httpInFlight   atomic.Int64 // requests currently being served
 	shedTotal      atomic.Uint64
 	snapshotTotal  atomic.Uint64
@@ -83,7 +87,23 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[string]uint64),
 		latency:  make(map[string]*latencyHistogram),
+		phase:    make(map[string]*latencyHistogram),
 	}
+}
+
+// observePhase lands one discovery's leaf-phase duration in the phase's
+// histogram (squid_discover_phase_seconds). Phases materialize on first
+// observation, so the scrape lists exactly the phases real traffic
+// exercised.
+func (m *metrics) observePhase(phase string, seconds float64) {
+	m.phaseMu.Lock()
+	h := m.phase[phase]
+	if h == nil {
+		h = newLatencyHistogram()
+		m.phase[phase] = h
+	}
+	m.phaseMu.Unlock()
+	h.observe(seconds)
 }
 
 func (m *metrics) record(route string, code int, seconds float64) {
@@ -114,6 +134,12 @@ func (m *metrics) render(w *strings.Builder, live liveGauges) {
 		routeKeys = append(routeKeys, k)
 	}
 	sort.Strings(routeKeys)
+
+	bi := buildinfo.Get()
+	fmt.Fprintf(w, "# HELP squid_build_info Build identity of the running binary (the value is always 1; the labels carry the information).\n")
+	fmt.Fprintf(w, "# TYPE squid_build_info gauge\n")
+	fmt.Fprintf(w, "squid_build_info{go_version=%q,version=%q,revision=%q,modified=%q} 1\n",
+		bi.GoVersion, bi.Version, bi.Revision, strconv.FormatBool(bi.Modified))
 
 	fmt.Fprintf(w, "# HELP squid_http_requests_total HTTP requests served, by route and status code.\n")
 	fmt.Fprintf(w, "# TYPE squid_http_requests_total counter\n")
@@ -229,17 +255,41 @@ func (m *metrics) render(w *strings.Builder, live liveGauges) {
 		m.mu.Lock()
 		h := m.latency[route]
 		m.mu.Unlock()
-		h.mu.Lock()
-		var cum uint64
-		for i, ub := range latencyBuckets {
-			cum += h.buckets[i]
-			fmt.Fprintf(w, "squid_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
-				route, strconv.FormatFloat(ub, 'g', -1, 64), cum)
-		}
-		cum += h.buckets[len(latencyBuckets)]
-		fmt.Fprintf(w, "squid_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
-		fmt.Fprintf(w, "squid_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
-		fmt.Fprintf(w, "squid_request_duration_seconds_count{route=%q} %d\n", route, h.count)
-		h.mu.Unlock()
+		renderHistogram(w, "squid_request_duration_seconds", "route", route, h)
 	}
+
+	m.phaseMu.Lock()
+	phaseKeys := make([]string, 0, len(m.phase))
+	for k := range m.phase {
+		phaseKeys = append(phaseKeys, k)
+	}
+	m.phaseMu.Unlock()
+	sort.Strings(phaseKeys)
+	if len(phaseKeys) > 0 {
+		fmt.Fprintf(w, "# HELP squid_discover_phase_seconds Discovery latency by pipeline phase (leaf spans of the request trace; phases partition the request on the serial path).\n")
+		fmt.Fprintf(w, "# TYPE squid_discover_phase_seconds histogram\n")
+		for _, phase := range phaseKeys {
+			m.phaseMu.Lock()
+			h := m.phase[phase]
+			m.phaseMu.Unlock()
+			renderHistogram(w, "squid_discover_phase_seconds", "phase", phase, h)
+		}
+	}
+}
+
+// renderHistogram writes one labeled histogram series in the cumulative
+// form the Prometheus exposition format expects.
+func renderHistogram(w *strings.Builder, name, label, value string, h *latencyHistogram) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += h.buckets[i]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+			name, label, value, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	cum += h.buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, h.sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.count)
 }

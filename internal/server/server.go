@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -17,6 +19,8 @@ import (
 	"time"
 
 	"squid"
+	"squid/internal/buildinfo"
+	"squid/internal/trace"
 	"squid/internal/wal"
 )
 
@@ -46,6 +50,15 @@ type Config struct {
 	// SnapshotInterval, when positive (and SnapshotPath is set), starts
 	// a background loop re-saving the snapshot every interval.
 	SnapshotInterval time.Duration
+	// Logger receives the server's structured log lines (nil =
+	// slog.Default()). cmd/squid-server wires a JSON or text handler
+	// behind -log-format.
+	Logger *slog.Logger
+	// SlowQueryThreshold marks request traces whose wall time reaches it
+	// as slow: they emit one structured warn line with the per-phase
+	// breakdown and surface under /debug/traces?slow=1
+	// (0 = 1s; negative = disabled).
+	SlowQueryThreshold time.Duration
 }
 
 // Server is the HTTP serving layer over one squid.System. Create it
@@ -58,7 +71,14 @@ type Server struct {
 	mux   *http.ServeMux
 	adm   *admission
 	met   *metrics
+	log   *slog.Logger
 	start time.Time
+
+	// reqPrefix + reqSeq mint the per-request ids: a random per-process
+	// prefix so ids from different server lives never collide, and a
+	// counter so one life's ids sort in arrival order.
+	reqPrefix string
+	reqSeq    atomic.Uint64
 
 	draining atomic.Bool
 
@@ -88,14 +108,27 @@ func New(sys *squid.System, cfg Config) *Server {
 	case cfg.RequestTimeout < 0:
 		cfg.RequestTimeout = 0
 	}
+	switch {
+	case cfg.SlowQueryThreshold == 0:
+		cfg.SlowQueryThreshold = time.Second
+	case cfg.SlowQueryThreshold < 0:
+		cfg.SlowQueryThreshold = 0 // disabled
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	var prefix [6]byte
+	_, _ = rand.Read(prefix[:])
 	s := &Server{
-		sys:      sys,
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		adm:      newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
-		met:      newMetrics(),
-		start:    time.Now(),
-		stopSnap: make(chan struct{}),
+		sys:       sys,
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		adm:       newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+		met:       newMetrics(),
+		log:       cfg.Logger,
+		start:     time.Now(),
+		reqPrefix: hex.EncodeToString(prefix[:]),
+		stopSnap:  make(chan struct{}),
 	}
 	s.route("POST /v1/discover", s.handleDiscover)
 	s.route("POST /v1/discover/batch", s.handleDiscoverBatch)
@@ -106,6 +139,7 @@ func New(sys *squid.System, cfg Config) *Server {
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /debug/traces", s.handleDebugTraces)
 
 	if cfg.SnapshotPath != "" && cfg.SnapshotInterval > 0 {
 		s.snapWG.Add(1)
@@ -117,24 +151,37 @@ func New(sys *squid.System, cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// route mounts an instrumented handler: every request is counted by
-// route and status code and its latency lands in the route's histogram.
-// A handler panic is contained here — logged with its stack, counted
-// (squid_panics_total), answered with 500 when nothing was written yet —
-// so one poisoned request can never take the process down. The
-// handler's own defers (admission release, context cancel) run during
-// the unwind before the recovery, so no slot leaks.
+// route mounts an instrumented handler: every request gets a request id
+// (minted here unless the client sent X-Request-Id, echoed back in the
+// X-Request-Id response header, and carried in the request context for
+// traces and log lines), is counted by route and status code, and its
+// latency lands in the route's histogram. A handler panic is contained
+// here — logged with its stack, counted (squid_panics_total), answered
+// with 500 when nothing was written yet — so one poisoned request can
+// never take the process down. The handler's own defers (admission
+// release, context cancel) run during the unwind before the recovery,
+// so no slot leaks.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	_, path, _ := strings.Cut(pattern, " ")
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.met.httpInFlight.Add(1)
 		defer s.met.httpInFlight.Add(-1)
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = s.reqPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		} else if len(rid) > maxRequestIDLen {
+			rid = rid[:maxRequestIDLen]
+		}
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.met.panicsTotal.Add(1)
-				log.Printf("squid-server: panic serving %s: %v\n%s", path, rec, debug.Stack())
+				s.log.Error("handler panic contained",
+					"route", path, "request_id", rid,
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 				if !sw.wrote {
 					writeJSON(sw, http.StatusInternalServerError, ErrorResponse{
 						Error: "internal server error", Code: "internal_error"})
@@ -148,6 +195,20 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		}()
 		h(sw, r)
 	})
+}
+
+// maxRequestIDLen caps client-supplied X-Request-Id values so a hostile
+// header cannot bloat every log line and trace that echoes it.
+const maxRequestIDLen = 128
+
+// requestIDKey carries the request id through the request context.
+type requestIDKey struct{}
+
+// requestIDFrom returns the request id minted (or accepted) by route,
+// or "" on a context that never passed through it.
+func requestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(requestIDKey{}).(string)
+	return rid
 }
 
 // statusWriter captures the response status code for metrics and
@@ -207,6 +268,9 @@ type DiscoverResponse struct {
 	Query      QueryJSON `json:"query"`
 	Explain    string    `json:"explain,omitempty"`
 	WallMS     float64   `json:"wall_ms"`
+	// Trace is the request's span tree, embedded when the client asked
+	// with ?trace=1.
+	Trace *trace.TraceJSON `json:"trace,omitempty"`
 }
 
 // BatchDiscoverRequest asks for many independent discoveries, fanned
@@ -265,25 +329,26 @@ type SnapshotResponse struct {
 // StatsResponse is the introspection surface: the Fig 18 αDB statistics
 // plus online-pipeline health.
 type StatsResponse struct {
-	Name             string    `json:"name"`
-	UptimeSec        float64   `json:"uptime_sec"`
-	DBBytes          int64     `json:"db_bytes"`
-	NumRelations     int       `json:"num_relations"`
-	PrecomputedBytes int64     `json:"precomputed_bytes"`
-	BuildMS          float64   `json:"build_ms"`
-	DerivedRelations int       `json:"derived_relations"`
-	DerivedRows      int       `json:"derived_rows"`
-	BasicProps       int       `json:"basic_props"`
-	DerivedProps     int       `json:"derived_props"`
-	HashIndexes      int       `json:"hash_indexes"`
-	SelCacheEntries  int       `json:"selcache_entries"`
-	SelCacheHits     uint64    `json:"selcache_hits"`
-	SelCacheMisses   uint64    `json:"selcache_misses"`
-	EpochSeq         uint64    `json:"epoch_seq"`
-	EpochAgeSec      float64   `json:"epoch_age_sec"`
-	EpochPublishes   uint64    `json:"epoch_publishes"`
-	EpochCombines    uint64    `json:"epoch_combines"`
-	RelationCards    []RelCard `json:"relation_cards"`
+	Name             string         `json:"name"`
+	Version          buildinfo.Info `json:"version"`
+	UptimeSec        float64        `json:"uptime_sec"`
+	DBBytes          int64          `json:"db_bytes"`
+	NumRelations     int            `json:"num_relations"`
+	PrecomputedBytes int64          `json:"precomputed_bytes"`
+	BuildMS          float64        `json:"build_ms"`
+	DerivedRelations int            `json:"derived_relations"`
+	DerivedRows      int            `json:"derived_rows"`
+	BasicProps       int            `json:"basic_props"`
+	DerivedProps     int            `json:"derived_props"`
+	HashIndexes      int            `json:"hash_indexes"`
+	SelCacheEntries  int            `json:"selcache_entries"`
+	SelCacheHits     uint64         `json:"selcache_hits"`
+	SelCacheMisses   uint64         `json:"selcache_misses"`
+	EpochSeq         uint64         `json:"epoch_seq"`
+	EpochAgeSec      float64        `json:"epoch_age_sec"`
+	EpochPublishes   uint64         `json:"epoch_publishes"`
+	EpochCombines    uint64         `json:"epoch_combines"`
+	RelationCards    []RelCard      `json:"relation_cards"`
 }
 
 // RelCard pairs a relation with its cardinality.
@@ -306,12 +371,59 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	defer s.adm.releaseAndObserve(start)
-	disc, err := s.sys.DiscoverContext(ctx, req.Examples)
+	rec := trace.NewRecorder(0)
+	root := rec.Root(trace.PhaseDiscover, "")
+	disc, err := s.sys.DiscoverContext(trace.NewContext(ctx, root), req.Examples)
+	root.End()
+	t := s.observeTrace(r, rec, "discover")
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.discoverResponse(disc, req.Explain, time.Since(start)))
+	resp := s.discoverResponse(disc, req.Explain, time.Since(start))
+	if wantTrace(r) {
+		resp.Trace = t.JSON()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wantTrace reports whether the client asked for the span tree in the
+// response (?trace=1). Tracing itself is always on — the recorder is
+// cheap and the ring wants every request — the flag only controls
+// response embedding.
+func wantTrace(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
+// observeTrace finalizes a request's recorder and lands the trace
+// everywhere the serving layer exposes it: the slow-query log line (when
+// the wall time reaches the threshold), the System's trace ring
+// (/debug/traces), and — for discoveries — the per-phase latency
+// histograms on /metrics. Call it after the request's work has joined
+// and before writing the response, so an embedded trace is final.
+func (s *Server) observeTrace(r *http.Request, rec *trace.Recorder, kind string) *trace.Trace {
+	t := rec.Finish(kind, requestIDFrom(r.Context()))
+	if th := s.cfg.SlowQueryThreshold; th > 0 && t.Wall >= th {
+		t.Slow = true
+		phases := make(map[string]float64)
+		for phase, d := range t.PhaseTotals() {
+			phases[phase] = msOf(d)
+		}
+		s.log.Warn("slow query",
+			"kind", kind,
+			"request_id", t.RequestID,
+			"wall_ms", msOf(t.Wall),
+			"threshold_ms", msOf(th),
+			"phase_ms", phases)
+	}
+	s.sys.Traces().Put(t)
+	if kind == "discover" {
+		for phase, d := range t.PhaseTotals() {
+			s.met.observePhase(phase, d.Seconds())
+		}
+	}
+	return t
 }
 
 func (s *Server) handleDiscoverBatch(w http.ResponseWriter, r *http.Request) {
@@ -360,7 +472,11 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	defer s.adm.releaseAndObserve(start)
-	res, err := s.sys.ExecuteContext(ctx, q)
+	rec := trace.NewRecorder(0)
+	root := rec.Root(trace.PhaseExecute, "")
+	res, err := s.sys.ExecuteContext(trace.NewContext(ctx, root), q)
+	root.End()
+	s.observeTrace(r, rec, "execute")
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -393,7 +509,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.applyInserts(w, []InsertRequest{req})
+	s.applyInserts(w, r, []InsertRequest{req})
 }
 
 func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
@@ -401,7 +517,7 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.applyInserts(w, req.Ops)
+	s.applyInserts(w, r, req.Ops)
 }
 
 // maxBatchOps caps the rows of one insert request: a batch builds one
@@ -411,11 +527,12 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 const maxBatchOps = 4096
 
 // applyInserts converts the wire rows against the live schema and
-// applies them through System.InsertBatch (one copy-on-write epoch per
-// batch). Schema validation reads the current epoch's combined
-// database — memoized per epoch, so resolving it per request is one
-// atomic load.
-func (s *Server) applyInserts(w http.ResponseWriter, rows []InsertRequest) {
+// applies them through System.InsertBatchContext (one copy-on-write
+// epoch per batch), tracing the lock wait, the apply, the publish, and
+// the WAL barrier under one insert root span. Schema validation reads
+// the current epoch's combined database — memoized per epoch, so
+// resolving it per request is one atomic load.
+func (s *Server) applyInserts(w http.ResponseWriter, r *http.Request, rows []InsertRequest) {
 	if len(rows) > maxBatchOps {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{
 			Error: fmt.Sprintf("batch of %d rows exceeds the %d-row cap; split it (each batch holds the write lock once)",
@@ -452,7 +569,13 @@ func (s *Server) applyInserts(w http.ResponseWriter, rows []InsertRequest) {
 		ops = append(ops, squid.InsertOp{Rel: row.Rel, Vals: vals})
 	}
 	start := time.Now()
-	if err := s.sys.InsertBatch(ops); err != nil {
+	rec := trace.NewRecorder(0)
+	root := rec.Root(trace.PhaseInsert, "")
+	root.Add(trace.CounterRows, int64(len(ops)))
+	err := s.sys.InsertBatchContext(trace.NewContext(r.Context(), root), ops)
+	root.End()
+	s.observeTrace(r, rec, "insert")
+	if err != nil {
 		if errors.Is(err, squid.ErrWALSync) {
 			// The rows are in memory but not durable, and the log refuses
 			// further writes: a server error, not the client's fault.
@@ -490,6 +613,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
 	resp := StatsResponse{
 		Name:             st.Name,
+		Version:          buildinfo.Get(),
 		UptimeSec:        time.Since(s.start).Seconds(),
 		DBBytes:          st.DBBytes,
 		NumRelations:     st.NumRelations,
@@ -554,6 +678,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// DebugTracesResponse is the GET /debug/traces answer: the most recent
+// request traces, newest first.
+type DebugTracesResponse struct {
+	// SlowQueryThresholdMS is the configured slow-query threshold
+	// (0 when disabled).
+	SlowQueryThresholdMS float64 `json:"slow_query_threshold_ms"`
+	// Total counts every trace recorded since boot, including those the
+	// ring has already overwritten.
+	Total uint64 `json:"total"`
+	// Traces holds the selected traces, newest first.
+	Traces []*trace.TraceJSON `json:"traces"`
+}
+
+// handleDebugTraces serves the trace ring: `?n=` caps how many recent
+// traces return (default 32), `?slow=1` keeps only traces past the
+// slow-query threshold. Reads are wait-free against in-flight writers —
+// the ring hands out immutable *Trace values.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	max := 32
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("bad n %q: want a positive integer", v), Code: "bad_request"})
+			return
+		}
+		max = n
+	}
+	slowOnly := q.Get("slow") == "1" || q.Get("slow") == "true"
+	ring := s.sys.Traces()
+	resp := DebugTracesResponse{
+		SlowQueryThresholdMS: msOf(s.cfg.SlowQueryThreshold),
+		Total:                ring.Total(),
+		Traces:               []*trace.TraceJSON{},
+	}
+	for _, t := range ring.Recent(max) {
+		if slowOnly && !t.Slow {
+			continue
+		}
+		resp.Traces = append(resp.Traces, t.JSON())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- shared plumbing --------------------------------------------------
@@ -702,7 +871,7 @@ func (s *Server) SaveSnapshot() (int64, error) {
 		// only now is it safe to discard. Failure is non-fatal: the
 		// segment is re-discarded by the next successful checkpoint.
 		if err := l.EndCheckpoint(); err != nil {
-			log.Printf("squid-server: wal checkpoint cleanup: %v", err)
+			s.log.Warn("wal checkpoint cleanup failed", "err", err)
 		}
 	}
 	s.met.snapshotTotal.Add(1)
@@ -726,7 +895,7 @@ func (s *Server) snapshotLoop() {
 		case <-t.C:
 			if _, err := s.SaveSnapshot(); err != nil {
 				s.met.snapshotFailed.Add(1)
-				log.Printf("squid-server: periodic snapshot failed: %v", err)
+				s.log.Error("periodic snapshot failed", "err", err)
 			}
 		case <-s.stopSnap:
 			return

@@ -1,0 +1,67 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a fixed-size lock-free buffer of finished traces: the
+// System-wide store `GET /debug/traces` reads. Writers claim a slot
+// with one atomic increment and publish the trace with one atomic
+// pointer store — no locks, no allocation beyond the trace itself —
+// so recording a finished trace never backpressures the serving path.
+// A reader may miss a trace that is being overwritten concurrently;
+// the ring is a diagnostic window, not a durable log.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	n     atomic.Uint64
+}
+
+// NewRing creates a ring holding the most recent `size` traces
+// (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], size)}
+}
+
+// Put publishes a finished trace, overwriting the oldest slot once the
+// ring has wrapped. Nil traces are ignored.
+func (g *Ring) Put(t *Trace) {
+	if g == nil || t == nil {
+		return
+	}
+	i := g.n.Add(1) - 1
+	g.slots[i%uint64(len(g.slots))].Store(t)
+}
+
+// Total returns the number of traces ever published.
+func (g *Ring) Total() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}
+
+// Recent returns up to max traces, newest first. max <= 0 means the
+// whole ring.
+func (g *Ring) Recent(max int) []*Trace {
+	if g == nil {
+		return nil
+	}
+	size := len(g.slots)
+	if max <= 0 || max > size {
+		max = size
+	}
+	head := g.n.Load()
+	out := make([]*Trace, 0, max)
+	for k := 0; k < size && len(out) < max; k++ {
+		if head < uint64(k)+1 {
+			break
+		}
+		// Walk backwards from the most recently claimed slot.
+		idx := (head - 1 - uint64(k)) % uint64(size)
+		if t := g.slots[idx].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -84,6 +84,7 @@ import (
 	"squid/internal/relation"
 	"squid/internal/snapshot"
 	"squid/internal/sqlgen"
+	"squid/internal/trace"
 	"squid/internal/wal"
 )
 
@@ -216,6 +217,27 @@ type System struct {
 	// and provides the durability barrier the insert paths wait on.
 	// Set via AttachWAL/RecoverWAL before the System is shared.
 	wal *wal.Log
+
+	// traces is the fixed-size lock-free ring of finished request
+	// traces (lazily created; see Traces). Recording into it is
+	// wait-free and never backpressures the serving path.
+	tracesOnce sync.Once
+	traces     *trace.Ring
+}
+
+// traceRingSize is how many finished request traces the System retains
+// for GET /debug/traces: enough recent history to diagnose a latency
+// spike, small enough that the ring's footprint is negligible.
+const traceRingSize = 128
+
+// Traces returns the System's trace ring: the store of the most recent
+// finished request traces. The serving layer publishes every traced
+// request's spans here (and the slow-query view reads from it); library
+// users can Put recorder output of their own. Lazily created, safe for
+// concurrent use.
+func (s *System) Traces() *trace.Ring {
+	s.tracesOnce.Do(func() { s.traces = trace.NewRing(traceRingSize) })
+	return s.traces
 }
 
 // Build runs the offline phase: it constructs the abduction-ready
@@ -551,6 +573,24 @@ func (s *System) InsertBatch(ops []InsertOp) error {
 	return s.walBarrier()
 }
 
+// InsertBatchContext is InsertBatch with trace attribution: when ctx
+// carries a trace span (trace.NewContext), the lock wait, the
+// copy-on-write apply, the epoch publish with its WAL append, and the
+// WAL durability barrier each record a typed child span. ctx is used
+// only for the span — an insert batch is not abortable mid-apply
+// (append-only maintenance has no rollback), so cancellation is not
+// consulted. Without a span it behaves exactly like InsertBatch.
+func (s *System) InsertBatchContext(ctx context.Context, ops []InsertOp) error {
+	sp := trace.SpanFrom(ctx)
+	if err := s.alpha.InsertBatchT(ops, sp); err != nil {
+		return err
+	}
+	bs := sp.Child(trace.PhaseWALBarrier, "")
+	err := s.walBarrier()
+	bs.End()
+	return err
+}
+
 // SetBatchWorkers bounds the DiscoverBatch worker pool; n ≤ 0 restores
 // the default (GOMAXPROCS). Not synchronized: call before sharing the
 // System across goroutines.
@@ -653,7 +693,11 @@ func (s *System) discoverCtx(ctx context.Context, examples []string, resolver ab
 	// reads relation columns for OutputValues and SQL rendering): the
 	// whole read path — example resolution, statistics, output rows —
 	// answers from this immutable state, wait-free.
-	results, err := abduction.DiscoverCtx(ctx, s.alpha.Snapshot(), examples, s.params, resolver)
+	ep := s.alpha.Snapshot()
+	// A traced discovery records which epoch it pinned: latency
+	// attribution needs to know what state the request ran against.
+	trace.SpanFrom(ctx).Add(trace.CounterEpochSeq, int64(ep.Seq()))
+	results, err := abduction.DiscoverCtx(ctx, ep, examples, s.params, resolver)
 	if err != nil {
 		return nil, fmt.Errorf("squid: %w", err)
 	}

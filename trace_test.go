@@ -1,0 +1,124 @@
+package squid
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"squid/internal/trace"
+)
+
+var traceExamples = []string{"Dan Suciu", "Sam Madden", "Joseph Hellerstein"}
+
+// TestDiscoverUntracedAddsNoAllocs pins the tracing contract's "disabled
+// is free" half at the Discover level: threading a context that never
+// saw a recorder (or saw only the zero Span, which NewContext drops)
+// through the whole pipeline allocates exactly as much as the plain
+// path — the instrumentation is inert without a recorder.
+func TestDiscoverUntracedAddsNoAllocs(t *testing.T) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the selectivity cache and every lazy structure first, so the
+	// two measurements see identical state.
+	for i := 0; i < 3; i++ {
+		if _, err := sys.DiscoverContext(ctx, traceExamples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain := testing.AllocsPerRun(50, func() {
+		if _, err := sys.DiscoverContext(ctx, traceExamples); err != nil {
+			t.Fatal(err)
+		}
+	})
+	zeroSpan := testing.AllocsPerRun(50, func() {
+		tctx := trace.NewContext(ctx, trace.Span{})
+		if _, err := sys.DiscoverContext(tctx, traceExamples); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if zeroSpan != plain {
+		t.Errorf("zero-span context costs %.1f allocs/op, plain context %.1f: disabled tracing is not free", zeroSpan, plain)
+	}
+}
+
+// TestTraceStructureDeterministicAcrossWorkers pins the tracing
+// contract's determinism half: the duration-free span structure (phase
+// names, nesting, labels, counters) of a traced discovery is
+// byte-identical at every Params.Workers setting. Each worker count
+// gets a fresh system, so cache counters start from the same state.
+//
+// The fixture's example set resolves to a single candidate base query;
+// with one candidate, no two worker units can race the same
+// selectivity-cache key, so even the hit/miss counters are
+// scheduling-independent.
+func TestTraceStructureDeterministicAcrossWorkers(t *testing.T) {
+	structureAt := func(workers int) string {
+		sys, err := Build(academicsDB(), DefaultBuildConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := sys.Params()
+		p.Workers = workers
+		sys.SetParams(p)
+		rec := trace.NewRecorder(0)
+		root := rec.Root(trace.PhaseDiscover, "")
+		ctx := trace.NewContext(context.Background(), root)
+		if _, err := sys.DiscoverContext(ctx, traceExamples); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		tr := rec.Finish("discover", "")
+		if tr.Dropped != 0 {
+			t.Fatalf("workers=%d dropped %d spans", workers, tr.Dropped)
+		}
+		return tr.Structure()
+	}
+
+	serial := structureAt(1)
+	if !strings.Contains(serial, "candidate academics.name") {
+		t.Fatalf("serial structure missing the single candidate span:\n%s", serial)
+	}
+	if n := strings.Count(serial, "candidate "); n != 1 {
+		t.Fatalf("fixture resolved to %d candidates, the determinism check needs exactly 1:\n%s", n, serial)
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := structureAt(w); got != serial {
+			t.Errorf("workers=%d span structure diverges from serial:\n--- serial ---\n%s--- workers=%d ---\n%s", w, serial, w, got)
+		}
+	}
+}
+
+// BenchmarkDiscoveryTracing measures the span recorder's cost on one
+// end-to-end discovery: the disabled arm is the BenchmarkDiscovery
+// baseline path (no recorder), the enabled arm pays one recorder
+// allocation plus wait-free span begins per request.
+func BenchmarkDiscoveryTracing(b *testing.B) {
+	sys, err := Build(academicsDB(), DefaultBuildConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.DiscoverContext(ctx, traceExamples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := trace.NewRecorder(0)
+			root := rec.Root(trace.PhaseDiscover, "")
+			if _, err := sys.DiscoverContext(trace.NewContext(ctx, root), traceExamples); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+			rec.Finish("discover", "")
+		}
+	})
+}
