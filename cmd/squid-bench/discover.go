@@ -10,8 +10,8 @@ import (
 	"time"
 
 	"squid"
-	"squid/internal/datagen"
 	"squid/internal/experiments"
+	"squid/internal/index"
 	"squid/internal/trace"
 )
 
@@ -48,6 +48,25 @@ type DiscoverResult struct {
 	SerialPhaseP50MS map[string]float64 `json:"serial_phase_p50_ms"`
 	// SerialPhaseP50SumMS is the sum of SerialPhaseP50MS.
 	SerialPhaseP50SumMS float64 `json:"serial_phase_p50_sum_ms"`
+
+	// Scale-track surfaces (never omitted — CI asserts their presence):
+	// cold-cache serial latency with every row set forced into the
+	// pre-adaptive dense-only representation (the A/B baseline the
+	// adaptive form must not lose to), and the warm selectivity cache's
+	// row-set memory under both accountings. The identity check also
+	// covers the dense-only arm, so these numbers always describe
+	// byte-identical output.
+	DenseP50MS         float64 `json:"dense_p50_ms"`
+	DenseVsAdaptiveP50 float64 `json:"dense_vs_adaptive_p50"`
+	// RowSetResidentBytes is what the warm cache's sets actually occupy;
+	// RowSetDenseBytes is what the same sets would occupy dense-only.
+	RowSetResidentBytes int64   `json:"rowset_resident_bytes"`
+	RowSetDenseBytes    int64   `json:"rowset_dense_bytes"`
+	RowSetSavings       float64 `json:"rowset_savings_ratio"`
+	// Form composition of the warm cache (how many sets adapted sparse
+	// vs stayed dense) — the context for reading RowSetSavings.
+	RowSetSparseSets int `json:"rowset_sparse_sets"`
+	RowSetDenseSets  int `json:"rowset_dense_sets"`
 }
 
 // discoverWorkerArms returns the worker counts to measure: 1, 2, 4, and
@@ -100,34 +119,32 @@ func discoverFingerprint(sys *squid.System, examples []string) string {
 // serial-vs-parallel speedup. Before timing, it verifies that every
 // worker count produces byte-identical output to the serial path and
 // fails loudly otherwise.
-func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
+func runDiscoverExperiment(sc experiments.Scale, scale, fixture, jsonPath string) error {
 	report := Report{
 		Scale:     scale,
 		GoVersion: runtime.Version(),
 		GOMAXPROC: runtime.GOMAXPROCS(0),
 		UnixTime:  time.Now().Unix(),
 	}
-	g := datagen.GenerateIMDb(sc.IMDb)
-	sys, err := squid.Build(g.DB, squid.DefaultBuildConfig())
+	wl, err := setupWorkload(sc, scale, fixture)
 	if err != nil {
 		return err
 	}
-	sets, err := imdbExampleSets(g, sys)
-	if err != nil {
-		return err
-	}
+	sys, sets := wl.sys, wl.sets
 	if len(sets) == 0 {
 		return fmt.Errorf("discover: no example sets")
 	}
 	arms := discoverWorkerArms()
 	runs := 3
-	if scale == "test" {
+	if scale == "test" || scale == "gen1m" {
 		runs = 2
 	}
 	cache := sys.AlphaDB().SelectivityCache()
 
 	// Byte-identity check first: every arm must reproduce the serial
-	// fingerprint of every set exactly.
+	// fingerprint of every set exactly — across worker counts AND across
+	// the row-set representation change (the dense-only baseline must
+	// produce the same bytes the adaptive form does).
 	identical := true
 	reference := make([]string, len(sets))
 	setDiscoverWorkers(sys, 1)
@@ -143,14 +160,25 @@ func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
 			}
 		}
 	}
+	setDiscoverWorkers(sys, 1)
+	index.SetDenseOnly(true)
+	cache.Invalidate() // adaptive sets must not serve the dense-only arm
+	for i, ex := range sets {
+		if fp := discoverFingerprint(sys, ex); fp != reference[i] {
+			identical = false
+			fmt.Printf("OUTPUT MISMATCH: set %d under dense-only row sets diverges from adaptive\n", i)
+		}
+	}
+	index.SetDenseOnly(false)
+	cache.Invalidate()
 	if !identical {
 		// Keep going so the report records the failure, but make the
 		// run's exit status reflect it.
-		err = fmt.Errorf("discover: parallel output not byte-identical to serial")
+		err = fmt.Errorf("discover: output not byte-identical across workers/representations")
 	}
 
 	res := DiscoverResult{
-		Dataset:         "imdb",
+		Dataset:         wl.dataset,
 		Sets:            len(sets),
 		RunsPerArm:      runs,
 		OutputIdentical: identical,
@@ -210,6 +238,43 @@ func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
 		res.ParallelSpeedupP50 = serial.P50MS / parallel.P50MS
 	}
 
+	// Dense-only A/B arm: the same cold-cache serial measurement with
+	// every row set forced into the pre-adaptive dense representation.
+	// The adaptive form must hold p50 at or below this baseline while
+	// spending a fraction of the memory.
+	index.SetDenseOnly(true)
+	setDiscoverWorkers(sys, 1)
+	var denseLats []time.Duration
+	for run := 0; run < runs; run++ {
+		for _, ex := range sets {
+			cache.Invalidate()
+			t0 := time.Now()
+			_, _ = sys.Discover(ex)
+			denseLats = append(denseLats, time.Since(t0))
+		}
+	}
+	index.SetDenseOnly(false)
+	res.DenseP50MS = percentileMS(denseLats, 0.50)
+	if res.SerialP50MS > 0 {
+		res.DenseVsAdaptiveP50 = res.DenseP50MS / res.SerialP50MS
+	}
+
+	// Warm-cache row-set memory: drop the dense-only sets, then fill the
+	// cache with one pass over every set (no invalidation between — the
+	// serving steady state) and read both accountings off the same sets.
+	cache.Invalidate()
+	for _, ex := range sets {
+		_, _ = sys.Discover(ex)
+	}
+	st := sys.Stats()
+	res.RowSetResidentBytes = st.SelCacheRowSetBytes
+	res.RowSetDenseBytes = st.SelCacheDenseBytes
+	res.RowSetSparseSets = st.SelCacheSparseSets
+	res.RowSetDenseSets = st.SelCacheDenseSets
+	if res.RowSetResidentBytes > 0 {
+		res.RowSetSavings = float64(res.RowSetDenseBytes) / float64(res.RowSetResidentBytes)
+	}
+
 	// Recover the exact serial run percentileMS reported as p50 and
 	// attach its phase breakdown; the same trace becomes the sample
 	// artifact CI uploads.
@@ -239,6 +304,11 @@ func runDiscoverExperiment(sc experiments.Scale, scale, jsonPath string) error {
 	}
 	fmt.Printf("  parallel speedup (p50, %d workers vs serial): %.2fx; output identical: %v\n",
 		res.ParallelWorkers, res.ParallelSpeedupP50, res.OutputIdentical)
+	fmt.Printf("  dense-only baseline p50 %.2fms (%.2fx vs adaptive serial)\n",
+		res.DenseP50MS, res.DenseVsAdaptiveP50)
+	fmt.Printf("  cached row sets: %s resident, %s dense-equivalent (%.1fx savings; %d sparse, %d dense)\n",
+		humanBytes(res.RowSetResidentBytes), humanBytes(res.RowSetDenseBytes), res.RowSetSavings,
+		res.RowSetSparseSets, res.RowSetDenseSets)
 	if len(res.SerialPhaseP50MS) > 0 {
 		phases := make([]string, 0, len(res.SerialPhaseP50MS))
 		for p := range res.SerialPhaseP50MS {

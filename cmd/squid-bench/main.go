@@ -36,8 +36,17 @@
 // latency with a cold selectivity cache across worker counts
 // (1/2/4/GOMAXPROCS via Params.Workers), reports p50/p99 per arm and
 // the serial-vs-parallel speedup, and verifies the parallel output is
-// byte-identical to serial. Its JSON report is the committed
-// BENCH_discover.json baseline CI compares against.
+// byte-identical to serial. It also runs a dense-only A/B arm (every
+// row set forced into the pre-adaptive bitset representation) and
+// reports the warm cache's row-set memory under both accountings. Its
+// JSON report is the committed BENCH_discover.json baseline CI
+// compares against.
+//
+// The discover and mixed experiments also run against the generated
+// scale track (-scale gen100k or gen1m): the squid-gen retail schema
+// at ~100k/~1M rows, with -fixture pointing at a snapshot to load (or
+// to create on first run). The gen1m report is the committed
+// BENCH_scale.json million-row baseline.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the CPU
 // profile covers the whole process; the heap profile is taken post-GC
@@ -145,7 +154,8 @@ type Report struct {
 func main() {
 	var (
 		exp        = flag.String("exp", "", "experiment id to run (see -list), or \"all\"")
-		scale      = flag.String("scale", "full", "dataset scale: full or test")
+		scale      = flag.String("scale", "full", "dataset scale: full, test, gen100k, or gen1m")
+		fixture    = flag.String("fixture", "", "gen scales: snapshot fixture (.sqas) to load, or to generate when absent")
 		list       = flag.Bool("list", false, "list available experiments")
 		jsonPath   = flag.String("json", "", "write a machine-readable timing report to this path (\"-\" = stdout)")
 		conc       = flag.Int("conc", 0, "serve experiment: concurrent HTTP clients (0 = 2x GOMAXPROCS)")
@@ -176,7 +186,7 @@ func main() {
 		}
 		cpuFile = f
 	}
-	code := run(*exp, *scale, *list, *jsonPath, *conc, *duration)
+	code := run(*exp, *scale, *fixture, *list, *jsonPath, *conc, *duration)
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
 		cpuFile.Close()
@@ -208,7 +218,7 @@ func writeHeapProfile(path string) error {
 
 // run dispatches the selected experiment and returns the process exit
 // code (0 ok, 1 failure, 2 usage).
-func run(exp, scale string, list bool, jsonPath string, conc int, duration time.Duration) int {
+func run(exp, scale, fixture string, list bool, jsonPath string, conc int, duration time.Duration) int {
 	if list || exp == "" {
 		fmt.Println("available experiments:")
 		for _, r := range experiments.Registry() {
@@ -226,16 +236,23 @@ func run(exp, scale string, list bool, jsonPath string, conc int, duration time.
 	}
 
 	var sc experiments.Scale
-	switch scale {
-	case "full":
+	switch {
+	case scale == "full":
 		sc = experiments.FullScale()
-	case "test":
+	case scale == "test":
 		sc = experiments.TestScale()
+	case isGenScale(scale):
+		// Generated (squid-gen) scales exist for the discover and mixed
+		// experiments; the paper experiments are bound to the IMDb/DBLP
+		// schemas.
+		if exp != "discover" && exp != "mixed" {
+			fmt.Fprintf(os.Stderr, "scale %q supports only -exp discover and -exp mixed\n", scale)
+			return 2
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or test)\n", scale)
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full, test, gen100k, or gen1m)\n", scale)
 		return 2
 	}
-	suite := experiments.NewSuite(sc)
 
 	fail := func(err error) int {
 		if err != nil {
@@ -248,12 +265,13 @@ func run(exp, scale string, list bool, jsonPath string, conc int, duration time.
 	case "build", "build-vs-load":
 		return fail(runBuildExperiment(sc, scale, jsonPath))
 	case "mixed":
-		return fail(runMixedExperiment(sc, scale, jsonPath))
+		return fail(runMixedExperiment(sc, scale, fixture, jsonPath))
 	case "serve":
 		return fail(runServeExperiment(sc, scale, jsonPath, conc, duration))
 	case "discover":
-		return fail(runDiscoverExperiment(sc, scale, jsonPath))
+		return fail(runDiscoverExperiment(sc, scale, fixture, jsonPath))
 	}
+	suite := experiments.NewSuite(sc)
 
 	if jsonPath != "" {
 		return fail(runJSON(suite, scale, exp, jsonPath))
@@ -531,22 +549,18 @@ func measureBuild(name string, db *squid.Database) (BuildResult, error) {
 // latency p50/p99, the epoch publish/combine counters, and the
 // selectivity-cache health — per-property invalidation keeps the hit
 // rate up while the fact table grows.
-func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
+func runMixedExperiment(sc experiments.Scale, scale, fixture, jsonPath string) error {
 	report := Report{
 		Scale:     scale,
 		GoVersion: runtime.Version(),
 		GOMAXPROC: runtime.GOMAXPROCS(0),
 		UnixTime:  time.Now().Unix(),
 	}
-	g := datagen.GenerateIMDb(sc.IMDb)
-	sys, err := squid.Build(g.DB, squid.DefaultBuildConfig())
+	w, err := setupWorkload(sc, scale, fixture)
 	if err != nil {
 		return err
 	}
-	sets, err := imdbExampleSets(g, sys)
-	if err != nil {
-		return err
-	}
+	sys, sets := w.sys, w.sets
 	if len(sets) == 0 {
 		return fmt.Errorf("mixed: no example sets")
 	}
@@ -556,13 +570,11 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 		readers = 1
 	}
 	const batchRows = 64
-	const entityWriters = 2 // person + movie: disjoint write domains
+	const entityWriters = 2 // two disjoint entity write domains
 	insertRows := 8192
 	if scale == "test" {
 		insertRows = 1024
 	}
-	numPersons := g.DB.Relation("person").NumRows()
-	numMovies := g.DB.Relation("movie").NumRows()
 
 	var discoveries atomic.Int64
 	var writerDone atomic.Bool
@@ -603,8 +615,8 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 			}
 		}(r)
 	}
-	// Writer 0: the fact-ingest workload (castinfo batches, with
-	// occasional brand-new person entities the facts reference).
+	// Writer 0: the fact-ingest workload (fact batches, with occasional
+	// brand-new primary entities the facts reference).
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -612,38 +624,29 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 			writerWall = time.Since(start)
 			writerDone.Store(true)
 		}()
-		nextPersonID := int64(10_000_000) // clear of every generated id
+		nextEntityID := int64(10_000_000) // clear of every generated id
 		for off := 0; off < insertRows; off += batchRows {
 			n := insertRows - off
 			if n > batchRows {
 				n = batchRows
 			}
 			ops := make([]squid.InsertOp, 0, n+1)
-			if (off/batchRows)%8 == 0 {
-				// Every eighth batch also ingests a brand-new person the
+			injected := (off/batchRows)%8 == 0
+			if injected {
+				// Every eighth batch also ingests a brand-new entity the
 				// following facts reference.
-				ops = append(ops, squid.InsertOp{Rel: "person", Vals: []squid.Value{
-					squid.IntVal(nextPersonID),
-					squid.StringVal(fmt.Sprintf("Ingested Person %d", nextPersonID)),
-					squid.StringVal("Female"),
-					squid.IntVal(1980),
-					squid.IntVal(0),
-				}})
+				ops = append(ops, w.mixed.newEntity(nextEntityID))
 			}
 			for k := 0; k < n; k++ {
 				i := off + k
-				pid := int64(i % numPersons)
-				if len(ops) > 0 && ops[0].Rel == "person" && k%16 == 0 {
-					pid = nextPersonID
+				pid := int64(i % w.mixed.numPrimary)
+				if injected && k%16 == 0 {
+					pid = nextEntityID
 				}
-				ops = append(ops, squid.InsertOp{Rel: "castinfo", Vals: []squid.Value{
-					squid.IntVal(pid),
-					squid.IntVal(int64((i * 7) % numMovies)),
-					squid.IntVal(0),
-				}})
+				ops = append(ops, w.mixed.fact(i, pid))
 			}
-			if (off/batchRows)%8 == 0 {
-				nextPersonID++
+			if injected {
+				nextEntityID++
 			}
 			t0 := time.Now()
 			if err := sys.InsertBatch(ops); err != nil {
@@ -654,49 +657,33 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 		}
 	}()
 	// Writers 1..: disjoint-relation entity ingest, running until the
-	// fact writer finishes. The person and movie writers have disjoint
+	// fact writer finishes. The two entity writers (person+movie for
+	// IMDb, customer+product for the generated scales) have disjoint
 	// write domains, so THEY build epochs in parallel and exercise the
-	// publish combiner against each other; the castinfo fact writer's
-	// domain covers both entities (its rows reference them), so it
-	// serializes with either entity writer — epoch_combines therefore
-	// counts entity-vs-entity combines.
-	for w := 0; w < entityWriters; w++ {
+	// publish combiner against each other; the fact writer's domain
+	// covers both entities (its rows reference them), so it serializes
+	// with either entity writer — epoch_combines therefore counts
+	// entity-vs-entity combines.
+	for ew := 0; ew < entityWriters; ew++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(ew int) {
 			defer wg.Done()
-			id := int64(20_000_000 + w*1_000_000)
+			id := int64(20_000_000 + ew*1_000_000)
 			for batch := 0; !writerDone.Load(); batch++ {
 				ops := make([]squid.InsertOp, 0, batchRows/4)
 				for k := 0; k < batchRows/4; k++ {
-					if w%2 == 0 {
-						ops = append(ops, squid.InsertOp{Rel: "person", Vals: []squid.Value{
-							squid.IntVal(id),
-							squid.StringVal(fmt.Sprintf("Disjoint Person %d", id)),
-							squid.StringVal("Male"),
-							squid.IntVal(1975),
-							squid.IntVal(0),
-						}})
-					} else {
-						ops = append(ops, squid.InsertOp{Rel: "movie", Vals: []squid.Value{
-							squid.IntVal(id),
-							squid.StringVal(fmt.Sprintf("Disjoint Movie %d", id)),
-							squid.IntVal(1999),
-							squid.StringVal("1990s"),
-							squid.StringVal("PG-13"),
-							squid.IntVal(0),
-						}})
-					}
+					ops = append(ops, w.mixed.entity[ew%2](id))
 					id++
 				}
 				t0 := time.Now()
 				if err := sys.InsertBatch(ops); err != nil {
-					writerErrs[1+w] = err
+					writerErrs[1+ew] = err
 					return
 				}
-				publishLat[1+w] = append(publishLat[1+w], time.Since(t0))
-				entityRows[w] += len(ops)
+				publishLat[1+ew] = append(publishLat[1+ew], time.Since(t0))
+				entityRows[ew] += len(ops)
 			}
-		}(w)
+		}(ew)
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -722,7 +709,7 @@ func runMixedExperiment(sc experiments.Scale, scale, jsonPath string) error {
 	}
 	stats := sys.Stats()
 	res := MixedResult{
-		Dataset:          "imdb",
+		Dataset:          w.dataset,
 		Readers:          readers,
 		Writers:          1 + entityWriters,
 		WallMS:           msOf(wall),

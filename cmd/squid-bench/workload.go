@@ -1,0 +1,212 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"squid"
+	"squid/internal/datagen"
+	"squid/internal/experiments"
+)
+
+// mixedSchema adapts the mixed read/write experiment's writer
+// goroutines to a dataset schema: how to mint a fresh primary entity,
+// how to phrase a fact row, and the two disjoint-domain entity writers
+// that exercise the epoch combiner against each other.
+type mixedSchema struct {
+	// numPrimary is the modulo base for a fact's default primary-entity
+	// reference (persons for IMDb, customers for the generated scales).
+	numPrimary int
+	// newEntity mints the primary entity the fact writer occasionally
+	// ingests ahead of facts that reference it.
+	newEntity func(id int64) squid.InsertOp
+	// fact phrases fact row i referencing primary-entity pid.
+	fact func(i int, pid int64) squid.InsertOp
+	// entity are the two disjoint-relation entity writers.
+	entity [2]func(id int64) squid.InsertOp
+}
+
+// benchWorkload bundles a dataset for the discover and mixed
+// experiments: the built system, the example sets, and the mixed
+// experiment's schema adapters.
+type benchWorkload struct {
+	dataset string
+	sys     *squid.System
+	sets    [][]string
+	mixed   mixedSchema
+}
+
+// isGenScale reports whether scale names a generated (squid-gen)
+// dataset scale.
+func isGenScale(scale string) bool {
+	_, ok := datagen.GenScaleConfig(scale)
+	return ok
+}
+
+// setupWorkload builds the dataset for the discover and mixed
+// experiments: the IMDb generator for full/test scales, the
+// schema-aware generator for gen100k/gen1m — loading the fixture
+// snapshot when it exists, generating (and saving it, when a path is
+// given) otherwise.
+func setupWorkload(sc experiments.Scale, scale, fixture string) (*benchWorkload, error) {
+	if !isGenScale(scale) {
+		return setupIMDbWorkload(sc)
+	}
+	return setupGenWorkload(scale, fixture)
+}
+
+func setupIMDbWorkload(sc experiments.Scale) (*benchWorkload, error) {
+	g := datagen.GenerateIMDb(sc.IMDb)
+	sys, err := squid.Build(g.DB, squid.DefaultBuildConfig())
+	if err != nil {
+		return nil, err
+	}
+	sets, err := imdbExampleSets(g, sys)
+	if err != nil {
+		return nil, err
+	}
+	numPersons := g.DB.Relation("person").NumRows()
+	numMovies := g.DB.Relation("movie").NumRows()
+	return &benchWorkload{
+		dataset: "imdb",
+		sys:     sys,
+		sets:    sets,
+		mixed: mixedSchema{
+			numPrimary: numPersons,
+			newEntity: func(id int64) squid.InsertOp {
+				return squid.InsertOp{Rel: "person", Vals: []squid.Value{
+					squid.IntVal(id),
+					squid.StringVal(fmt.Sprintf("Ingested Person %d", id)),
+					squid.StringVal("Female"),
+					squid.IntVal(1980),
+					squid.IntVal(0),
+				}}
+			},
+			fact: func(i int, pid int64) squid.InsertOp {
+				return squid.InsertOp{Rel: "castinfo", Vals: []squid.Value{
+					squid.IntVal(pid),
+					squid.IntVal(int64((i * 7) % numMovies)),
+					squid.IntVal(0),
+				}}
+			},
+			entity: [2]func(id int64) squid.InsertOp{
+				func(id int64) squid.InsertOp {
+					return squid.InsertOp{Rel: "person", Vals: []squid.Value{
+						squid.IntVal(id),
+						squid.StringVal(fmt.Sprintf("Disjoint Person %d", id)),
+						squid.StringVal("Male"),
+						squid.IntVal(1975),
+						squid.IntVal(0),
+					}}
+				},
+				func(id int64) squid.InsertOp {
+					return squid.InsertOp{Rel: "movie", Vals: []squid.Value{
+						squid.IntVal(id),
+						squid.StringVal(fmt.Sprintf("Disjoint Movie %d", id)),
+						squid.IntVal(1999),
+						squid.StringVal("1990s"),
+						squid.StringVal("PG-13"),
+						squid.IntVal(0),
+					}}
+				},
+			},
+		},
+	}, nil
+}
+
+func setupGenWorkload(scale, fixture string) (*benchWorkload, error) {
+	cfg, _ := datagen.GenScaleConfig(scale)
+	var sys *squid.System
+	if fixture != "" {
+		if f, err := os.Open(fixture); err == nil {
+			loaded, lerr := squid.Load(f)
+			f.Close()
+			if lerr != nil {
+				return nil, fmt.Errorf("fixture %s: %w", fixture, lerr)
+			}
+			sys = loaded
+			fmt.Fprintf(os.Stderr, "squid-bench: loaded %s fixture %s\n", scale, fixture)
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	if sys == nil {
+		g := datagen.GenerateGen(cfg)
+		built, err := squid.Build(g.DB, squid.DefaultBuildConfig())
+		if err != nil {
+			return nil, err
+		}
+		sys = built
+		if fixture != "" {
+			f, err := os.Create(fixture)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Save(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("fixture %s: %w", fixture, err)
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "squid-bench: wrote %s fixture %s\n", scale, fixture)
+		}
+	}
+	// A fixture generated at another scale or seed would silently skew
+	// every number; the example sets are derived from the config, so the
+	// entity cardinalities must match exactly.
+	db := sys.AlphaDB().Snapshot().DB
+	for _, rel := range []string{"customer", "product", "purchase"} {
+		if db.Relation(rel) == nil {
+			return nil, fmt.Errorf("fixture %s: relation %q missing (not a squid-gen snapshot?)", fixture, rel)
+		}
+	}
+	if got := db.Relation("customer").NumRows(); got != cfg.NumCustomers {
+		return nil, fmt.Errorf("fixture %s: %d customers, scale %s wants %d (regenerate with squid-gen)",
+			fixture, got, scale, cfg.NumCustomers)
+	}
+	numProducts := db.Relation("product").NumRows()
+	return &benchWorkload{
+		dataset: scale,
+		sys:     sys,
+		sets:    datagen.GenExampleSets(cfg),
+		mixed: mixedSchema{
+			numPrimary: cfg.NumCustomers,
+			newEntity: func(id int64) squid.InsertOp {
+				return squid.InsertOp{Rel: "customer", Vals: []squid.Value{
+					squid.IntVal(id),
+					squid.StringVal(fmt.Sprintf("Ingested Customer %d", id)),
+					squid.IntVal(35),
+					squid.IntVal(0),
+					squid.IntVal(0),
+				}}
+			},
+			fact: func(i int, pid int64) squid.InsertOp {
+				return squid.InsertOp{Rel: "purchase", Vals: []squid.Value{
+					squid.IntVal(pid),
+					squid.IntVal(int64((i * 7) % numProducts)),
+					squid.IntVal(0),
+				}}
+			},
+			entity: [2]func(id int64) squid.InsertOp{
+				func(id int64) squid.InsertOp {
+					return squid.InsertOp{Rel: "customer", Vals: []squid.Value{
+						squid.IntVal(id),
+						squid.StringVal(fmt.Sprintf("Disjoint Customer %d", id)),
+						squid.IntVal(40),
+						squid.IntVal(0),
+						squid.IntVal(0),
+					}}
+				},
+				func(id int64) squid.InsertOp {
+					return squid.InsertOp{Rel: "product", Vals: []squid.Value{
+						squid.IntVal(id),
+						squid.StringVal(fmt.Sprintf("Disjoint Product %d", id)),
+						squid.FloatVal(19.99),
+						squid.IntVal(0),
+					}}
+				},
+			},
+		},
+	}, nil
+}

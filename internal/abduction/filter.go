@@ -230,10 +230,14 @@ func (f *Filter) degreeOf(row int) float64 {
 // IntersectRows intersects the satisfying-row sets of all filters,
 // starting from the full entity relation; it returns the output rows of
 // the abduced query Qϕ (used to measure precision/recall without a full
-// engine round trip). Each filter's row set is a dense bitset from the
-// αDB cache, so the intersection is a cascade of word-parallel ANDs —
-// O(n/64) per filter over n entity rows — seeded by the most selective
-// filter and aborted the moment the accumulator empties.
+// engine round trip). Each filter's row set is an adaptive RowSet from
+// the αDB cache. The cascade is seeded by cloning the most selective
+// filter's set — a clone preserves the form, so a highly-selective
+// sparse seed stays sparse the whole way down: ANDing against the
+// remaining sets gallops (sparse×sparse) or bitmap-probes
+// (sparse×dense) per member instead of scanning the universe's words,
+// and never allocates a bitset. Aborted the moment the accumulator
+// empties.
 func IntersectRows(info *adb.EntityInfo, filters []*Filter) []int {
 	if len(filters) == 0 {
 		all := make([]int, info.NumRows)

@@ -33,8 +33,10 @@ type SelKey struct {
 // O(1)/O(log n) statistic (disjunctions, numeric ranges, normalized
 // derived thresholds), so concurrent batches of similar intents cost
 // one map read instead of a posting walk per repeated filter. Row sets
-// are stored as dense index.RowSet bitsets — one bit per entity row,
-// word-parallel intersection downstream. Cached sets are shared —
+// are stored as adaptive index.RowSets — sorted-array form for the
+// highly-selective sets abduction favors (a few bytes per member even
+// over million-row universes), bitset form for the dense ones, with
+// form-aware intersection downstream. Cached sets are shared —
 // callers must treat them as immutable, exactly like the αDB posting
 // lists they memoize, and Clone before mutating.
 //
@@ -128,6 +130,9 @@ func (c *SelCache) RowSetT(key SelKey, sp trace.Span, compute func() *index.RowS
 	c.misses.Add(1)
 	sp.Add(trace.CounterCacheMisses, 1)
 	set = compute()
+	// The stored set is frozen from here on; drop the append-growth
+	// slack it accumulated while being computed.
+	set.Compact()
 	c.mu.Lock()
 	// Store only under a live identity: a retired property (its epoch
 	// already superseded) must not re-enter the cache after its sweep.
@@ -217,6 +222,60 @@ func (c *SelCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.rows)
+}
+
+// RowSetBytes reports the resident heap bytes of every cached row set
+// and what the same sets would occupy as dense-only bitsets — the
+// memory half of the million-row scale track (the adaptive sparse form
+// keeps highly-selective cached sets at a few bytes per member instead
+// of one bit per universe row).
+func (c *SelCache) RowSetBytes() (resident, denseEquivalent int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, s := range c.rows {
+		resident += s.ResidentBytes()
+		denseEquivalent += s.DenseEquivalentBytes()
+	}
+	return resident, denseEquivalent
+}
+
+// RowSetForms reports how many cached row sets are live in each
+// physical form — the composition behind the RowSetBytes numbers (a
+// savings ratio near 1.0x with many dense entries means the workload's
+// cached filters genuinely are dense, not that adaptation failed).
+func (c *SelCache) RowSetForms() (sparse, dense int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, s := range c.rows {
+		if s.Form() == "dense" {
+			dense++
+		} else {
+			sparse++
+		}
+	}
+	return sparse, dense
+}
+
+// Range calls fn for every cached entry under the read lock, stopping
+// when fn returns false — the inspection surface for diagnostics and
+// tests (fn must not mutate the sets it is handed).
+func (c *SelCache) Range(fn func(SelKey, *index.RowSet) bool) {
+	if c == nil {
+		return
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k, s := range c.rows {
+		if !fn(k, s) {
+			return
+		}
+	}
 }
 
 // Metrics reports cumulative hit/miss counts (monitoring surface for

@@ -28,6 +28,16 @@ type Stats struct {
 	SelCacheEntries int
 	SelCacheHits    uint64
 	SelCacheMisses  uint64
+	// Cached-row-set memory: resident bytes under the adaptive
+	// sparse/dense representation, and what the same sets would cost as
+	// dense-only bitsets (the scale track's memory baseline).
+	SelCacheRowSetBytes int64
+	SelCacheDenseBytes  int64
+	// Form composition of the cached sets (diagnoses a savings ratio
+	// near 1.0x: many dense entries mean the cached filters genuinely
+	// are dense, not that adaptation failed).
+	SelCacheSparseSets int
+	SelCacheDenseSets  int
 
 	// Epoch-chain health: the pinned epoch's sequence number and age,
 	// plus the cumulative publish/combine counters (a combine is a
@@ -93,6 +103,8 @@ func (a *Epoch) ComputeStats() Stats {
 	s.NumHashIndexes = a.Indexes.NumIndexes()
 	s.SelCacheEntries = a.selCache.Len()
 	s.SelCacheHits, s.SelCacheMisses = a.selCache.Metrics()
+	s.SelCacheRowSetBytes, s.SelCacheDenseBytes = a.selCache.RowSetBytes()
+	s.SelCacheSparseSets, s.SelCacheDenseSets = a.selCache.RowSetForms()
 	return s
 }
 
@@ -109,6 +121,9 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "  Hash indexes         %d\n", s.NumHashIndexes)
 	fmt.Fprintf(&b, "  Selectivity cache    %d entries (%d hits, %d misses)\n",
 		s.SelCacheEntries, s.SelCacheHits, s.SelCacheMisses)
+	fmt.Fprintf(&b, "  Cached row sets      %s resident (dense-only would be %s; %d sparse, %d dense)\n",
+		humanBytes(s.SelCacheRowSetBytes), humanBytes(s.SelCacheDenseBytes),
+		s.SelCacheSparseSets, s.SelCacheDenseSets)
 	for _, rc := range s.RelationCards {
 		fmt.Fprintf(&b, "  Rel. Card.           %-14s %d\n", rc.Relation, rc.Rows)
 	}

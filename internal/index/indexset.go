@@ -450,18 +450,17 @@ func (n *NumericRows) RowsInRange(lo, hi float64) []int {
 }
 
 // AddRangeToSet adds every row whose value lies in [lo, hi] to the set.
-// Unlike RowsInRange it needs no output sort: bitset insertion order is
-// irrelevant, so the index path stays O(log n + k) with no O(k log k)
-// tail.
+// The rows ride the value order, so they reach the set unsorted; the
+// bulk AddAll absorbs that in one sort instead of a per-row insertion
+// shuffle in the sparse form (and plain bit-sets in the dense form), so
+// the index path stays O(log n + k log k) with no O(k²) tail.
 func (n *NumericRows) AddRangeToSet(lo, hi float64, s *RowSet) {
 	if hi < lo || len(n.vals) == 0 {
 		return
 	}
 	from := searchFloat(n.vals, lo)
 	to := searchFloatAfter(n.vals, hi)
-	for _, row := range n.rows[from:to] {
-		s.Add(row)
-	}
+	s.AddAll(n.rows[from:to])
 }
 
 // CountRange returns |{rows : lo ≤ value ≤ hi}| in O(log n).

@@ -1,46 +1,223 @@
 package index
 
-import "math/bits"
+import (
+	"math/bits"
+	"slices"
+	"sort"
+)
 
-// RowSet is a dense bitset over entity rows: bit r set means row r is in
-// the set. It replaces sorted-[]int posting merges on the abduction hot
-// path with word-parallel algebra — an intersection of two sets over n
-// rows costs O(n/64) word ANDs instead of an O(n·k) merge cascade, and a
-// cached set costs one bit per entity row instead of one machine word
-// per member (~8x smaller at realistic selectivities).
+// RowSet is an adaptive set over entity rows with two physical forms,
+// chosen per set by cardinality (the hybrid used by Roaring-style
+// engines):
+//
+//   - sparse: a sorted, duplicate-free []uint32 of member rows, used
+//     while the cardinality stays at or below roughly two members per
+//     64-row word of the set's span — the byte break-even, where the
+//     4-byte-per-member array matches the 8-byte words it replaces;
+//   - dense: a []uint64 bitset (bit r set means row r is in the set),
+//     used above that threshold, where word-parallel algebra wins.
+//
+// The algebra is form-aware: sparse×sparse intersects by galloping
+// (exponential-search) merge, sparse×dense probes the bitmap per member,
+// dense×dense runs the word-wise loop. Mutations adapt the form
+// automatically — a set densifies when it outgrows the sparse threshold
+// and sparsifies (releasing the large bitset) when an intersection
+// empties it out, so a once-large set does not stay large forever. At
+// million-row universes this is the difference between every cached
+// highly-selective filter costing ~125 KB and it costing a few dozen
+// bytes, and between AndWith scanning ~15.6k words and it galloping
+// through a handful of members.
 //
 // The zero value is an empty set. A RowSet is NOT safe for concurrent
 // mutation; the αDB selectivity cache hands out sets that are immutable
 // once stored (exactly like the posting lists they memoize), so readers
-// must treat cached sets as frozen and Clone before mutating.
+// must treat cached sets as frozen and Clone before mutating. To keep
+// frozen sets safe for concurrent readers, the read-only methods
+// (Contains/Count/Iterate/ToSorted/ResidentBytes/...) never touch the
+// representation: every mutating method restores the sparse
+// sorted-unique invariant before it returns.
 type RowSet struct {
-	words []uint64
+	// Exactly one form is live: words non-nil means dense; otherwise
+	// the set is sparse (possibly empty).
+	words  []uint64
+	sparse []uint32
+	// hintWords records the word span of the universe the set was
+	// created for (0 when unknown). It is pure accounting: the
+	// pre-adaptive representation allocated the full universe bitset up
+	// front, so DenseEquivalentBytes uses the hint to report what the
+	// same set cost before the adaptive form — never what it holds.
+	hintWords int
 }
 
-// NewRowSet returns an empty set pre-sized for rows in [0, universe).
-// Add still grows the set past the universe if needed.
-func NewRowSet(universe int) *RowSet {
-	if universe < 0 {
-		universe = 0
+// denseOnly forces every set into the dense form (no sparsification),
+// reproducing the pre-adaptive representation exactly. It exists for
+// A/B benchmarking (squid-bench's dense baseline arm) and for parity
+// tests; it is a plain package variable, so it must only be flipped
+// while no RowSet is being mutated on another goroutine — experiment
+// setup, not request time.
+var denseOnly bool
+
+// SetDenseOnly toggles the dense-only debug mode and returns the
+// previous value. See denseOnly for the (single-threaded) contract.
+func SetDenseOnly(v bool) bool {
+	prev := denseOnly
+	denseOnly = v
+	return prev
+}
+
+// sparseLimit returns the largest sparse cardinality for a set spanning
+// the given number of 64-row words: two members per word — the byte
+// break-even where the 4-byte-per-member array matches the bitset it
+// replaces (and galloping still beats the word loop comfortably). The
+// floor keeps small sets from flip-flopping between forms on every
+// mutation.
+func sparseLimit(words int) int {
+	const floor = 16
+	if 2*words < floor {
+		return floor
 	}
-	return &RowSet{words: make([]uint64, (universe+63)/64)}
+	return 2 * words
+}
+
+// spanWords returns the number of words needed to cover the set's
+// current span (0 for an empty set).
+func (s *RowSet) spanWords() int {
+	if s.words != nil {
+		return len(s.words)
+	}
+	if n := len(s.sparse); n > 0 {
+		return int(s.sparse[n-1])>>6 + 1
+	}
+	return 0
+}
+
+// NewRowSet returns an empty set for rows in [0, universe). The universe
+// only bounds expectations — Add still grows the set past it — and an
+// adaptive set starts sparse regardless, so the parameter no longer
+// pre-allocates storage; it is kept as the accounting hint
+// DenseEquivalentBytes reports against. Under denseOnly the full
+// universe bitset is allocated up front, exactly as the pre-adaptive
+// representation did.
+func NewRowSet(universe int) *RowSet {
+	w := (universe + 63) >> 6
+	if denseOnly {
+		return &RowSet{words: make([]uint64, w), hintWords: w}
+	}
+	return &RowSet{hintWords: w}
 }
 
 // RowSetFromSorted builds a set from an ascending row list (the αDB
 // posting-list format). Unsorted or duplicate input still produces the
-// correct set; only the pre-sizing assumes ascending order.
+// correct set: the build sorts and deduplicates as needed and sizes the
+// dense form off the true maximum, not the last element.
 func RowSetFromSorted(rows []int) *RowSet {
 	s := &RowSet{}
-	if n := len(rows); n > 0 && rows[n-1] >= 0 {
-		s.words = make([]uint64, rows[n-1]>>6+1)
+	if len(rows) == 0 {
+		return s
 	}
+	sp := make([]uint32, 0, len(rows))
+	sorted := true
 	for _, r := range rows {
-		s.Add(r)
+		if r < 0 {
+			continue
+		}
+		if len(sp) > 0 && uint32(r) < sp[len(sp)-1] {
+			sorted = false
+		}
+		sp = append(sp, uint32(r))
 	}
+	if !sorted {
+		slices.Sort(sp)
+	}
+	s.sparse = dedupSorted(sp)
+	s.maybeDensify()
 	return s
 }
 
-// grow extends the word storage to cover word index w.
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(sp []uint32) []uint32 {
+	out := sp[:0]
+	for i, v := range sp {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// maybeDensify flips a sparse set to the dense form when it exceeds the
+// sparse threshold for its span (always, under denseOnly).
+func (s *RowSet) maybeDensify() {
+	if s.words != nil {
+		return
+	}
+	w := s.spanWords()
+	if !denseOnly && len(s.sparse) <= sparseLimit(w) {
+		return
+	}
+	if w == 0 {
+		if !denseOnly {
+			return
+		}
+		s.words = []uint64{}
+	} else {
+		s.words = make([]uint64, w)
+	}
+	for _, r := range s.sparse {
+		s.words[r>>6] |= 1 << (r & 63)
+	}
+	s.sparse = nil
+}
+
+// maybeSparsify flips a dense set whose cardinality dropped to half the
+// sparse threshold back to the sparse form, releasing the bitset — the
+// storage-shrink half of the adaptive contract. count must be the set's
+// exact cardinality. Hysteresis (limit/2, not limit) keeps a set sitting
+// at the boundary from thrashing between forms.
+func (s *RowSet) maybeSparsify(count int) {
+	if denseOnly || s.words == nil {
+		return
+	}
+	if count > sparseLimit(len(s.words))/2 {
+		return
+	}
+	s.sparsify(count)
+}
+
+// sparsify unconditionally converts a dense set of the given exact
+// cardinality to the sparse form, releasing the bitset.
+func (s *RowSet) sparsify(count int) {
+	if count == 0 {
+		s.words, s.sparse = nil, nil
+		return
+	}
+	sp := make([]uint32, 0, count)
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			sp = append(sp, uint32(wi<<6|b))
+			w &= w - 1
+		}
+	}
+	s.words, s.sparse = nil, sp
+}
+
+// trimWords drops trailing all-zero words so a shrunken dense set's span
+// reflects what it still holds, and reallocates when less than half the
+// capacity remains live — a once-large set must not stay large forever.
+func (s *RowSet) trimWords() {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	if n*2 < cap(s.words) {
+		s.words = append(make([]uint64, 0, n), s.words[:n]...)
+		return
+	}
+	s.words = s.words[:n]
+}
+
+// grow extends the dense word storage to cover word index w.
 func (s *RowSet) grow(w int) {
 	if w >= len(s.words) {
 		s.words = append(s.words, make([]uint64, w+1-len(s.words))...)
@@ -52,16 +229,66 @@ func (s *RowSet) Add(row int) {
 	if row < 0 {
 		return
 	}
-	w := row >> 6
-	s.grow(w)
-	s.words[w] |= 1 << uint(row&63)
+	if s.words != nil {
+		w := row >> 6
+		s.grow(w)
+		s.words[w] |= 1 << uint(row&63)
+		return
+	}
+	r := uint32(row)
+	n := len(s.sparse)
+	if n == 0 || r > s.sparse[n-1] {
+		// Ascending append: the posting-list fast path.
+		s.sparse = append(s.sparse, r)
+	} else {
+		i := sort.Search(n, func(i int) bool { return s.sparse[i] >= r })
+		if s.sparse[i] == r {
+			return
+		}
+		s.sparse = append(s.sparse, 0)
+		copy(s.sparse[i+1:], s.sparse[i:])
+		s.sparse[i] = r
+	}
+	s.maybeDensify()
 }
 
-// AddAll inserts every row of the list.
+// AddAll inserts every row of the list. Unsorted input pays one sort
+// over the combined set instead of a per-row insertion shuffle, so bulk
+// fills (posting unions, numeric-index ranges) stay O(k log k).
 func (s *RowSet) AddAll(rows []int) {
-	for _, r := range rows {
-		s.Add(r)
+	if len(rows) == 0 {
+		return
 	}
+	if s.words != nil {
+		maxW := 0
+		for _, r := range rows {
+			if w := r >> 6; r >= 0 && w > maxW {
+				maxW = w
+			}
+		}
+		s.grow(maxW)
+		for _, r := range rows {
+			if r >= 0 {
+				s.words[r>>6] |= 1 << uint(r&63)
+			}
+		}
+		return
+	}
+	sorted := true
+	for _, r := range rows {
+		if r < 0 {
+			continue
+		}
+		if n := len(s.sparse); n > 0 && uint32(r) <= s.sparse[n-1] {
+			sorted = false
+		}
+		s.sparse = append(s.sparse, uint32(r))
+	}
+	if !sorted {
+		slices.Sort(s.sparse)
+	}
+	s.sparse = dedupSorted(s.sparse)
+	s.maybeDensify()
 }
 
 // Contains reports membership.
@@ -69,14 +296,22 @@ func (s *RowSet) Contains(row int) bool {
 	if s == nil || row < 0 {
 		return false
 	}
-	w := row >> 6
-	return w < len(s.words) && s.words[w]&(1<<uint(row&63)) != 0
+	if s.words != nil {
+		w := row >> 6
+		return w < len(s.words) && s.words[w]&(1<<uint(row&63)) != 0
+	}
+	r := uint32(row)
+	i := sort.Search(len(s.sparse), func(i int) bool { return s.sparse[i] >= r })
+	return i < len(s.sparse) && s.sparse[i] == r
 }
 
-// Count returns the cardinality (population count over the words).
+// Count returns the cardinality (sparse length or population count).
 func (s *RowSet) Count() int {
 	if s == nil {
 		return 0
+	}
+	if s.words == nil {
+		return len(s.sparse)
 	}
 	n := 0
 	for _, w := range s.words {
@@ -85,56 +320,210 @@ func (s *RowSet) Count() int {
 	return n
 }
 
-// Clone returns an independent copy; mutating the clone never touches
-// the original (the detach step before intersecting cached sets).
+// Clone returns an independent copy in the same form; mutating the clone
+// never touches the original (the detach step before intersecting cached
+// sets). Cloning a sparse set stays sparse — the intersection cascade's
+// accumulator never pays for a bitset it does not need.
 func (s *RowSet) Clone() *RowSet {
 	if s == nil {
 		return &RowSet{}
 	}
-	return &RowSet{words: append([]uint64(nil), s.words...)}
+	c := &RowSet{hintWords: s.hintWords}
+	if s.words != nil {
+		c.words = append([]uint64{}, s.words...)
+	} else if len(s.sparse) > 0 {
+		c.sparse = append([]uint32(nil), s.sparse...)
+	}
+	return c
 }
 
 // AndWith intersects in place (s ∩= t) and reports whether any rows
-// remain — the early-exit signal of the intersection cascade. A nil or
-// shorter t contributes zero words past its length.
+// remain — the early-exit signal of the intersection cascade. A nil t is
+// the empty set. The result adapts: a dense set that intersects down to
+// a handful of rows sparsifies and releases its bitset, and the dense
+// loop stops at the shorter operand (everything past it is provably
+// zero) instead of scanning and zeroing the tail.
 func (s *RowSet) AndWith(t *RowSet) bool {
-	var tw []uint64
-	if t != nil {
-		tw = t.words
-	}
-	any := false
-	for i := range s.words {
-		if i < len(tw) {
-			s.words[i] &= tw[i]
-		} else {
-			s.words[i] = 0
+	tEmpty := t == nil || (t.words == nil && len(t.sparse) == 0) || (t.words != nil && len(t.words) == 0)
+	if tEmpty {
+		s.words, s.sparse = nil, nil
+		if denseOnly {
+			s.words = []uint64{}
 		}
-		if s.words[i] != 0 {
-			any = true
-		}
+		return false
 	}
-	return any
+	switch {
+	case s.words == nil && t.words == nil:
+		s.sparse = intersectGallop(s.sparse, t.sparse)
+	case s.words == nil:
+		// sparse×dense: probe the bitmap per member.
+		out := s.sparse[:0]
+		for _, r := range s.sparse {
+			if w := int(r >> 6); w < len(t.words) && t.words[w]&(1<<(r&63)) != 0 {
+				out = append(out, r)
+			}
+		}
+		s.sparse = out
+	case t.words == nil:
+		// dense×sparse: the result has at most len(t.sparse) members —
+		// probe s per member and come out sparse, dropping the bitset.
+		out := make([]uint32, 0, len(t.sparse))
+		for _, r := range t.sparse {
+			if w := int(r >> 6); w < len(s.words) && s.words[w]&(1<<(r&63)) != 0 {
+				out = append(out, r)
+			}
+		}
+		s.words, s.sparse = nil, out
+		s.maybeDensify() // re-densify if the result still exceeds its span's limit
+	default:
+		// dense×dense: word loop to the shorter operand; the tail is
+		// zero by construction, so truncate instead of scanning it.
+		n := min(len(s.words), len(t.words))
+		s.words = s.words[:n]
+		count := 0
+		for i := 0; i < n; i++ {
+			s.words[i] &= t.words[i]
+			count += bits.OnesCount64(s.words[i])
+		}
+		s.trimWords()
+		s.maybeSparsify(count)
+	}
+	if s.words != nil {
+		return len(s.words) > 0 // trimmed: any remaining word is non-zero
+	}
+	return len(s.sparse) > 0
 }
 
-// OrWith unions in place (s ∪= t), growing s as needed.
+// intersectGallop intersects two sorted sets in place into a's storage
+// using exponential search on the longer side — O(min·log(max/min)),
+// the sparse×sparse fast path.
+func intersectGallop(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i += gallop(a[i:], b[j])
+		default:
+			j += gallop(b[j:], a[i])
+		}
+	}
+	return out
+}
+
+// gallop returns the offset of the first element of xs that is >= v,
+// found by doubling probes then binary search within the last bracket.
+func gallop(xs []uint32, v uint32) int {
+	bound := 1
+	for bound < len(xs) && xs[bound] < v {
+		bound <<= 1
+	}
+	lo := bound >> 1
+	hi := min(bound+1, len(xs))
+	return lo + sort.Search(hi-lo, func(k int) bool { return xs[lo+k] >= v })
+}
+
+// OrWith unions in place (s ∪= t), growing and adapting s as needed.
 func (s *RowSet) OrWith(t *RowSet) {
-	if t == nil || len(t.words) == 0 {
+	if t == nil || (t.words == nil && len(t.sparse) == 0) || (t.words != nil && len(t.words) == 0) {
 		return
 	}
-	s.grow(len(t.words) - 1)
-	for i, w := range t.words {
-		s.words[i] |= w
+	switch {
+	case s.words == nil && t.words == nil:
+		s.sparse = unionSorted(s.sparse, t.sparse)
+		s.maybeDensify()
+	case s.words == nil:
+		// sparse×dense: adopt a copy of t's words (never alias the
+		// operand) and scatter the sparse members in.
+		words := make([]uint64, max(len(t.words), s.spanWords()))
+		copy(words, t.words)
+		for _, r := range s.sparse {
+			words[r>>6] |= 1 << (r & 63)
+		}
+		s.words, s.sparse = words, nil
+	case t.words == nil:
+		for _, r := range t.sparse {
+			w := int(r >> 6)
+			s.grow(w)
+			s.words[w] |= 1 << (r & 63)
+		}
+	default:
+		s.grow(len(t.words) - 1)
+		for i, w := range t.words {
+			s.words[i] |= w
+		}
 	}
 }
 
-// AndNotWith subtracts in place (s −= t).
+// unionSorted merges two sorted duplicate-free sets into a fresh slice.
+func unionSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// AndNotWith subtracts in place (s −= t), adapting the form when the
+// subtraction empties a dense set out.
 func (s *RowSet) AndNotWith(t *RowSet) {
-	if t == nil {
+	if t == nil || (t.words == nil && len(t.sparse) == 0) || (t.words != nil && len(t.words) == 0) {
 		return
 	}
-	n := min(len(s.words), len(t.words))
-	for i := 0; i < n; i++ {
-		s.words[i] &^= t.words[i]
+	switch {
+	case s.words == nil && t.words == nil:
+		out := s.sparse[:0]
+		j := 0
+		for _, r := range s.sparse {
+			for j < len(t.sparse) && t.sparse[j] < r {
+				j++
+			}
+			if j == len(t.sparse) || t.sparse[j] != r {
+				out = append(out, r)
+			}
+		}
+		s.sparse = out
+	case s.words == nil:
+		out := s.sparse[:0]
+		for _, r := range s.sparse {
+			if w := int(r >> 6); w >= len(t.words) || t.words[w]&(1<<(r&63)) == 0 {
+				out = append(out, r)
+			}
+		}
+		s.sparse = out
+	case t.words == nil:
+		for _, r := range t.sparse {
+			if w := int(r >> 6); w < len(s.words) {
+				s.words[w] &^= 1 << (r & 63)
+			}
+		}
+		s.trimWords()
+		s.maybeSparsify(s.Count())
+	default:
+		n := min(len(s.words), len(t.words))
+		for i := 0; i < n; i++ {
+			s.words[i] &^= t.words[i]
+		}
+		s.trimWords()
+		s.maybeSparsify(s.Count())
 	}
 }
 
@@ -142,6 +531,14 @@ func (s *RowSet) AndNotWith(t *RowSet) {
 // false.
 func (s *RowSet) Iterate(fn func(row int) bool) {
 	if s == nil {
+		return
+	}
+	if s.words == nil {
+		for _, r := range s.sparse {
+			if !fn(int(r)) {
+				return
+			}
+		}
 		return
 	}
 	for wi, w := range s.words {
@@ -166,4 +563,72 @@ func (s *RowSet) ToSorted() []int {
 	out := make([]int, 0, n)
 	s.Iterate(func(row int) bool { out = append(out, row); return true })
 	return out
+}
+
+// ResidentBytes returns the heap bytes of the set's backing storage —
+// the number the scale track tracks per cached row set.
+func (s *RowSet) ResidentBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return int64(cap(s.words))*8 + int64(cap(s.sparse))*4
+}
+
+// DenseEquivalentBytes returns what the pre-adaptive representation
+// would occupy for this set — the baseline the adaptive form's memory
+// win is measured against. The old NewRowSet allocated the full
+// universe bitset up front, so a set carrying a universe hint reports
+// that; a set built without one (RowSetFromSorted) falls back to its
+// span.
+func (s *RowSet) DenseEquivalentBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	w := s.spanWords()
+	if s.hintWords > w {
+		w = s.hintWords
+	}
+	return int64(w) * 8
+}
+
+// Compact finalizes a set that is about to be frozen (the αDB cache
+// calls it before storing): the form is re-evaluated against the final
+// cardinality and span — a set that densified early during an
+// ascending build, while its span was still a fraction of its final
+// one, converts back to the cheaper sparse form — and the surviving
+// storage is reallocated to exactly fit, dropping append-growth slack
+// a frozen set would never use. A no-op under denseOnly, where cached
+// sets must keep the pre-adaptive full-universe bitsets the baseline
+// is measuring.
+func (s *RowSet) Compact() {
+	if s == nil || denseOnly {
+		return
+	}
+	if s.words != nil {
+		s.trimWords()
+		count := s.Count()
+		if count*4 < len(s.words)*8 {
+			s.sparsify(count)
+		}
+	} else if n := len(s.sparse); n > sparseLimit(s.spanWords()) {
+		s.maybeDensify()
+	}
+	if s.words != nil {
+		if cap(s.words) > len(s.words) {
+			s.words = append(make([]uint64, 0, len(s.words)), s.words...)
+		}
+		return
+	}
+	if cap(s.sparse) > len(s.sparse) {
+		s.sparse = append(make([]uint32, 0, len(s.sparse)), s.sparse...)
+	}
+}
+
+// Form reports the live representation ("sparse" or "dense") for tests
+// and diagnostics.
+func (s *RowSet) Form() string {
+	if s != nil && s.words != nil {
+		return "dense"
+	}
+	return "sparse"
 }

@@ -1,0 +1,348 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// opUniverse bounds replayed rows so dense storage stays small (64
+// words) while leaving room for every form transition: densify on
+// clustered fills, sparsify on draining intersections, grow on
+// out-of-span adds.
+const opUniverse = 1 << 12
+
+// applyOps interprets data as a little op language over one RowSet and
+// replays every op against a map oracle, failing on the first
+// divergence in contents, cardinality, membership, or the sparse
+// sorted-unique invariant. It returns the final sorted contents so
+// callers can compare replays across representation modes.
+func applyOps(t *testing.T, data []byte) []int {
+	t.Helper()
+	s := NewRowSet(opUniverse)
+	ref := map[int]bool{}
+	pos := 0
+	next := func() int {
+		if pos >= len(data) {
+			return 0
+		}
+		b := int(data[pos])
+		pos++
+		return b
+	}
+	nextRow := func() int {
+		hi := next()
+		lo := next()
+		return (hi<<8 | lo) % opUniverse
+	}
+	nextRows := func() []int {
+		k := next() % 32
+		out := make([]int, 0, k)
+		for i := 0; i < k; i++ {
+			out = append(out, nextRow())
+		}
+		return out
+	}
+	// operand builds the right-hand set for the binary ops: either a
+	// scattered row list (sparse-shaped) or a contiguous run long enough
+	// to densify, so every form×form combination is exercised.
+	operand := func() (*RowSet, map[int]bool) {
+		var rows []int
+		if next()%2 == 0 {
+			rows = nextRows()
+		} else {
+			start := nextRow()
+			n := next() * 4
+			for r := start; r < start+n && r < opUniverse; r++ {
+				rows = append(rows, r)
+			}
+		}
+		m := map[int]bool{}
+		for _, r := range rows {
+			m[r] = true
+		}
+		return RowSetFromSorted(rows), m
+	}
+	for pos < len(data) {
+		switch next() % 8 {
+		case 0:
+			r := nextRow()
+			s.Add(r)
+			ref[r] = true
+		case 1:
+			rows := nextRows()
+			s.AddAll(rows)
+			for _, r := range rows {
+				ref[r] = true
+			}
+		case 2:
+			o, m := operand()
+			remaining := s.AndWith(o)
+			for r := range ref {
+				if !m[r] {
+					delete(ref, r)
+				}
+			}
+			if remaining != (len(ref) > 0) {
+				t.Fatalf("AndWith reported remaining=%v with %d rows left", remaining, len(ref))
+			}
+		case 3:
+			o, m := operand()
+			s.OrWith(o)
+			for r := range m {
+				ref[r] = true
+			}
+		case 4:
+			o, m := operand()
+			s.AndNotWith(o)
+			for r := range m {
+				delete(ref, r)
+			}
+		case 5:
+			// Clone-detach check: mutating the clone must not leak into
+			// the original, whatever form it is in.
+			before := s.ToSorted()
+			c := s.Clone()
+			c.Add(nextRow())
+			c.AndWith(RowSetFromSorted([]int{nextRow()}))
+			if got := s.ToSorted(); !reflect.DeepEqual(got, before) {
+				t.Fatalf("original changed through clone: %v -> %v", before, got)
+			}
+		case 6:
+			s = s.Clone()
+		case 7:
+			r := nextRow()
+			if got, want := s.Contains(r), ref[r]; got != want {
+				t.Fatalf("Contains(%d) = %v, want %v", r, got, want)
+			}
+		}
+		checkOracle(t, s, ref)
+	}
+	return s.ToSorted()
+}
+
+// checkOracle compares a set against its map oracle and verifies the
+// representation invariants the frozen-read contract depends on.
+func checkOracle(t *testing.T, s *RowSet, ref map[int]bool) {
+	t.Helper()
+	if got, want := s.Count(), len(ref); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	want := make([]int, 0, len(ref))
+	for r := range ref {
+		want = append(want, r)
+	}
+	sort.Ints(want)
+	if len(want) == 0 {
+		want = nil
+	}
+	if got := s.ToSorted(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("contents = %v, want %v (form %s)", got, want, s.Form())
+	}
+	// The sparse form must hold the sorted-unique invariant after every
+	// mutation — readers binary-search it without normalizing.
+	for i := 1; i < len(s.sparse); i++ {
+		if s.sparse[i] <= s.sparse[i-1] {
+			t.Fatalf("sparse invariant broken at %d: %v", i, s.sparse)
+		}
+	}
+	if denseOnly && len(ref) > 0 && s.Form() != "dense" {
+		t.Fatalf("denseOnly mode left a non-empty set in %s form", s.Form())
+	}
+}
+
+// TestRowSetRandomOpParity replays random op sequences twice — adaptive
+// and dense-only — checking both against the map oracle at every step
+// and against each other at the end. This is the deterministic twin of
+// FuzzRowSetOps covering densify, sparsify, grow, and every cross-form
+// And/Or/AndNot combination.
+func TestRowSetRandomOpParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 250; i++ {
+		data := make([]byte, 40+rng.Intn(400))
+		rng.Read(data)
+		adaptive := applyOps(t, data)
+		prev := SetDenseOnly(true)
+		dense := applyOps(t, data)
+		SetDenseOnly(prev)
+		if !reflect.DeepEqual(adaptive, dense) {
+			t.Fatalf("seq %d: adaptive %v != dense-only %v", i, adaptive, dense)
+		}
+	}
+}
+
+// rangeRows returns the ascending rows of [lo, hi).
+func rangeRows(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestRowSetFormTransitions pins the adaptive thresholds: clustered
+// fills densify, draining intersections sparsify and release the
+// bitset.
+func TestRowSetFormTransitions(t *testing.T) {
+	s := NewRowSet(1 << 20)
+	if s.Form() != "sparse" {
+		t.Fatalf("fresh set form = %s", s.Form())
+	}
+	// 100 members in 2 words is far past the sparse break-even.
+	s.AddAll(rangeRows(0, 100))
+	if s.Form() != "dense" {
+		t.Fatalf("clustered 100-member set form = %s, want dense", s.Form())
+	}
+	// Intersecting down to 2 rows crosses the hysteresis and drops the
+	// bitset.
+	s.AndWith(RowSetFromSorted([]int{4, 8}))
+	if s.Form() != "sparse" {
+		t.Fatalf("post-intersection form = %s, want sparse", s.Form())
+	}
+	if got := s.ToSorted(); !reflect.DeepEqual(got, []int{4, 8}) {
+		t.Fatalf("post-intersection contents = %v", got)
+	}
+	if rb := s.ResidentBytes(); rb > 64 {
+		t.Fatalf("sparsified set still resident at %d bytes", rb)
+	}
+}
+
+// TestRowSetFromSortedSizesOffTrueMax pins the pre-sizing fix: unsorted
+// input whose maximum is NOT the last element must still produce a
+// correctly-sized set (the old code sized the bitset off rows[len-1]).
+func TestRowSetFromSortedSizesOffTrueMax(t *testing.T) {
+	// Descending, duplicate-heavy, dense-bound input: last element is
+	// the minimum.
+	var rows []int
+	for r := 1999; r >= 0; r-- {
+		rows = append(rows, r, r)
+	}
+	s := RowSetFromSorted(rows)
+	if got := s.Count(); got != 2000 {
+		t.Fatalf("Count = %d, want 2000", got)
+	}
+	if s.Form() != "dense" {
+		t.Fatalf("form = %s, want dense", s.Form())
+	}
+	if !s.Contains(1999) || !s.Contains(0) {
+		t.Fatal("extremes missing")
+	}
+	// Sparse-bound variant with the max first.
+	sp := RowSetFromSorted([]int{100000, 5, 5, 70})
+	if got := sp.ToSorted(); !reflect.DeepEqual(got, []int{5, 70, 100000}) {
+		t.Fatalf("sparse unsorted round trip = %v", got)
+	}
+}
+
+// TestRowSetAndWithShrinksStorage pins the storage-shrink half of
+// AndWith: trailing all-zero words are truncated (not scanned and
+// kept), and a drained dense set releases its bitset entirely.
+func TestRowSetAndWithShrinksStorage(t *testing.T) {
+	universe := 100000
+	a := RowSetFromSorted(rangeRows(0, universe))
+	before := a.ResidentBytes()
+	if a.Form() != "dense" || before < int64(universe/8) {
+		t.Fatalf("setup: form %s, %d bytes", a.Form(), before)
+	}
+
+	// Dense ∩ singleton drains to the sparse form — bitset gone.
+	a.AndWith(RowSetFromSorted([]int{12345}))
+	if a.Form() != "sparse" || a.Count() != 1 {
+		t.Fatalf("drained set: form %s count %d", a.Form(), a.Count())
+	}
+	if rb := a.ResidentBytes(); rb > 64 {
+		t.Fatalf("drained set still resident at %d bytes (was %d)", rb, before)
+	}
+
+	// Dense ∩ dense with a short operand truncates to the operand's
+	// span and reallocates away the dead capacity.
+	c := RowSetFromSorted(rangeRows(0, universe))
+	d := RowSetFromSorted(rangeRows(0, 3000))
+	if d.Form() != "dense" {
+		t.Fatalf("operand form = %s, want dense", d.Form())
+	}
+	c.AndWith(d)
+	if got, want := c.Count(), 3000; got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if c.spanWords() > d.spanWords() {
+		t.Fatalf("trailing zero words kept: span %d > %d", c.spanWords(), d.spanWords())
+	}
+	if rb := c.ResidentBytes(); rb > before/8 {
+		t.Fatalf("truncated set still resident at %d bytes (was %d)", rb, before)
+	}
+
+	// Empty operand: storage released, early-exit signalled.
+	e := RowSetFromSorted(rangeRows(0, universe))
+	if e.AndWith(NewRowSet(0)) {
+		t.Fatal("AndWith(empty) reported remaining rows")
+	}
+	if rb := e.ResidentBytes(); rb != 0 {
+		t.Fatalf("empty result resident at %d bytes", rb)
+	}
+}
+
+// TestRowSetDenseOnlyMode pins the A/B knob squid-bench's baseline arm
+// uses: dense-only sets never sparsify and resident bytes equal the
+// dense-equivalent accounting.
+func TestRowSetDenseOnlyMode(t *testing.T) {
+	prev := SetDenseOnly(true)
+	defer SetDenseOnly(prev)
+	s := NewRowSet(100)
+	s.Add(70)
+	if s.Form() != "dense" {
+		t.Fatalf("denseOnly Add left form %s", s.Form())
+	}
+	if rb, de := s.ResidentBytes(), s.DenseEquivalentBytes(); rb != de {
+		t.Fatalf("denseOnly resident %d != dense-equivalent %d", rb, de)
+	}
+	s.AndWith(RowSetFromSorted([]int{1}))
+	if s.Form() != "dense" {
+		t.Fatalf("denseOnly intersection sparsified to %s", s.Form())
+	}
+}
+
+// TestRowSetFrozenConcurrentReads drives every read-only method from
+// concurrent goroutines against frozen sets of both forms — the cached
+// row-set contract. Run under -race this fails if any "read" method
+// mutates the representation.
+func TestRowSetFrozenConcurrentReads(t *testing.T) {
+	sparse := RowSetFromSorted([]int{3, 70, 900, 4096})
+	dense := RowSetFromSorted(rangeRows(0, 3000))
+	if sparse.Form() != "sparse" || dense.Form() != "dense" {
+		t.Fatalf("setup forms: %s/%s", sparse.Form(), dense.Form())
+	}
+	var wg sync.WaitGroup
+	for _, frozen := range []*RowSet{sparse, dense} {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(s *RowSet) {
+				defer wg.Done()
+				for i := 0; i < 300; i++ {
+					s.Contains(i)
+					s.Count()
+					s.ToSorted()
+					s.ResidentBytes()
+					s.DenseEquivalentBytes()
+					s.Form()
+					s.Iterate(func(int) bool { return true })
+					// Mutations go through a private clone; the frozen
+					// set is only ever a read operand.
+					c := s.Clone()
+					c.AndWith(s)
+					c.OrWith(s)
+					c.AndNotWith(s)
+				}
+			}(frozen)
+		}
+	}
+	wg.Wait()
+	if got := sparse.ToSorted(); !reflect.DeepEqual(got, []int{3, 70, 900, 4096}) {
+		t.Fatalf("frozen sparse set changed: %v", got)
+	}
+	if got := dense.Count(); got != 3000 {
+		t.Fatalf("frozen dense set changed: count %d", got)
+	}
+}

@@ -33,6 +33,19 @@ func aliasCopied(f *abduction.Filter) {
 	t.AndNotWith(nil) // want "AndNotWith mutates a RowSet aliasing shared"
 }
 
+// Under the adaptive representation, highly-selective cached sets live
+// in the sparse (sorted-array) form — they are exactly as shared as
+// dense ones, and the bulk mutators corrupt them just the same.
+func sparseCachedBulkMutation(f *abduction.Filter) {
+	s := f.RowSet()
+	s.AddAll([]int{1, 2}) // want "AddAll mutates a RowSet aliasing shared"
+}
+
+func sparseCacheComputeAlias(c *adb.SelCache, k adb.SelKey) {
+	s := c.RowSet(k, func() *index.RowSet { return index.RowSetFromSorted([]int{3}) })
+	s.AndWith(nil) // want "AndWith mutates a RowSet aliasing shared"
+}
+
 // --- negative cases ---
 
 // Clone() detaches from cache storage; the copy is private.
@@ -55,4 +68,12 @@ func freshSetIsPrivate() {
 	s := index.NewRowSet(64)
 	s.Add(3)
 	s.AndWith(nil)
+}
+
+// A locally-built sparse set (RowSetFromSorted) is private too — form
+// never decides ownership.
+func freshSparseIsPrivate() {
+	s := index.RowSetFromSorted([]int{1, 2, 3})
+	s.AddAll([]int{9})
+	s.AndNotWith(nil)
 }

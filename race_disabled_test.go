@@ -1,0 +1,7 @@
+//go:build !race
+
+package squid
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; see race_enabled_test.go.
+const raceDetectorEnabled = false

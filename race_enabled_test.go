@@ -1,0 +1,8 @@
+//go:build race
+
+package squid
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; allocation-count assertions skip under it (the detector's
+// shadow-memory bookkeeping perturbs AllocsPerRun by ±1).
+const raceDetectorEnabled = true
